@@ -1,0 +1,74 @@
+//===- bench/BenchUtil.h - Shared bench-table machinery -------------------===//
+///
+/// \file
+/// Every bench binary regenerates one of the paper's artefacts and prints a
+/// paper-vs-measured table. A row "checks" when the measured result matches
+/// the paper's claim; the binary exits non-zero if any row fails, so the
+/// bench sweep doubles as an end-to-end reproduction gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_BENCH_BENCHUTIL_H
+#define JSMM_BENCH_BENCHUTIL_H
+
+#include "support/Str.h"
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+namespace bench {
+
+class Table {
+public:
+  Table(const std::string &Title, const std::string &PaperRef) {
+    std::cout << "\n== " << Title << " ==\n   (" << PaperRef << ")\n\n";
+  }
+
+  /// Adds one claim row. \p Holds is the measured verdict.
+  void row(const std::string &Claim, const std::string &Paper,
+           const std::string &Measured, bool Holds) {
+    ++Rows;
+    Failures += Holds ? 0 : 1;
+    std::cout << "  " << (Holds ? "[ok]  " : "[FAIL]") << " "
+              << padRight(Claim, 52) << " paper: " << padRight(Paper, 22)
+              << " measured: " << Measured << "\n";
+  }
+
+  /// Convenience: boolean claims where the paper expects \p Expected.
+  void check(const std::string &Claim, bool Expected, bool Actual) {
+    row(Claim, Expected ? "yes" : "no", Actual ? "yes" : "no",
+        Expected == Actual);
+  }
+
+  /// Free-form informational line (not a checked claim).
+  void note(const std::string &Text) {
+    std::cout << "         " << Text << "\n";
+  }
+
+  /// \returns the process exit code: 0 iff every row checked.
+  int finish() {
+    std::cout << "\n  " << (Rows - Failures) << "/" << Rows
+              << " claims reproduced\n";
+    return Failures == 0 ? 0 : 1;
+  }
+
+private:
+  unsigned Rows = 0;
+  unsigned Failures = 0;
+};
+
+/// Wall-clock timing of a callable, in milliseconds.
+template <typename FnT> double timedMs(FnT Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+} // namespace bench
+} // namespace jsmm
+
+#endif // JSMM_BENCH_BENCHUTIL_H

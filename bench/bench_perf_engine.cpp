@@ -1,0 +1,149 @@
+//===- bench_perf_engine.cpp - Experiment E16 (engine performance) --------===//
+///
+/// \file
+/// google-benchmark timings of the enumeration engine's primitives — the
+/// "execution enumeration is awkward without formal-methods tooling" cost
+/// the reproduction pays instead of Alloy/Coq. Documents where the wall
+/// time of E6-E13 goes: relation closure, tot enumeration, outcome
+/// enumeration, ARM consistency, operational simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "armv8/ArmEnumerator.h"
+#include "support/LinearExtensions.h"
+#include "compile/TotConstruction.h"
+#include "exec/Enumerator.h"
+#include "flatsim/FlatSim.h"
+#include "paper/Figures.h"
+#include "search/SkeletonSearch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jsmm;
+using namespace jsmm::paper;
+
+namespace {
+
+void BM_TransitiveClosure(benchmark::State &State) {
+  Relation R(static_cast<unsigned>(State.range(0)));
+  for (unsigned I = 0; I + 1 < R.size(); ++I)
+    R.set(I, I + 1);
+  R.set(R.size() / 2, 0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.transitiveClosure());
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LinearExtensions(benchmark::State &State) {
+  // hb of the Fig. 6a execution: the realistic tot-enumeration workload.
+  CandidateExecution CE = fig6aExecution();
+  Relation Hb = CE.happensBefore(SwDefKind::SpecWithInitCase);
+  for (auto _ : State) {
+    uint64_t Count = 0;
+    forEachLinearExtension(Hb, CE.allEventsMask(),
+                           [&](const std::vector<unsigned> &) {
+                             ++Count;
+                             return true;
+                           });
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_LinearExtensions);
+
+void BM_ValidityCheck(benchmark::State &State) {
+  CandidateExecution CE = fig6aExecution();
+  CE.Tot = totalOrderFromSequence({0, 1, 2, 3, 4, 5, 6}, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isValid(CE, ModelSpec::revised()));
+}
+BENCHMARK(BM_ValidityCheck);
+
+void BM_ExistsValidTot(benchmark::State &State) {
+  CandidateExecution CE = fig6aExecution();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isValidForSomeTot(CE, ModelSpec::revised()));
+}
+BENCHMARK(BM_ExistsValidTot);
+
+void BM_SemanticDeadness(benchmark::State &State) {
+  CandidateExecution CE = fig6aExecution();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isInvalidForAllTot(CE, ModelSpec::original()));
+}
+BENCHMARK(BM_SemanticDeadness);
+
+void BM_EnumerateFig1Outcomes(benchmark::State &State) {
+  Program P = fig1Program();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        enumerateOutcomes(P, ModelSpec::revised()).Allowed.size());
+}
+BENCHMARK(BM_EnumerateFig1Outcomes);
+
+void BM_EnumerateFig6Outcomes(benchmark::State &State) {
+  Program P = fig6Program();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        enumerateOutcomes(P, ModelSpec::original()).Allowed.size());
+}
+BENCHMARK(BM_EnumerateFig6Outcomes);
+
+void BM_ArmConsistency(benchmark::State &State) {
+  CompiledProgram CP = compileToArm(fig6Program());
+  std::vector<ArmExecution> Execs;
+  forEachArmExecution(CP.Arm, [&](const ArmExecution &X, const Outcome &) {
+    Execs.push_back(X);
+    return Execs.size() < 64;
+  });
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(isArmConsistent(Execs[I]));
+    I = (I + 1) % Execs.size();
+  }
+}
+BENCHMARK(BM_ArmConsistency);
+
+void BM_ArmEnumerateMP(benchmark::State &State) {
+  ArmProgram P = armMP(true, true);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(enumerateArmOutcomes(P).Allowed.size());
+}
+BENCHMARK(BM_ArmEnumerateMP);
+
+void BM_FlatSimMP(benchmark::State &State) {
+  ArmProgram P = armMP(false, false);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runFlat(P).DistinctExecutions);
+}
+BENCHMARK(BM_FlatSimMP);
+
+void BM_CompileCheckFig6(benchmark::State &State) {
+  Program P = fig6Program();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        checkCompilationForProgram(P, ModelSpec::revised()).ArmConsistent);
+}
+BENCHMARK(BM_CompileCheckFig6);
+
+void BM_SkeletonSweep4Events(benchmark::State &State) {
+  SearchConfig Cfg;
+  Cfg.MinEvents = 4;
+  Cfg.MaxEvents = 4;
+  Cfg.NumLocs = 2;
+  for (auto _ : State) {
+    uint64_t Count = 0;
+    forEachSkeletonCandidate(
+        Cfg,
+        [&](const CandidateExecution &, const ArmExecution &) {
+          ++Count;
+          return true;
+        },
+        nullptr);
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_SkeletonSweep4Events);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+//===- bench_sec52_search_armv8.cpp - Experiments E7/E17 (§5.1-5.2) -------===//
+///
+/// \file
+/// Regenerates the Alloy counter-example search for the ARMv8 compilation
+/// deficiency:
+///
+///   1. the minimal counter-example found automatically has 6 events and
+///      2 byte locations (the hand-found one needed 8 and 3);
+///   2. exhaustively, no counter-example exists below 6 events;
+///   3. the deadness ablation (Fig. 11): the naive search accepts a
+///      spurious 3-event "counter-example" that both deadness criteria
+///      reject, and syntactic deadness never disagrees with the exact
+///      semantic criterion on a sampled sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "paper/Figures.h"
+#include "search/SkeletonSearch.h"
+
+using namespace jsmm;
+using namespace jsmm::bench;
+using namespace jsmm::paper;
+
+int main() {
+  Table T("E7/E17: counter-example search, ARMv8 compilation",
+          "Watt et al. PLDI 2020, sections 5.1-5.2, Fig. 11");
+
+  // (1) The paper's row: minimal counter-example modulo Init
+  // synchronization — the class the Alloy search's syntactic deadness can
+  // certify.
+  SearchConfig Cfg;
+  Cfg.MinEvents = 2;
+  Cfg.MaxEvents = 6;
+  Cfg.NumLocs = 2;
+  Cfg.Js = ModelSpec::original();
+  Cfg.Deadness = SearchConfig::DeadnessMode::Semantic;
+  Cfg.ExcludeInitSynchronization = true;
+  SearchStats Stats;
+  std::optional<SkeletonCex> Cex;
+  double Ms = timedMs([&] { Cex = searchArmCompilationCex(Cfg, &Stats); });
+  T.check("counter-example found for the original model", true,
+          Cex.has_value());
+  if (Cex) {
+    T.row("minimal size (events)", "6", std::to_string(Cex->NumEvents),
+          Cex->NumEvents == 6);
+    T.row("minimal size (byte locations)", "2",
+          std::to_string(Cex->NumLocs), Cex->NumLocs == 2);
+    T.check("JS side dead-invalid [original]", true,
+            isSemanticallyDead(Cex->Js, ModelSpec::original()));
+    T.check("ARM side consistent", true, isArmConsistent(Cex->Arm));
+    T.check("not a counter-example for the revised model", false,
+            isSemanticallyDead(Cex->Js, ModelSpec::revised()));
+    std::cout << "\n  found JS execution (dead-invalid in the original "
+                 "model):\n"
+              << Cex->Js.toString();
+  }
+  T.note("skeletons: " + std::to_string(Stats.Skeletons) +
+         ", rbf candidates: " + std::to_string(Stats.RbfCandidates) +
+         ", time: " + std::to_string(Ms) + " ms");
+
+  // (2) Exhaustive absence below 6 events (the minimality claim).
+  SearchConfig Below = Cfg;
+  Below.MaxEvents = 5;
+  SearchStats BelowStats;
+  auto None = searchArmCompilationCex(Below, &BelowStats);
+  T.check("no counter-example below 6 events (exhaustive, modulo Init-sw)",
+          false, None.has_value());
+  T.note("skeletons swept: " + std::to_string(BelowStats.Skeletons));
+
+  // (2b) Reproduction finding: with the exact semantic criterion — which
+  // the paper calls computationally infeasible in Alloy — an even smaller,
+  // 4-event counter-example exists, through the Init synchronizes-with
+  // special case. It is legitimate (program-level confirmation in
+  // tests/search_test.cpp).
+  SearchConfig Exact = Cfg;
+  Exact.MaxEvents = 5;
+  Exact.ExcludeInitSynchronization = false;
+  auto Smaller = searchArmCompilationCex(Exact);
+  T.check("exact deadness finds a 4-event Init-based counter-example",
+          true, Smaller.has_value() && Smaller->NumEvents == 4);
+  if (Smaller)
+    std::cout << "\n  4-event counter-example (new; beyond the paper's "
+                 "syntactic-deadness search):\n"
+              << Smaller->Js.toString();
+
+  // (3) Fig. 11's deadness ablation on the naive search.
+  {
+    std::vector<Event> Evs;
+    Evs.push_back(makeInit(0, 4));
+    Evs.push_back(makeWrite(1, 0, Mode::SeqCst, 0, 4, 1));
+    Evs.push_back(makeWrite(2, 1, Mode::Unordered, 0, 4, 2));
+    Evs.push_back(makeRead(3, 1, Mode::SeqCst, 0, 4, 1));
+    CandidateExecution Fig11(std::move(Evs));
+    Fig11.Sb.set(2, 3);
+    for (unsigned K = 0; K < 4; ++K)
+      Fig11.Rbf.push_back({K, 1, 3});
+    Relation Tot;
+    bool Naive = existsInvalidTot(Fig11, ModelSpec::original(), &Tot);
+    T.check("Fig. 11 execution accepted by the naive search", true, Naive);
+    T.check("rejected by syntactic deadness", false,
+            existsSyntacticallyDeadTot(Fig11, ModelSpec::original()));
+    T.check("rejected by exact semantic deadness", false,
+            isSemanticallyDead(Fig11, ModelSpec::original()));
+  }
+
+  // Deadness agreement sweep: syntactic => semantic on small skeletons.
+  {
+    SearchConfig Sweep;
+    Sweep.MinEvents = 2;
+    Sweep.MaxEvents = 4;
+    Sweep.NumLocs = 2;
+    uint64_t Checked = 0, Violations = 0, SyntacticHits = 0;
+    forEachSkeletonCandidate(
+        Sweep,
+        [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+          (void)Arm;
+          bool Syntactic =
+              existsSyntacticallyDeadTot(Js, ModelSpec::original());
+          if (Syntactic) {
+            ++SyntacticHits;
+            if (!isSemanticallyDead(Js, ModelSpec::original()))
+              ++Violations;
+          }
+          return ++Checked < 20000;
+        },
+        nullptr);
+    T.row("syntactic deadness implies semantic deadness", "always",
+          std::to_string(SyntacticHits - Violations) + "/" +
+              std::to_string(SyntacticHits),
+          Violations == 0);
+    T.note("candidates sampled: " + std::to_string(Checked));
+  }
+
+  return T.finish();
+}

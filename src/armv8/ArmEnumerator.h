@@ -1,0 +1,66 @@
+//===- armv8/ArmEnumerator.h - ARMv8 execution enumeration -----------------===//
+///
+/// \file
+/// Exhaustive enumeration of the candidate executions of an ARMv8 litmus
+/// program: control-flow paths × reads-byte-from justifications × coherence
+/// granule orders. Consistency is then decided by the axiomatic model
+/// (ArmModel.h). This plays the role herd plays for the reference model,
+/// extended to mixed-size programs.
+///
+/// The intermediate *skeleton* stage (events, po, dependencies and
+/// exclusive pairs for one choice of control-flow paths, with read values
+/// not yet chosen) is exposed so that the operational simulator (flatsim)
+/// and the compilation-correctness machinery can share it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ARMV8_ARMENUMERATOR_H
+#define JSMM_ARMV8_ARMENUMERATOR_H
+
+#include "armv8/ArmModel.h"
+#include "armv8/ArmProgram.h"
+#include "exec/Outcome.h"
+
+#include <functional>
+#include <map>
+
+namespace jsmm {
+
+/// The events and thread-local relations of one control-flow unfolding,
+/// before read values, rbf and co have been chosen. Reads have zeroed
+/// bytes.
+struct ArmSkeleton {
+  ArmExecution Exec;
+  std::map<EventId, unsigned> RegOfEvent; ///< load event -> dst register
+  std::vector<const ArmThreadPath *> Paths; ///< chosen path per thread
+};
+
+/// Invokes \p Visit once per combination of thread control-flow paths with
+/// the materialised skeleton. \p Visit returns false to stop early.
+/// \returns false if stopped early.
+bool forEachArmSkeleton(const ArmProgram &P,
+                        const std::function<bool(const ArmSkeleton &)> &Visit);
+
+/// Invokes \p Visit on every well-formed candidate execution of \p P (rbf
+/// and co complete; consistency NOT yet checked) with its outcome. \p Visit
+/// returns false to stop. \returns false if stopped early.
+bool forEachArmExecution(
+    const ArmProgram &P,
+    const std::function<bool(const ArmExecution &, const Outcome &)> &Visit);
+
+/// Results of enumerating a program under the axiomatic model.
+struct ArmEnumerationResult {
+  std::map<Outcome, ArmExecution> Allowed;
+  uint64_t CandidatesConsidered = 0;
+  uint64_t ConsistentCandidates = 0;
+
+  bool allows(const Outcome &O) const { return Allowed.count(O) != 0; }
+  std::vector<std::string> outcomeStrings() const;
+};
+
+/// Enumerates the outcomes of \p P allowed by the mixed-size ARMv8 model.
+ArmEnumerationResult enumerateArmOutcomes(const ArmProgram &P);
+
+} // namespace jsmm
+
+#endif // JSMM_ARMV8_ARMENUMERATOR_H

@@ -1,0 +1,85 @@
+//===- armv8/ArmEvent.h - ARMv8 events -------------------------------------===//
+///
+/// \file
+/// Events of the mixed-size axiomatic ARMv8 model (§4 of Watt et al., PLDI
+/// 2020). Like JavaScript events they access byte ranges; unlike JavaScript
+/// events they carry architectural attributes: acquire (ldar), release
+/// (stlr), exclusive (ldxr/stxr), and barrier events (dmb full/ld/st, isb).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ARMV8_ARMEVENT_H
+#define JSMM_ARMV8_ARMEVENT_H
+
+#include "core/Event.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// Kind of an ARMv8 event.
+enum class ArmKind : uint8_t {
+  Read,
+  Write,
+  DmbFull, ///< dmb sy
+  DmbLd,   ///< dmb ld
+  DmbSt,   ///< dmb st
+  Isb,
+};
+
+/// An event of an ARMv8 candidate execution.
+struct ArmEvent {
+  EventId Id = 0;
+  int Thread = -1;
+  ArmKind Kind = ArmKind::Read;
+  bool Acquire = false;   ///< A: load-acquire (ldar / ldaxr)
+  bool Release = false;   ///< L: store-release (stlr / stlxr)
+  bool Exclusive = false; ///< load/store exclusive
+  bool IsInit = false;    ///< the initial write covering a whole block
+  unsigned Block = 0;
+  unsigned Index = 0;
+  std::vector<uint8_t> Bytes; ///< bytes read or written
+
+  /// Identifies the source instruction this event was lowered from; used by
+  /// the compilation translation relation to map ARM events back to
+  /// JavaScript events. -1 when not applicable.
+  int SourceTag = -1;
+
+  bool isRead() const { return Kind == ArmKind::Read; }
+  bool isWrite() const { return Kind == ArmKind::Write; }
+  bool isAccess() const { return isRead() || isWrite(); }
+  bool isFence() const {
+    return Kind == ArmKind::DmbFull || Kind == ArmKind::DmbLd ||
+           Kind == ArmKind::DmbSt || Kind == ArmKind::Isb;
+  }
+
+  unsigned begin() const { return Index; }
+  unsigned end() const {
+    return Index + static_cast<unsigned>(Bytes.size());
+  }
+  bool touchesByte(unsigned Loc) const {
+    return isAccess() && Loc >= begin() && Loc < end();
+  }
+  uint8_t byteAt(unsigned Loc) const;
+
+  std::string toString() const;
+};
+
+/// overlap for ARM events: same block, both accesses, intersecting ranges.
+bool armOverlap(const ArmEvent &A, const ArmEvent &B);
+
+/// Constructors.
+ArmEvent makeArmRead(EventId Id, int Thread, unsigned Index, unsigned Width,
+                     bool Acquire = false, bool Exclusive = false,
+                     unsigned Block = 0);
+ArmEvent makeArmWrite(EventId Id, int Thread, unsigned Index, unsigned Width,
+                      uint64_t Value, bool Release = false,
+                      bool Exclusive = false, unsigned Block = 0);
+ArmEvent makeArmFence(EventId Id, int Thread, ArmKind Kind);
+ArmEvent makeArmInit(EventId Id, unsigned Size, unsigned Block = 0);
+
+} // namespace jsmm
+
+#endif // JSMM_ARMV8_ARMEVENT_H

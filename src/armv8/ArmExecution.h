@@ -1,0 +1,98 @@
+//===- armv8/ArmExecution.h - ARMv8 candidate executions -------------------===//
+///
+/// \file
+/// Candidate executions of the mixed-size ARMv8 axiomatic model (§4).
+/// Mirrors the JavaScript structure: byte-indexed reads-byte-from, plus a
+/// per-byte coherence order and the dependency relations (addr, data, ctrl)
+/// and exclusive-pair relation needed by the architectural model.
+///
+/// Coherence is represented per *granule* — a maximal run of consecutive
+/// bytes with an identical set of writers — with one write order per
+/// granule. Writes with identical footprints are therefore coherence-ordered
+/// consistently across their bytes (as in Flat, whose storage is a single
+/// flat memory), while partially overlapping writes may be ordered
+/// differently on different granules: the "weaker behaviour" choice the
+/// paper makes where Flat's mixed-size semantics is unsettled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ARMV8_ARMEXECUTION_H
+#define JSMM_ARMV8_ARMEXECUTION_H
+
+#include "armv8/ArmEvent.h"
+#include "core/CandidateExecution.h"
+#include "support/Relation.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// A coherence granule: byte range [Begin, End) of \c Block, with the
+/// sequence of writes to it (Init first when present).
+struct CoGranule {
+  unsigned Block = 0;
+  unsigned Begin = 0;
+  unsigned End = 0;
+  std::vector<EventId> Order; ///< coherence order of the granule's writers
+};
+
+/// An ARMv8 candidate execution.
+class ArmExecution {
+public:
+  std::vector<ArmEvent> Events;
+  Relation Po;      ///< program order (strict total order per thread)
+  std::vector<RbfEdge> Rbf;
+  std::vector<CoGranule> Co;
+  Relation AddrDep; ///< address dependencies: read -> dependent access
+  Relation DataDep; ///< data dependencies: read -> dependent write
+  Relation CtrlDep; ///< control dependencies: read -> po-later events
+  Relation Rmw;     ///< successful exclusive pairs: read -> paired write
+
+  ArmExecution() = default;
+  explicit ArmExecution(std::vector<ArmEvent> Evs);
+
+  unsigned numEvents() const {
+    return static_cast<unsigned>(Events.size());
+  }
+  uint64_t allEventsMask() const {
+    unsigned N = numEvents();
+    return N == 64 ? ~uint64_t(0) : ((uint64_t(1) << N) - 1);
+  }
+  template <typename PredT> uint64_t eventsWhere(PredT Pred) const {
+    uint64_t Mask = 0;
+    for (const ArmEvent &E : Events)
+      if (Pred(E))
+        Mask |= uint64_t(1) << E.Id;
+    return Mask;
+  }
+
+  /// Computes the coherence granules for the execution's writes and seeds
+  /// each granule's order with Init first; non-Init orders must then be
+  /// chosen (see ArmEnumerator) or provided by tests.
+  std::vector<CoGranule> computeGranules() const;
+
+  /// Derived event-level relations.
+  Relation readsFrom() const; ///< rf: byte index projected away
+  Relation coherence() const; ///< co: union of all granule orders
+  /// fr: byte-wise from-reads, projected to events. fr(R,W') iff for some
+  /// byte the read reads a write co-before W' on that byte.
+  Relation fromReads() const;
+
+  /// \returns pairs restricted to distinct threads (external) or the same
+  /// thread (internal).
+  Relation externalPart(const Relation &R) const;
+  Relation internalPart(const Relation &R) const;
+
+  /// Basic structural well-formedness (po shape, rbf byte coverage and
+  /// value agreement, granule orders total on their writers, exclusive
+  /// pairs well shaped).
+  bool checkWellFormed(std::string *Err = nullptr) const;
+
+  std::string toString() const;
+};
+
+} // namespace jsmm
+
+#endif // JSMM_ARMV8_ARMEXECUTION_H

@@ -1,0 +1,147 @@
+//===- armv8/ArmModel.cpp -------------------------------------------------===//
+
+#include "armv8/ArmModel.h"
+
+#include <algorithm>
+
+using namespace jsmm;
+
+ArmDerived ArmDerived::compute(const ArmExecution &X) {
+  ArmDerived D;
+  unsigned N = X.numEvents();
+  D.Rf = X.readsFrom();
+  D.Co = X.coherence();
+  D.Fr = X.fromReads();
+  D.Rfe = X.externalPart(D.Rf);
+  D.Coe = X.externalPart(D.Co);
+  D.Fre = X.externalPart(D.Fr);
+  D.Rfi = X.internalPart(D.Rf);
+  D.Coi = X.internalPart(D.Co);
+
+  D.Obs = D.Rfe.unioned(D.Coe).unioned(D.Fre);
+
+  uint64_t Writes = X.eventsWhere([](const ArmEvent &E) {
+    return E.isWrite();
+  });
+  uint64_t Reads = X.eventsWhere([](const ArmEvent &E) {
+    return E.isRead();
+  });
+  uint64_t Acq = X.eventsWhere([](const ArmEvent &E) {
+    return E.isRead() && E.Acquire;
+  });
+  uint64_t Rel = X.eventsWhere([](const ArmEvent &E) {
+    return E.isWrite() && E.Release;
+  });
+  uint64_t DmbFull = X.eventsWhere([](const ArmEvent &E) {
+    return E.Kind == ArmKind::DmbFull;
+  });
+  uint64_t DmbLd = X.eventsWhere([](const ArmEvent &E) {
+    return E.Kind == ArmKind::DmbLd;
+  });
+  uint64_t DmbSt = X.eventsWhere([](const ArmEvent &E) {
+    return E.Kind == ArmKind::DmbSt;
+  });
+  uint64_t Isb = X.eventsWhere([](const ArmEvent &E) {
+    return E.Kind == ArmKind::Isb;
+  });
+  uint64_t All = X.allEventsMask();
+
+  const Relation &Po = X.Po;
+  auto Restrict = [&](uint64_t A, const Relation &R, uint64_t B) {
+    return R.restricted(A, B);
+  };
+
+  // dob = addr | data | ctrl;[W] | (ctrl | addr;po);[ISB];po;[R]
+  //     | addr;po;[W] | (ctrl | data);coi | (addr | data);rfi
+  Relation CtrlOrAddrPo = X.CtrlDep.unioned(X.AddrDep.compose(Po));
+  D.Dob = X.AddrDep.unioned(X.DataDep)
+              .unioned(Restrict(All, X.CtrlDep, Writes))
+              .unioned(CtrlOrAddrPo.intersected(
+                  Relation::product(All, Isb, N)).compose(
+                  Restrict(Isb, Po, Reads)))
+              .unioned(X.AddrDep.compose(Restrict(All, Po, Writes)))
+              .unioned(X.CtrlDep.unioned(X.DataDep).compose(D.Coi))
+              .unioned(X.AddrDep.unioned(X.DataDep).compose(D.Rfi));
+
+  // aob = rmw | [range(rmw)];rfi;[A]
+  uint64_t RmwWrites = 0;
+  X.Rmw.forEachPair([&](unsigned, unsigned W) {
+    RmwWrites |= uint64_t(1) << W;
+  });
+  D.Aob = X.Rmw.unioned(Restrict(RmwWrites, D.Rfi, Acq));
+
+  // bob = po;[dmb.full];po | [L];po;[A] | [R];po;[dmb.ld];po
+  //     | [A];po | [W];po;[dmb.st];po;[W] | po;[L] | po;[L];coi
+  Relation PoL = Restrict(All, Po, Rel);
+  D.Bob = Restrict(All, Po, DmbFull).compose(Restrict(DmbFull, Po, All));
+  D.Bob.unionWith(Restrict(Rel, Po, Acq));
+  D.Bob.unionWith(
+      Restrict(Reads, Po, DmbLd).compose(Restrict(DmbLd, Po, All)));
+  D.Bob.unionWith(Restrict(Acq, Po, All));
+  D.Bob.unionWith(
+      Restrict(Writes, Po, DmbSt).compose(Restrict(DmbSt, Po, Writes)));
+  D.Bob.unionWith(PoL);
+  D.Bob.unionWith(PoL.compose(D.Coi));
+
+  D.Ob = D.Obs.unioned(D.Dob).unioned(D.Aob).unioned(D.Bob)
+             .transitiveClosure();
+  return D;
+}
+
+bool jsmm::checkArmInternal(const ArmExecution &X) {
+  // Per byte location: acyclic(po-loc ∪ co ∪ rbf ∪ fr), each restricted to
+  // that byte.
+  for (const CoGranule &G : X.Co) {
+    for (unsigned Loc = G.Begin; Loc < G.End; ++Loc) {
+      unsigned N = X.numEvents();
+      Relation PerLoc(N);
+      uint64_t Touchers = X.eventsWhere([&](const ArmEvent &E) {
+        return E.Block == G.Block && E.touchesByte(Loc);
+      });
+      PerLoc.unionWith(X.Po.restricted(Touchers, Touchers));
+      // co on this byte is the granule order.
+      for (size_t I = 0; I < G.Order.size(); ++I)
+        for (size_t J = I + 1; J < G.Order.size(); ++J)
+          PerLoc.set(G.Order[I], G.Order[J]);
+      // rbf and fr on this byte.
+      for (const RbfEdge &E : X.Rbf) {
+        if (E.Loc != Loc || X.Events[E.Writer].Block != G.Block)
+          continue;
+        PerLoc.set(E.Writer, E.Reader);
+        auto It = std::find(G.Order.begin(), G.Order.end(), E.Writer);
+        if (It == G.Order.end())
+          continue; // writer outside this granule (other block/offset)
+        for (auto Later = It + 1; Later != G.Order.end(); ++Later)
+          PerLoc.set(E.Reader, *Later);
+      }
+      if (!PerLoc.isAcyclic())
+        return false;
+    }
+  }
+  return true;
+}
+
+bool jsmm::checkArmExternal(const ArmExecution &X, const ArmDerived &D) {
+  (void)X;
+  return D.Ob.isIrreflexive();
+}
+
+bool jsmm::checkArmAtomic(const ArmExecution &X, const ArmDerived &D) {
+  return X.Rmw.intersected(D.Fre.compose(D.Coe)).empty();
+}
+
+bool jsmm::isArmConsistent(const ArmExecution &X, std::string *WhyNot) {
+  auto Fail = [&](const char *Why) {
+    if (WhyNot)
+      *WhyNot = Why;
+    return false;
+  };
+  if (!checkArmInternal(X))
+    return Fail("internal visibility (per-byte coherence)");
+  ArmDerived D = ArmDerived::compute(X);
+  if (!checkArmExternal(X, D))
+    return Fail("external visibility (ordered-before cycle)");
+  if (!checkArmAtomic(X, D))
+    return Fail("atomicity of exclusives");
+  return true;
+}

@@ -1,0 +1,53 @@
+//===- armv8/ArmModel.h - Mixed-size ARMv8 axiomatic model -----------------===//
+///
+/// \file
+/// The axioms of the mixed-size ARMv8 model (§4): a generalisation of ARM's
+/// reference axiomatic model (Deacon's aarch64.cat, as simplified by Pulte
+/// et al. 2018) to byte-range accesses, following the Flat operational
+/// model's behaviour:
+///
+///   internal   per byte location: acyclic(po-loc ∪ co ∪ rbf ∪ fr)
+///   external   acyclic(obs ∪ dob ∪ aob ∪ bob), with
+///              obs = rfe ∪ coe ∪ fre (projected from the byte level)
+///   atomic     rmw ∩ (fre ; coe) = ∅
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ARMV8_ARMMODEL_H
+#define JSMM_ARMV8_ARMMODEL_H
+
+#include "armv8/ArmExecution.h"
+
+#include <string>
+
+namespace jsmm {
+
+/// All derived event-level relations of the ARMv8 model, computed once.
+struct ArmDerived {
+  Relation Rf, Co, Fr;
+  Relation Rfe, Coe, Fre, Rfi, Coi;
+  Relation Obs; ///< rfe ∪ coe ∪ fre
+  Relation Dob; ///< dependency-ordered-before
+  Relation Aob; ///< atomic-ordered-before
+  Relation Bob; ///< barrier-ordered-before
+  Relation Ob;  ///< (obs ∪ dob ∪ aob ∪ bob)+
+
+  static ArmDerived compute(const ArmExecution &X);
+};
+
+/// Internal visibility: per-byte coherence (SC per location, generalised to
+/// bytes).
+bool checkArmInternal(const ArmExecution &X);
+
+/// External visibility: ordered-before is irreflexive.
+bool checkArmExternal(const ArmExecution &X, const ArmDerived &D);
+
+/// Exclusives: no external write intervenes inside a successful pair.
+bool checkArmAtomic(const ArmExecution &X, const ArmDerived &D);
+
+/// All three axioms.
+bool isArmConsistent(const ArmExecution &X, std::string *WhyNot = nullptr);
+
+} // namespace jsmm
+
+#endif // JSMM_ARMV8_ARMMODEL_H

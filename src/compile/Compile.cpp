@@ -1,0 +1,171 @@
+//===- compile/Compile.cpp ------------------------------------------------===//
+
+#include "compile/Compile.h"
+
+#include <cassert>
+
+using namespace jsmm;
+
+namespace {
+
+/// Per-thread lowering state.
+struct Lowerer {
+  CompiledProgram &CP;
+  int Thread;
+  unsigned NextScratchReg = 4096; ///< registers for split byte loads
+
+  std::vector<ArmInstr> lower(const std::vector<Instr> &Body) {
+    std::vector<ArmInstr> Out;
+    for (const Instr &I : Body)
+      lowerInstr(I, Out);
+    return Out;
+  }
+
+  void lowerInstr(const Instr &I, std::vector<ArmInstr> &Out) {
+    switch (I.K) {
+    case Instr::Kind::Load:
+      lowerLoad(I, Out);
+      return;
+    case Instr::Kind::Store:
+      lowerStore(I, Out);
+      return;
+    case Instr::Kind::Rmw:
+      lowerRmw(I, Out);
+      return;
+    case Instr::Kind::IfEq:
+    case Instr::Kind::IfNe: {
+      ArmInstr B;
+      B.K = I.K == Instr::Kind::IfEq ? ArmInstr::Kind::IfEq
+                                     : ArmInstr::Kind::IfNe;
+      B.CondReg = I.CondReg;
+      B.Value = I.Value;
+      B.Body = lower(I.Body);
+      Out.push_back(std::move(B));
+      return;
+    }
+    }
+  }
+
+  int recordSource(const Instr &I, bool IsLoad, bool IsStore) {
+    SourceAccess S;
+    S.Thread = Thread;
+    S.Ord = I.Access.Ord;
+    S.TearFree = I.Access.TearFree;
+    S.IsLoad = IsLoad;
+    S.IsStore = IsStore;
+    S.Block = I.Access.Block;
+    S.Offset = I.Access.Offset;
+    S.Width = I.Access.Width;
+    S.DstReg = I.Dst;
+    S.Value = I.Value;
+    CP.Sources.push_back(S);
+    return static_cast<int>(CP.Sources.size() - 1);
+  }
+
+  static bool isAligned(const Acc &A) {
+    return A.Width != 0 && (A.Offset % A.Width) == 0;
+  }
+
+  void lowerLoad(const Instr &I, std::vector<ArmInstr> &Out) {
+    int Tag = recordSource(I, /*IsLoad=*/true, /*IsStore=*/false);
+    const Acc &A = I.Access;
+    assert((A.Ord != Mode::SeqCst || isAligned(A)) &&
+           "Atomics accesses are always aligned");
+    if (!isAligned(A)) {
+      // Unaligned DataView load: one single-byte plain load per byte.
+      for (unsigned B = 0; B < A.Width; ++B) {
+        ArmInstr L;
+        L.K = ArmInstr::Kind::Load;
+        L.Block = A.Block;
+        L.Offset = A.Offset + B;
+        L.Width = 1;
+        L.Dst = NextScratchReg++;
+        L.SourceTag = Tag;
+        Out.push_back(L);
+      }
+      return;
+    }
+    ArmInstr L;
+    L.K = ArmInstr::Kind::Load;
+    L.Block = A.Block;
+    L.Offset = A.Offset;
+    L.Width = A.Width;
+    L.Acquire = A.Ord == Mode::SeqCst; // Atomics.load -> ldar
+    L.Dst = I.Dst;
+    L.SourceTag = Tag;
+    Out.push_back(L);
+  }
+
+  void lowerStore(const Instr &I, std::vector<ArmInstr> &Out) {
+    int Tag = recordSource(I, /*IsLoad=*/false, /*IsStore=*/true);
+    const Acc &A = I.Access;
+    assert((A.Ord != Mode::SeqCst || isAligned(A)) &&
+           "Atomics accesses are always aligned");
+    if (!isAligned(A)) {
+      for (unsigned B = 0; B < A.Width; ++B) {
+        ArmInstr St;
+        St.K = ArmInstr::Kind::Store;
+        St.Block = A.Block;
+        St.Offset = A.Offset + B;
+        St.Width = 1;
+        St.Value = (I.Value >> (8 * B)) & 0xff;
+        St.SourceTag = Tag;
+        Out.push_back(St);
+      }
+      return;
+    }
+    ArmInstr St;
+    St.K = ArmInstr::Kind::Store;
+    St.Block = A.Block;
+    St.Offset = A.Offset;
+    St.Width = A.Width;
+    St.Value = I.Value;
+    St.Release = A.Ord == Mode::SeqCst; // Atomics.store -> stlr
+    St.SourceTag = Tag;
+    Out.push_back(St);
+  }
+
+  void lowerRmw(const Instr &I, std::vector<ArmInstr> &Out) {
+    int Tag = recordSource(I, /*IsLoad=*/true, /*IsStore=*/true);
+    const Acc &A = I.Access;
+    assert(isAligned(A) && "Atomics accesses are always aligned");
+    // Atomics.exchange -> ldaxr ; stlxr (a successful exclusive pair).
+    ArmInstr L;
+    L.K = ArmInstr::Kind::Load;
+    L.Block = A.Block;
+    L.Offset = A.Offset;
+    L.Width = A.Width;
+    L.Acquire = true;
+    L.Exclusive = true;
+    L.Dst = I.Dst;
+    L.SourceTag = Tag;
+    L.RmwTag = Tag;
+    Out.push_back(L);
+    ArmInstr St;
+    St.K = ArmInstr::Kind::Store;
+    St.Block = A.Block;
+    St.Offset = A.Offset;
+    St.Width = A.Width;
+    St.Value = I.Value;
+    St.Release = true;
+    St.Exclusive = true;
+    St.SourceTag = Tag;
+    St.RmwTag = Tag;
+    Out.push_back(St);
+  }
+};
+
+} // namespace
+
+CompiledProgram jsmm::compileToArm(const Program &Js) {
+  CompiledProgram CP;
+  CP.Arm = ArmProgram(Js.bufferSizes()[0]);
+  for (size_t B = 1; B < Js.bufferSizes().size(); ++B)
+    CP.Arm.addBuffer(Js.bufferSizes()[B]);
+  CP.Arm.Name = Js.Name + ".arm";
+  for (unsigned T = 0; T < Js.numThreads(); ++T) {
+    Lowerer L{CP, static_cast<int>(T)};
+    CP.Arm.addRawThread(L.lower(Js.threadBody(T)));
+  }
+  return CP;
+}

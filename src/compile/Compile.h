@@ -1,0 +1,59 @@
+//===- compile/Compile.h - The JS -> ARMv8 compilation scheme --------------===//
+///
+/// \file
+/// The compilation scheme of §5.1 (the one implemented by V8 and intended
+/// by the specification, i.e. the C++ SC-atomics scheme):
+///
+///   JavaScript            ARMv8             events
+///   Atomics.load          ldar              R_SC   -> R_acq
+///   Atomics.store         stlr              W_SC   -> W_rel
+///   x[k] (load)           ldr               R_Un   -> R
+///   x[k] = v              str               W_Un   -> W
+///   Atomics.exchange      ldaxr ; stlxr     RMW_SC -> R_exc-acq sb W_exc-rel
+///
+/// Unaligned DataView accesses are lowered to one single-byte ARM access
+/// per byte (§5.1's minor edge case). Conditionals compile to branches,
+/// which on the ARM side induce control dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_COMPILE_COMPILE_H
+#define JSMM_COMPILE_COMPILE_H
+
+#include "armv8/ArmProgram.h"
+#include "litmus/Program.h"
+
+#include <vector>
+
+namespace jsmm {
+
+/// Description of one JavaScript source access, recorded during lowering
+/// and consumed by the translation relation to rebuild JS events from ARM
+/// events.
+struct SourceAccess {
+  int Thread = -1;
+  Mode Ord = Mode::Unordered;
+  bool TearFree = true;
+  bool IsLoad = false;
+  bool IsStore = false; ///< both set for an RMW
+  unsigned Block = 0;
+  unsigned Offset = 0;
+  unsigned Width = 4;
+  unsigned DstReg = 0;   ///< JS register receiving a load/RMW result
+  uint64_t Value = 0;    ///< value stored (stores and RMWs)
+};
+
+/// A compiled program: the ARM program plus the source-tag table linking
+/// ARM events back to the JavaScript accesses they implement.
+struct CompiledProgram {
+  ArmProgram Arm{0};
+  std::vector<SourceAccess> Sources; ///< indexed by SourceTag
+};
+
+/// Lowers \p Js with the scheme above. Conditionals must scrutinise
+/// registers loaded by aligned accesses.
+CompiledProgram compileToArm(const Program &Js);
+
+} // namespace jsmm
+
+#endif // JSMM_COMPILE_COMPILE_H

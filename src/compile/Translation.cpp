@@ -1,0 +1,98 @@
+//===- compile/Translation.cpp --------------------------------------------===//
+
+#include "compile/Translation.h"
+
+#include "support/Str.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace jsmm;
+
+TranslationResult jsmm::translateExecution(const ArmExecution &X,
+                                           const CompiledProgram &CP) {
+  TranslationResult TR;
+  TR.JsOfArm.assign(X.numEvents(), 0);
+
+  // Group ARM access events by source tag, in po order (ARM event ids are
+  // po-increasing within a thread by construction).
+  std::map<int, std::vector<EventId>> Groups;
+  std::vector<EventId> Inits;
+  for (const ArmEvent &E : X.Events) {
+    if (E.IsInit) {
+      Inits.push_back(E.Id);
+      continue;
+    }
+    if (E.isAccess()) {
+      assert(E.SourceTag >= 0 && "compiled access without a source tag");
+      Groups[E.SourceTag].push_back(E.Id);
+    }
+  }
+
+  std::vector<Event> JsEvents;
+  for (EventId I : Inits) {
+    Event Init = makeInit(static_cast<EventId>(JsEvents.size()),
+                          static_cast<unsigned>(X.Events[I].Bytes.size()),
+                          X.Events[I].Block);
+    TR.JsOfArm[I] = Init.Id;
+    JsEvents.push_back(Init);
+  }
+
+  // Per-thread group lists ordered by first ARM event id, i.e. po order.
+  std::map<int, std::vector<int>> TagsPerThread;
+  for (const auto &[Tag, ArmIds] : Groups)
+    TagsPerThread[CP.Sources[Tag].Thread].push_back(Tag);
+  for (auto &[Thread, Tags] : TagsPerThread) {
+    (void)Thread;
+    std::sort(Tags.begin(), Tags.end(), [&](int A, int B) {
+      return Groups[A].front() < Groups[B].front();
+    });
+  }
+
+  std::vector<std::vector<EventId>> JsThreadEvents;
+  for (const auto &[Thread, Tags] : TagsPerThread) {
+    JsThreadEvents.emplace_back();
+    for (int Tag : Tags) {
+      const SourceAccess &S = CP.Sources[Tag];
+      Event E;
+      E.Id = static_cast<EventId>(JsEvents.size());
+      E.Thread = Thread;
+      E.Ord = S.Ord;
+      E.Block = S.Block;
+      E.Index = S.Offset;
+      E.TearFree = S.TearFree;
+      if (S.IsStore)
+        E.WriteBytes = bytesOfValue(S.Value, S.Width);
+      if (S.IsLoad) {
+        E.ReadBytes.assign(S.Width, 0);
+        for (EventId A : Groups[Tag]) {
+          const ArmEvent &Ae = X.Events[A];
+          if (!Ae.isRead())
+            continue;
+          for (unsigned Loc = Ae.begin(); Loc < Ae.end(); ++Loc)
+            E.ReadBytes[Loc - S.Offset] = Ae.byteAt(Loc);
+        }
+      }
+      for (EventId A : Groups[Tag])
+        TR.JsOfArm[A] = E.Id;
+      JsThreadEvents.back().push_back(E.Id);
+      JsEvents.push_back(E);
+      if (S.IsLoad)
+        TR.JsOutcome.add(Thread, S.DstReg, valueOfBytes(E.ReadBytes));
+    }
+  }
+
+  TR.Js = CandidateExecution(std::move(JsEvents));
+  for (const std::vector<EventId> &Seq : JsThreadEvents)
+    for (size_t I = 0; I < Seq.size(); ++I)
+      for (size_t J = I + 1; J < Seq.size(); ++J)
+        TR.Js.Sb.set(Seq[I], Seq[J]);
+
+  // reads-byte-from carries over byte-for-byte. The RMW pair's read bytes
+  // come from its exclusive load; writes by the pair are attributed to the
+  // single JS RMW event automatically through JsOfArm.
+  for (const RbfEdge &E : X.Rbf)
+    TR.Js.Rbf.push_back({E.Loc, TR.JsOfArm[E.Writer], TR.JsOfArm[E.Reader]});
+
+  return TR;
+}

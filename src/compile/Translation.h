@@ -1,0 +1,39 @@
+//===- compile/Translation.h - The translation relation --------------------===//
+///
+/// \file
+/// The translation relation on candidate executions (§5.1): relates an
+/// ARMv8 execution of a compiled program to the JavaScript candidate
+/// execution with the same observable behaviour. It is
+///
+///   - compatible with the compilation scheme (ARM events map to the JS
+///     accesses they were lowered from, via SourceTag; exclusive pairs and
+///     byte-split DataView accesses merge back into one JS event);
+///   - compatible with the program structure (po maps to sequenced-before);
+///   - behaviour-preserving (reads-byte-from carries over unchanged).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_COMPILE_TRANSLATION_H
+#define JSMM_COMPILE_TRANSLATION_H
+
+#include "armv8/ArmExecution.h"
+#include "compile/Compile.h"
+#include "exec/Outcome.h"
+
+namespace jsmm {
+
+/// A JS candidate execution translation-related to an ARM execution.
+struct TranslationResult {
+  CandidateExecution Js;          ///< tot left empty
+  std::vector<EventId> JsOfArm;   ///< ARM event id -> JS event id
+  Outcome JsOutcome;              ///< JS registers recovered from reads
+};
+
+/// Translates an ARM execution \p X of the compiled program \p CP back to
+/// the corresponding JavaScript candidate execution.
+TranslationResult translateExecution(const ArmExecution &X,
+                                     const CompiledProgram &CP);
+
+} // namespace jsmm
+
+#endif // JSMM_COMPILE_TRANSLATION_H

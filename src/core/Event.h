@@ -1,0 +1,119 @@
+//===- core/Event.h - JavaScript shared memory events ---------------------===//
+///
+/// \file
+/// Shared Data Block events, transcribed from Fig. 3 of Watt et al. (PLDI
+/// 2020) / the ECMAScript memory model. An event records its order mode
+/// (Unordered, SeqCst, or the distinguished Init write), the
+/// SharedArrayBuffer it accesses (block), the starting byte index, the list
+/// of bytes read and/or written, and whether the access is tear-free.
+///
+/// Accesses are mixed-size: two events may overlap without having identical
+/// footprints. Byte ranges are half-open intervals [index, index+len).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_CORE_EVENT_H
+#define JSMM_CORE_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// Event order mode ("ord" in the specification).
+enum class Mode : uint8_t {
+  Unordered, ///< non-atomic typed-array / DataView access ("Un")
+  SeqCst,    ///< Atomics.* access ("SC")
+  Init,      ///< the distinguished initializing write ("I")
+};
+
+/// \returns "Un", "SC" or "I".
+const char *modeName(Mode M);
+
+using EventId = unsigned;
+
+/// A shared-memory event of a candidate execution (Fig. 3).
+///
+/// Loads have a non-empty \c ReadBytes, stores a non-empty \c WriteBytes,
+/// and read-modify-write events (Atomics.exchange and friends) have both.
+/// The byte lists carry the concrete values chosen by the thread-local
+/// semantics.
+struct Event {
+  EventId Id = 0;     ///< index of this event in its execution's event list
+  int Thread = -1;    ///< thread that issued the event; -1 for Init
+  Mode Ord = Mode::Unordered;
+  unsigned Block = 0; ///< which SharedArrayBuffer is accessed
+  unsigned Index = 0; ///< starting byte offset within the block
+  std::vector<uint8_t> ReadBytes;  ///< bytes read (empty for pure writes)
+  std::vector<uint8_t> WriteBytes; ///< bytes written (empty for pure reads)
+  bool TearFree = false;
+
+  /// \returns true if the event writes at least one byte.
+  bool isWrite() const { return !WriteBytes.empty(); }
+  /// \returns true if the event reads at least one byte.
+  bool isRead() const { return !ReadBytes.empty(); }
+  /// \returns true if the event both reads and writes (an RMW).
+  bool isRMW() const { return isRead() && isWrite(); }
+
+  /// ranger(E): the half-open byte interval read by the event.
+  unsigned readBegin() const { return Index; }
+  unsigned readEnd() const {
+    return Index + static_cast<unsigned>(ReadBytes.size());
+  }
+  /// rangew(E): the half-open byte interval written by the event.
+  unsigned writeBegin() const { return Index; }
+  unsigned writeEnd() const {
+    return Index + static_cast<unsigned>(WriteBytes.size());
+  }
+  /// range(E) = ranger(E) ∪ rangew(E); both start at Index so the union is
+  /// the wider of the two intervals.
+  unsigned rangeBegin() const { return Index; }
+  unsigned rangeEnd() const { return std::max(readEnd(), writeEnd()); }
+
+  /// \returns true if byte location \p Loc (within the same block) is in
+  /// rangew(E).
+  bool writesByte(unsigned Loc) const {
+    return Loc >= writeBegin() && Loc < writeEnd();
+  }
+  /// \returns true if byte location \p Loc is in ranger(E).
+  bool readsByte(unsigned Loc) const {
+    return Loc >= readBegin() && Loc < readEnd();
+  }
+
+  /// \returns the byte this event writes at absolute location \p Loc.
+  uint8_t writtenByteAt(unsigned Loc) const;
+
+  /// \returns a rendering like "a: WSC b0[0..3]=5" for debugging and the
+  /// execution pretty-printer.
+  std::string toString() const;
+};
+
+/// rangew(A) = ranger(B): same-range check used by synchronizes-with and
+/// the Sequentially Consistent Atomics rules.
+bool sameWriteReadRange(const Event &W, const Event &R);
+
+/// rangew(A) = rangew(B).
+bool sameWriteWriteRange(const Event &A, const Event &B);
+
+/// overlap(A, B): same block and intersecting ranges (Fig. 3).
+bool overlap(const Event &A, const Event &B);
+
+/// Convenience constructors used pervasively by tests, benches and the
+/// enumeration engines. Values are little-endian encoded into \p Width
+/// bytes.
+Event makeWrite(EventId Id, int Thread, Mode Ord, unsigned Index,
+                unsigned Width, uint64_t Value, bool TearFree = true,
+                unsigned Block = 0);
+Event makeRead(EventId Id, int Thread, Mode Ord, unsigned Index,
+               unsigned Width, uint64_t Value, bool TearFree = true,
+               unsigned Block = 0);
+Event makeRMW(EventId Id, int Thread, unsigned Index, unsigned Width,
+              uint64_t ReadValue, uint64_t WrittenValue,
+              unsigned Block = 0);
+/// The distinguished Init event: writes \p Size zero bytes at offset 0.
+Event makeInit(EventId Id, unsigned Size, unsigned Block = 0);
+
+} // namespace jsmm
+
+#endif // JSMM_CORE_EVENT_H

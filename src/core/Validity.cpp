@@ -1,0 +1,215 @@
+//===- core/Validity.cpp --------------------------------------------------===//
+
+#include "core/Validity.h"
+
+#include "support/LinearExtensions.h"
+
+using namespace jsmm;
+
+DerivedRelations DerivedRelations::compute(const CandidateExecution &CE,
+                                           SwDefKind Def) {
+  DerivedRelations D;
+  D.Rf = CE.readsFrom();
+  D.Sw = CE.synchronizesWith(Def, D.Rf);
+  D.Hb = CE.happensBeforeFromSw(D.Sw);
+  return D;
+}
+
+bool jsmm::checkHbConsistency1(const CandidateExecution &CE,
+                               const DerivedRelations &D) {
+  (void)CE;
+  return CE.Tot.contains(D.Hb);
+}
+
+bool jsmm::checkHbConsistency2(const CandidateExecution &CE,
+                               const DerivedRelations &D) {
+  bool Ok = true;
+  D.Rf.forEachPair([&](unsigned W, unsigned R) {
+    if (D.Hb.get(R, W))
+      Ok = false;
+  });
+  (void)CE;
+  return Ok;
+}
+
+bool jsmm::checkHbConsistency3(const CandidateExecution &CE,
+                               const DerivedRelations &D) {
+  for (const RbfEdge &E : CE.Rbf) {
+    // Look for a "newer" write of byte E.Loc strictly hb-between the writer
+    // and the reader.
+    uint64_t Between = D.Hb.row(E.Writer) & D.Hb.column(E.Reader);
+    while (Between) {
+      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
+      Between &= Between - 1;
+      if (CE.Events[C].writesByte(E.Loc))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool jsmm::checkTearFreeReads(const CandidateExecution &CE,
+                              const DerivedRelations &D, TearRuleKind Rule) {
+  for (const Event &R : CE.Events) {
+    if (!R.isRead() || !R.TearFree)
+      continue;
+    unsigned MatchingWriters = 0;
+    uint64_t Writers = D.Rf.column(R.Id);
+    while (Writers) {
+      unsigned W = static_cast<unsigned>(__builtin_ctzll(Writers));
+      Writers &= Writers - 1;
+      const Event &Ew = CE.Events[W];
+      if (!Ew.TearFree)
+        continue;
+      bool Counts = sameWriteReadRange(Ew, R);
+      if (Rule == TearRuleKind::Strong)
+        Counts = Counts || Ew.Ord == Mode::Init;
+      if (Counts)
+        ++MatchingWriters;
+    }
+    if (MatchingWriters > 1)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// First/second attempt rule: for every synchronizes-with pair <Ew,Er>,
+/// there is no write E'w (SeqCst only, for the second attempt) with
+/// rangew(E'w) = ranger(Er) strictly tot-between Ew and Er.
+bool checkScAtomicsAttempt(const CandidateExecution &CE,
+                           const DerivedRelations &D, const Relation &Tot,
+                           bool InterveningMustBeSeqCst) {
+  bool Ok = true;
+  D.Sw.forEachPair([&](unsigned W, unsigned R) {
+    if (!Ok)
+      return;
+    const Event &Er = CE.Events[R];
+    uint64_t Between = Tot.row(W) & Tot.column(R);
+    while (Between) {
+      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
+      Between &= Between - 1;
+      const Event &Ec = CE.Events[C];
+      if (InterveningMustBeSeqCst && Ec.Ord != Mode::SeqCst)
+        continue;
+      if (sameWriteReadRange(Ec, Er)) {
+        Ok = false;
+        return;
+      }
+    }
+  });
+  return Ok;
+}
+
+/// The final rule of Fig. 10.
+bool checkScAtomicsFinal(const CandidateExecution &CE,
+                         const DerivedRelations &D, const Relation &Tot) {
+  bool Ok = true;
+  D.Rf.forEachPair([&](unsigned W, unsigned R) {
+    if (!Ok || !D.Hb.get(W, R))
+      return;
+    const Event &Ew = CE.Events[W];
+    const Event &Er = CE.Events[R];
+    uint64_t Between = Tot.row(W) & Tot.column(R);
+    while (Between) {
+      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
+      Between &= Between - 1;
+      const Event &Ec = CE.Events[C];
+      if (Ec.Ord != Mode::SeqCst)
+        continue;
+      bool D1 = sameWriteReadRange(Ec, Er) && D.Sw.get(W, R);
+      bool D2 = sameWriteWriteRange(Ew, Ec) && Ew.Ord == Mode::SeqCst &&
+                D.Hb.get(C, R);
+      bool D3 = sameWriteReadRange(Ec, Er) && D.Hb.get(W, C) &&
+                Er.Ord == Mode::SeqCst;
+      if (D1 || D2 || D3) {
+        Ok = false;
+        return;
+      }
+    }
+  });
+  return Ok;
+}
+
+} // namespace
+
+bool jsmm::checkScAtomics(const CandidateExecution &CE,
+                          const DerivedRelations &D, ScRuleKind Rule,
+                          const Relation &Tot) {
+  switch (Rule) {
+  case ScRuleKind::FirstAttempt:
+    return checkScAtomicsAttempt(CE, D, Tot,
+                                 /*InterveningMustBeSeqCst=*/false);
+  case ScRuleKind::SecondAttempt:
+    return checkScAtomicsAttempt(CE, D, Tot,
+                                 /*InterveningMustBeSeqCst=*/true);
+  case ScRuleKind::Final:
+    return checkScAtomicsFinal(CE, D, Tot);
+  }
+  return false;
+}
+
+bool jsmm::checkTotIndependentAxioms(const CandidateExecution &CE,
+                                     const DerivedRelations &D,
+                                     ModelSpec Spec, std::string *WhyNot) {
+  auto Fail = [&](const char *Axiom) {
+    if (WhyNot)
+      *WhyNot = Axiom;
+    return false;
+  };
+  if (!checkHbConsistency2(CE, D))
+    return Fail("happens-before consistency (2)");
+  if (!checkHbConsistency3(CE, D))
+    return Fail("happens-before consistency (3)");
+  if (!checkTearFreeReads(CE, D, Spec.Tear))
+    return Fail("tear-free reads");
+  return true;
+}
+
+bool jsmm::isValid(const CandidateExecution &CE, ModelSpec Spec,
+                   std::string *WhyNot) {
+  assert(CE.Tot.size() == CE.numEvents() &&
+         "isValid requires a tot witness; use isValidForSomeTot otherwise");
+  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  if (!checkTotIndependentAxioms(CE, D, Spec, WhyNot))
+    return false;
+  if (!checkHbConsistency1(CE, D)) {
+    if (WhyNot)
+      *WhyNot = "happens-before consistency (1)";
+    return false;
+  }
+  if (!checkScAtomics(CE, D, Spec.Sc, CE.Tot)) {
+    if (WhyNot)
+      *WhyNot = "sequentially consistent atomics";
+    return false;
+  }
+  return true;
+}
+
+bool jsmm::isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
+                             Relation *TotOut) {
+  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  if (!checkTotIndependentAxioms(CE, D, Spec))
+    return false;
+  // HBC1 forces tot ⊇ hb; if hb is cyclic no tot exists.
+  if (!D.Hb.isAcyclic())
+    return false;
+  bool Found = false;
+  forEachLinearExtension(
+      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
+        if (checkScAtomics(CE, D, Spec.Sc, Tot)) {
+          Found = true;
+          if (TotOut)
+            *TotOut = Tot;
+          return false; // stop
+        }
+        return true;
+      });
+  return Found;
+}
+
+bool jsmm::isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec) {
+  return !isValidForSomeTot(CE, Spec);
+}

@@ -1,0 +1,35 @@
+//===- exec/Outcome.cpp ---------------------------------------------------===//
+
+#include "exec/Outcome.h"
+
+#include <algorithm>
+
+using namespace jsmm;
+
+void Outcome::add(int Thread, unsigned Reg, uint64_t Value) {
+  Regs.emplace_back(Thread, Reg, Value);
+  std::sort(Regs.begin(), Regs.end());
+}
+
+bool Outcome::lookup(int Thread, unsigned Reg, uint64_t &Value) const {
+  for (const auto &[T, R, V] : Regs)
+    if (T == Thread && R == Reg) {
+      Value = V;
+      return true;
+    }
+  return false;
+}
+
+std::string Outcome::toString() const {
+  if (Regs.empty())
+    return "empty";
+  std::string Out;
+  for (size_t I = 0; I < Regs.size(); ++I) {
+    if (I)
+      Out += " ";
+    const auto &[T, R, V] = Regs[I];
+    Out += std::to_string(T) + ":r" + std::to_string(R) + "=" +
+           std::to_string(V);
+  }
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- exec/Outcome.h - Observable outcomes of litmus programs ------------===//
+///
+/// \file
+/// An outcome is the observable result of one execution of a litmus
+/// program: the final value of every register that was assigned on the
+/// taken control-flow path. Registers not assigned (because their branch
+/// was skipped) are absent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_EXEC_OUTCOME_H
+#define JSMM_EXEC_OUTCOME_H
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace jsmm {
+
+/// The register valuation observed at the end of one execution.
+struct Outcome {
+  /// Sorted (thread, register, value) triples.
+  std::vector<std::tuple<int, unsigned, uint64_t>> Regs;
+
+  void add(int Thread, unsigned Reg, uint64_t Value);
+
+  bool operator<(const Outcome &O) const { return Regs < O.Regs; }
+  bool operator==(const Outcome &O) const { return Regs == O.Regs; }
+
+  /// \returns the value of (Thread, Reg) if assigned.
+  bool lookup(int Thread, unsigned Reg, uint64_t &Value) const;
+
+  /// \returns e.g. "0:r0=5 1:r0=3" ("empty" when no register is assigned).
+  std::string toString() const;
+};
+
+} // namespace jsmm
+
+#endif // JSMM_EXEC_OUTCOME_H

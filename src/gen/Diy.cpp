@@ -1,0 +1,310 @@
+//===- gen/Diy.cpp --------------------------------------------------------===//
+
+#include "gen/Diy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace jsmm;
+
+const char *jsmm::edgeName(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Rfe:      return "Rfe";
+  case EdgeKind::Fre:      return "Fre";
+  case EdgeKind::Coe:      return "Coe";
+  case EdgeKind::PodRR:    return "PodRR";
+  case EdgeKind::PodRW:    return "PodRW";
+  case EdgeKind::PodWR:    return "PodWR";
+  case EdgeKind::PodWW:    return "PodWW";
+  case EdgeKind::PosRR:    return "PosRR";
+  case EdgeKind::PosRW:    return "PosRW";
+  case EdgeKind::PosWR:    return "PosWR";
+  case EdgeKind::PosWW:    return "PosWW";
+  case EdgeKind::DmbdRR:   return "DMB.SYdRR";
+  case EdgeKind::DmbdRW:   return "DMB.SYdRW";
+  case EdgeKind::DmbdWR:   return "DMB.SYdWR";
+  case EdgeKind::DmbdWW:   return "DMB.SYdWW";
+  case EdgeKind::DmbLddRR: return "DMB.LDdRR";
+  case EdgeKind::DmbLddRW: return "DMB.LDdRW";
+  case EdgeKind::DmbStdWW: return "DMB.STdWW";
+  case EdgeKind::CtrldRW:  return "CtrldRW";
+  case EdgeKind::CtrldRR:  return "CtrldRR";
+  case EdgeKind::AddrdRR:  return "AddrdRR";
+  case EdgeKind::AddrdRW:  return "AddrdRW";
+  case EdgeKind::DatadRW:  return "DatadRW";
+  case EdgeKind::AcqPodRR: return "AcqPodRR";
+  case EdgeKind::AcqPodRW: return "AcqPodRW";
+  case EdgeKind::PodRelWW: return "PodRelWW";
+  case EdgeKind::PodRelRW: return "PodRelRW";
+  }
+  return "?";
+}
+
+EdgeInfo jsmm::edgeInfo(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Rfe:      return {true, false, true, true};
+  case EdgeKind::Fre:      return {false, true, true, true};
+  case EdgeKind::Coe:      return {true, true, true, true};
+  case EdgeKind::PodRR:    return {false, false, false, false};
+  case EdgeKind::PodRW:    return {false, true, false, false};
+  case EdgeKind::PodWR:    return {true, false, false, false};
+  case EdgeKind::PodWW:    return {true, true, false, false};
+  case EdgeKind::PosRR:    return {false, false, false, true};
+  case EdgeKind::PosRW:    return {false, true, false, true};
+  case EdgeKind::PosWR:    return {true, false, false, true};
+  case EdgeKind::PosWW:    return {true, true, false, true};
+  case EdgeKind::DmbdRR:   return {false, false, false, false};
+  case EdgeKind::DmbdRW:   return {false, true, false, false};
+  case EdgeKind::DmbdWR:   return {true, false, false, false};
+  case EdgeKind::DmbdWW:   return {true, true, false, false};
+  case EdgeKind::DmbLddRR: return {false, false, false, false};
+  case EdgeKind::DmbLddRW: return {false, true, false, false};
+  case EdgeKind::DmbStdWW: return {true, true, false, false};
+  case EdgeKind::CtrldRW:  return {false, true, false, false};
+  case EdgeKind::CtrldRR:  return {false, false, false, false};
+  case EdgeKind::AddrdRR:  return {false, false, false, false};
+  case EdgeKind::AddrdRW:  return {false, true, false, false};
+  case EdgeKind::DatadRW:  return {false, true, false, false};
+  case EdgeKind::AcqPodRR: return {false, false, false, false};
+  case EdgeKind::AcqPodRW: return {false, true, false, false};
+  case EdgeKind::PodRelWW: return {true, true, false, false};
+  case EdgeKind::PodRelRW: return {false, true, false, false};
+  }
+  return {false, false, false, false};
+}
+
+namespace {
+
+bool kindsCompatible(const std::vector<EdgeKind> &Cycle) {
+  for (size_t I = 0; I < Cycle.size(); ++I) {
+    EdgeInfo Prev = edgeInfo(Cycle[(I + Cycle.size() - 1) % Cycle.size()]);
+    EdgeInfo Cur = edgeInfo(Cycle[I]);
+    if (Prev.DstIsWrite != Cur.SrcIsWrite)
+      return false;
+  }
+  return true;
+}
+
+/// Canonical form: the last edge is external and the sequence is
+/// lexicographically minimal among rotations with an external last edge.
+bool isCanonical(const std::vector<EdgeKind> &Cycle) {
+  size_t N = Cycle.size();
+  if (!edgeInfo(Cycle[N - 1]).External)
+    return false;
+  for (size_t Rot = 1; Rot < N; ++Rot) {
+    if (!edgeInfo(Cycle[(N - 1 + Rot) % N]).External)
+      continue;
+    std::vector<EdgeKind> Rotated(N);
+    for (size_t I = 0; I < N; ++I)
+      Rotated[I] = Cycle[(I + Rot) % N];
+    if (Rotated < Cycle)
+      return false;
+  }
+  return true;
+}
+
+struct Layout {
+  unsigned Width, Stride;
+};
+
+Layout layoutOf(SizeVariant V) {
+  switch (V) {
+  case SizeVariant::Byte:
+    return {1, 1};
+  case SizeVariant::Wide:
+    return {2, 2};
+  case SizeVariant::Overlap:
+    return {2, 1};
+  }
+  return {1, 1};
+}
+
+const char *variantSuffix(SizeVariant V) {
+  switch (V) {
+  case SizeVariant::Byte:
+    return "";
+  case SizeVariant::Wide:
+    return "+wide";
+  case SizeVariant::Overlap:
+    return "+overlap";
+  }
+  return "";
+}
+
+} // namespace
+
+bool jsmm::buildCycleProgram(const std::vector<EdgeKind> &Cycle,
+                             SizeVariant Variant, unsigned MaxThreads,
+                             DiyTest *Out) {
+  size_t N = Cycle.size();
+  if (N < 2 || !kindsCompatible(Cycle))
+    return false;
+
+  // Thread assignment around the cycle; communication edges hop threads.
+  std::vector<int> Thread(N, 0);
+  unsigned Externals = 0;
+  for (size_t I = 1; I < N; ++I) {
+    EdgeInfo Prev = edgeInfo(Cycle[I - 1]);
+    Thread[I] = Thread[I - 1] + (Prev.External ? 1 : 0);
+    Externals += Prev.External ? 1 : 0;
+  }
+  EdgeInfo Closing = edgeInfo(Cycle[N - 1]);
+  Externals += Closing.External ? 1 : 0;
+  if (Externals < 2)
+    return false;
+  if (!Closing.External)
+    return false; // canonical cycles close with a communication edge
+  unsigned NumThreads = static_cast<unsigned>(Thread[N - 1]) + 1;
+  if (NumThreads < 2 || NumThreads > MaxThreads)
+    return false;
+
+  // Location assignment, diy-style: each "different location" edge
+  // advances to the next location modulo the number of such edges, so the
+  // cycle closes consistently. A single diff edge cannot close (the wrap
+  // would alias its endpoints).
+  unsigned DiffCount = 0;
+  for (EdgeKind K : Cycle)
+    DiffCount += edgeInfo(K).SameLoc ? 0 : 1;
+  if (DiffCount == 1)
+    return false;
+  unsigned NumLocs = DiffCount == 0 ? 1 : DiffCount;
+  std::vector<unsigned> Loc(N, 0);
+  for (size_t I = 1; I < N; ++I) {
+    EdgeInfo Prev = edgeInfo(Cycle[I - 1]);
+    Loc[I] = (Loc[I - 1] + (Prev.SameLoc ? 0 : 1)) % NumLocs;
+  }
+  // Closing consistency is automatic: the total advance around the cycle
+  // is DiffCount ≡ 0 (mod NumLocs).
+
+  Layout L = layoutOf(Variant);
+  unsigned BufferSize = (NumLocs - 1) * L.Stride + L.Width;
+
+  ArmProgram Prog(BufferSize);
+  std::vector<unsigned> ValueCounter(NumLocs, 0);
+  std::vector<std::vector<ArmInstr>> Threads(NumThreads);
+  std::vector<int> RegOfEvent(N, -1);
+  std::vector<unsigned> NextReg(NumThreads, 0);
+
+  for (size_t I = 0; I < N; ++I) {
+    EdgeInfo Cur = edgeInfo(Cycle[I]);
+    unsigned T = static_cast<unsigned>(Thread[I]);
+    ArmInstr A;
+    A.Offset = Loc[I] * L.Stride;
+    A.Width = L.Width;
+    if (Cur.SrcIsWrite) {
+      A.K = ArmInstr::Kind::Store;
+      A.Value = Loc[I] * 8 + (++ValueCounter[Loc[I]]);
+    } else {
+      A.K = ArmInstr::Kind::Load;
+      A.Dst = NextReg[T]++;
+      RegOfEvent[I] = static_cast<int>(A.Dst);
+    }
+    // Annotations carried by the *incoming* internal edge (placed between
+    // the previous access and this one).
+    if (I > 0 && !edgeInfo(Cycle[I - 1]).External) {
+      EdgeKind In = Cycle[I - 1];
+      ArmInstr F;
+      switch (In) {
+      case EdgeKind::DmbdRR:
+      case EdgeKind::DmbdRW:
+      case EdgeKind::DmbdWR:
+      case EdgeKind::DmbdWW:
+        F.K = ArmInstr::Kind::DmbFull;
+        Threads[T].push_back(F);
+        break;
+      case EdgeKind::DmbLddRR:
+      case EdgeKind::DmbLddRW:
+        F.K = ArmInstr::Kind::DmbLd;
+        Threads[T].push_back(F);
+        break;
+      case EdgeKind::DmbStdWW:
+        F.K = ArmInstr::Kind::DmbSt;
+        Threads[T].push_back(F);
+        break;
+      case EdgeKind::CtrldRW:
+      case EdgeKind::CtrldRR:
+        A.CtrlDepOn = RegOfEvent[I - 1];
+        break;
+      case EdgeKind::AddrdRR:
+      case EdgeKind::AddrdRW:
+        A.AddrDepOn = RegOfEvent[I - 1];
+        break;
+      case EdgeKind::DatadRW:
+        A.DataDepOn = RegOfEvent[I - 1];
+        break;
+      case EdgeKind::PodRelWW:
+      case EdgeKind::PodRelRW:
+        A.Release = true;
+        break;
+      default:
+        break;
+      }
+    }
+    // Acquire annotation on the source of Acq edges.
+    if (!Cur.SrcIsWrite &&
+        (Cycle[I] == EdgeKind::AcqPodRR || Cycle[I] == EdgeKind::AcqPodRW))
+      A.Acquire = true;
+    Threads[T].push_back(A);
+  }
+
+  for (std::vector<ArmInstr> &Body : Threads)
+    Prog.addRawThread(std::move(Body));
+
+  std::string Name;
+  for (size_t I = 0; I < N; ++I) {
+    if (I)
+      Name += "+";
+    Name += edgeName(Cycle[I]);
+  }
+  Name += variantSuffix(Variant);
+  Prog.Name = Name;
+
+  if (Out) {
+    Out->Name = Name;
+    Out->Cycle = Cycle;
+    Out->Variant = Variant;
+    Out->Prog = std::move(Prog);
+  }
+  return true;
+}
+
+std::vector<DiyTest> jsmm::generateCorpus(const DiyConfig &Cfg) {
+  std::vector<EdgeKind> Alphabet = Cfg.Alphabet;
+  if (Alphabet.empty()) {
+    for (unsigned K = 0; K <= static_cast<unsigned>(EdgeKind::PodRelRW); ++K)
+      Alphabet.push_back(static_cast<EdgeKind>(K));
+  }
+  std::vector<DiyTest> Corpus;
+  std::vector<EdgeKind> Cycle;
+  std::function<void()> Extend = [&]() {
+    if (Cycle.size() >= Cfg.MinEdges && isCanonical(Cycle) &&
+        kindsCompatible(Cycle)) {
+      std::vector<SizeVariant> Variants = {SizeVariant::Byte};
+      if (Cfg.IncludeWide)
+        Variants.push_back(SizeVariant::Wide);
+      if (Cfg.IncludeOverlap)
+        Variants.push_back(SizeVariant::Overlap);
+      for (SizeVariant V : Variants) {
+        DiyTest T;
+        if (buildCycleProgram(Cycle, V, Cfg.MaxThreads, &T))
+          Corpus.push_back(std::move(T));
+      }
+    }
+    if (Cycle.size() == Cfg.MaxEdges)
+      return;
+    for (EdgeKind K : Alphabet) {
+      // Prune: consecutive kind compatibility with the previous edge.
+      if (!Cycle.empty()) {
+        EdgeInfo Prev = edgeInfo(Cycle.back());
+        if (Prev.DstIsWrite != edgeInfo(K).SrcIsWrite)
+          continue;
+      }
+      Cycle.push_back(K);
+      Extend();
+      Cycle.pop_back();
+    }
+  };
+  Extend();
+  return Corpus;
+}

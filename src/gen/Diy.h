@@ -1,0 +1,96 @@
+//===- gen/Diy.h - diy-style litmus test generation ------------------------===//
+///
+/// \file
+/// A cycle-based litmus-test generator in the style of diy (Alglave &
+/// Maranget), used to build the §4.1 validation corpus. A test is specified
+/// by a critical cycle over an edge alphabet: communication edges (Rfe,
+/// Fre, Coe) hop between threads on one location; program-order edges stay
+/// in a thread, optionally changing location, and may carry an annotation
+/// (a dmb flavour, a dependency, acquire/release). Each syntactically valid
+/// cycle (endpoint kinds compatible, at least two external edges, location
+/// alternation consistent around the cycle) yields one ARMv8 program.
+///
+/// Mixed-size variants widen the generated accesses: "wide" doubles every
+/// access width on a scaled layout (uni-size at width 2), and "overlap"
+/// doubles widths on the *unscaled* layout so accesses to neighbouring
+/// locations partially overlap — exercising the byte-wise relations of the
+/// mixed-size models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_GEN_DIY_H
+#define JSMM_GEN_DIY_H
+
+#include "armv8/ArmProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// The edge alphabet.
+enum class EdgeKind : uint8_t {
+  Rfe,  ///< write -> read, external, same location
+  Fre,  ///< read -> write, external, same location
+  Coe,  ///< write -> write, external, same location
+  PodRR, PodRW, PodWR, PodWW, ///< po, different location
+  PosRR, PosRW, PosWR, PosWW, ///< po, same location
+  DmbdRR, DmbdRW, DmbdWR, DmbdWW, ///< po, diff location, dmb sy between
+  DmbLddRR, DmbLddRW,             ///< dmb ld between (read source)
+  DmbStdWW,                       ///< dmb st between (write/write)
+  CtrldRW, CtrldRR,               ///< control dependency, diff location
+  AddrdRR, AddrdRW,               ///< address dependency, diff location
+  DatadRW,                        ///< data dependency, diff location
+  AcqPodRR, AcqPodRW,             ///< source load is an acquire (ldar)
+  PodRelWW, PodRelRW,             ///< target store is a release (stlr)
+};
+
+/// \returns diy-style edge name, e.g. "Rfe", "DMB.SYdRW".
+const char *edgeName(EdgeKind K);
+
+/// Static edge properties.
+struct EdgeInfo {
+  bool SrcIsWrite, DstIsWrite;
+  bool External;  ///< switches thread
+  bool SameLoc;   ///< keeps the location
+};
+EdgeInfo edgeInfo(EdgeKind K);
+
+/// Mixed-size variants of a base (width-1) test.
+enum class SizeVariant : uint8_t {
+  Byte,    ///< all accesses 1 byte, locations at offsets 0,1,2,...
+  Wide,    ///< all accesses 2 bytes, locations at offsets 0,2,4,...
+  Overlap, ///< all accesses 2 bytes at offsets 0,1,2,...: neighbours overlap
+};
+
+/// Generator configuration.
+struct DiyConfig {
+  unsigned MinEdges = 2;
+  unsigned MaxEdges = 4;
+  unsigned MaxThreads = 4;
+  bool IncludeWide = true;
+  bool IncludeOverlap = true;
+  std::vector<EdgeKind> Alphabet; ///< empty: the default alphabet
+};
+
+/// A generated test.
+struct DiyTest {
+  std::string Name;
+  std::vector<EdgeKind> Cycle;
+  SizeVariant Variant = SizeVariant::Byte;
+  ArmProgram Prog{0};
+};
+
+/// Generates the corpus for \p Cfg: every canonical valid cycle, in every
+/// requested size variant.
+std::vector<DiyTest> generateCorpus(const DiyConfig &Cfg);
+
+/// Builds the program for one cycle/variant; \returns false if the cycle is
+/// invalid (kind mismatch, bad location alternation, too many threads).
+bool buildCycleProgram(const std::vector<EdgeKind> &Cycle,
+                       SizeVariant Variant, unsigned MaxThreads,
+                       DiyTest *Out);
+
+} // namespace jsmm
+
+#endif // JSMM_GEN_DIY_H

@@ -1,0 +1,64 @@
+//===- litmus/PathEnum.cpp ------------------------------------------------===//
+
+#include "litmus/PathEnum.h"
+
+using namespace jsmm;
+
+namespace {
+
+void walk(const std::vector<Instr> &Body, size_t Pos, ThreadPath &Current,
+          std::vector<ThreadPath> &Out,
+          const std::function<void(ThreadPath &)> &Continue) {
+  if (Pos == Body.size()) {
+    Continue(Current);
+    return;
+  }
+  const Instr &I = Body[Pos];
+  switch (I.K) {
+  case Instr::Kind::Load:
+  case Instr::Kind::Store:
+  case Instr::Kind::Rmw:
+    Current.Accesses.push_back(&I);
+    walk(Body, Pos + 1, Current, Out, Continue);
+    Current.Accesses.pop_back();
+    return;
+  case Instr::Kind::IfEq:
+  case Instr::Kind::IfNe: {
+    bool TakenMeansEqual = I.K == Instr::Kind::IfEq;
+    // Taken branch: constrain the register, unfold the nested body, then
+    // continue with the rest of this body.
+    Current.Constraints.push_back({I.CondReg, I.Value, TakenMeansEqual});
+    walk(I.Body, 0, Current, Out, [&](ThreadPath &Path) {
+      walk(Body, Pos + 1, Path, Out, Continue);
+    });
+    Current.Constraints.pop_back();
+    // Skipped branch: the negated constraint.
+    Current.Constraints.push_back({I.CondReg, I.Value, !TakenMeansEqual});
+    walk(Body, Pos + 1, Current, Out, Continue);
+    Current.Constraints.pop_back();
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::vector<ThreadPath>
+jsmm::enumeratePaths(const std::vector<Instr> &Body) {
+  std::vector<ThreadPath> Out;
+  ThreadPath Current;
+  walk(Body, 0, Current, Out,
+       [&](ThreadPath &Path) { Out.push_back(Path); });
+  return Out;
+}
+
+bool jsmm::constraintsAllow(const ThreadPath &Path, unsigned Reg,
+                            uint64_t Value) {
+  for (const RegConstraint &C : Path.Constraints) {
+    if (C.Reg != Reg)
+      continue;
+    if (C.MustEqual != (Value == C.Value))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,77 @@
+//===- litmus/Program.cpp -------------------------------------------------===//
+
+#include "litmus/Program.h"
+
+#include <cassert>
+
+using namespace jsmm;
+
+ThreadBuilder Program::thread() {
+  Threads.emplace_back();
+  NextReg.push_back(0);
+  return ThreadBuilder(*this, static_cast<unsigned>(Threads.size() - 1));
+}
+
+std::vector<Instr> &ThreadBuilder::body() {
+  return Into ? *Into : P.Threads[ThreadIndex];
+}
+
+Reg ThreadBuilder::load(Acc A) {
+  Instr I;
+  I.K = Instr::Kind::Load;
+  I.Access = A;
+  I.Dst = P.NextReg[ThreadIndex]++;
+  body().push_back(I);
+  return Reg{static_cast<int>(ThreadIndex), I.Dst};
+}
+
+ThreadBuilder &ThreadBuilder::store(Acc A, uint64_t Value) {
+  Instr I;
+  I.K = Instr::Kind::Store;
+  I.Access = A;
+  I.Value = Value;
+  body().push_back(I);
+  return *this;
+}
+
+Reg ThreadBuilder::exchange(Acc A, uint64_t Value) {
+  Instr I;
+  I.K = Instr::Kind::Rmw;
+  I.Access = A.sc();
+  I.Value = Value;
+  I.Dst = P.NextReg[ThreadIndex]++;
+  body().push_back(I);
+  return Reg{static_cast<int>(ThreadIndex), I.Dst};
+}
+
+ThreadBuilder &
+ThreadBuilder::ifEq(Reg R, uint64_t Value,
+                    const std::function<void(ThreadBuilder &)> &Body) {
+  assert(R.Thread == static_cast<int>(ThreadIndex) &&
+         "conditional on another thread's register");
+  Instr I;
+  I.K = Instr::Kind::IfEq;
+  I.CondReg = R.Index;
+  I.Value = Value;
+  body().push_back(I);
+  Instr &Placed = body().back();
+  ThreadBuilder Nested(P, ThreadIndex, &Placed.Body);
+  Body(Nested);
+  return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::ifNe(Reg R, uint64_t Value,
+                    const std::function<void(ThreadBuilder &)> &Body) {
+  assert(R.Thread == static_cast<int>(ThreadIndex) &&
+         "conditional on another thread's register");
+  Instr I;
+  I.K = Instr::Kind::IfNe;
+  I.CondReg = R.Index;
+  I.Value = Value;
+  body().push_back(I);
+  Instr &Placed = body().back();
+  ThreadBuilder Nested(P, ThreadIndex, &Placed.Body);
+  Body(Nested);
+  return *this;
+}

@@ -1,0 +1,225 @@
+//===- paper/Figures.h - The paper's figures as library objects -----------===//
+///
+/// \file
+/// The paper's figures as ready-made library objects: candidate executions
+/// for Fig. 2 / Fig. 6a / Fig. 8 / Fig. 14, litmus programs for Fig. 1 /
+/// Fig. 6 / Fig. 8, and classic litmus shapes (MP, SB, LB) in JavaScript
+/// and ARMv8 forms. Used by the test suite, the benches, and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_PAPER_FIGURES_H
+#define JSMM_PAPER_FIGURES_H
+
+#include "armv8/ArmProgram.h"
+#include "core/CandidateExecution.h"
+#include "exec/Outcome.h"
+#include "litmus/Program.h"
+
+namespace jsmm {
+namespace paper {
+
+/// Fig. 1/2: message passing with an atomic flag. Events (with Init = 0):
+///   1: WUn [0..3]=3   2: WSC [4..7]=5   (thread 0)
+///   3: RSC [4..7]=5   4: RUn [0..3]=3   (thread 1)
+inline CandidateExecution fig2Execution() {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 1024));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 3));
+  Evs.push_back(makeWrite(2, 0, Mode::SeqCst, 4, 4, 5));
+  Evs.push_back(makeRead(3, 1, Mode::SeqCst, 4, 4, 5));
+  Evs.push_back(makeRead(4, 1, Mode::Unordered, 0, 4, 3));
+  CandidateExecution CE(std::move(Evs));
+  CE.Sb.set(1, 2);
+  CE.Sb.set(3, 4);
+  for (unsigned K = 4; K < 8; ++K)
+    CE.Rbf.push_back({K, 2, 3});
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 4});
+  return CE;
+}
+
+/// Fig. 6a: the ARMv8 compilation counter-example execution. Events:
+///   0: Init (8 bytes)
+///   1 (a): WSC [0..3]=1    2 (b): RSC [4..7]=1        (thread 0)
+///   3 (c): WSC [4..7]=1    4 (d): WSC [4..7]=2
+///   5 (e): WUn [0..3]=2    6 (f): RSC [0..3]=1        (thread 1)
+/// with b reading from c and f reading from a.
+inline CandidateExecution fig6aExecution() {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 8));
+  Evs.push_back(makeWrite(1, 0, Mode::SeqCst, 0, 4, 1));
+  Evs.push_back(makeRead(2, 0, Mode::SeqCst, 4, 4, 1));
+  Evs.push_back(makeWrite(3, 1, Mode::SeqCst, 4, 4, 1));
+  Evs.push_back(makeWrite(4, 1, Mode::SeqCst, 4, 4, 2));
+  Evs.push_back(makeWrite(5, 1, Mode::Unordered, 0, 4, 2));
+  Evs.push_back(makeRead(6, 1, Mode::SeqCst, 0, 4, 1));
+  CandidateExecution CE(std::move(Evs));
+  CE.Sb.set(1, 2);
+  CE.Sb.set(3, 4);
+  CE.Sb.set(3, 5);
+  CE.Sb.set(3, 6);
+  CE.Sb.set(4, 5);
+  CE.Sb.set(4, 6);
+  CE.Sb.set(5, 6);
+  for (unsigned K = 4; K < 8; ++K)
+    CE.Rbf.push_back({K, 3, 2}); // b reads from c
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 6}); // f reads from a
+  return CE;
+}
+
+/// Fig. 8: the SC-DRF violation execution. Events:
+///   0: Init (4 bytes)
+///   1 (a): WSC [0..3]=1                     (thread 0)
+///   2 (b): WSC [0..3]=2   3 (c): RSC [0..3]=1   4 (d): RUn [0..3]=2
+///                                           (thread 1)
+/// with c reading from a and d reading from b.
+inline CandidateExecution fig8Execution() {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::SeqCst, 0, 4, 1));
+  Evs.push_back(makeWrite(2, 1, Mode::SeqCst, 0, 4, 2));
+  Evs.push_back(makeRead(3, 1, Mode::SeqCst, 0, 4, 1));
+  Evs.push_back(makeRead(4, 1, Mode::Unordered, 0, 4, 2));
+  CandidateExecution CE(std::move(Evs));
+  CE.Sb.set(2, 3);
+  CE.Sb.set(2, 4);
+  CE.Sb.set(3, 4);
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 3}); // c reads from a
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 2, 4}); // d reads from b
+  return CE;
+}
+
+/// Fig. 14: tearing involving the Init event. A 16-bit read takes byte 0
+/// from thread 1's 16-bit write and byte 1 from Init.
+inline CandidateExecution fig14Execution() {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 32));
+  Evs.push_back(makeRead(1, 0, Mode::Unordered, 0, 2, 0x0001, true));
+  Evs.push_back(makeWrite(2, 1, Mode::Unordered, 0, 2, 0x0101, true));
+  CandidateExecution CE(std::move(Evs));
+  CE.Rbf.push_back({0, 2, 1}); // byte 0 from the write (0x01)
+  CE.Rbf.push_back({1, 0, 1}); // byte 1 from Init (0x00)
+  return CE;
+}
+
+/// Fig. 1's program: message passing, both accesses on thread-1 guarded.
+inline Program fig1Program() {
+  Program P(1024);
+  P.Name = "fig1-message-passing";
+  ThreadBuilder T0 = P.thread();
+  T0.store(Acc::u32(0), 3);
+  T0.store(Acc::u32(4).sc(), 5);
+  ThreadBuilder T1 = P.thread();
+  Reg R0 = T1.load(Acc::u32(4).sc());
+  T1.ifEq(R0, 5, [&](ThreadBuilder &B) { B.load(Acc::u32(0)); });
+  return P;
+}
+
+/// Fig. 6's program.
+inline Program fig6Program() {
+  Program P(8);
+  P.Name = "fig6-armv8-violation";
+  ThreadBuilder T0 = P.thread();
+  T0.store(Acc::u32(0).sc(), 1);
+  T0.load(Acc::u32(4).sc()); // r1
+  ThreadBuilder T1 = P.thread();
+  T1.store(Acc::u32(4).sc(), 1);
+  T1.store(Acc::u32(4).sc(), 2);
+  T1.store(Acc::u32(0), 2);
+  T1.load(Acc::u32(0).sc()); // r2
+  return P;
+}
+
+/// The Fig. 6 outcome of interest: r1 = 1 (thread 0) and r2 = 1 (thread 1).
+inline Outcome fig6Outcome() {
+  Outcome O;
+  O.add(0, 0, 1);
+  O.add(1, 0, 1);
+  return O;
+}
+
+/// Fig. 8's program.
+inline Program fig8Program() {
+  Program P(4);
+  P.Name = "fig8-scdrf-violation";
+  ThreadBuilder T0 = P.thread();
+  T0.store(Acc::u32(0).sc(), 1);
+  ThreadBuilder T1 = P.thread();
+  T1.store(Acc::u32(0).sc(), 2);
+  Reg R = T1.load(Acc::u32(0).sc());
+  T1.ifEq(R, 1, [&](ThreadBuilder &B) { B.load(Acc::u32(0)); });
+  return P;
+}
+
+/// The Fig. 8 outcome of interest: the SC load sees 1, the plain load 2.
+inline Outcome fig8Outcome() {
+  Outcome O;
+  O.add(1, 0, 1);
+  O.add(1, 1, 2);
+  return O;
+}
+
+/// Classic ARMv8 message passing, with configurable flag annotations.
+inline ArmProgram armMP(bool ReleaseStore, bool AcquireLoad) {
+  ArmProgram P(8);
+  P.Name = "arm-mp";
+  ArmThreadBuilder T0 = P.thread();
+  T0.store(0, 4, 1);
+  T0.store(4, 4, 1, /*Release=*/ReleaseStore);
+  ArmThreadBuilder T1 = P.thread();
+  T1.load(4, 4, /*Acquire=*/AcquireLoad);
+  T1.load(0, 4);
+  return P;
+}
+
+/// ARMv8 store buffering with optional dmb sy fences.
+inline ArmProgram armSB(bool WithDmb) {
+  ArmProgram P(8);
+  P.Name = "arm-sb";
+  ArmThreadBuilder T0 = P.thread();
+  T0.store(0, 4, 1);
+  if (WithDmb)
+    T0.fence(ArmInstr::Kind::DmbFull);
+  T0.load(4, 4);
+  ArmThreadBuilder T1 = P.thread();
+  T1.store(4, 4, 1);
+  if (WithDmb)
+    T1.fence(ArmInstr::Kind::DmbFull);
+  T1.load(0, 4);
+  return P;
+}
+
+/// ARMv8 load buffering with optional data dependencies.
+inline ArmProgram armLB(bool WithDataDep) {
+  ArmProgram P(8);
+  P.Name = "arm-lb";
+  ArmThreadBuilder T0 = P.thread();
+  Reg A = T0.load(0, 4);
+  T0.store(4, 4, 1);
+  if (WithDataDep)
+    T0.dataDep(A);
+  ArmThreadBuilder T1 = P.thread();
+  Reg B = T1.load(4, 4);
+  T1.store(0, 4, 1);
+  if (WithDataDep)
+    T1.dataDep(B);
+  return P;
+}
+
+/// Outcome helper: (thread, reg, value) triples.
+inline Outcome outcome(
+    std::initializer_list<std::tuple<int, unsigned, uint64_t>> Regs) {
+  Outcome O;
+  for (const auto &[T, R, V] : Regs)
+    O.add(T, R, V);
+  return O;
+}
+
+} // namespace paper
+} // namespace jsmm
+
+#endif // JSMM_PAPER_FIGURES_H

@@ -1,0 +1,74 @@
+//===- search/Deadness.cpp ------------------------------------------------===//
+
+#include "search/Deadness.h"
+
+#include "support/LinearExtensions.h"
+
+using namespace jsmm;
+
+namespace {
+
+/// Critical edge classes: W_SC -> W_any and W_any -> R_SC (the tot edges
+/// the Sequentially Consistent Atomics shapes are built from).
+bool criticalEdgesAreHbForced(const CandidateExecution &CE,
+                              const Relation &Tot, const Relation &Hb) {
+  bool Forced = true;
+  Tot.forEachPair([&](unsigned A, unsigned B) {
+    if (!Forced)
+      return;
+    const Event &Ea = CE.Events[A];
+    const Event &Eb = CE.Events[B];
+    bool Critical =
+        (Ea.isWrite() && Ea.Ord == Mode::SeqCst && Eb.isWrite()) ||
+        (Ea.isWrite() && Eb.isRead() && Eb.Ord == Mode::SeqCst);
+    if (Critical && !Hb.get(A, B))
+      Forced = false;
+  });
+  return Forced;
+}
+
+} // namespace
+
+bool jsmm::isSyntacticallyDeadCounterExample(const CandidateExecution &CE,
+                                             ModelSpec Spec) {
+  assert(CE.hasTot() && "syntactic deadness inspects a concrete tot");
+  if (isValid(CE, Spec))
+    return false;
+  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  return criticalEdgesAreHbForced(CE, CE.Tot, D.Hb);
+}
+
+bool jsmm::existsSyntacticallyDeadTot(const CandidateExecution &CE,
+                                      ModelSpec Spec, Relation *TotOut) {
+  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  // Invalidity through a tot-independent axiom is dead by definition.
+  if (!checkTotIndependentAxioms(CE, D, Spec)) {
+    if (D.Hb.isAcyclic()) {
+      if (TotOut)
+        *TotOut = totalOrderFromSequence(D.Hb.topologicalOrder(),
+                                         CE.numEvents());
+      return true;
+    }
+    return false; // no well-formed tot at all
+  }
+  if (!D.Hb.isAcyclic())
+    return false;
+  bool Found = false;
+  forEachLinearExtension(
+      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
+        if (!checkScAtomics(CE, D, Spec.Sc, Tot) &&
+            criticalEdgesAreHbForced(CE, Tot, D.Hb)) {
+          Found = true;
+          if (TotOut)
+            *TotOut = Tot;
+          return false;
+        }
+        return true;
+      });
+  return Found;
+}
+
+bool jsmm::isSemanticallyDead(const CandidateExecution &CE, ModelSpec Spec) {
+  return isInvalidForAllTot(CE, Spec);
+}

@@ -1,0 +1,47 @@
+//===- search/Deadness.h - Deadness criteria for counter-examples ---------===//
+///
+/// \file
+/// Counter-example deadness (§5.2). A naive search for compilation
+/// counter-examples — "a JS-invalid execution translation-related to an
+/// ARM-consistent one" — yields spurious results like Fig. 11, where a
+/// different choice of the (existentially quantified) total order would
+/// make the JS execution valid. A real counter-example must be *dead*: not
+/// rescuable by permuting tot.
+///
+/// Two criteria are provided:
+///
+///   - the *exact semantic* criterion ("invalid for every tot"), which the
+///     paper calls computationally infeasible in Alloy but which the C++
+///     enumerator decides directly at litmus-test sizes;
+///   - the *syntactic* criterion of Wickerson et al., as instantiated for
+///     JavaScript by the paper: an invalidating tot is dead when its
+///     W_SC→W and W→R_SC edges are all forced by happens-before (so every
+///     other tot ⊇ hb preserves them and the violating shape survives).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SEARCH_DEADNESS_H
+#define JSMM_SEARCH_DEADNESS_H
+
+#include "core/Validity.h"
+
+namespace jsmm {
+
+/// \returns true if \p CE (with its Tot witness) is invalid under \p Spec
+/// and all of the Tot's critical edges (W_SC -> W and W -> R_SC) are
+/// hb-forced — the syntactic deadness approximation.
+bool isSyntacticallyDeadCounterExample(const CandidateExecution &CE,
+                                       ModelSpec Spec);
+
+/// \returns true if some tot makes \p CE an (invalid, syntactically dead)
+/// counter-example; fills \p TotOut with the witnessing tot if non-null.
+bool existsSyntacticallyDeadTot(const CandidateExecution &CE, ModelSpec Spec,
+                                Relation *TotOut = nullptr);
+
+/// The exact semantic criterion: invalid under every tot (equivalent to
+/// isInvalidForAllTot, re-exported here under the Wickerson vocabulary).
+bool isSemanticallyDead(const CandidateExecution &CE, ModelSpec Spec);
+
+} // namespace jsmm
+
+#endif // JSMM_SEARCH_DEADNESS_H

@@ -1,0 +1,369 @@
+//===- search/SkeletonSearch.cpp ------------------------------------------===//
+
+#include "search/SkeletonSearch.h"
+
+#include "compile/TotConstruction.h"
+#include "core/DataRace.h"
+#include "core/SeqConsistency.h"
+#include "support/LinearExtensions.h"
+
+#include <algorithm>
+
+using namespace jsmm;
+
+namespace {
+
+/// Per-event skeleton assignment.
+struct EventShape {
+  int Thread = 0;
+  bool IsWrite = true;
+  Mode Ord = Mode::SeqCst;
+  unsigned Loc = 0;
+};
+
+/// Builds the JS/ARM twins for a complete shape assignment. Event 0 is
+/// Init; access event i of the shape becomes event i+1.
+void buildTwins(const std::vector<EventShape> &Shape, unsigned NumLocs,
+                CandidateExecution &Js, ArmExecution &Arm) {
+  unsigned N = static_cast<unsigned>(Shape.size());
+  std::vector<Event> JsEvents;
+  std::vector<ArmEvent> ArmEvents;
+  JsEvents.push_back(makeInit(0, NumLocs));
+  ArmEvents.push_back(makeArmInit(0, NumLocs));
+  for (unsigned I = 0; I < N; ++I) {
+    const EventShape &S = Shape[I];
+    EventId Id = I + 1;
+    // Writes write the distinct value Id; reads get values through rbf.
+    if (S.IsWrite) {
+      JsEvents.push_back(makeWrite(Id, S.Thread, S.Ord, S.Loc, 1,
+                                   /*Value=*/Id));
+      ArmEvents.push_back(makeArmWrite(Id, S.Thread, S.Loc, 1, /*Value=*/Id,
+                                       /*Release=*/S.Ord == Mode::SeqCst));
+    } else {
+      JsEvents.push_back(makeRead(Id, S.Thread, S.Ord, S.Loc, 1,
+                                  /*Value=*/0));
+      ArmEvents.push_back(makeArmRead(Id, S.Thread, S.Loc, 1,
+                                      /*Acquire=*/S.Ord == Mode::SeqCst));
+    }
+  }
+  Js = CandidateExecution(std::move(JsEvents));
+  Arm = ArmExecution(std::move(ArmEvents));
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = I + 1; J < N; ++J)
+      if (Shape[I].Thread == Shape[J].Thread) {
+        Js.Sb.set(I + 1, J + 1);
+        Arm.Po.set(I + 1, J + 1);
+      }
+}
+
+/// Enumerates rbf choices for the twins (one writer per read; locations are
+/// single bytes).
+bool enumerateRbf(
+    CandidateExecution &Js, ArmExecution &Arm, size_t ReadIdx,
+    const std::vector<EventId> &Reads, SearchStats *Stats,
+    uint64_t MaxCandidates,
+    const std::function<bool(const CandidateExecution &, const ArmExecution &)>
+        &Visit) {
+  if (ReadIdx == Reads.size()) {
+    if (Stats) {
+      ++Stats->RbfCandidates;
+      if (MaxCandidates && Stats->RbfCandidates > MaxCandidates) {
+        Stats->BudgetExhausted = true;
+        return false;
+      }
+    }
+    return Visit(Js, Arm);
+  }
+  EventId R = Reads[ReadIdx];
+  unsigned Loc = Js.Events[R].Index;
+  for (const Event &W : Js.Events) {
+    if (W.Id == R || !W.writesByte(Loc))
+      continue;
+    Js.Rbf.push_back({Loc, W.Id, R});
+    Arm.Rbf.push_back({Loc, W.Id, R});
+    Js.Events[R].ReadBytes[0] = W.writtenByteAt(Loc);
+    Arm.Events[R].Bytes[0] = W.writtenByteAt(Loc);
+    bool Continue = enumerateRbf(Js, Arm, ReadIdx + 1, Reads, Stats,
+                                 MaxCandidates, Visit);
+    Js.Rbf.pop_back();
+    Arm.Rbf.pop_back();
+    if (!Continue)
+      return false;
+  }
+  return true;
+}
+
+/// Enumerates shapes: thread restricted-growth strings x kind x mode x loc.
+bool enumerateShapes(
+    const SearchConfig &Cfg, unsigned NumEvents, unsigned NumLocs,
+    std::vector<EventShape> &Shape, unsigned Pos, int MaxThreadUsed,
+    SearchStats *Stats,
+    const std::function<bool(const CandidateExecution &, const ArmExecution &)>
+        &Visit) {
+  if (Pos == NumEvents) {
+    // Require every location to be used (smaller-footprint shapes are
+    // covered by the smaller NumLocs pass).
+    uint64_t Used = 0;
+    for (const EventShape &S : Shape)
+      Used |= uint64_t(1) << S.Loc;
+    if (Used != (uint64_t(1) << NumLocs) - 1)
+      return true;
+    if (Stats)
+      ++Stats->Skeletons;
+    CandidateExecution Js;
+    ArmExecution Arm;
+    buildTwins(Shape, NumLocs, Js, Arm);
+    std::vector<EventId> Reads;
+    for (const Event &E : Js.Events)
+      if (E.isRead())
+        Reads.push_back(E.Id);
+    return enumerateRbf(Js, Arm, 0, Reads, Stats, Cfg.MaxCandidates, Visit);
+  }
+  int ThreadLimit = std::min<int>(MaxThreadUsed + 1,
+                                  static_cast<int>(Cfg.MaxThreads) - 1);
+  for (int T = 0; T <= ThreadLimit; ++T)
+    for (bool IsWrite : {true, false})
+      for (Mode Ord : {Mode::SeqCst, Mode::Unordered})
+        for (unsigned Loc = 0; Loc < NumLocs; ++Loc) {
+          Shape[Pos] = {T, IsWrite, Ord, Loc};
+          if (!enumerateShapes(Cfg, NumEvents, NumLocs, Shape, Pos + 1,
+                               std::max(MaxThreadUsed, T), Stats, Visit))
+            return false;
+        }
+  return true;
+}
+
+} // namespace
+
+bool jsmm::forEachSkeletonCandidate(
+    const SearchConfig &Cfg,
+    const std::function<bool(const CandidateExecution &, const ArmExecution &)>
+        &Visit,
+    SearchStats *Stats) {
+  for (unsigned N = Cfg.MinEvents; N <= Cfg.MaxEvents; ++N)
+    for (unsigned L = 1; L <= Cfg.NumLocs; ++L) {
+      std::vector<EventShape> Shape(N);
+      if (!enumerateShapes(Cfg, N, L, Shape, 0, -1, Stats, Visit))
+        return false;
+    }
+  return true;
+}
+
+bool jsmm::armConsistentForSomeCo(const ArmExecution &X,
+                                  ArmExecution *Witness) {
+  ArmExecution Work = X;
+  Work.Co = Work.computeGranules();
+  std::function<bool(size_t)> Choose = [&](size_t G) -> bool {
+    if (G == Work.Co.size()) {
+      if (!isArmConsistent(Work))
+        return false;
+      if (Witness)
+        *Witness = Work;
+      return true;
+    }
+    CoGranule &Granule = Work.Co[G];
+    size_t SeedLen = Granule.Order.size();
+    std::vector<EventId> Rest;
+    for (const ArmEvent &E : Work.Events)
+      if (E.isWrite() && !E.IsInit && E.Block == Granule.Block &&
+          E.touchesByte(Granule.Begin))
+        Rest.push_back(E.Id);
+    std::sort(Rest.begin(), Rest.end());
+    do {
+      Granule.Order.resize(SeedLen);
+      Granule.Order.insert(Granule.Order.end(), Rest.begin(), Rest.end());
+      if (Choose(G + 1))
+        return true;
+    } while (std::next_permutation(Rest.begin(), Rest.end()));
+    Granule.Order.resize(SeedLen);
+    return false;
+  };
+  return Choose(0);
+}
+
+bool jsmm::existsInvalidTot(const CandidateExecution &CE, ModelSpec Spec,
+                            Relation *TotOut) {
+  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  if (!D.Hb.isAcyclic())
+    return false; // no well-formed tot exists at all
+  if (!checkTotIndependentAxioms(CE, D, Spec)) {
+    if (TotOut)
+      *TotOut =
+          totalOrderFromSequence(D.Hb.topologicalOrder(), CE.numEvents());
+    return true;
+  }
+  bool Found = false;
+  forEachLinearExtension(
+      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
+        if (!checkScAtomics(CE, D, Spec.Sc, Tot)) {
+          Found = true;
+          if (TotOut)
+            *TotOut = Tot;
+          return false;
+        }
+        return true;
+      });
+  return Found;
+}
+
+std::optional<SkeletonCex>
+jsmm::searchArmCompilationCex(const SearchConfig &Cfg, SearchStats *Stats) {
+  std::optional<SkeletonCex> Found;
+  forEachSkeletonCandidate(
+      Cfg,
+      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+        if (Cfg.ExcludeInitSynchronization) {
+          for (const Event &R : Js.Events) {
+            if (!R.isRead() || R.Ord != Mode::SeqCst)
+              continue;
+            bool OnlyInit = true;
+            for (const RbfEdge &E : Js.Rbf)
+              if (E.Reader == R.Id &&
+                  Js.Events[E.Writer].Ord != Mode::Init)
+                OnlyInit = false;
+            if (OnlyInit)
+              return true; // would synchronize with Init: skip
+          }
+        }
+        // Cheap necessary condition first: decide JS-side invalidity (in
+        // the configured deadness mode), then look for an ARM witness.
+        CandidateExecution JsWitness = Js;
+        bool JsBad = false;
+        switch (Cfg.Deadness) {
+        case SearchConfig::DeadnessMode::Semantic:
+          JsBad = isSemanticallyDead(Js, Cfg.Js);
+          break;
+        case SearchConfig::DeadnessMode::Syntactic: {
+          Relation Tot;
+          JsBad = existsSyntacticallyDeadTot(Js, Cfg.Js, &Tot);
+          if (JsBad)
+            JsWitness.Tot = Tot;
+          break;
+        }
+        case SearchConfig::DeadnessMode::None: {
+          Relation Tot;
+          JsBad = existsInvalidTot(Js, Cfg.Js, &Tot);
+          if (JsBad)
+            JsWitness.Tot = Tot;
+          break;
+        }
+        }
+        if (!JsBad)
+          return true;
+        if (Stats)
+          ++Stats->ArmConsistencyChecks;
+        ArmExecution Witness;
+        if (!armConsistentForSomeCo(Arm, &Witness))
+          return true;
+        SkeletonCex Cex;
+        Cex.Js = JsWitness;
+        Cex.Arm = Witness;
+        Cex.NumEvents = Js.numEvents() - 1; // exclude Init
+        uint64_t Used = 0;
+        for (const Event &E : Js.Events)
+          if (E.Ord != Mode::Init)
+            Used |= uint64_t(1) << E.Index;
+        Cex.NumLocs = static_cast<unsigned>(__builtin_popcountll(Used));
+        Found = std::move(Cex);
+        return false;
+      },
+      Stats);
+  return Found;
+}
+
+std::optional<SkeletonCex> jsmm::searchScDrfCex(const SearchConfig &Cfg,
+                                                SearchStats *Stats) {
+  std::optional<SkeletonCex> Found;
+  forEachSkeletonCandidate(
+      Cfg,
+      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+        (void)Arm;
+        Relation Tot;
+        if (!isValidForSomeTot(Js, Cfg.Js, &Tot))
+          return true;
+        if (!isRaceFree(Js, Cfg.Js))
+          return true;
+        if (isSequentiallyConsistent(Js))
+          return true;
+        SkeletonCex Cex;
+        Cex.Js = Js;
+        Cex.Js.Tot = Tot;
+        Cex.NumEvents = Js.numEvents() - 1;
+        uint64_t Used = 0;
+        for (const Event &E : Js.Events)
+          if (E.Ord != Mode::Init)
+            Used |= uint64_t(1) << E.Index;
+        Cex.NumLocs = static_cast<unsigned>(__builtin_popcountll(Used));
+        Found = std::move(Cex);
+        return false;
+      },
+      Stats);
+  return Found;
+}
+
+BoundedCompilationReport
+jsmm::boundedCompilationCheck(const SearchConfig &Cfg) {
+  BoundedCompilationReport Report;
+  SearchStats Stats;
+  forEachSkeletonCandidate(
+      Cfg,
+      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+        // Enumerate every consistent coherence witness and verify the tot
+        // construction on each.
+        ArmExecution Work = Arm;
+        Work.Co = Work.computeGranules();
+        std::function<bool(size_t)> Choose = [&](size_t G) -> bool {
+          if (G == Work.Co.size()) {
+            if (!isArmConsistent(Work))
+              return true;
+            ++Report.ArmConsistentExecutions;
+            TranslationResult TR;
+            TR.Js = Js;
+            TR.JsOfArm.resize(Work.numEvents());
+            for (unsigned I = 0; I < Work.numEvents(); ++I)
+              TR.JsOfArm[I] = I;
+            Relation Tot;
+            bool Ok = false;
+            if (constructTot(TR, Work, &Tot)) {
+              CandidateExecution WithTot = Js;
+              WithTot.Tot = Tot;
+              Ok = isValid(WithTot, Cfg.Js);
+            }
+            if (!Ok) {
+              ++Report.ConstructionFailures;
+              if (!Report.FirstFailure) {
+                SkeletonCex F;
+                F.Js = Js;
+                F.Arm = Work;
+                F.NumEvents = Js.numEvents() - 1;
+                Report.FirstFailure = std::move(F);
+              }
+            }
+            return true;
+          }
+          CoGranule &Granule = Work.Co[G];
+          size_t SeedLen = Granule.Order.size();
+          std::vector<EventId> Rest;
+          for (const ArmEvent &E : Work.Events)
+            if (E.isWrite() && !E.IsInit && E.Block == Granule.Block &&
+                E.touchesByte(Granule.Begin))
+              Rest.push_back(E.Id);
+          std::sort(Rest.begin(), Rest.end());
+          do {
+            Granule.Order.resize(SeedLen);
+            Granule.Order.insert(Granule.Order.end(), Rest.begin(),
+                                 Rest.end());
+            Choose(G + 1);
+          } while (std::next_permutation(Rest.begin(), Rest.end()));
+          Granule.Order.resize(SeedLen);
+          return true;
+        };
+        Choose(0);
+        return true;
+      },
+      &Stats);
+  Report.Skeletons = Stats.Skeletons;
+  Report.RbfCandidates = Stats.RbfCandidates;
+  return Report;
+}

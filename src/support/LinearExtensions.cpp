@@ -1,0 +1,82 @@
+//===- support/LinearExtensions.cpp ---------------------------------------===//
+///
+/// \file
+/// Backtracking enumeration of linear extensions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/LinearExtensions.h"
+
+#include <bit>
+
+using namespace jsmm;
+
+namespace {
+
+/// Depth-first enumeration state. Elements are picked one at a time; an
+/// element is ready when all of its predecessors (within the universe) have
+/// already been placed.
+class Enumerator {
+public:
+  Enumerator(const Relation &Order, uint64_t Universe,
+             const std::function<bool(const std::vector<unsigned> &)> &Visit)
+      : Order(Order), Universe(Universe), Visit(Visit) {
+    // Precompute predecessor sets restricted to the universe.
+    for (unsigned B = 0; B < Order.size(); ++B)
+      Preds.push_back(Order.column(B) & Universe);
+  }
+
+  /// \returns false if the visitor requested an early stop.
+  bool run() {
+    Sequence.reserve(static_cast<size_t>(std::popcount(Universe)));
+    return recurse(0);
+  }
+
+private:
+  bool recurse(uint64_t Placed) {
+    if (Placed == Universe)
+      return Visit(Sequence);
+    for (unsigned E = 0; E < Order.size(); ++E) {
+      uint64_t Bit = uint64_t(1) << E;
+      if (!(Universe & Bit) || (Placed & Bit))
+        continue;
+      if ((Preds[E] & ~Placed) != 0)
+        continue; // has an unplaced predecessor
+      Sequence.push_back(E);
+      bool Continue = recurse(Placed | Bit);
+      Sequence.pop_back();
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+  const Relation &Order;
+  uint64_t Universe;
+  const std::function<bool(const std::vector<unsigned> &)> &Visit;
+  std::vector<uint64_t> Preds;
+  std::vector<unsigned> Sequence;
+};
+
+} // namespace
+
+bool jsmm::forEachLinearExtension(
+    const Relation &Order, uint64_t Universe,
+    const std::function<bool(const std::vector<unsigned> &)> &Visit) {
+  // A cyclic order (within the universe) has no linear extensions; the
+  // recursion below naturally never reaches a complete sequence in that
+  // case, so no special handling is needed.
+  Enumerator E(Order, Universe, Visit);
+  return E.run();
+}
+
+uint64_t jsmm::countLinearExtensions(const Relation &Order, uint64_t Universe,
+                                     uint64_t Limit) {
+  uint64_t Count = 0;
+  forEachLinearExtension(Order, Universe,
+                         [&](const std::vector<unsigned> &) {
+                           ++Count;
+                           return Limit == 0 || Count < Limit;
+                         });
+  return Count;
+}

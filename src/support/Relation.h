@@ -1,0 +1,174 @@
+//===- support/Relation.h - Binary relations over small universes --------===//
+//
+// Part of the jsmm project: a reproduction of "Repairing and Mechanising the
+// JavaScript Relaxed Memory Model" (Watt et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A binary relation over a fixed universe of at most 64 elements, stored as
+/// a bit matrix. Candidate executions in both the JavaScript and ARMv8
+/// axiomatic models are small (litmus-test sized), so every derived relation
+/// (sequenced-before, happens-before, ordered-before, ...) is represented
+/// with this type and manipulated with standard relational algebra.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SUPPORT_RELATION_H
+#define JSMM_SUPPORT_RELATION_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// A binary relation on {0, ..., size()-1} represented as a bit matrix.
+/// Row A holds the successor set of A: bit B of row A is set iff <A,B> is in
+/// the relation.
+class Relation {
+public:
+  Relation() : N(0) {}
+
+  /// Creates the empty relation over a universe of \p Size elements.
+  explicit Relation(unsigned Size) : N(Size), Rows(Size, 0) {
+    assert(Size <= MaxSize && "relation universe too large");
+  }
+
+  static constexpr unsigned MaxSize = 64;
+
+  unsigned size() const { return N; }
+
+  bool get(unsigned A, unsigned B) const {
+    assert(A < N && B < N && "element out of range");
+    return (Rows[A] >> B) & 1;
+  }
+
+  void set(unsigned A, unsigned B) {
+    assert(A < N && B < N && "element out of range");
+    Rows[A] |= uint64_t(1) << B;
+  }
+
+  void clear(unsigned A, unsigned B) {
+    assert(A < N && B < N && "element out of range");
+    Rows[A] &= ~(uint64_t(1) << B);
+  }
+
+  /// \returns the successor set of \p A as a bit set.
+  uint64_t row(unsigned A) const {
+    assert(A < N && "element out of range");
+    return Rows[A];
+  }
+
+  /// \returns the predecessor set of \p B as a bit set.
+  uint64_t column(unsigned B) const;
+
+  bool empty() const;
+
+  /// \returns the number of pairs in the relation.
+  unsigned count() const;
+
+  Relation &unionWith(const Relation &Other);
+  Relation &intersectWith(const Relation &Other);
+  Relation &subtract(const Relation &Other);
+
+  /// \returns the union of this relation and \p Other.
+  Relation unioned(const Relation &Other) const {
+    Relation R = *this;
+    R.unionWith(Other);
+    return R;
+  }
+
+  /// \returns the intersection of this relation and \p Other.
+  Relation intersected(const Relation &Other) const {
+    Relation R = *this;
+    R.intersectWith(Other);
+    return R;
+  }
+
+  /// \returns this relation minus \p Other.
+  Relation subtracted(const Relation &Other) const {
+    Relation R = *this;
+    R.subtract(Other);
+    return R;
+  }
+
+  /// \returns the inverse relation {<B,A> | <A,B> in this}.
+  Relation inverse() const;
+
+  /// \returns the relational composition this ; Other.
+  Relation compose(const Relation &Other) const;
+
+  /// \returns the transitive closure (this)+.
+  Relation transitiveClosure() const;
+
+  /// \returns the reflexive transitive closure (this)*.
+  Relation reflexiveTransitiveClosure() const;
+
+  /// \returns true if no element is related to itself.
+  bool isIrreflexive() const;
+
+  /// \returns true if the transitive closure is irreflexive.
+  bool isAcyclic() const { return transitiveClosure().isIrreflexive(); }
+
+  /// \returns true if this relation is a strict total order on the elements
+  /// of \p Universe (a bit set), i.e. irreflexive, transitive, and total on
+  /// Universe, and empty outside it.
+  bool isStrictTotalOrderOn(uint64_t Universe) const;
+
+  /// \returns true if every pair of \p Other is also in this relation.
+  bool contains(const Relation &Other) const;
+
+  /// \returns the full product relation SetA x SetB over a universe of
+  /// \p Size elements, for bit sets \p SetA and \p SetB.
+  static Relation product(uint64_t SetA, uint64_t SetB, unsigned Size);
+
+  /// \returns [SetA] ; this ; [SetB]: the pairs <A,B> with A in SetA and B
+  /// in SetB.
+  Relation restricted(uint64_t SetA, uint64_t SetB) const;
+
+  /// \returns the identity relation on \p Universe over \p Size elements.
+  static Relation identity(uint64_t Universe, unsigned Size);
+
+  bool operator==(const Relation &Other) const {
+    return N == Other.N && Rows == Other.Rows;
+  }
+  bool operator!=(const Relation &Other) const { return !(*this == Other); }
+
+  /// Invokes \p Fn(A, B) for every pair <A,B> in the relation.
+  template <typename FnT> void forEachPair(FnT Fn) const {
+    for (unsigned A = 0; A < N; ++A) {
+      uint64_t Row = Rows[A];
+      while (Row) {
+        unsigned B = static_cast<unsigned>(__builtin_ctzll(Row));
+        Row &= Row - 1;
+        Fn(A, B);
+      }
+    }
+  }
+
+  /// \returns all pairs of the relation in row-major order.
+  std::vector<std::pair<unsigned, unsigned>> pairs() const;
+
+  /// \returns some topological order of the universe consistent with this
+  /// relation. The relation must be acyclic.
+  std::vector<unsigned> topologicalOrder() const;
+
+  /// \returns a human-readable "{<0,1>, <2,3>}" rendering for debugging.
+  std::string toString() const;
+
+private:
+  unsigned N;
+  std::vector<uint64_t> Rows;
+};
+
+/// Builds the relation {<Order[i], Order[j]> | i < j} over \p Size elements:
+/// the strict total order corresponding to the sequence \p Order. Elements
+/// not mentioned in \p Order are unrelated.
+Relation totalOrderFromSequence(const std::vector<unsigned> &Order,
+                                unsigned Size);
+
+} // namespace jsmm
+
+#endif // JSMM_SUPPORT_RELATION_H

@@ -1,0 +1,54 @@
+//===- support/Str.cpp ----------------------------------------------------===//
+
+#include "support/Str.h"
+
+#include <cassert>
+
+using namespace jsmm;
+
+std::string jsmm::joinStrings(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string jsmm::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string jsmm::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::vector<uint8_t> jsmm::bytesOfValue(uint64_t Value, unsigned Width) {
+  assert(Width <= 8 && "access width larger than 8 bytes");
+  std::vector<uint8_t> Bytes(Width);
+  for (unsigned I = 0; I < Width; ++I)
+    Bytes[I] = static_cast<uint8_t>(Value >> (8 * I));
+  return Bytes;
+}
+
+uint64_t jsmm::valueOfBytes(const std::vector<uint8_t> &Bytes) {
+  assert(Bytes.size() <= 8 && "access width larger than 8 bytes");
+  uint64_t Value = 0;
+  for (size_t I = 0; I < Bytes.size(); ++I)
+    Value |= uint64_t(Bytes[I]) << (8 * I);
+  return Value;
+}
+
+std::string jsmm::hexByte(uint8_t Byte) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out = "0x";
+  Out += Digits[Byte >> 4];
+  Out += Digits[Byte & 0xf];
+  return Out;
+}

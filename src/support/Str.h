@@ -1,0 +1,39 @@
+//===- support/Str.h - Small string helpers -------------------------------===//
+///
+/// \file
+/// Tiny string-formatting helpers shared by the pretty-printers, benches and
+/// examples. Kept deliberately minimal; everything returns std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SUPPORT_STR_H
+#define JSMM_SUPPORT_STR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// \returns "A, B, C" for the given parts.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// \returns \p S padded with spaces on the right to at least \p Width.
+std::string padRight(const std::string &S, size_t Width);
+
+/// \returns \p S padded with spaces on the left to at least \p Width.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// \returns the little-endian bytes of \p Value, \p Width bytes wide.
+std::vector<uint8_t> bytesOfValue(uint64_t Value, unsigned Width);
+
+/// \returns the value encoded by little-endian \p Bytes.
+uint64_t valueOfBytes(const std::vector<uint8_t> &Bytes);
+
+/// \returns "0xNN" hex rendering of a value.
+std::string hexByte(uint8_t Byte);
+
+} // namespace jsmm
+
+#endif // JSMM_SUPPORT_STR_H

@@ -1,0 +1,360 @@
+//===- targets/TargetCompile.cpp ------------------------------------------===//
+
+#include "targets/TargetCompile.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace jsmm;
+
+const char *jsmm::targetArchName(TargetArch A) {
+  switch (A) {
+  case TargetArch::X86:
+    return "x86-TSO";
+  case TargetArch::ArmV8:
+    return "ARMv8";
+  case TargetArch::ArmV7:
+    return "ARMv7";
+  case TargetArch::Power:
+    return "Power";
+  case TargetArch::RiscV:
+    return "RISC-V";
+  case TargetArch::ImmLite:
+    return "ImmLite";
+  }
+  return "?";
+}
+
+bool jsmm::isTargetConsistent(const TargetExecution &X, TargetArch Arch) {
+  switch (Arch) {
+  case TargetArch::X86:
+    return isX86Consistent(X);
+  case TargetArch::ArmV8:
+    return isArmV8UniConsistent(X);
+  case TargetArch::ArmV7:
+    return isArmV7Consistent(X);
+  case TargetArch::Power:
+    return isPowerConsistent(X);
+  case TargetArch::RiscV:
+    return isRiscVConsistent(X);
+  case TargetArch::ImmLite:
+    return isImmLiteConsistent(X);
+  }
+  return false;
+}
+
+namespace {
+
+TargetInstr fenceInstr(TFence F) {
+  TargetInstr I;
+  I.Kind = TKind::Fence;
+  I.Fence = F;
+  return I;
+}
+
+} // namespace
+
+CompiledTarget jsmm::compileUni(const UniProgram &P, TargetArch Arch) {
+  CompiledTarget CT;
+  CT.Arch = Arch;
+  CT.NumLocs = P.numLocs();
+  for (unsigned T = 0; T < P.numThreads(); ++T) {
+    CT.Threads.emplace_back();
+    std::vector<TargetInstr> &Out = CT.Threads.back();
+    for (const UniInstr &I : P.threadBody(T)) {
+      int Src = static_cast<int>(CT.Sources.size());
+      CT.Sources.push_back({static_cast<int>(T), I.Ord, I.K, I.Loc, I.Value,
+                            I.Dst});
+      bool SC = I.Ord == Mode::SeqCst;
+      TargetInstr A;
+      A.Loc = I.Loc;
+      A.Value = I.Value;
+      A.SourceIdx = Src;
+      A.DstReg = I.Dst;
+      switch (I.K) {
+      case UniInstr::Kind::Load:
+        A.Kind = TKind::Read;
+        if (!SC) {
+          Out.push_back(A);
+          break;
+        }
+        switch (Arch) {
+        case TargetArch::X86:
+          Out.push_back(A);
+          break;
+        case TargetArch::ArmV8:
+          A.Acq = true;
+          Out.push_back(A);
+          break;
+        case TargetArch::ArmV7:
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::DmbV7));
+          break;
+        case TargetArch::Power:
+          Out.push_back(fenceInstr(TFence::Sync));
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::CtrlIsync));
+          break;
+        case TargetArch::RiscV:
+          Out.push_back(fenceInstr(TFence::FenceRWRW));
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::FenceRRW));
+          break;
+        case TargetArch::ImmLite:
+          A.Sc = true;
+          Out.push_back(A);
+          break;
+        }
+        break;
+      case UniInstr::Kind::Store:
+        A.Kind = TKind::Write;
+        if (!SC) {
+          Out.push_back(A);
+          break;
+        }
+        switch (Arch) {
+        case TargetArch::X86:
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::MFence));
+          break;
+        case TargetArch::ArmV8:
+          A.Rel = true;
+          Out.push_back(A);
+          break;
+        case TargetArch::ArmV7:
+          Out.push_back(fenceInstr(TFence::DmbV7));
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::DmbV7));
+          break;
+        case TargetArch::Power:
+          Out.push_back(fenceInstr(TFence::Sync));
+          Out.push_back(A);
+          break;
+        case TargetArch::RiscV:
+          Out.push_back(fenceInstr(TFence::FenceRWW));
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::FenceRWRW));
+          break;
+        case TargetArch::ImmLite:
+          A.Sc = true;
+          Out.push_back(A);
+          break;
+        }
+        break;
+      case UniInstr::Kind::Rmw:
+        A.Kind = TKind::Rmw;
+        switch (Arch) {
+        case TargetArch::X86: // lock xchg: fully fenced by the model
+          Out.push_back(A);
+          break;
+        case TargetArch::ArmV8:
+          A.Acq = A.Rel = true;
+          Out.push_back(A);
+          break;
+        case TargetArch::ArmV7:
+          Out.push_back(fenceInstr(TFence::DmbV7));
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::DmbV7));
+          break;
+        case TargetArch::Power:
+          Out.push_back(fenceInstr(TFence::Sync));
+          Out.push_back(A);
+          Out.push_back(fenceInstr(TFence::CtrlIsync));
+          break;
+        case TargetArch::RiscV:
+          A.Acq = A.Rel = true; // amoswap.aq.rl
+          Out.push_back(A);
+          break;
+        case TargetArch::ImmLite:
+          A.Sc = true;
+          Out.push_back(A);
+          break;
+        }
+        break;
+      }
+    }
+  }
+  return CT;
+}
+
+namespace {
+
+class TargetBuilder {
+public:
+  TargetBuilder(
+      const CompiledTarget &CT,
+      const std::function<bool(const TargetExecution &, const Outcome &)>
+          &Visit)
+      : CT(CT), Visit(Visit) {}
+
+  bool run() {
+    std::vector<TargetEvent> Events;
+    for (unsigned L = 0; L < CT.NumLocs; ++L) {
+      TargetEvent Init;
+      Init.Id = static_cast<EventId>(Events.size());
+      Init.Thread = -1;
+      Init.Kind = TKind::Write;
+      Init.Loc = L;
+      Init.WriteVal = 0;
+      Init.IsInit = true;
+      Events.push_back(Init);
+    }
+    std::vector<std::vector<EventId>> ThreadEvents(CT.Threads.size());
+    for (unsigned T = 0; T < CT.Threads.size(); ++T) {
+      for (const TargetInstr &I : CT.Threads[T]) {
+        TargetEvent E;
+        E.Id = static_cast<EventId>(Events.size());
+        E.Thread = static_cast<int>(T);
+        E.Kind = I.Kind;
+        E.Loc = I.Loc;
+        E.WriteVal = I.Value;
+        E.Acq = I.Acq;
+        E.Rel = I.Rel;
+        E.Sc = I.Sc;
+        E.Fence = I.Fence;
+        E.SourceIdx = I.SourceIdx;
+        if (E.isRead())
+          RegOfEvent[E.Id] = I.DstReg;
+        Events.push_back(E);
+        ThreadEvents[T].push_back(E.Id);
+      }
+    }
+    X = TargetExecution(std::move(Events), CT.NumLocs);
+    for (const std::vector<EventId> &Seq : ThreadEvents)
+      for (size_t I = 0; I < Seq.size(); ++I)
+        for (size_t J = I + 1; J < Seq.size(); ++J)
+          X.Po.set(Seq[I], Seq[J]);
+    for (const TargetEvent &E : X.Events)
+      if (E.isRead())
+        Reads.push_back(E.Id);
+    return justify(0);
+  }
+
+private:
+  bool justify(size_t ReadIdx) {
+    if (ReadIdx == Reads.size())
+      return chooseCo(0);
+    EventId R = Reads[ReadIdx];
+    for (const TargetEvent &W : X.Events) {
+      if (!W.isWrite() || W.Id == R || W.Loc != X.Events[R].Loc)
+        continue;
+      X.Rf.set(W.Id, R);
+      X.Events[R].ReadVal = W.WriteVal;
+      bool Continue = justify(ReadIdx + 1);
+      X.Rf.clear(W.Id, R);
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+  bool chooseCo(unsigned Loc) {
+    if (Loc == CT.NumLocs)
+      return emit();
+    std::vector<EventId> Writers;
+    EventId Init = ~0u;
+    for (const TargetEvent &E : X.Events) {
+      if (!E.isWrite() || E.Loc != Loc)
+        continue;
+      if (E.IsInit)
+        Init = E.Id;
+      else
+        Writers.push_back(E.Id);
+    }
+    std::sort(Writers.begin(), Writers.end());
+    do {
+      X.CoPerLoc[Loc].clear();
+      if (Init != ~0u)
+        X.CoPerLoc[Loc].push_back(Init);
+      for (EventId W : Writers)
+        X.CoPerLoc[Loc].push_back(W);
+      if (!chooseCo(Loc + 1))
+        return false;
+    } while (std::next_permutation(Writers.begin(), Writers.end()));
+    X.CoPerLoc[Loc].clear();
+    return true;
+  }
+
+  bool emit() {
+    Outcome O;
+    for (const auto &[Id, Reg] : RegOfEvent)
+      O.add(X.Events[Id].Thread, Reg, X.Events[Id].ReadVal);
+    return Visit(X, O);
+  }
+
+  const CompiledTarget &CT;
+  const std::function<bool(const TargetExecution &, const Outcome &)> &Visit;
+  TargetExecution X;
+  std::vector<EventId> Reads;
+  std::map<EventId, unsigned> RegOfEvent;
+};
+
+} // namespace
+
+bool jsmm::forEachTargetExecution(
+    const CompiledTarget &CT,
+    const std::function<bool(const TargetExecution &, const Outcome &)>
+        &Visit) {
+  TargetBuilder B(CT, Visit);
+  return B.run();
+}
+
+UniExecution jsmm::translateTargetToUni(const TargetExecution &X,
+                                        const CompiledTarget &CT) {
+  std::vector<int> UniOfTarget(X.numEvents(), -1);
+  std::vector<UniEvent> Events;
+  // Init events carry over one-to-one (they are the per-location inits).
+  for (const TargetEvent &E : X.Events) {
+    if (!E.IsInit)
+      continue;
+    UniOfTarget[E.Id] = static_cast<int>(Events.size());
+    Events.push_back(makeUniInit(static_cast<EventId>(Events.size()), E.Loc));
+  }
+  for (const TargetEvent &E : X.Events) {
+    if (E.IsInit || E.SourceIdx < 0 || !E.isAccess())
+      continue;
+    const CompiledTarget::Source &S = CT.Sources[E.SourceIdx];
+    UniEvent U;
+    U.Id = static_cast<EventId>(Events.size());
+    U.Thread = S.Thread;
+    U.Ord = S.Ord;
+    U.Loc = S.Loc;
+    U.Reads = E.isRead();
+    U.Writes = E.isWrite();
+    U.ReadVal = E.ReadVal;
+    U.WriteVal = E.WriteVal;
+    UniOfTarget[E.Id] = static_cast<int>(U.Id);
+    Events.push_back(U);
+  }
+  UniExecution Uni(std::move(Events));
+  X.Po.forEachPair([&](unsigned A, unsigned B) {
+    if (UniOfTarget[A] >= 0 && UniOfTarget[B] >= 0)
+      Uni.Sb.set(UniOfTarget[A], UniOfTarget[B]);
+  });
+  X.Rf.forEachPair([&](unsigned W, unsigned R) {
+    assert(UniOfTarget[W] >= 0 && UniOfTarget[R] >= 0 &&
+           "rf endpoints must be access events");
+    Uni.Rf.set(UniOfTarget[W], UniOfTarget[R]);
+  });
+  return Uni;
+}
+
+TargetCheckResult jsmm::checkUniCompilation(const UniProgram &P,
+                                            TargetArch Arch) {
+  TargetCheckResult Result;
+  CompiledTarget CT = compileUni(P, Arch);
+  forEachTargetExecution(CT, [&](const TargetExecution &X, const Outcome &O) {
+    (void)O;
+    ++Result.Candidates;
+    if (!isTargetConsistent(X, Arch))
+      return true;
+    ++Result.Consistent;
+    UniExecution Uni = translateTargetToUni(X, CT);
+    if (isUniValidForSomeTot(Uni))
+      ++Result.JsValid;
+    else if (!Result.FirstFailure)
+      Result.FirstFailure = X;
+    return true;
+  });
+  return Result;
+}

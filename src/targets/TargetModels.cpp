@@ -1,0 +1,319 @@
+//===- targets/TargetModels.cpp -------------------------------------------===//
+
+#include "targets/TargetModels.h"
+
+#include <algorithm>
+
+using namespace jsmm;
+
+std::string TargetEvent::toString() const {
+  if (Kind == TKind::Fence) {
+    switch (Fence) {
+    case TFence::MFence:
+      return std::to_string(Id) + ": mfence";
+    case TFence::Sync:
+      return std::to_string(Id) + ": sync";
+    case TFence::LwSync:
+      return std::to_string(Id) + ": lwsync";
+    case TFence::CtrlIsync:
+      return std::to_string(Id) + ": ctrl+isync";
+    case TFence::DmbV7:
+      return std::to_string(Id) + ": dmb";
+    case TFence::FenceRWRW:
+      return std::to_string(Id) + ": fence rw,rw";
+    case TFence::FenceRWW:
+      return std::to_string(Id) + ": fence rw,w";
+    case TFence::FenceRRW:
+      return std::to_string(Id) + ": fence r,rw";
+    case TFence::None:
+      break;
+    }
+    return std::to_string(Id) + ": fence?";
+  }
+  std::string Out = std::to_string(Id) + ": ";
+  Out += Kind == TKind::Rmw ? "RMW" : (Kind == TKind::Write ? "W" : "R");
+  if (Acq)
+    Out += ".aq";
+  if (Rel)
+    Out += ".rl";
+  if (Sc)
+    Out += ".sc";
+  if (IsInit)
+    Out += ".init";
+  Out += " x" + std::to_string(Loc);
+  if (isWrite())
+    Out += "=" + std::to_string(WriteVal);
+  if (isRead())
+    Out += " reads " + std::to_string(ReadVal);
+  return Out;
+}
+
+TargetExecution::TargetExecution(std::vector<TargetEvent> Evs,
+                                 unsigned NumLocs)
+    : Events(std::move(Evs)), Po(static_cast<unsigned>(Events.size())),
+      Rf(static_cast<unsigned>(Events.size())), CoPerLoc(NumLocs) {
+  for (unsigned I = 0; I < Events.size(); ++I)
+    assert(Events[I].Id == I && "event id must equal its index");
+}
+
+Relation TargetExecution::coherence() const {
+  Relation Co(numEvents());
+  for (const std::vector<EventId> &Order : CoPerLoc)
+    for (size_t I = 0; I < Order.size(); ++I)
+      for (size_t J = I + 1; J < Order.size(); ++J)
+        Co.set(Order[I], Order[J]);
+  return Co;
+}
+
+Relation TargetExecution::fromReads() const {
+  Relation Fr(numEvents());
+  Rf.forEachPair([&](unsigned W, unsigned R) {
+    const std::vector<EventId> &Order = CoPerLoc[Events[R].Loc];
+    auto It = std::find(Order.begin(), Order.end(), W);
+    assert(It != Order.end() && "rf writer missing from coherence");
+    for (auto Later = It + 1; Later != Order.end(); ++Later)
+      if (*Later != R)
+        Fr.set(R, *Later);
+  });
+  return Fr;
+}
+
+Relation TargetExecution::poLoc() const {
+  Relation Out(numEvents());
+  Po.forEachPair([&](unsigned A, unsigned B) {
+    if (Events[A].isAccess() && Events[B].isAccess() &&
+        Events[A].Loc == Events[B].Loc)
+      Out.set(A, B);
+  });
+  return Out;
+}
+
+Relation TargetExecution::externalPart(const Relation &R) const {
+  Relation Out(numEvents());
+  R.forEachPair([&](unsigned A, unsigned B) {
+    if (Events[A].Thread != Events[B].Thread)
+      Out.set(A, B);
+  });
+  return Out;
+}
+
+std::string TargetExecution::toString() const {
+  std::string Out;
+  for (const TargetEvent &E : Events)
+    Out += "  " + E.toString() + "\n";
+  Out += "  po: " + Po.toString() + "\n  rf: " + Rf.toString() + "\n";
+  return Out;
+}
+
+bool jsmm::targetScPerLocation(const TargetExecution &X) {
+  Relation PerLoc = X.poLoc();
+  PerLoc.unionWith(X.Rf);
+  PerLoc.unionWith(X.coherence());
+  PerLoc.unionWith(X.fromReads());
+  return PerLoc.isAcyclic();
+}
+
+bool jsmm::targetAtomicity(const TargetExecution &X) {
+  // No write coherence-intervenes inside an RMW: fr ; co never returns to
+  // the RMW event itself.
+  return X.fromReads().compose(X.coherence()).isIrreflexive();
+}
+
+namespace {
+
+struct Masks {
+  uint64_t Reads, Writes, OnlyR, OnlyW, Rmws, Acq, RelW, Sc, All;
+  uint64_t fence(const TargetExecution &X, TFence F) const {
+    (void)this;
+    return X.eventsWhere([&](const TargetEvent &E) {
+      return E.Kind == TKind::Fence && E.Fence == F;
+    });
+  }
+  static Masks compute(const TargetExecution &X) {
+    Masks M;
+    M.Reads = X.eventsWhere([](const TargetEvent &E) { return E.isRead(); });
+    M.Writes = X.eventsWhere([](const TargetEvent &E) {
+      return E.isWrite();
+    });
+    M.OnlyR = X.eventsWhere([](const TargetEvent &E) {
+      return E.Kind == TKind::Read;
+    });
+    M.OnlyW = X.eventsWhere([](const TargetEvent &E) {
+      return E.Kind == TKind::Write;
+    });
+    M.Rmws = X.eventsWhere([](const TargetEvent &E) {
+      return E.Kind == TKind::Rmw;
+    });
+    M.Acq = X.eventsWhere([](const TargetEvent &E) {
+      return E.Acq && E.isRead();
+    });
+    M.RelW = X.eventsWhere([](const TargetEvent &E) {
+      return E.Rel && E.isWrite();
+    });
+    M.Sc = X.eventsWhere([](const TargetEvent &E) {
+      return E.Sc && E.isAccess();
+    });
+    M.All = X.allEventsMask();
+    return M;
+  }
+};
+
+Relation sameLocRelation(const TargetExecution &X) {
+  Relation Out(X.numEvents());
+  for (const TargetEvent &A : X.Events)
+    for (const TargetEvent &B : X.Events)
+      if (A.Id != B.Id && A.isAccess() && B.isAccess() && A.Loc == B.Loc)
+        Out.set(A.Id, B.Id);
+  return Out;
+}
+
+/// po ; [F] ; po with endpoint classes \p Pred and \p Succ.
+Relation fenceEdges(const TargetExecution &X, uint64_t FenceMask,
+                    uint64_t Pred, uint64_t Succ) {
+  return X.Po.restricted(Pred, FenceMask)
+      .compose(X.Po.restricted(FenceMask, Succ));
+}
+
+} // namespace
+
+bool jsmm::isX86Consistent(const TargetExecution &X) {
+  if (!targetScPerLocation(X) || !targetAtomicity(X))
+    return false;
+  Masks M = Masks::compute(X);
+  uint64_t Access = M.Reads | M.Writes;
+  // ppo: program order minus write->read pairs (the store buffer); RMWs are
+  // locked and never relaxed.
+  Relation Ppo = X.Po.restricted(Access, Access)
+                     .subtracted(Relation::product(M.OnlyW, M.OnlyR,
+                                                   X.numEvents()));
+  Relation Ghb = Ppo;
+  Ghb.unionWith(fenceEdges(X, M.fence(X, TFence::MFence), Access, Access));
+  Ghb.unionWith(X.externalPart(X.Rf));
+  Ghb.unionWith(X.coherence());
+  Ghb.unionWith(X.fromReads());
+  return Ghb.isAcyclic();
+}
+
+bool jsmm::isArmV8UniConsistent(const TargetExecution &X) {
+  if (!targetScPerLocation(X) || !targetAtomicity(X))
+    return false;
+  Masks M = Masks::compute(X);
+  Relation Obs = X.externalPart(X.Rf);
+  Obs.unionWith(X.externalPart(X.coherence()));
+  Obs.unionWith(X.externalPart(X.fromReads()));
+  Relation Bob = X.Po.restricted(M.Acq, M.All);
+  Bob.unionWith(X.Po.restricted(M.All, M.RelW));
+  Bob.unionWith(X.Po.restricted(M.RelW, M.Acq));
+  return Obs.unioned(Bob).isAcyclic();
+}
+
+bool jsmm::isRiscVConsistent(const TargetExecution &X) {
+  if (!targetScPerLocation(X) || !targetAtomicity(X))
+    return false;
+  Masks M = Masks::compute(X);
+  uint64_t RW = M.Reads | M.Writes;
+  // Same-address ppo: ordered when the second access is a store.
+  Relation Ppo = X.poLoc().restricted(RW, M.Writes);
+  Ppo.unionWith(fenceEdges(X, M.fence(X, TFence::FenceRWRW), RW, RW));
+  Ppo.unionWith(fenceEdges(X, M.fence(X, TFence::FenceRWW), RW, M.Writes));
+  Ppo.unionWith(fenceEdges(X, M.fence(X, TFence::FenceRRW), M.Reads, RW));
+  Ppo.unionWith(X.Po.restricted(M.Acq, M.All));
+  Ppo.unionWith(X.Po.restricted(M.All, M.RelW));
+  Ppo.unionWith(X.Po.restricted(M.RelW, M.Acq));
+  Relation Gmo = Ppo;
+  Gmo.unionWith(X.externalPart(X.Rf));
+  Gmo.unionWith(X.externalPart(X.coherence()));
+  Gmo.unionWith(X.externalPart(X.fromReads()));
+  return Gmo.isAcyclic();
+}
+
+namespace {
+
+/// The herding-cats Power model, parameterised by the full-fence flavour
+/// (Power sync vs ARMv7 dmb).
+bool powerStyleConsistent(const TargetExecution &X, TFence FullFence,
+                          bool HasLwSync) {
+  if (!targetScPerLocation(X) || !targetAtomicity(X))
+    return false;
+  Masks M = Masks::compute(X);
+  uint64_t Access = M.Reads | M.Writes;
+  unsigned N = X.numEvents();
+
+  Relation Ffence = fenceEdges(X, M.fence(X, FullFence), Access, Access);
+  Relation Lw(N);
+  if (HasLwSync) {
+    Lw = fenceEdges(X, M.fence(X, TFence::LwSync), Access, Access)
+             .subtracted(Relation::product(M.OnlyW, M.OnlyR, N));
+  }
+  // ctrl+isync after a load orders that load before everything po-later.
+  Relation Cisync =
+      fenceEdges(X, M.fence(X, TFence::CtrlIsync), M.Reads, Access);
+
+  Relation Rfe = X.externalPart(X.Rf);
+  Relation Co = X.coherence();
+  Relation Fr = X.fromReads();
+  Relation Fre = X.externalPart(Fr);
+
+  Relation Ppo = Cisync;
+  Relation Hb = Ppo.unioned(Ffence).unioned(Lw).unioned(Rfe);
+  if (!Hb.isAcyclic())
+    return false; // NO THIN AIR
+
+  Relation HbStar = Hb.reflexiveTransitiveClosure();
+  Relation FencesRel = Ffence.unioned(Lw);
+  Relation PropBase =
+      FencesRel.unioned(Rfe.compose(FencesRel)).compose(HbStar);
+  Relation Com = X.Rf.unioned(Co).unioned(Fr);
+  Relation Prop =
+      PropBase.restricted(M.Writes, M.Writes)
+          .unioned(Com.reflexiveTransitiveClosure()
+                       .compose(PropBase.reflexiveTransitiveClosure())
+                       .compose(Ffence)
+                       .compose(HbStar));
+  // OBSERVATION
+  if (!Fre.compose(Prop).compose(HbStar).isIrreflexive())
+    return false;
+  // PROPAGATION
+  return Co.unioned(Prop).isAcyclic();
+}
+
+} // namespace
+
+bool jsmm::isPowerConsistent(const TargetExecution &X) {
+  return powerStyleConsistent(X, TFence::Sync, /*HasLwSync=*/true);
+}
+
+bool jsmm::isArmV7Consistent(const TargetExecution &X) {
+  return powerStyleConsistent(X, TFence::DmbV7, /*HasLwSync=*/false);
+}
+
+bool jsmm::isImmLiteConsistent(const TargetExecution &X) {
+  if (!targetAtomicity(X))
+    return false;
+  Masks M = Masks::compute(X);
+  unsigned N = X.numEvents();
+  Relation Sb = X.Po;
+  Relation Sw(N);
+  X.Rf.forEachPair([&](unsigned W, unsigned R) {
+    if (X.Events[W].Sc && X.Events[R].Sc)
+      Sw.set(W, R);
+  });
+  Relation Hb = Sb.unioned(Sw).transitiveClosure();
+  Relation Co = X.coherence();
+  Relation Fr = X.fromReads();
+  Relation Eco = X.Rf.unioned(Co).unioned(Fr).transitiveClosure();
+  // COHERENCE
+  if (!Hb.isIrreflexive() || !Hb.compose(Eco).isIrreflexive())
+    return false;
+  // NO THIN AIR
+  if (!Sb.unioned(X.Rf).isAcyclic())
+    return false;
+  // SC (RC11-style partial SC order)
+  Relation SameLoc = sameLocRelation(X);
+  Relation Scb = Sb.unioned(Sb.compose(Hb).compose(Sb))
+                     .unioned(Hb.intersected(SameLoc))
+                     .unioned(Co)
+                     .unioned(Fr);
+  Relation Psc = Scb.restricted(M.Sc, M.Sc);
+  return Psc.isAcyclic();
+}

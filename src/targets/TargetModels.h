@@ -1,0 +1,117 @@
+//===- targets/TargetModels.h - Uni-size target architecture models --------===//
+///
+/// \file
+/// Event-level axiomatic models for the Thm 6.3 target architectures:
+/// x86-TSO, Power, ARMv7, RISC-V (RVWMO) and uni-size ARMv8, plus ImmLite —
+/// a trimmed stand-in for the Intermediate Memory Model covering exactly
+/// the access modes uni-size JavaScript emits (relaxed and SC; see
+/// DESIGN.md for the substitution rationale).
+///
+/// RMWs are modelled as single events that both read and write, in the
+/// herd style for AMO-like operations; atomicity is the usual
+/// "no write intervenes coherence-wise inside the RMW" axiom. Where a
+/// model had to be simplified, the simplification is *weakening* (more
+/// behaviours allowed), which is the conservative direction for the
+/// compilation claims checked on top of these models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_TARGETS_TARGETMODELS_H
+#define JSMM_TARGETS_TARGETMODELS_H
+
+#include "core/Event.h"
+#include "support/Relation.h"
+
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// Kind of a target event.
+enum class TKind : uint8_t { Read, Write, Rmw, Fence };
+
+/// Fence flavours across all targets.
+enum class TFence : uint8_t {
+  None,
+  MFence,    ///< x86
+  Sync,      ///< Power sync / hwsync
+  LwSync,    ///< Power lwsync
+  CtrlIsync, ///< Power ctrl+isync after a load (ARMv7: ctrl+isb)
+  DmbV7,     ///< ARMv7 dmb (full)
+  FenceRWRW, ///< RISC-V fence rw,rw
+  FenceRWW,  ///< RISC-V fence rw,w
+  FenceRRW,  ///< RISC-V fence r,rw
+};
+
+/// An event of a target-architecture execution.
+struct TargetEvent {
+  EventId Id = 0;
+  int Thread = -1;
+  TKind Kind = TKind::Read;
+  unsigned Loc = 0;
+  uint64_t ReadVal = 0;
+  uint64_t WriteVal = 0;
+  bool Acq = false;   ///< acquire annotation (ARMv8 ldar, RISC-V .aq)
+  bool Rel = false;   ///< release annotation (ARMv8 stlr, RISC-V .rl)
+  bool Sc = false;    ///< SC access (ImmLite)
+  TFence Fence = TFence::None;
+  bool IsInit = false;
+  int SourceIdx = -1; ///< index of the source uni-size access, or -1
+
+  bool isRead() const { return Kind == TKind::Read || Kind == TKind::Rmw; }
+  bool isWrite() const { return Kind == TKind::Write || Kind == TKind::Rmw; }
+  bool isAccess() const { return Kind != TKind::Fence; }
+
+  std::string toString() const;
+};
+
+/// A target execution: po, rf (writer->reader) and one coherence order per
+/// location (Init first).
+class TargetExecution {
+public:
+  std::vector<TargetEvent> Events;
+  Relation Po;
+  Relation Rf;
+  std::vector<std::vector<EventId>> CoPerLoc;
+
+  TargetExecution() = default;
+  explicit TargetExecution(std::vector<TargetEvent> Evs, unsigned NumLocs);
+
+  unsigned numEvents() const {
+    return static_cast<unsigned>(Events.size());
+  }
+  uint64_t allEventsMask() const {
+    unsigned N = numEvents();
+    return N == 64 ? ~uint64_t(0) : ((uint64_t(1) << N) - 1);
+  }
+  template <typename PredT> uint64_t eventsWhere(PredT Pred) const {
+    uint64_t Mask = 0;
+    for (const TargetEvent &E : Events)
+      if (Pred(E))
+        Mask |= uint64_t(1) << E.Id;
+    return Mask;
+  }
+
+  Relation coherence() const;
+  Relation fromReads() const;
+  Relation poLoc() const;
+  Relation externalPart(const Relation &R) const;
+
+  std::string toString() const;
+};
+
+/// Per-architecture consistency predicates.
+bool isX86Consistent(const TargetExecution &X);
+bool isArmV8UniConsistent(const TargetExecution &X);
+bool isRiscVConsistent(const TargetExecution &X);
+bool isPowerConsistent(const TargetExecution &X);
+bool isArmV7Consistent(const TargetExecution &X);
+bool isImmLiteConsistent(const TargetExecution &X);
+
+/// Shared axioms, exposed for tests.
+bool targetScPerLocation(const TargetExecution &X);
+bool targetAtomicity(const TargetExecution &X);
+
+} // namespace jsmm
+
+#endif // JSMM_TARGETS_TARGETMODELS_H

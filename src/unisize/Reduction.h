@@ -1,0 +1,45 @@
+//===- unisize/Reduction.h - Mixed-size to uni-size reduction --------------===//
+///
+/// \file
+/// The reduction of §6.3: a mixed-size candidate execution with no partial
+/// overlaps (all non-Init footprints pairwise equal or disjoint) and no
+/// tearing (rf⁻¹ functional: every read takes all its bytes from a single
+/// write) maps to a uni-size execution over abstract locations — one per
+/// distinct footprint, with the block-wide Init write split into one Init
+/// per location. The paper proves validity is preserved and reflected;
+/// tests and bench E12 check that equivalence exhaustively on enumerated
+/// executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_UNISIZE_REDUCTION_H
+#define JSMM_UNISIZE_REDUCTION_H
+
+#include "core/CandidateExecution.h"
+#include "unisize/UniExecution.h"
+
+#include <optional>
+#include <string>
+
+namespace jsmm {
+
+/// \returns true if \p CE satisfies the reduction preconditions: no partial
+/// overlap between non-Init events and a functional rf⁻¹.
+bool isUniSizeReducible(const CandidateExecution &CE,
+                        std::string *WhyNot = nullptr);
+
+/// A reduced execution plus the event mapping.
+struct ReductionResult {
+  UniExecution Uni;
+  /// Mixed event id -> uni event id; the mixed Init maps to -1 (it becomes
+  /// one uni Init per location).
+  std::vector<int> UniOfMixed;
+};
+
+/// Reduces \p CE (which must be reducible). Carries the tot over when
+/// present: uni Init events first, then the mixed order.
+ReductionResult reduceToUniSize(const CandidateExecution &CE);
+
+} // namespace jsmm
+
+#endif // JSMM_UNISIZE_REDUCTION_H

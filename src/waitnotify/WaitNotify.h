@@ -1,0 +1,105 @@
+//===- waitnotify/WaitNotify.h - Atomics.wait / Atomics.notify (§7) --------===//
+///
+/// \file
+/// The thread-suspension operations of §7. Atomics.wait(x, loc, expected)
+/// performs a SeqCst read of loc inside a per-location critical section;
+/// if the value matches, the thread suspends on the location's wait queue
+/// until an Atomics.notify(x, loc) — also a critical-section operation —
+/// wakes it. Atomics.notify returns the number of agents woken.
+///
+/// The specification describes queue interactions as an interleaving of
+/// critical sections but (before the paper's correction) gave them no
+/// effect in the axiomatic model. The correction adds
+/// additional-synchronizes-with edges
+///
+///   - from each notify event to the Ewake event of every thread it wakes,
+///   - from every earlier critical-section exit to each later entry,
+///
+/// which rule out the two undesirable executions of Fig. 13. This module
+/// implements the interleaving semantics with the edges switchable, so the
+/// broken and corrected models can be compared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_WAITNOTIFY_WAITNOTIFY_H
+#define JSMM_WAITNOTIFY_WAITNOTIFY_H
+
+#include "core/Validity.h"
+#include "exec/Outcome.h"
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// One statement of a wait/notify thread.
+struct WnOp {
+  enum class Kind : uint8_t { Wait, Notify, Load, Store } K = Kind::Load;
+  unsigned Loc = 0;       ///< byte offset (accesses are 32-bit aligned)
+  uint64_t Value = 0;     ///< stored value (Store)
+  uint64_t Expected = 0;  ///< expected value (Wait)
+  Mode Ord = Mode::SeqCst;
+  unsigned Dst = 0;       ///< register for Load results / Notify counts
+};
+
+/// A wait/notify litmus program (straight-line threads).
+struct WnProgram {
+  unsigned BufferSize = 4;
+  std::vector<std::vector<WnOp>> Threads;
+  std::string Name = "anonymous";
+
+  unsigned thread() {
+    Threads.emplace_back();
+    NextReg.push_back(0);
+    return static_cast<unsigned>(Threads.size() - 1);
+  }
+  void wait(unsigned T, unsigned Loc, uint64_t Expected) {
+    Threads[T].push_back({WnOp::Kind::Wait, Loc, 0, Expected, Mode::SeqCst,
+                          0});
+  }
+  unsigned notify(unsigned T, unsigned Loc) {
+    unsigned Dst = NextReg[T]++;
+    Threads[T].push_back({WnOp::Kind::Notify, Loc, 0, 0, Mode::SeqCst, Dst});
+    return Dst;
+  }
+  unsigned load(unsigned T, unsigned Loc, Mode Ord) {
+    unsigned Dst = NextReg[T]++;
+    Threads[T].push_back({WnOp::Kind::Load, Loc, 0, 0, Ord, Dst});
+    return Dst;
+  }
+  void store(unsigned T, unsigned Loc, uint64_t Value, Mode Ord) {
+    Threads[T].push_back({WnOp::Kind::Store, Loc, Value, 0, Ord, 0});
+  }
+
+private:
+  std::vector<unsigned> NextReg;
+};
+
+/// One schedule's result: the candidate executions it can justify.
+struct WnResult {
+  /// Outcome strings; threads stuck in a wait forever are recorded as
+  /// "T<i>:stuck". Notify counts appear as registers.
+  std::set<std::string> AllowedOutcomes;
+  uint64_t Schedules = 0;
+  uint64_t Candidates = 0;
+  uint64_t ValidCandidates = 0;
+
+  bool allows(const std::string &O) const {
+    return AllowedOutcomes.count(O) != 0;
+  }
+  /// \returns true if some allowed outcome leaves a thread suspended.
+  bool allowsStuckThread() const;
+};
+
+/// Enumerates the program's behaviours under \p Spec.
+/// \param CriticalSectionAsw true applies the paper's §7 correction (wake
+/// and critical-section asw edges); false reproduces the uncorrected model
+/// (no wait/notify edges in the axiomatic layer).
+WnResult enumerateWaitNotify(const WnProgram &P, ModelSpec Spec,
+                             bool CriticalSectionAsw);
+
+} // namespace jsmm
+
+#endif // JSMM_WAITNOTIFY_WAITNOTIFY_H

@@ -1,0 +1,20 @@
+//===- tests/TestUtil.h - Shared test fixtures --------------------------===//
+///
+/// \file
+/// Test-suite convenience wrapper around the paper-figure builders that
+/// live in the library (paper/Figures.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_TESTS_TESTUTIL_H
+#define JSMM_TESTS_TESTUTIL_H
+
+#include "paper/Figures.h"
+
+namespace jsmm {
+namespace testutil {
+using namespace jsmm::paper;
+} // namespace testutil
+} // namespace jsmm
+
+#endif // JSMM_TESTS_TESTUTIL_H

@@ -1,0 +1,174 @@
+//===- tests/datarace_test.cpp - Fig. 7 data races and SC checking --------===//
+
+#include "core/DataRace.h"
+#include "core/SeqConsistency.h"
+#include "support/Str.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsmm;
+using namespace jsmm::testutil;
+
+TEST(DataRace, Fig2IsRaceFree) {
+  EXPECT_TRUE(isRaceFree(fig2Execution(), ModelSpec::revised()));
+  EXPECT_TRUE(isRaceFree(fig2Execution(), ModelSpec::original()));
+}
+
+TEST(DataRace, Fig8IsRaceFree) {
+  // The SC-DRF counter-example is data-race-free — that is the point.
+  EXPECT_TRUE(isRaceFree(fig8Execution(), ModelSpec::original()));
+  EXPECT_TRUE(isRaceFree(fig8Execution(), ModelSpec::revised()));
+}
+
+TEST(DataRace, UnsynchronizedWriteReadRaces) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 1));
+  Evs.push_back(makeRead(2, 1, Mode::Unordered, 0, 4, 1));
+  CandidateExecution CE(std::move(Evs));
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 2});
+  auto Races = findDataRaces(CE, ModelSpec::revised());
+  ASSERT_EQ(Races.size(), 1u);
+  EXPECT_EQ(Races[0], std::make_pair(EventId(1), EventId(2)));
+}
+
+TEST(DataRace, SameRangeScAtomicsDoNotRace) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::SeqCst, 0, 4, 1));
+  Evs.push_back(makeWrite(2, 1, Mode::SeqCst, 0, 4, 2));
+  CandidateExecution CE(std::move(Evs));
+  EXPECT_TRUE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(DataRace, DifferentRangeScAtomicsDoRace) {
+  // Mixed-size twist (Fig. 7): overlapping SC atomics of different ranges
+  // are a race.
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::SeqCst, 0, 4, 1));
+  Evs.push_back(makeWrite(2, 1, Mode::SeqCst, 0, 2, 2));
+  CandidateExecution CE(std::move(Evs));
+  EXPECT_FALSE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(DataRace, TwoReadsNeverRace) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeRead(1, 0, Mode::Unordered, 0, 4, 0));
+  Evs.push_back(makeRead(2, 1, Mode::Unordered, 0, 4, 0));
+  CandidateExecution CE(std::move(Evs));
+  for (unsigned K = 0; K < 4; ++K) {
+    CE.Rbf.push_back({K, 0, 1});
+    CE.Rbf.push_back({K, 0, 2});
+  }
+  EXPECT_TRUE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(DataRace, DisjointAccessesDoNotRace) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 8));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 1));
+  Evs.push_back(makeWrite(2, 1, Mode::Unordered, 4, 4, 2));
+  CandidateExecution CE(std::move(Evs));
+  EXPECT_TRUE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(DataRace, HbOrderingRemovesTheRace) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 1));
+  Evs.push_back(makeRead(2, 1, Mode::Unordered, 0, 4, 1));
+  CandidateExecution CE(std::move(Evs));
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 2});
+  CE.Asw.set(1, 2); // e.g. thread-spawn ordering
+  EXPECT_TRUE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(DataRace, InitNeverRaces) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 1));
+  CandidateExecution CE(std::move(Evs));
+  EXPECT_TRUE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(DataRace, PartialOverlapUnorderedRace) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 8));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 1));
+  Evs.push_back(makeWrite(2, 1, Mode::Unordered, 2, 4, 2));
+  CandidateExecution CE(std::move(Evs));
+  EXPECT_FALSE(isRaceFree(CE, ModelSpec::revised()));
+}
+
+TEST(SeqConsistency, Fig2IsSC) {
+  EXPECT_TRUE(isSequentiallyConsistent(fig2Execution()));
+}
+
+TEST(SeqConsistency, Fig8IsNotSC) {
+  // No interleaving of Fig. 8 explains the SC load returning 1 while the
+  // later plain load returns 2.
+  EXPECT_FALSE(isSequentiallyConsistent(fig8Execution()));
+}
+
+TEST(SeqConsistency, WitnessOrderExplainsReads) {
+  std::vector<unsigned> Order;
+  ASSERT_TRUE(isSequentiallyConsistent(fig2Execution(), &Order));
+  ASSERT_EQ(Order.size(), 5u);
+  EXPECT_EQ(Order.front(), 0u) << "Init is placed first";
+}
+
+TEST(SeqConsistency, StaleFlagReadIsSC) {
+  // Reading flag = 0 (Init) before the writes is a fine interleaving.
+  CandidateExecution CE = fig2Execution();
+  // Rewire: the flag read takes 0 from Init, the message read takes 3.
+  CE.Rbf.clear();
+  CE.Events[3].ReadBytes = bytesOfValue(0, 4);
+  for (unsigned K = 4; K < 8; ++K)
+    CE.Rbf.push_back({K, 0, 3});
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 4});
+  EXPECT_TRUE(isSequentiallyConsistent(CE));
+}
+
+TEST(SeqConsistency, CoherenceViolationIsNotSC) {
+  // r1 reads the second write, r2 (later in the same thread) the first.
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 4, 1));
+  Evs.push_back(makeWrite(2, 0, Mode::Unordered, 0, 4, 2));
+  Evs.push_back(makeRead(3, 1, Mode::Unordered, 0, 4, 2));
+  Evs.push_back(makeRead(4, 1, Mode::Unordered, 0, 4, 1));
+  CandidateExecution CE(std::move(Evs));
+  CE.Sb.set(1, 2);
+  CE.Sb.set(3, 4);
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 2, 3});
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 4});
+  EXPECT_FALSE(isSequentiallyConsistent(CE));
+}
+
+TEST(SeqConsistency, MixedSizeTearingIsNotSC) {
+  // Fig. 14's execution mixes Init and write bytes: no interleaving
+  // produces that value.
+  EXPECT_FALSE(isSequentiallyConsistent(fig14Execution()));
+}
+
+TEST(SeqConsistency, RmwChainIsSC) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeRMW(1, 0, 0, 4, 0, 1));
+  Evs.push_back(makeRMW(2, 1, 0, 4, 1, 2));
+  CandidateExecution CE(std::move(Evs));
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 0, 1});
+  for (unsigned K = 0; K < 4; ++K)
+    CE.Rbf.push_back({K, 1, 2});
+  EXPECT_TRUE(isSequentiallyConsistent(CE));
+}

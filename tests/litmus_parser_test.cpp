@@ -1,0 +1,166 @@
+//===- tests/litmus_parser_test.cpp - jsmm-run litmus format --------------===//
+
+#include "tools/LitmusParser.h"
+
+#include "exec/Enumerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsmm;
+
+namespace {
+
+const char *MPSource = R"(
+name MP
+buffer 1024
+thread
+  store u32 0 = 3
+  store.sc u32 4 = 5
+thread
+  r0 = load.sc u32 4
+  if r0 == 5
+    r1 = load u32 0
+  end
+forbid 1:r0=5 1:r1=0
+allow  1:r0=5 1:r1=3
+allow  1:r0=0
+)";
+
+} // namespace
+
+TEST(LitmusParser, ParsesMessagePassing) {
+  std::string Error;
+  auto File = parseLitmus(MPSource, &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  EXPECT_EQ(File->P.Name, "MP");
+  EXPECT_EQ(File->P.numThreads(), 2u);
+  EXPECT_EQ(File->P.bufferSizes()[0], 1024u);
+  ASSERT_EQ(File->Expectations.size(), 3u);
+  EXPECT_FALSE(File->Expectations[0].Allowed);
+  EXPECT_TRUE(File->Expectations[1].Allowed);
+}
+
+TEST(LitmusParser, ParsedProgramEnumeratesCorrectly) {
+  auto File = parseLitmus(MPSource);
+  ASSERT_TRUE(File.has_value());
+  EnumerationResult R = enumerateOutcomes(File->P, ModelSpec::revised());
+  for (const LitmusExpectation &E : File->Expectations)
+    EXPECT_EQ(R.allows(E.O), E.Allowed) << E.O.toString();
+}
+
+TEST(LitmusParser, ParsesExchangeAndComments) {
+  const char *Src = R"(
+name XCHG  # a comment
+buffer 4
+thread
+  r0 = exchange u32 0 = 7   # old value into r0
+)";
+  std::string Error;
+  auto File = parseLitmus(Src, &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  const Instr &I = File->P.threadBody(0)[0];
+  EXPECT_EQ(I.K, Instr::Kind::Rmw);
+  EXPECT_EQ(I.Value, 7u);
+}
+
+TEST(LitmusParser, ParsesDataViewWidths) {
+  const char *Src = R"(
+buffer 8
+thread
+  store dv3 1 = 0x010203
+  r0 = load u16 2
+)";
+  auto File = parseLitmus(Src);
+  ASSERT_TRUE(File.has_value());
+  const Instr &St = File->P.threadBody(0)[0];
+  EXPECT_EQ(St.Access.Width, 3u);
+  EXPECT_EQ(St.Access.Offset, 1u);
+  EXPECT_FALSE(St.Access.TearFree);
+}
+
+TEST(LitmusParser, ParsesNestedIfAndIfNe) {
+  const char *Src = R"(
+buffer 8
+thread
+  r0 = load u32 0
+  if r0 != 0
+    r1 = load u32 4
+    if r1 == 1
+      store u32 0 = 9
+    end
+  end
+)";
+  std::string Error;
+  auto File = parseLitmus(Src, &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  const std::vector<Instr> &Body = File->P.threadBody(0);
+  ASSERT_EQ(Body.size(), 2u);
+  EXPECT_EQ(Body[1].K, Instr::Kind::IfNe);
+  ASSERT_EQ(Body[1].Body.size(), 2u);
+  EXPECT_EQ(Body[1].Body[1].K, Instr::Kind::IfEq);
+}
+
+TEST(LitmusParser, MultipleBuffers) {
+  const char *Src = R"(
+buffer 4
+buffer 8
+thread
+  store u32 0 = 1
+)";
+  auto File = parseLitmus(Src);
+  ASSERT_TRUE(File.has_value());
+  ASSERT_EQ(File->P.bufferSizes().size(), 2u);
+  EXPECT_EQ(File->P.bufferSizes()[1], 8u);
+}
+
+TEST(LitmusParser, ErrorsAreReportedWithLines) {
+  std::string Error;
+  EXPECT_FALSE(parseLitmus("thread\n  bogus u32 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(parseLitmus("store u32 0 = 1\n", &Error).has_value());
+  EXPECT_NE(Error.find("outside a thread"), std::string::npos);
+
+  EXPECT_FALSE(parseLitmus("thread\nend\n", &Error).has_value());
+  EXPECT_NE(Error.find("without an open"), std::string::npos);
+
+  EXPECT_FALSE(parseLitmus("", &Error).has_value());
+  EXPECT_NE(Error.find("no threads"), std::string::npos);
+}
+
+TEST(LitmusParser, RegisterOrderIsEnforced) {
+  std::string Error;
+  const char *Src = R"(
+thread
+  r1 = load u32 0
+)";
+  EXPECT_FALSE(parseLitmus(Src, &Error).has_value());
+  EXPECT_NE(Error.find("out of order"), std::string::npos);
+}
+
+TEST(LitmusParser, BadOutcomeTokenRejected) {
+  std::string Error;
+  const char *Src = R"(
+thread
+  r0 = load u32 0
+allow nonsense
+)";
+  EXPECT_FALSE(parseLitmus(Src, &Error).has_value());
+  EXPECT_NE(Error.find("bad outcome token"), std::string::npos);
+}
+
+TEST(LitmusParser, HexValuesAccepted) {
+  const char *Src = R"(
+buffer 4
+thread
+  store u16 0 = 0x0101
+  r0 = load u16 0
+allow 0:r0=0x0101
+)";
+  auto File = parseLitmus(Src);
+  ASSERT_TRUE(File.has_value());
+  EXPECT_EQ(File->P.threadBody(0)[0].Value, 0x0101u);
+  uint64_t V = 0;
+  ASSERT_TRUE(File->Expectations[0].O.lookup(0, 0, V));
+  EXPECT_EQ(V, 0x0101u);
+}

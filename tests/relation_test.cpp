@@ -1,0 +1,257 @@
+//===- tests/relation_test.cpp - Relation algebra unit tests --------------===//
+
+#include "support/LinearExtensions.h"
+#include "support/Relation.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsmm;
+
+TEST(Relation, EmptyRelationHasNoPairs) {
+  Relation R(4);
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.count(), 0u);
+  EXPECT_FALSE(R.get(0, 1));
+}
+
+TEST(Relation, SetAndClear) {
+  Relation R(4);
+  R.set(1, 2);
+  EXPECT_TRUE(R.get(1, 2));
+  EXPECT_FALSE(R.get(2, 1));
+  EXPECT_EQ(R.count(), 1u);
+  R.clear(1, 2);
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(Relation, RowAndColumn) {
+  Relation R(4);
+  R.set(0, 2);
+  R.set(1, 2);
+  R.set(2, 3);
+  EXPECT_EQ(R.row(2), uint64_t(1) << 3);
+  EXPECT_EQ(R.column(2), (uint64_t(1) << 0) | (uint64_t(1) << 1));
+}
+
+TEST(Relation, UnionIntersectSubtract) {
+  Relation A(3), B(3);
+  A.set(0, 1);
+  A.set(1, 2);
+  B.set(1, 2);
+  B.set(2, 0);
+  Relation U = A.unioned(B);
+  EXPECT_EQ(U.count(), 3u);
+  Relation I = A.intersected(B);
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.get(1, 2));
+  Relation S = A.subtracted(B);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_TRUE(S.get(0, 1));
+}
+
+TEST(Relation, Inverse) {
+  Relation R(3);
+  R.set(0, 2);
+  R.set(1, 0);
+  Relation Inv = R.inverse();
+  EXPECT_TRUE(Inv.get(2, 0));
+  EXPECT_TRUE(Inv.get(0, 1));
+  EXPECT_EQ(Inv.count(), 2u);
+}
+
+TEST(Relation, Compose) {
+  Relation A(4), B(4);
+  A.set(0, 1);
+  A.set(0, 2);
+  B.set(1, 3);
+  B.set(2, 3);
+  Relation C = A.compose(B);
+  EXPECT_TRUE(C.get(0, 3));
+  EXPECT_EQ(C.count(), 1u);
+}
+
+TEST(Relation, TransitiveClosureChain) {
+  Relation R(4);
+  R.set(0, 1);
+  R.set(1, 2);
+  R.set(2, 3);
+  Relation C = R.transitiveClosure();
+  EXPECT_TRUE(C.get(0, 3));
+  EXPECT_TRUE(C.get(0, 2));
+  EXPECT_TRUE(C.get(1, 3));
+  EXPECT_EQ(C.count(), 6u);
+}
+
+TEST(Relation, ReflexiveTransitiveClosure) {
+  Relation R(3);
+  R.set(0, 1);
+  Relation C = R.reflexiveTransitiveClosure();
+  EXPECT_TRUE(C.get(0, 0));
+  EXPECT_TRUE(C.get(1, 1));
+  EXPECT_TRUE(C.get(2, 2));
+  EXPECT_TRUE(C.get(0, 1));
+}
+
+TEST(Relation, AcyclicityDetection) {
+  Relation R(3);
+  R.set(0, 1);
+  R.set(1, 2);
+  EXPECT_TRUE(R.isAcyclic());
+  R.set(2, 0);
+  EXPECT_FALSE(R.isAcyclic());
+}
+
+TEST(Relation, SelfLoopIsCyclic) {
+  Relation R(2);
+  R.set(0, 0);
+  EXPECT_FALSE(R.isIrreflexive());
+  EXPECT_FALSE(R.isAcyclic());
+}
+
+TEST(Relation, StrictTotalOrderRecognition) {
+  Relation R = totalOrderFromSequence({2, 0, 1}, 3);
+  EXPECT_TRUE(R.isStrictTotalOrderOn(0b111));
+  EXPECT_TRUE(R.get(2, 0));
+  EXPECT_TRUE(R.get(2, 1));
+  EXPECT_TRUE(R.get(0, 1));
+  // Partial order is not total.
+  Relation P(3);
+  P.set(0, 1);
+  EXPECT_FALSE(P.isStrictTotalOrderOn(0b111));
+  // Total on a sub-universe.
+  Relation Q(3);
+  Q.set(0, 2);
+  EXPECT_TRUE(Q.isStrictTotalOrderOn(0b101));
+}
+
+TEST(Relation, StrictTotalOrderRejectsOutsidePairs) {
+  Relation R(3);
+  R.set(0, 1);
+  R.set(2, 0); // 2 is outside the universe below
+  EXPECT_FALSE(R.isStrictTotalOrderOn(0b011));
+}
+
+TEST(Relation, ContainsAndEquality) {
+  Relation A(3), B(3);
+  A.set(0, 1);
+  A.set(1, 2);
+  B.set(0, 1);
+  EXPECT_TRUE(A.contains(B));
+  EXPECT_FALSE(B.contains(A));
+  EXPECT_TRUE(A != B);
+  B.set(1, 2);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(Relation, ProductAndRestrict) {
+  Relation P = Relation::product(0b011, 0b100, 3);
+  EXPECT_TRUE(P.get(0, 2));
+  EXPECT_TRUE(P.get(1, 2));
+  EXPECT_EQ(P.count(), 2u);
+  Relation R(3);
+  R.set(0, 1);
+  R.set(0, 2);
+  R.set(1, 2);
+  Relation Res = R.restricted(0b001, 0b110);
+  EXPECT_EQ(Res.count(), 2u);
+  EXPECT_TRUE(Res.get(0, 1));
+  EXPECT_TRUE(Res.get(0, 2));
+}
+
+TEST(Relation, IdentityOnUniverse) {
+  Relation I = Relation::identity(0b101, 3);
+  EXPECT_TRUE(I.get(0, 0));
+  EXPECT_FALSE(I.get(1, 1));
+  EXPECT_TRUE(I.get(2, 2));
+}
+
+TEST(Relation, TopologicalOrderRespectsEdges) {
+  Relation R(4);
+  R.set(3, 1);
+  R.set(1, 0);
+  R.set(2, 0);
+  std::vector<unsigned> Order = R.topologicalOrder();
+  ASSERT_EQ(Order.size(), 4u);
+  std::vector<unsigned> Pos(4);
+  for (unsigned I = 0; I < 4; ++I)
+    Pos[Order[I]] = I;
+  EXPECT_LT(Pos[3], Pos[1]);
+  EXPECT_LT(Pos[1], Pos[0]);
+  EXPECT_LT(Pos[2], Pos[0]);
+}
+
+TEST(Relation, PairsEnumeration) {
+  Relation R(3);
+  R.set(2, 1);
+  R.set(0, 2);
+  auto Pairs = R.pairs();
+  ASSERT_EQ(Pairs.size(), 2u);
+  EXPECT_EQ(Pairs[0], std::make_pair(0u, 2u));
+  EXPECT_EQ(Pairs[1], std::make_pair(2u, 1u));
+}
+
+TEST(LinearExtensions, CountsForChainAndAntichain) {
+  // A chain has exactly one linear extension.
+  Relation Chain(3);
+  Chain.set(0, 1);
+  Chain.set(1, 2);
+  EXPECT_EQ(countLinearExtensions(Chain, 0b111), 1u);
+  // An antichain of n elements has n! extensions.
+  Relation Empty(3);
+  EXPECT_EQ(countLinearExtensions(Empty, 0b111), 6u);
+}
+
+TEST(LinearExtensions, VShapePoset) {
+  // 0 < 2 and 1 < 2: two linear extensions.
+  Relation R(3);
+  R.set(0, 2);
+  R.set(1, 2);
+  EXPECT_EQ(countLinearExtensions(R, 0b111), 2u);
+}
+
+TEST(LinearExtensions, RespectsUniverseSubset) {
+  Relation R(4);
+  R.set(0, 1);
+  // Only {0,1,3}: 3 extensions of a 2-chain plus a free element.
+  EXPECT_EQ(countLinearExtensions(R, 0b1011), 3u);
+}
+
+TEST(LinearExtensions, CyclicOrderHasNoExtensions) {
+  Relation R(2);
+  R.set(0, 1);
+  R.set(1, 0);
+  EXPECT_EQ(countLinearExtensions(R, 0b11), 0u);
+}
+
+TEST(LinearExtensions, EarlyStop) {
+  Relation Empty(4);
+  uint64_t Seen = 0;
+  bool Completed = forEachLinearExtension(
+      Empty, 0b1111, [&](const std::vector<unsigned> &) {
+        ++Seen;
+        return Seen < 5;
+      });
+  EXPECT_FALSE(Completed);
+  EXPECT_EQ(Seen, 5u);
+}
+
+TEST(LinearExtensions, SequencesAreValidExtensions) {
+  Relation R(4);
+  R.set(1, 0);
+  R.set(2, 3);
+  forEachLinearExtension(R, 0b1111, [&](const std::vector<unsigned> &Seq) {
+    std::vector<unsigned> Pos(4);
+    for (unsigned I = 0; I < 4; ++I)
+      Pos[Seq[I]] = I;
+    EXPECT_LT(Pos[1], Pos[0]);
+    EXPECT_LT(Pos[2], Pos[3]);
+    return true;
+  });
+  EXPECT_EQ(countLinearExtensions(R, 0b1111), 6u);
+}
+
+TEST(Relation, TotalOrderFromSequenceSubset) {
+  Relation R = totalOrderFromSequence({3, 1}, 4);
+  EXPECT_TRUE(R.get(3, 1));
+  EXPECT_EQ(R.count(), 1u);
+}

@@ -1,0 +1,296 @@
+//===- tests/targets_extra_test.cpp - Target-model litmus fidelity --------===//
+///
+/// \file
+/// Cross-architecture litmus verdicts distinguishing the Thm 6.3 target
+/// models from one another: IRIW (multi-copy atomicity), R, S, 2+2W, and
+/// WRC, plus fence-placement sanity on the compiled sequences. These pin
+/// down that each model is the *right kind* of weak — x86-TSO stronger
+/// than ARMv8, Power non-MCA, RISC-V MCA — which the compilation results
+/// silently rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "targets/TargetCompile.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsmm;
+
+namespace {
+
+/// Builds a raw target execution directly (bypassing compilation) so
+/// model-vs-model differences can be probed with identical event sets.
+struct RawBuilder {
+  std::vector<TargetEvent> Events;
+  unsigned NumLocs;
+
+  explicit RawBuilder(unsigned NumLocs) : NumLocs(NumLocs) {
+    for (unsigned L = 0; L < NumLocs; ++L) {
+      TargetEvent Init;
+      Init.Id = static_cast<EventId>(Events.size());
+      Init.Thread = -1;
+      Init.Kind = TKind::Write;
+      Init.Loc = L;
+      Init.IsInit = true;
+      Events.push_back(Init);
+    }
+  }
+
+  EventId write(int Thread, unsigned Loc, uint64_t Val) {
+    TargetEvent E;
+    E.Id = static_cast<EventId>(Events.size());
+    E.Thread = Thread;
+    E.Kind = TKind::Write;
+    E.Loc = Loc;
+    E.WriteVal = Val;
+    Events.push_back(E);
+    return E.Id;
+  }
+
+  EventId read(int Thread, unsigned Loc) {
+    TargetEvent E;
+    E.Id = static_cast<EventId>(Events.size());
+    E.Thread = Thread;
+    E.Kind = TKind::Read;
+    E.Loc = Loc;
+    Events.push_back(E);
+    return E.Id;
+  }
+
+  /// Finalises with rf edges (writer, reader) and per-thread po chains,
+  /// then asks whether some coherence order makes \p Consistent true.
+  bool consistentForSomeCo(
+      const std::vector<std::pair<EventId, EventId>> &RfEdges,
+      bool (*Consistent)(const TargetExecution &)) {
+    TargetExecution X(Events, NumLocs);
+    std::map<int, std::vector<EventId>> PerThread;
+    for (const TargetEvent &E : X.Events)
+      if (E.Thread >= 0)
+        PerThread[E.Thread].push_back(E.Id);
+    for (const auto &[T, Seq] : PerThread) {
+      (void)T;
+      for (size_t I = 0; I < Seq.size(); ++I)
+        for (size_t J = I + 1; J < Seq.size(); ++J)
+          X.Po.set(Seq[I], Seq[J]);
+    }
+    for (const auto &[W, R] : RfEdges) {
+      X.Rf.set(W, R);
+      X.Events[R].ReadVal = X.Events[W].WriteVal;
+    }
+    // Enumerate coherence orders per location.
+    std::function<bool(unsigned)> Choose = [&](unsigned Loc) -> bool {
+      if (Loc == NumLocs)
+        return Consistent(X);
+      std::vector<EventId> Writers;
+      EventId Init = ~0u;
+      for (const TargetEvent &E : X.Events) {
+        if (!E.isWrite() || E.Loc != Loc)
+          continue;
+        if (E.IsInit)
+          Init = E.Id;
+        else
+          Writers.push_back(E.Id);
+      }
+      std::sort(Writers.begin(), Writers.end());
+      do {
+        X.CoPerLoc[Loc].clear();
+        if (Init != ~0u)
+          X.CoPerLoc[Loc].push_back(Init);
+        for (EventId W : Writers)
+          X.CoPerLoc[Loc].push_back(W);
+        if (Choose(Loc + 1))
+          return true;
+      } while (std::next_permutation(Writers.begin(), Writers.end()));
+      return false;
+    };
+    return Choose(0);
+  }
+};
+
+/// IRIW with plain accesses: readers disagree about the write order.
+bool iriwAllowed(bool (*Consistent)(const TargetExecution &)) {
+  RawBuilder B(2);
+  EventId Wx = B.write(0, 0, 1);
+  EventId Wy = B.write(1, 1, 1);
+  B.read(2, 0); // reads Wx
+  B.read(2, 1); // reads Init(y)
+  B.read(3, 1); // reads Wy
+  B.read(3, 0); // reads Init(x)
+  return B.consistentForSomeCo(
+      {{Wx, 4}, {1, 5}, {Wy, 6}, {0, 7}}, Consistent);
+}
+
+/// 2+2W: two threads writing both locations in opposite orders; the
+/// outcome where each thread's first write loses the coherence race.
+bool twoPlusTwoWAllowed(bool (*Consistent)(const TargetExecution &)) {
+  RawBuilder B(2);
+  B.write(0, 0, 1);
+  B.write(0, 1, 2);
+  B.write(1, 1, 1);
+  B.write(1, 0, 2);
+  // The weak 2+2W outcome: each thread's FIRST write ends up
+  // coherence-last (final x = 1, final y = 1), i.e.
+  // co(x) = [init, e5(T1), e2(T0)] and co(y) = [init, e3(T0), e4(T1)].
+  // TSO's total store order makes this a cycle; weaker models allow it.
+  TargetExecution X(B.Events, 2);
+  X.Po.set(2, 3);
+  X.Po.set(4, 5);
+  X.CoPerLoc[0] = {0, 5, 2};
+  X.CoPerLoc[1] = {1, 3, 4};
+  return Consistent(X);
+}
+
+} // namespace
+
+TEST(TargetFidelity, IriwPerArchitecture) {
+  EXPECT_FALSE(iriwAllowed(isX86Consistent)) << "TSO forbids IRIW";
+  EXPECT_TRUE(iriwAllowed(isArmV8UniConsistent))
+      << "plain loads reorder: allowed even under MCA";
+  EXPECT_TRUE(iriwAllowed(isPowerConsistent)) << "Power is non-MCA";
+  EXPECT_TRUE(iriwAllowed(isArmV7Consistent));
+  EXPECT_TRUE(iriwAllowed(isRiscVConsistent));
+}
+
+TEST(TargetFidelity, TwoPlusTwoW) {
+  EXPECT_FALSE(twoPlusTwoWAllowed(isX86Consistent))
+      << "TSO keeps W->W order";
+  EXPECT_TRUE(twoPlusTwoWAllowed(isArmV8UniConsistent));
+  EXPECT_TRUE(twoPlusTwoWAllowed(isPowerConsistent));
+}
+
+TEST(TargetFidelity, ScPerLocationEverywhere) {
+  // CoWR: a read after a same-thread, same-location write cannot see an
+  // older write.
+  RawBuilder B(1);
+  B.write(0, 0, 1); // event 1
+  B.write(1, 0, 2); // event 2
+  B.read(1, 0);     // event 3: T1 reads... event 1 (older than own write)
+  TargetExecution X(B.Events, 1);
+  X.Po.set(2, 3);
+  X.Rf.set(1, 3);
+  X.Events[3].ReadVal = 1;
+  X.CoPerLoc[0] = {0, 2, 1}; // own write co-before the read's writer: OK
+  EXPECT_TRUE(targetScPerLocation(X));
+  X.CoPerLoc[0] = {0, 1, 2}; // read's writer co-before own write: CoWR
+  EXPECT_FALSE(targetScPerLocation(X));
+}
+
+TEST(TargetFidelity, PowerSyncIsCumulative) {
+  // WRC+sync+addr-free: T0 W x=1 | T1: R x; sync; W y=1 | T2: R y; R x.
+  // A-cumulativity of sync makes T0's write visible to T2 before y=1 —
+  // reading y=1 then x=0 is forbidden. Our reader side has no dep, so we
+  // approximate with the reader using... plain po does not order R;R on
+  // Power; use the ppo-free check that the OBSERVATION axiom fires when
+  // the reader's reads are forced by rf choices in one execution with a
+  // ctrl+isync.
+  UniProgram P(2);
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, Mode::Unordered);
+  unsigned T1 = P.thread();
+  P.load(T1, 0, Mode::SeqCst);   // compiled: sync; ld; ctrlisync
+  P.store(T1, 1, 1, Mode::SeqCst); // compiled: sync; st
+  unsigned T2 = P.thread();
+  P.load(T2, 1, Mode::SeqCst);
+  P.load(T2, 0, Mode::SeqCst);
+  CompiledTarget CT = compileUni(P, TargetArch::Power);
+  bool BadAllowed = false;
+  forEachTargetExecution(CT, [&](const TargetExecution &X, const Outcome &O) {
+    uint64_t SawX = 0, SawY = 0, SawX2 = 1;
+    O.lookup(1, 0, SawX);
+    O.lookup(2, 0, SawY);
+    O.lookup(2, 1, SawX2);
+    if (SawX == 1 && SawY == 1 && SawX2 == 0 && isPowerConsistent(X)) {
+      BadAllowed = true;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_FALSE(BadAllowed) << "sync's cumulativity must forbid WRC";
+}
+
+TEST(TargetFidelity, RiscVFenceClasses) {
+  // fence r,rw does not order W->W; fence rw,w does.
+  RawBuilder B(2);
+  (void)B;
+  UniProgram P(2);
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, Mode::Unordered);
+  P.store(T0, 1, 1, Mode::SeqCst); // fence rw,w; st; fence rw,rw
+  unsigned T1 = P.thread();
+  P.load(T1, 1, Mode::Unordered);
+  P.load(T1, 0, Mode::Unordered);
+  CompiledTarget CT = compileUni(P, TargetArch::RiscV);
+  // The writer side is ordered by fence rw,w; the reader side is not, so
+  // the stale outcome remains possible.
+  bool Stale = false;
+  forEachTargetExecution(CT, [&](const TargetExecution &X, const Outcome &O) {
+    uint64_t Flag = 0, Msg = 1;
+    O.lookup(1, 0, Flag);
+    O.lookup(1, 1, Msg);
+    if (Flag == 1 && Msg == 0 && isRiscVConsistent(X)) {
+      Stale = true;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(Stale);
+}
+
+TEST(TargetFidelity, X86MfencePlacementMatters) {
+  // SC store compiles to mov+mfence; without the fence TSO already orders
+  // W->W and R->R, so MP is tight but SB is weak — the mfence is exactly
+  // what kills SB.
+  UniProgram SB(2);
+  unsigned T0 = SB.thread();
+  SB.store(T0, 0, 1, Mode::Unordered);
+  SB.load(T0, 1, Mode::Unordered);
+  unsigned T1 = SB.thread();
+  SB.store(T1, 1, 1, Mode::Unordered);
+  SB.load(T1, 0, Mode::Unordered);
+  CompiledTarget Plain = compileUni(SB, TargetArch::X86);
+  bool Weak = false;
+  forEachTargetExecution(Plain,
+                         [&](const TargetExecution &X, const Outcome &O) {
+                           uint64_t A = 1, B = 1;
+                           O.lookup(0, 0, A);
+                           O.lookup(1, 0, B);
+                           if (A == 0 && B == 0 && isX86Consistent(X)) {
+                             Weak = true;
+                             return false;
+                           }
+                           return true;
+                         });
+  EXPECT_TRUE(Weak) << "plain TSO SB must stay weak";
+}
+
+TEST(TargetFidelity, ImmLitePscOrdersScAccesses) {
+  // Four SC accesses in an SB shape must respect a total SC order.
+  UniProgram P(2);
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, Mode::SeqCst);
+  P.load(T0, 1, Mode::SeqCst);
+  unsigned T1 = P.thread();
+  P.store(T1, 1, 1, Mode::SeqCst);
+  P.load(T1, 0, Mode::SeqCst);
+  CompiledTarget CT = compileUni(P, TargetArch::ImmLite);
+  bool Weak = false;
+  forEachTargetExecution(CT, [&](const TargetExecution &X, const Outcome &O) {
+    uint64_t A = 1, B = 1;
+    O.lookup(0, 0, A);
+    O.lookup(1, 0, B);
+    if (A == 0 && B == 0 && isImmLiteConsistent(X))
+      Weak = true;
+    return true;
+  });
+  EXPECT_FALSE(Weak);
+}
+
+TEST(TargetFidelity, TargetEventPrinting) {
+  RawBuilder B(1);
+  EventId W = B.write(0, 0, 7);
+  EXPECT_NE(B.Events[W].toString().find("x0=7"), std::string::npos);
+  TargetEvent F;
+  F.Kind = TKind::Fence;
+  F.Fence = TFence::Sync;
+  EXPECT_NE(F.toString().find("sync"), std::string::npos);
+}

@@ -1,0 +1,276 @@
+//===- tools/LitmusParser.cpp ---------------------------------------------===//
+
+#include "tools/LitmusParser.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace jsmm;
+
+namespace {
+
+/// Parsed statement tree (mirrors litmus::Instr, but built incrementally).
+struct ParsedInstr {
+  enum class Kind { Load, Store, Exchange, If } K = Kind::Load;
+  Acc A;
+  unsigned DeclaredReg = 0; ///< Load/Exchange: the rN the file named
+  uint64_t Value = 0;       ///< Store/Exchange value; If comparison value
+  unsigned CondReg = 0;
+  bool CondEqual = true;
+  std::vector<ParsedInstr> Body;
+};
+
+struct ParserState {
+  std::vector<std::vector<ParsedInstr>> Threads;
+  std::vector<unsigned> BufferSizes;
+  std::string Name = "anonymous";
+  std::vector<LitmusExpectation> Expectations;
+};
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream In(Line);
+  std::string Tok;
+  while (In >> Tok) {
+    if (Tok[0] == '#')
+      break; // comment to end of line
+    Tokens.push_back(Tok);
+  }
+  return Tokens;
+}
+
+/// Parses "u8" / "u16" / "u32" / "u64" / "dvN" into an access template.
+bool parseWidth(const std::string &Tok, Acc &A) {
+  if (Tok == "u8")
+    A = Acc::u8(0);
+  else if (Tok == "u16")
+    A = Acc::u16(0);
+  else if (Tok == "u32")
+    A = Acc::u32(0);
+  else if (Tok == "u64")
+    A = Acc::u64(0);
+  else if (Tok.size() > 2 && Tok.compare(0, 2, "dv") == 0)
+    A = Acc::dataView(0, static_cast<unsigned>(std::stoul(Tok.substr(2))));
+  else
+    return false;
+  return true;
+}
+
+/// Parses "rN" into N.
+bool parseReg(const std::string &Tok, unsigned &Reg) {
+  if (Tok.size() < 2 || Tok[0] != 'r' || !std::isdigit(Tok[1]))
+    return false;
+  Reg = static_cast<unsigned>(std::stoul(Tok.substr(1)));
+  return true;
+}
+
+/// Parses "T:rR=V" outcome components.
+bool parseOutcomeToken(const std::string &Tok, Outcome &O) {
+  size_t Colon = Tok.find(':');
+  size_t Eq = Tok.find('=');
+  if (Colon == std::string::npos || Eq == std::string::npos || Eq < Colon)
+    return false;
+  std::string RegTok = Tok.substr(Colon + 1, Eq - Colon - 1);
+  unsigned Reg = 0;
+  if (!parseReg(RegTok, Reg))
+    return false;
+  O.add(std::stoi(Tok.substr(0, Colon)), Reg,
+        std::stoull(Tok.substr(Eq + 1), nullptr, 0));
+  return true;
+}
+
+/// Recursively replays a parsed statement list through the builder,
+/// checking that the file's register names match the builder's automatic
+/// assignment order.
+bool emitBody(ThreadBuilder &B, const std::vector<ParsedInstr> &Body,
+              std::string *Error) {
+  for (const ParsedInstr &I : Body) {
+    switch (I.K) {
+    case ParsedInstr::Kind::Load: {
+      Reg R = B.load(I.A);
+      if (R.Index != I.DeclaredReg) {
+        if (Error)
+          *Error = "register r" + std::to_string(I.DeclaredReg) +
+                   " out of order (expected r" + std::to_string(R.Index) +
+                   "); registers are assigned in load order";
+        return false;
+      }
+      break;
+    }
+    case ParsedInstr::Kind::Store:
+      B.store(I.A, I.Value);
+      break;
+    case ParsedInstr::Kind::Exchange: {
+      Reg R = B.exchange(I.A, I.Value);
+      if (R.Index != I.DeclaredReg) {
+        if (Error)
+          *Error = "register r" + std::to_string(I.DeclaredReg) +
+                   " out of order";
+        return false;
+      }
+      break;
+    }
+    case ParsedInstr::Kind::If: {
+      bool Ok = true;
+      Reg Cond{static_cast<int>(B.thread()), I.CondReg};
+      auto Nest = [&](ThreadBuilder &Inner) {
+        Ok = emitBody(Inner, I.Body, Error);
+      };
+      if (I.CondEqual)
+        B.ifEq(Cond, I.Value, Nest);
+      else
+        B.ifNe(Cond, I.Value, Nest);
+      if (!Ok)
+        return false;
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
+                                            std::string *Error) {
+  ParserState S;
+  // Stack of open statement lists: the innermost is where statements go.
+  std::vector<std::vector<ParsedInstr> *> Open;
+
+  auto Fail = [&](unsigned LineNo, const std::string &Why) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Why;
+    return std::nullopt;
+  };
+
+  std::istringstream In(Source);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> T = tokenize(Line);
+    if (T.empty())
+      continue;
+
+    if (T[0] == "name") {
+      S.Name = T.size() > 1 ? T[1] : "anonymous";
+      continue;
+    }
+    if (T[0] == "buffer") {
+      if (T.size() != 2)
+        return Fail(LineNo, "expected 'buffer <bytes>'");
+      S.BufferSizes.push_back(
+          static_cast<unsigned>(std::stoul(T[1])));
+      continue;
+    }
+    if (T[0] == "thread") {
+      S.Threads.emplace_back();
+      Open.clear();
+      Open.push_back(&S.Threads.back());
+      continue;
+    }
+    if (T[0] == "allow" || T[0] == "forbid") {
+      LitmusExpectation E;
+      E.Allowed = T[0] == "allow";
+      for (size_t I = 1; I < T.size(); ++I)
+        if (!parseOutcomeToken(T[I], E.O))
+          return Fail(LineNo, "bad outcome token '" + T[I] + "'");
+      S.Expectations.push_back(E);
+      continue;
+    }
+
+    // Everything below is a thread statement.
+    if (Open.empty())
+      return Fail(LineNo, "statement outside a thread");
+    std::vector<ParsedInstr> &Into = *Open.back();
+
+    if (T[0] == "end") {
+      if (Open.size() < 2)
+        return Fail(LineNo, "'end' without an open 'if'");
+      Open.pop_back();
+      continue;
+    }
+    if (T[0] == "if") {
+      // if rN == V   /   if rN != V
+      if (T.size() != 4 || (T[2] != "==" && T[2] != "!="))
+        return Fail(LineNo, "expected 'if rN ==|!= value'");
+      ParsedInstr I;
+      I.K = ParsedInstr::Kind::If;
+      if (!parseReg(T[1], I.CondReg))
+        return Fail(LineNo, "bad register '" + T[1] + "'");
+      I.CondEqual = T[2] == "==";
+      I.Value = std::stoull(T[3], nullptr, 0);
+      Into.push_back(std::move(I));
+      Open.push_back(&Into.back().Body);
+      continue;
+    }
+    if (T[0].compare(0, 5, "store") == 0) {
+      // store[.sc] <width> <offset> = <value>
+      if (T.size() != 5 || T[3] != "=")
+        return Fail(LineNo, "expected 'store[.sc] <width> <offset> = <v>'");
+      ParsedInstr I;
+      I.K = ParsedInstr::Kind::Store;
+      if (!parseWidth(T[1], I.A))
+        return Fail(LineNo, "bad width '" + T[1] + "'");
+      I.A.Offset = static_cast<unsigned>(std::stoul(T[2]));
+      if (T[0] == "store.sc")
+        I.A = I.A.sc();
+      else if (T[0] != "store")
+        return Fail(LineNo, "unknown statement '" + T[0] + "'");
+      I.Value = std::stoull(T[4], nullptr, 0);
+      Into.push_back(I);
+      continue;
+    }
+    // rN = load[.sc] <width> <offset>
+    // rN = exchange <width> <offset> = <value>
+    unsigned Dst = 0;
+    if (parseReg(T[0], Dst) && T.size() >= 2 && T[1] == "=") {
+      if (T.size() >= 5 && T[2] == "exchange") {
+        if (T.size() != 7 || T[5] != "=")
+          return Fail(LineNo, "expected 'rN = exchange <w> <off> = <v>'");
+        ParsedInstr I;
+        I.K = ParsedInstr::Kind::Exchange;
+        if (!parseWidth(T[3], I.A))
+          return Fail(LineNo, "bad width '" + T[3] + "'");
+        I.A.Offset = static_cast<unsigned>(std::stoul(T[4]));
+        I.Value = std::stoull(T[6], nullptr, 0);
+        I.DeclaredReg = Dst;
+        Into.push_back(I);
+        continue;
+      }
+      if (T.size() == 5 && (T[2] == "load" || T[2] == "load.sc")) {
+        ParsedInstr I;
+        I.K = ParsedInstr::Kind::Load;
+        if (!parseWidth(T[3], I.A))
+          return Fail(LineNo, "bad width '" + T[3] + "'");
+        I.A.Offset = static_cast<unsigned>(std::stoul(T[4]));
+        if (T[2] == "load.sc")
+          I.A = I.A.sc();
+        I.DeclaredReg = Dst;
+        Into.push_back(I);
+        continue;
+      }
+      return Fail(LineNo, "expected 'rN = load[.sc] <w> <off>' or "
+                          "'rN = exchange <w> <off> = <v>'");
+    }
+    return Fail(LineNo, "unknown statement '" + T[0] + "'");
+  }
+
+  if (S.Threads.empty())
+    return Fail(LineNo, "no threads declared");
+  if (S.BufferSizes.empty())
+    S.BufferSizes.push_back(16);
+
+  LitmusFile Out;
+  Out.P = Program(S.BufferSizes[0]);
+  for (size_t B = 1; B < S.BufferSizes.size(); ++B)
+    Out.P.addBuffer(S.BufferSizes[B]);
+  Out.P.Name = S.Name;
+  for (const std::vector<ParsedInstr> &Body : S.Threads) {
+    ThreadBuilder TB = Out.P.thread();
+    if (!emitBody(TB, Body, Error))
+      return std::nullopt;
+  }
+  Out.Expectations = S.Expectations;
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- tools/LitmusParser.h - Text format for JS litmus tests -------------===//
+///
+/// \file
+/// A small text format for JavaScript litmus tests, consumed by the
+/// jsmm-run command-line tool:
+///
+/// \code
+///   name MP
+///   buffer 1024
+///   thread
+///     store u32 0 = 3
+///     store.sc u32 4 = 5
+///   thread
+///     r0 = load.sc u32 4
+///     if r0 == 5
+///       r1 = load u32 0
+///     end
+///   forbid 1:r0=5 1:r1=0
+///   allow  1:r0=5 1:r1=3
+/// \endcode
+///
+/// Access forms: `load`/`store` with an optional `.sc` suffix and a width
+/// token (`u8`, `u16`, `u32`, `u64`, or `dv<N>` for an N-byte DataView
+/// access), plus `exchange` (always SeqCst). `forbid`/`allow` lines state
+/// expectations checked against the chosen model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_TOOLS_LITMUSPARSER_H
+#define JSMM_TOOLS_LITMUSPARSER_H
+
+#include "exec/Outcome.h"
+#include "litmus/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// One expectation line of a litmus file.
+struct LitmusExpectation {
+  bool Allowed = false; ///< `allow` vs `forbid`
+  Outcome O;
+};
+
+/// A parsed litmus file.
+struct LitmusFile {
+  Program P{4};
+  std::vector<LitmusExpectation> Expectations;
+};
+
+/// Parses the litmus text \p Source. On failure returns std::nullopt and,
+/// when \p Error is non-null, a "line N: reason" message.
+std::optional<LitmusFile> parseLitmus(const std::string &Source,
+                                      std::string *Error = nullptr);
+
+} // namespace jsmm
+
+#endif // JSMM_TOOLS_LITMUSPARSER_H

@@ -1,0 +1,116 @@
+//===- tools/jsmm_run.cpp - Command-line litmus runner --------------------===//
+///
+/// \file
+/// The jsmm equivalent of a herd7 session on the JavaScript memory model:
+///
+///   jsmm-run test.litmus                 # revised model
+///   jsmm-run test.litmus --model=original
+///   jsmm-run test.litmus --arm           # also the compiled ARMv8 verdict
+///   jsmm-run test.litmus --scdrf         # also the SC-DRF report
+///
+/// Prints the allowed outcomes and checks any `allow`/`forbid`
+/// expectations in the file; exits non-zero if an expectation fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "armv8/ArmEnumerator.h"
+#include "compile/Compile.h"
+#include "exec/Enumerator.h"
+#include "tools/LitmusParser.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace jsmm;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: jsmm-run <file.litmus> [--model=original|armfix|"
+               "revised|strong] [--arm] [--scdrf]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  ModelSpec Spec = ModelSpec::revised();
+  bool WithArm = false, WithScDrf = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--model=original")
+      Spec = ModelSpec::original();
+    else if (Arg == "--model=armfix")
+      Spec = ModelSpec::armFixOnly();
+    else if (Arg == "--model=revised")
+      Spec = ModelSpec::revised();
+    else if (Arg == "--model=strong")
+      Spec = ModelSpec::revisedStrongTearFree();
+    else if (Arg == "--arm")
+      WithArm = true;
+    else if (Arg == "--scdrf")
+      WithScDrf = true;
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage();
+    else
+      Path = Arg;
+  }
+  if (Path.empty())
+    return usage();
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "jsmm-run: cannot open '" << Path << "'\n";
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  std::optional<LitmusFile> File = parseLitmus(Buf.str(), &Error);
+  if (!File) {
+    std::cerr << "jsmm-run: " << Path << ": " << Error << "\n";
+    return 2;
+  }
+
+  std::cout << "test " << File->P.Name << " (model: " << Spec.Name << ")\n";
+  EnumerationResult R = enumerateOutcomes(File->P, Spec);
+  std::cout << "allowed outcomes (" << R.Allowed.size() << "):\n";
+  for (const auto &[O, W] : R.Allowed) {
+    (void)W;
+    std::cout << "  " << O.toString() << "\n";
+  }
+
+  int Failures = 0;
+  for (const LitmusExpectation &E : File->Expectations) {
+    bool Observed = R.allows(E.O);
+    bool Ok = Observed == E.Allowed;
+    Failures += Ok ? 0 : 1;
+    std::cout << (Ok ? "[ok]   " : "[FAIL] ")
+              << (E.Allowed ? "allow  " : "forbid ") << E.O.toString()
+              << "  -> " << (Observed ? "allowed" : "forbidden") << "\n";
+  }
+
+  if (WithArm) {
+    CompiledProgram CP = compileToArm(File->P);
+    ArmEnumerationResult Arm = enumerateArmOutcomes(CP.Arm);
+    std::cout << "compiled ARMv8 outcomes (" << Arm.Allowed.size() << "):\n";
+    for (const auto &[O, X] : Arm.Allowed) {
+      (void)X;
+      std::cout << "  " << O.toString()
+                << (R.allows(O) ? "" : "   <- not allowed by JS!") << "\n";
+    }
+  }
+
+  if (WithScDrf) {
+    ScDrfReport Rep = checkScDrf(File->P, Spec);
+    std::cout << "SC-DRF: data-race-free="
+              << (Rep.DataRaceFree ? "yes" : "no")
+              << " all-SC=" << (Rep.AllValidExecutionsSC ? "yes" : "no")
+              << " property=" << (Rep.holds() ? "holds" : "VIOLATED")
+              << "\n";
+  }
+
+  return Failures == 0 ? 0 : 1;
+}
