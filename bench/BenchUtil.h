@@ -6,6 +6,13 @@
 /// the paper's claim; the binary exits non-zero if any row fails, so the
 /// bench sweep doubles as an end-to-end reproduction gate.
 ///
+/// On finish() each table also writes a machine-readable BENCH_<id>.json
+/// next to the working directory (claims, verdicts and any recorded
+/// metrics), so the performance trajectory of the engine can be tracked
+/// across PRs by diffing JSON instead of scraping stdout. Set
+/// JSMM_BENCH_JSON_DIR to redirect the files, or to the empty string to
+/// disable them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSMM_BENCH_BENCHUTIL_H
@@ -13,7 +20,11 @@
 
 #include "support/Str.h"
 
+#include <cctype>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,16 +32,43 @@
 namespace jsmm {
 namespace bench {
 
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
 class Table {
 public:
-  Table(const std::string &Title, const std::string &PaperRef) {
+  Table(const std::string &Title, const std::string &PaperRef)
+      : Title(Title), PaperRef(PaperRef) {
     std::cout << "\n== " << Title << " ==\n   (" << PaperRef << ")\n\n";
   }
 
   /// Adds one claim row. \p Holds is the measured verdict.
   void row(const std::string &Claim, const std::string &Paper,
            const std::string &Measured, bool Holds) {
-    ++Rows;
+    Rows.push_back({Claim, Paper, Measured, Holds});
     Failures += Holds ? 0 : 1;
     std::cout << "  " << (Holds ? "[ok]  " : "[FAIL]") << " "
               << padRight(Claim, 52) << " paper: " << padRight(Paper, 22)
@@ -45,18 +83,88 @@ public:
 
   /// Free-form informational line (not a checked claim).
   void note(const std::string &Text) {
+    Notes.push_back(Text);
     std::cout << "         " << Text << "\n";
+  }
+
+  /// Records a numeric measurement (timings, counts, speedups) for the
+  /// JSON artefact; also printed as a note.
+  void metric(const std::string &Name, double Value,
+              const std::string &Unit = "") {
+    Metrics.push_back({Name, Value, Unit});
+    note(Name + ": " + std::to_string(Value) + (Unit.empty() ? "" : " ") +
+         Unit);
   }
 
   /// \returns the process exit code: 0 iff every row checked.
   int finish() {
-    std::cout << "\n  " << (Rows - Failures) << "/" << Rows
+    std::cout << "\n  " << (Rows.size() - Failures) << "/" << Rows.size()
               << " claims reproduced\n";
+    writeJson();
     return Failures == 0 ? 0 : 1;
   }
 
 private:
-  unsigned Rows = 0;
+  struct RowEntry {
+    std::string Claim, Paper, Measured;
+    bool Holds;
+  };
+  struct MetricEntry {
+    std::string Name;
+    double Value;
+    std::string Unit;
+  };
+
+  /// "E4: shapes ..." -> "E4"; otherwise the leading [A-Za-z0-9_-] run.
+  std::string benchId() const {
+    std::string Id;
+    for (char C : Title) {
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '-')
+        Id += C;
+      else
+        break;
+    }
+    return Id.empty() ? "bench" : Id;
+  }
+
+  void writeJson() const {
+    const char *Dir = std::getenv("JSMM_BENCH_JSON_DIR");
+    std::string Prefix = Dir ? Dir : ".";
+    if (Prefix.empty())
+      return; // JSMM_BENCH_JSON_DIR="" disables the artefact
+    std::string Path = Prefix + "/BENCH_" + benchId() + ".json";
+    std::ofstream Out(Path);
+    if (!Out)
+      return; // unwritable directory: the table on stdout still stands
+    Out << "{\n  \"bench\": \"" << jsonEscape(benchId()) << "\",\n"
+        << "  \"title\": \"" << jsonEscape(Title) << "\",\n"
+        << "  \"paper_ref\": \"" << jsonEscape(PaperRef) << "\",\n"
+        << "  \"claims\": " << Rows.size() << ",\n"
+        << "  \"failures\": " << Failures << ",\n  \"rows\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I)
+      Out << "    {\"claim\": \"" << jsonEscape(Rows[I].Claim)
+          << "\", \"paper\": \"" << jsonEscape(Rows[I].Paper)
+          << "\", \"measured\": \"" << jsonEscape(Rows[I].Measured)
+          << "\", \"ok\": " << (Rows[I].Holds ? "true" : "false") << "}"
+          << (I + 1 < Rows.size() ? ",\n" : "\n");
+    Out << "  ],\n  \"metrics\": [\n";
+    for (size_t I = 0; I < Metrics.size(); ++I)
+      Out << "    {\"name\": \"" << jsonEscape(Metrics[I].Name)
+          << "\", \"value\": " << Metrics[I].Value << ", \"unit\": \""
+          << jsonEscape(Metrics[I].Unit) << "\"}"
+          << (I + 1 < Metrics.size() ? ",\n" : "\n");
+    Out << "  ],\n  \"notes\": [\n";
+    for (size_t I = 0; I < Notes.size(); ++I)
+      Out << "    \"" << jsonEscape(Notes[I]) << "\""
+          << (I + 1 < Notes.size() ? ",\n" : "\n");
+    Out << "  ]\n}\n";
+  }
+
+  std::string Title;
+  std::string PaperRef;
+  std::vector<RowEntry> Rows;
+  std::vector<MetricEntry> Metrics;
+  std::vector<std::string> Notes;
   unsigned Failures = 0;
 };
 

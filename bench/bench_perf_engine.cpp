@@ -1,28 +1,126 @@
 //===- bench_perf_engine.cpp - Experiment E16 (engine performance) --------===//
 ///
 /// \file
-/// google-benchmark timings of the enumeration engine's primitives — the
+/// google-benchmark timings of the unified execution engine — the
 /// "execution enumeration is awkward without formal-methods tooling" cost
 /// the reproduction pays instead of Alloy/Coq. Documents where the wall
-/// time of E6-E13 goes: relation closure, tot enumeration, outcome
-/// enumeration, ARM consistency, operational simulation.
+/// time of E6-E13 goes (relation closure, tot enumeration, outcome
+/// enumeration, ARM consistency, operational simulation) and measures what
+/// the engine's incremental pruning and sharded threading buy over the
+/// seed's generate-then-filter loops on the Fig. 9 shape family.
+///
+/// Usage: bench_perf_engine [--threads=N] [google-benchmark flags]
+///
+/// Before the micro-benchmarks run, a headline comparison enumerates the
+/// Fig. 9 shape programs with (a) the seed-compatible engine (single
+/// thread, no pruning), (b) the pruned single-threaded engine and (c) the
+/// pruned engine with N threads (default 4), and prints the speedups.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "armv8/ArmEnumerator.h"
-#include "support/LinearExtensions.h"
-#include "compile/TotConstruction.h"
-#include "exec/Enumerator.h"
+#include "engine/ExecutionEngine.h"
 #include "flatsim/FlatSim.h"
+#include "compile/Compile.h"
+#include "compile/TotConstruction.h"
 #include "paper/Figures.h"
 #include "search/SkeletonSearch.h"
+#include "support/LinearExtensions.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace jsmm;
 using namespace jsmm::paper;
 
 namespace {
+
+unsigned RequestedThreads = 4;
+
+/// The Fig. 9/10 shape family as litmus programs: SeqCst/unordered writes
+/// racing with guarded and unguarded reads on two cells — the shapes whose
+/// validity flips between the original and revised SC rules, scaled so the
+/// justification space is large enough to measure.
+std::vector<Program> fig9ShapePrograms() {
+  std::vector<Program> Family;
+  {
+    // Fig. 9 first shape flavour: SC writes on both threads, a plain read
+    // behind the SC pair.
+    Program P(8);
+    P.Name = "fig9-shape1";
+    ThreadBuilder T0 = P.thread();
+    T0.store(Acc::u32(0).sc(), 1);
+    T0.load(Acc::u32(4));
+    ThreadBuilder T1 = P.thread();
+    T1.store(Acc::u32(4).sc(), 2);
+    T1.load(Acc::u32(0));
+    Family.push_back(P);
+  }
+  {
+    // Fig. 9 second shape flavour: unordered write before an SC read of
+    // the same cell, SC write on the other thread.
+    Program P(8);
+    P.Name = "fig9-shape2";
+    ThreadBuilder T0 = P.thread();
+    T0.store(Acc::u32(0), 1);
+    T0.load(Acc::u32(0).sc());
+    T0.load(Acc::u32(4));
+    ThreadBuilder T1 = P.thread();
+    T1.store(Acc::u32(0).sc(), 2);
+    T1.store(Acc::u32(4), 2);
+    Family.push_back(P);
+  }
+  {
+    // Three-thread sweep over both cells: the largest justification space
+    // of the family (every read has four candidate writers per byte).
+    Program P(8);
+    P.Name = "fig9-sweep3";
+    ThreadBuilder T0 = P.thread();
+    T0.store(Acc::u32(0).sc(), 1);
+    T0.load(Acc::u32(4));
+    ThreadBuilder T1 = P.thread();
+    T1.store(Acc::u32(4).sc(), 2);
+    T1.load(Acc::u32(0));
+    ThreadBuilder T2 = P.thread();
+    T2.store(Acc::u32(0), 3);
+    T2.store(Acc::u32(4), 4);
+    Family.push_back(P);
+  }
+  return Family;
+}
+
+double enumerateFamilyMs(EngineConfig Cfg) {
+  ExecutionEngine Engine(Cfg);
+  auto Start = std::chrono::steady_clock::now();
+  for (const Program &P : fig9ShapePrograms()) {
+    benchmark::DoNotOptimize(
+        Engine.enumerate(P, JsModel(ModelSpec::original())).Allowed.size());
+    benchmark::DoNotOptimize(
+        Engine.enumerate(P, JsModel(ModelSpec::revised())).Allowed.size());
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+void headlineComparison() {
+  // Warm-up pass so first-touch allocation noise doesn't skew the seed run.
+  enumerateFamilyMs(EngineConfig{1, false});
+  double SeedMs = enumerateFamilyMs(EngineConfig::seedCompatible());
+  double PrunedMs = enumerateFamilyMs(EngineConfig{1, true});
+  double ShardedMs = enumerateFamilyMs(EngineConfig{RequestedThreads, true});
+  std::printf("== engine vs seed on the Fig. 9 shapes ==\n");
+  std::printf("  seed (1 thread, generate-then-filter): %8.2f ms\n", SeedMs);
+  std::printf("  engine (1 thread, pruned):             %8.2f ms  (%.2fx)\n",
+              PrunedMs, SeedMs / PrunedMs);
+  std::printf("  engine (%u threads, pruned):            %8.2f ms  (%.2fx)\n",
+              RequestedThreads, ShardedMs, SeedMs / ShardedMs);
+  std::printf("  engine-beats-seed: %s\n\n",
+              ShardedMs < SeedMs ? "yes" : "NO");
+}
 
 void BM_TransitiveClosure(benchmark::State &State) {
   Relation R(static_cast<unsigned>(State.range(0)));
@@ -88,6 +186,19 @@ void BM_EnumerateFig6Outcomes(benchmark::State &State) {
 }
 BENCHMARK(BM_EnumerateFig6Outcomes);
 
+/// The headline workload as a google-benchmark: Arg encodes the engine
+/// configuration — 0 = seed-compatible, 1 = pruned single-threaded,
+/// N >= 2 = pruned with N workers.
+void BM_EnumerateFig9Shapes(benchmark::State &State) {
+  EngineConfig Cfg = State.range(0) == 0
+                         ? EngineConfig::seedCompatible()
+                         : EngineConfig{static_cast<unsigned>(State.range(0)),
+                                        true};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(enumerateFamilyMs(Cfg));
+}
+BENCHMARK(BM_EnumerateFig9Shapes)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ArmConsistency(benchmark::State &State) {
   CompiledProgram CP = compileToArm(fig6Program());
   std::vector<ArmExecution> Execs;
@@ -109,6 +220,15 @@ void BM_ArmEnumerateMP(benchmark::State &State) {
     benchmark::DoNotOptimize(enumerateArmOutcomes(P).Allowed.size());
 }
 BENCHMARK(BM_ArmEnumerateMP);
+
+void BM_ArmEnumerateMPSharded(benchmark::State &State) {
+  ArmProgram P = armMP(true, true);
+  ExecutionEngine Engine(
+      EngineConfig{static_cast<unsigned>(State.range(0)), true});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Engine.enumerate(P, Armv8Model()).Allowed.size());
+}
+BENCHMARK(BM_ArmEnumerateMPSharded)->Arg(2)->Arg(4);
 
 void BM_FlatSimMP(benchmark::State &State) {
   ArmProgram P = armMP(false, false);
@@ -146,4 +266,29 @@ BENCHMARK(BM_SkeletonSweep4Events);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Strip our own --threads=N before google-benchmark sees the arguments.
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--threads=", 10) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(argv[I] + 10, &End, 10);
+      if (End == argv[I] + 10 || *End != '\0' || N == 0) {
+        std::fprintf(stderr, "bench_perf_engine: bad thread count '%s'\n",
+                     argv[I] + 10);
+        return 1;
+      }
+      RequestedThreads = static_cast<unsigned>(N);
+    } else {
+      Args.push_back(argv[I]);
+    }
+  }
+  int Argc = static_cast<int>(Args.size());
+  headlineComparison();
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

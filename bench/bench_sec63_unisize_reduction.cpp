@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "engine/ExecutionEngine.h"
 #include "exec/Enumerator.h"
 #include "paper/Figures.h"
 #include "support/LinearExtensions.h"
@@ -48,24 +49,14 @@ int main() {
   }
 
   uint64_t Checked = 0, Skipped = 0, Mismatches = 0;
+  ExecutionEngine Engine;
   double Ms = timedMs([&] {
     for (const Program &P : Family) {
-      forEachCandidate(P,
-                       [&](const CandidateExecution &CE, const Outcome &O) {
-                         (void)O;
-                         if (!isUniSizeReducible(CE)) {
-                           ++Skipped;
-                           return true;
-                         }
-                         ReductionResult RR = reduceToUniSize(CE);
-                         bool Mixed =
-                             isValidForSomeTot(CE, ModelSpec::revised());
-                         bool Uni = isUniValidForSomeTot(RR.Uni);
-                         ++Checked;
-                         if (Mixed != Uni)
-                           ++Mismatches;
-                         return true;
-                       });
+      ReductionScan Scan =
+          scanReductionEquivalence(Engine, P, ModelSpec::revised());
+      Checked += Scan.Reducible;
+      Skipped += Scan.Skipped;
+      Mismatches += Scan.Mismatches;
     }
   });
   T.row("validity mismatches on reducible executions", "0",

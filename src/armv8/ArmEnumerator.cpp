@@ -1,10 +1,15 @@
 //===- armv8/ArmEnumerator.cpp --------------------------------------------===//
+//
+// The ARMv8 enumeration frontend: a thin adapter over the unified execution
+// engine (engine/ExecutionEngine.h), kept for API stability. Skeleton
+// construction and the rbf × coherence justification search live in the
+// engine; consistency is the Armv8Model predicate.
+//
+//===----------------------------------------------------------------------===//
 
 #include "armv8/ArmEnumerator.h"
 
-#include "support/Str.h"
-
-#include <algorithm>
+#include "engine/ExecutionEngine.h"
 
 using namespace jsmm;
 
@@ -17,247 +22,18 @@ std::vector<std::string> ArmEnumerationResult::outcomeStrings() const {
   return Out;
 }
 
-namespace {
-
-/// Materialises the skeleton for one choice of paths.
-ArmSkeleton buildSkeleton(const ArmProgram &P,
-                          const std::vector<const ArmThreadPath *> &Chosen) {
-  ArmSkeleton S;
-  S.Paths = Chosen;
-
-  struct DepFixup {
-    EventId Ev;
-    int AddrReg, DataReg;
-    uint64_t CtrlRegs;
-    int RmwTag;
-    bool IsLoad;
-  };
-  std::vector<ArmEvent> Events;
-  for (unsigned B = 0; B < P.bufferSizes().size(); ++B)
-    Events.push_back(makeArmInit(static_cast<EventId>(Events.size()),
-                                 P.bufferSizes()[B], B));
-  std::vector<std::vector<EventId>> ThreadEvents(P.numThreads());
-  std::vector<DepFixup> Fixups;
-  for (unsigned T = 0; T < Chosen.size(); ++T) {
-    for (const ArmPathElem &Elem : Chosen[T]->Elems) {
-      const ArmInstr &I = *Elem.I;
-      EventId Id = static_cast<EventId>(Events.size());
-      ArmEvent E;
-      switch (I.K) {
-      case ArmInstr::Kind::Load:
-        E = makeArmRead(Id, static_cast<int>(T), I.Offset, I.Width,
-                        I.Acquire, I.Exclusive, I.Block);
-        S.RegOfEvent[Id] = I.Dst;
-        break;
-      case ArmInstr::Kind::Store:
-        E = makeArmWrite(Id, static_cast<int>(T), I.Offset, I.Width, I.Value,
-                         I.Release, I.Exclusive, I.Block);
-        break;
-      case ArmInstr::Kind::DmbFull:
-      case ArmInstr::Kind::DmbLd:
-      case ArmInstr::Kind::DmbSt:
-      case ArmInstr::Kind::Isb:
-        E = makeArmFence(Id, static_cast<int>(T),
-                         I.K == ArmInstr::Kind::DmbFull ? ArmKind::DmbFull
-                         : I.K == ArmInstr::Kind::DmbLd ? ArmKind::DmbLd
-                         : I.K == ArmInstr::Kind::DmbSt ? ArmKind::DmbSt
-                                                        : ArmKind::Isb);
-        break;
-      case ArmInstr::Kind::IfEq:
-      case ArmInstr::Kind::IfNe:
-        continue; // branches do not materialise as events
-      }
-      E.SourceTag = I.SourceTag;
-      uint64_t CtrlRegs = Elem.CtrlRegs;
-      if (I.CtrlDepOn >= 0)
-        CtrlRegs |= uint64_t(1) << static_cast<unsigned>(I.CtrlDepOn);
-      Fixups.push_back({Id, I.AddrDepOn, I.DataDepOn, CtrlRegs, I.RmwTag,
-                        I.K == ArmInstr::Kind::Load});
-      Events.push_back(E);
-      ThreadEvents[T].push_back(Id);
-    }
-  }
-
-  S.Exec = ArmExecution(std::move(Events));
-  ArmExecution &X = S.Exec;
-  for (const std::vector<EventId> &Seq : ThreadEvents)
-    for (size_t I = 0; I < Seq.size(); ++I)
-      for (size_t J = I + 1; J < Seq.size(); ++J)
-        X.Po.set(Seq[I], Seq[J]);
-
-  // Wire register-carried dependencies. The provider of a register is the
-  // po-latest load writing it before the consumer.
-  auto ProviderOf = [&](const DepFixup &F, unsigned Reg) -> int {
-    int Provider = -1;
-    for (const auto &[Ev, R] : S.RegOfEvent)
-      if (R == Reg && X.Events[Ev].Thread == X.Events[F.Ev].Thread &&
-          X.Po.get(Ev, F.Ev))
-        Provider = std::max(Provider, static_cast<int>(Ev));
-    return Provider;
-  };
-  for (const DepFixup &F : Fixups) {
-    if (F.AddrReg >= 0) {
-      int Prov = ProviderOf(F, static_cast<unsigned>(F.AddrReg));
-      if (Prov >= 0)
-        X.AddrDep.set(static_cast<unsigned>(Prov), F.Ev);
-    }
-    if (F.DataReg >= 0) {
-      int Prov = ProviderOf(F, static_cast<unsigned>(F.DataReg));
-      if (Prov >= 0)
-        X.DataDep.set(static_cast<unsigned>(Prov), F.Ev);
-    }
-    uint64_t Ctrl = F.CtrlRegs;
-    while (Ctrl) {
-      unsigned Reg = static_cast<unsigned>(__builtin_ctzll(Ctrl));
-      Ctrl &= Ctrl - 1;
-      int Prov = ProviderOf(F, Reg);
-      if (Prov >= 0)
-        X.CtrlDep.set(static_cast<unsigned>(Prov), F.Ev);
-    }
-  }
-  // Exclusive pairs: a load and the po-next store sharing its RmwTag.
-  for (const DepFixup &FL : Fixups) {
-    if (!FL.IsLoad || FL.RmwTag < 0)
-      continue;
-    for (const DepFixup &FS : Fixups) {
-      if (FS.IsLoad || FS.RmwTag != FL.RmwTag)
-        continue;
-      if (X.Events[FS.Ev].Thread == X.Events[FL.Ev].Thread &&
-          X.Po.get(FL.Ev, FS.Ev))
-        X.Rmw.set(FL.Ev, FS.Ev);
-    }
-  }
-  return S;
-}
-
-/// Enumerates rbf justifications and coherence orders on top of a skeleton.
-class WitnessEnumerator {
-public:
-  WitnessEnumerator(
-      const ArmSkeleton &S,
-      const std::function<bool(const ArmExecution &, const Outcome &)> &Visit)
-      : S(S), X(S.Exec), Visit(Visit) {
-    for (const ArmEvent &E : X.Events)
-      if (E.isRead())
-        Reads.push_back(E.Id);
-  }
-
-  bool run() { return justifyRead(0); }
-
-private:
-  bool justifyRead(size_t ReadIdx) {
-    if (ReadIdx == Reads.size())
-      return chooseCoherence();
-    return justifyByte(ReadIdx, X.Events[Reads[ReadIdx]].begin());
-  }
-
-  bool justifyByte(size_t ReadIdx, unsigned Loc) {
-    ArmEvent &R = X.Events[Reads[ReadIdx]];
-    if (Loc == R.end()) {
-      auto RegIt = S.RegOfEvent.find(R.Id);
-      assert(RegIt != S.RegOfEvent.end() && "read event without a register");
-      uint64_t Value = valueOfBytes(R.Bytes);
-      if (!armConstraintsAllow(*S.Paths[R.Thread], RegIt->second, Value))
-        return true;
-      return justifyRead(ReadIdx + 1);
-    }
-    for (const ArmEvent &W : X.Events) {
-      if (!W.isWrite() || W.Id == R.Id || W.Block != R.Block ||
-          !W.touchesByte(Loc))
-        continue;
-      X.Rbf.push_back({Loc, W.Id, R.Id});
-      R.Bytes[Loc - R.Index] = W.byteAt(Loc);
-      bool Continue = justifyByte(ReadIdx, Loc + 1);
-      X.Rbf.pop_back();
-      if (!Continue)
-        return false;
-    }
-    return true;
-  }
-
-  bool chooseCoherence() {
-    X.Co = X.computeGranules();
-    return chooseGranule(0);
-  }
-
-  bool chooseGranule(size_t GranuleIdx) {
-    if (GranuleIdx == X.Co.size())
-      return emit();
-    CoGranule &G = X.Co[GranuleIdx];
-    size_t SeedLen = G.Order.size(); // Init writes already placed
-    std::vector<EventId> Rest;
-    for (const ArmEvent &E : X.Events)
-      if (E.isWrite() && !E.IsInit && E.Block == G.Block &&
-          E.touchesByte(G.Begin))
-        Rest.push_back(E.Id);
-    std::sort(Rest.begin(), Rest.end());
-    bool Continue = true;
-    do {
-      G.Order.resize(SeedLen);
-      G.Order.insert(G.Order.end(), Rest.begin(), Rest.end());
-      if (!chooseGranule(GranuleIdx + 1)) {
-        Continue = false;
-        break;
-      }
-    } while (std::next_permutation(Rest.begin(), Rest.end()));
-    G.Order.resize(SeedLen);
-    return Continue;
-  }
-
-  bool emit() {
-    Outcome O;
-    for (const auto &[Id, Reg] : S.RegOfEvent)
-      O.add(X.Events[Id].Thread, Reg, valueOfBytes(X.Events[Id].Bytes));
-    return Visit(X, O);
-  }
-
-  const ArmSkeleton &S;
-  ArmExecution X;
-  const std::function<bool(const ArmExecution &, const Outcome &)> &Visit;
-  std::vector<EventId> Reads;
-};
-
-} // namespace
-
 bool jsmm::forEachArmSkeleton(
-    const ArmProgram &P, const std::function<bool(const ArmSkeleton &)> &Visit) {
-  std::vector<std::vector<ArmThreadPath>> PerThread;
-  for (unsigned T = 0; T < P.numThreads(); ++T)
-    PerThread.push_back(enumerateArmPaths(P.threadBody(T)));
-  std::vector<const ArmThreadPath *> Chosen(P.numThreads());
-  std::function<bool(unsigned)> Pick = [&](unsigned T) -> bool {
-    if (T == PerThread.size())
-      return Visit(buildSkeleton(P, Chosen));
-    for (const ArmThreadPath &Path : PerThread[T]) {
-      Chosen[T] = &Path;
-      if (!Pick(T + 1))
-        return false;
-    }
-    return true;
-  };
-  return Pick(0);
+    const ArmProgram &P,
+    const std::function<bool(const ArmSkeleton &)> &Visit) {
+  return ExecutionEngine().forEachSkeleton(P, Visit);
 }
 
 bool jsmm::forEachArmExecution(
     const ArmProgram &P,
     const std::function<bool(const ArmExecution &, const Outcome &)> &Visit) {
-  return forEachArmSkeleton(P, [&](const ArmSkeleton &S) {
-    WitnessEnumerator W(S, Visit);
-    return W.run();
-  });
+  return ExecutionEngine().forEachArmCandidate(P, Visit);
 }
 
 ArmEnumerationResult jsmm::enumerateArmOutcomes(const ArmProgram &P) {
-  ArmEnumerationResult Result;
-  forEachArmExecution(P, [&](const ArmExecution &X, const Outcome &O) {
-    ++Result.CandidatesConsidered;
-    if (Result.Allowed.count(O))
-      return true;
-    if (isArmConsistent(X)) {
-      ++Result.ConsistentCandidates;
-      Result.Allowed.emplace(O, X);
-    }
-    return true;
-  });
-  return Result;
+  return ExecutionEngine().enumerate(P, Armv8Model());
 }

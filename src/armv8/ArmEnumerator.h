@@ -12,6 +12,10 @@
 /// not yet chosen) is exposed so that the operational simulator (flatsim)
 /// and the compilation-correctness machinery can share it.
 ///
+/// These entry points are thin adapters over the unified execution engine
+/// (engine/ExecutionEngine.h); construct an ExecutionEngine directly to
+/// control threading.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSMM_ARMV8_ARMENUMERATOR_H

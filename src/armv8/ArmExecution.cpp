@@ -225,3 +225,31 @@ std::string ArmExecution::toString() const {
   Out += "\n";
   return Out;
 }
+
+bool jsmm::forEachCoherenceCompletion(ArmExecution &X,
+                                      const std::function<bool()> &Visit) {
+  std::function<bool(size_t)> Choose = [&](size_t GranuleIdx) -> bool {
+    if (GranuleIdx == X.Co.size())
+      return Visit();
+    CoGranule &G = X.Co[GranuleIdx];
+    size_t SeedLen = G.Order.size(); // Init writes already placed
+    std::vector<EventId> Rest;
+    for (const ArmEvent &E : X.Events)
+      if (E.isWrite() && !E.IsInit && E.Block == G.Block &&
+          E.touchesByte(G.Begin))
+        Rest.push_back(E.Id);
+    std::sort(Rest.begin(), Rest.end());
+    bool Continue = true;
+    do {
+      G.Order.resize(SeedLen);
+      G.Order.insert(G.Order.end(), Rest.begin(), Rest.end());
+      if (!Choose(GranuleIdx + 1)) {
+        Continue = false;
+        break;
+      }
+    } while (std::next_permutation(Rest.begin(), Rest.end()));
+    G.Order.resize(SeedLen);
+    return Continue;
+  };
+  return Choose(0);
+}

@@ -23,6 +23,7 @@
 #include "core/CandidateExecution.h"
 #include "support/Relation.h"
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -92,6 +93,17 @@ public:
 
   std::string toString() const;
 };
+
+/// Enumerates every completion of \p X's granule coherence orders (X.Co
+/// must already be computed and Init-seeded, e.g. by computeGranules()):
+/// for each granule, every permutation of the non-Init writes touching it
+/// is appended after the seeded prefix. \p Visit is invoked once per
+/// complete choice, with X.Co filled in; it returns false to stop the
+/// enumeration. The seeded prefixes are restored before returning.
+/// \returns false if stopped early. Shared by the engine's ArmJustifier,
+/// Armv8Model::allowsForSomeCo and the bounded compilation check.
+bool forEachCoherenceCompletion(ArmExecution &X,
+                                const std::function<bool()> &Visit);
 
 } // namespace jsmm
 

@@ -62,7 +62,27 @@ Relation CandidateExecution::synchronizesWith(SwDefKind Def,
 }
 
 Relation CandidateExecution::happensBefore(SwDefKind Def) const {
-  return happensBeforeFromSw(synchronizesWith(Def, readsFrom()));
+  return derived(Def).Hb;
+}
+
+const DerivedTriple &CandidateExecution::derived(SwDefKind Def) const {
+  // rf/sw/hb depend on the rbf edges and the sb and asw relations only:
+  // event kinds, modes and footprints are fixed at construction, and read
+  // *values* do not enter the derived relations. The cached inputs are
+  // compared exactly — small vectors of words — so a stale triple can
+  // never be returned.
+  DerivedCacheSlot &Slot = DerivedCache[static_cast<unsigned>(Def)];
+  if (!Slot.Valid || Slot.KeyRbf != Rbf || Slot.KeySb != Sb ||
+      Slot.KeyAsw != Asw) {
+    Slot.D.Rf = readsFrom();
+    Slot.D.Sw = synchronizesWith(Def, Slot.D.Rf);
+    Slot.D.Hb = happensBeforeFromSw(Slot.D.Sw);
+    Slot.KeyRbf = Rbf;
+    Slot.KeySb = Sb;
+    Slot.KeyAsw = Asw;
+    Slot.Valid = true;
+  }
+  return Slot.D;
 }
 
 Relation CandidateExecution::happensBeforeFromSw(const Relation &Sw) const {

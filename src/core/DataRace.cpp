@@ -27,7 +27,7 @@ bool jsmm::isDataRace(const CandidateExecution &CE, EventId A, EventId B,
 
 std::vector<std::pair<EventId, EventId>>
 jsmm::findDataRaces(const CandidateExecution &CE, ModelSpec Spec) {
-  Relation Hb = CE.happensBefore(Spec.Sw);
+  const Relation &Hb = CE.derived(Spec.Sw).Hb;
   std::vector<std::pair<EventId, EventId>> Races;
   for (EventId A = 0; A < CE.numEvents(); ++A)
     for (EventId B = A + 1; B < CE.numEvents(); ++B)

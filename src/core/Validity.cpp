@@ -9,20 +9,18 @@ using namespace jsmm;
 DerivedRelations DerivedRelations::compute(const CandidateExecution &CE,
                                            SwDefKind Def) {
   DerivedRelations D;
-  D.Rf = CE.readsFrom();
-  D.Sw = CE.synchronizesWith(Def, D.Rf);
-  D.Hb = CE.happensBeforeFromSw(D.Sw);
+  static_cast<DerivedTriple &>(D) = CE.derived(Def);
   return D;
 }
 
 bool jsmm::checkHbConsistency1(const CandidateExecution &CE,
-                               const DerivedRelations &D) {
+                               const DerivedTriple &D) {
   (void)CE;
   return CE.Tot.contains(D.Hb);
 }
 
 bool jsmm::checkHbConsistency2(const CandidateExecution &CE,
-                               const DerivedRelations &D) {
+                               const DerivedTriple &D) {
   bool Ok = true;
   D.Rf.forEachPair([&](unsigned W, unsigned R) {
     if (D.Hb.get(R, W))
@@ -33,7 +31,7 @@ bool jsmm::checkHbConsistency2(const CandidateExecution &CE,
 }
 
 bool jsmm::checkHbConsistency3(const CandidateExecution &CE,
-                               const DerivedRelations &D) {
+                               const DerivedTriple &D) {
   for (const RbfEdge &E : CE.Rbf) {
     // Look for a "newer" write of byte E.Loc strictly hb-between the writer
     // and the reader.
@@ -49,7 +47,7 @@ bool jsmm::checkHbConsistency3(const CandidateExecution &CE,
 }
 
 bool jsmm::checkTearFreeReads(const CandidateExecution &CE,
-                              const DerivedRelations &D, TearRuleKind Rule) {
+                              const DerivedTriple &D, TearRuleKind Rule) {
   for (const Event &R : CE.Events) {
     if (!R.isRead() || !R.TearFree)
       continue;
@@ -79,7 +77,7 @@ namespace {
 /// there is no write E'w (SeqCst only, for the second attempt) with
 /// rangew(E'w) = ranger(Er) strictly tot-between Ew and Er.
 bool checkScAtomicsAttempt(const CandidateExecution &CE,
-                           const DerivedRelations &D, const Relation &Tot,
+                           const DerivedTriple &D, const Relation &Tot,
                            bool InterveningMustBeSeqCst) {
   bool Ok = true;
   D.Sw.forEachPair([&](unsigned W, unsigned R) {
@@ -104,7 +102,7 @@ bool checkScAtomicsAttempt(const CandidateExecution &CE,
 
 /// The final rule of Fig. 10.
 bool checkScAtomicsFinal(const CandidateExecution &CE,
-                         const DerivedRelations &D, const Relation &Tot) {
+                         const DerivedTriple &D, const Relation &Tot) {
   bool Ok = true;
   D.Rf.forEachPair([&](unsigned W, unsigned R) {
     if (!Ok || !D.Hb.get(W, R))
@@ -135,7 +133,7 @@ bool checkScAtomicsFinal(const CandidateExecution &CE,
 } // namespace
 
 bool jsmm::checkScAtomics(const CandidateExecution &CE,
-                          const DerivedRelations &D, ScRuleKind Rule,
+                          const DerivedTriple &D, ScRuleKind Rule,
                           const Relation &Tot) {
   switch (Rule) {
   case ScRuleKind::FirstAttempt:
@@ -151,7 +149,7 @@ bool jsmm::checkScAtomics(const CandidateExecution &CE,
 }
 
 bool jsmm::checkTotIndependentAxioms(const CandidateExecution &CE,
-                                     const DerivedRelations &D,
+                                     const DerivedTriple &D,
                                      ModelSpec Spec, std::string *WhyNot) {
   auto Fail = [&](const char *Axiom) {
     if (WhyNot)
@@ -171,7 +169,7 @@ bool jsmm::isValid(const CandidateExecution &CE, ModelSpec Spec,
                    std::string *WhyNot) {
   assert(CE.Tot.size() == CE.numEvents() &&
          "isValid requires a tot witness; use isValidForSomeTot otherwise");
-  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  const DerivedTriple &D = CE.derived(Spec.Sw);
   if (!checkTotIndependentAxioms(CE, D, Spec, WhyNot))
     return false;
   if (!checkHbConsistency1(CE, D)) {
@@ -189,7 +187,7 @@ bool jsmm::isValid(const CandidateExecution &CE, ModelSpec Spec,
 
 bool jsmm::isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
                              Relation *TotOut) {
-  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  const DerivedTriple &D = CE.derived(Spec.Sw);
   if (!checkTotIndependentAxioms(CE, D, Spec))
     return false;
   // HBC1 forces tot ⊇ hb; if hb is cyclic no tot exists.

@@ -73,39 +73,37 @@ struct ModelSpec {
 };
 
 /// Derived relations of a candidate execution under a given sw definition,
-/// computed once and shared by the axiom checks.
-struct DerivedRelations {
-  Relation Rf;
-  Relation Sw;
-  Relation Hb;
-
+/// computed once and shared by the axiom checks. A value type for callers
+/// that want their own copy; hot paths use CandidateExecution::derived(),
+/// which memoizes the triple on the execution itself.
+struct DerivedRelations : DerivedTriple {
   static DerivedRelations compute(const CandidateExecution &CE,
                                   SwDefKind Def);
 };
 
 /// Happens-Before Consistency (1): hb ⊆ tot.
 bool checkHbConsistency1(const CandidateExecution &CE,
-                         const DerivedRelations &D);
+                         const DerivedTriple &D);
 /// Happens-Before Consistency (2): no read happens-before a write it reads
 /// from.
 bool checkHbConsistency2(const CandidateExecution &CE,
-                         const DerivedRelations &D);
+                         const DerivedTriple &D);
 /// Happens-Before Consistency (3): no read reads a byte from a write when a
 /// hb-newer write of that byte is hb-before the read.
 bool checkHbConsistency3(const CandidateExecution &CE,
-                         const DerivedRelations &D);
+                         const DerivedTriple &D);
 /// Tear-Free Reads, weak (Fig. 4) or strong (§6.4).
 bool checkTearFreeReads(const CandidateExecution &CE,
-                        const DerivedRelations &D, TearRuleKind Rule);
+                        const DerivedTriple &D, TearRuleKind Rule);
 /// The Sequentially Consistent Atomics rule, in the requested variant,
 /// against the given tot.
-bool checkScAtomics(const CandidateExecution &CE, const DerivedRelations &D,
+bool checkScAtomics(const CandidateExecution &CE, const DerivedTriple &D,
                     ScRuleKind Rule, const Relation &Tot);
 
 /// \returns true if all tot-independent axioms (HBC2, HBC3, Tear-Free
 /// Reads) hold.
 bool checkTotIndependentAxioms(const CandidateExecution &CE,
-                               const DerivedRelations &D, ModelSpec Spec,
+                               const DerivedTriple &D, ModelSpec Spec,
                                std::string *WhyNot = nullptr);
 
 /// Full validity of \p CE (which must carry a tot witness) under \p Spec.

@@ -1,0 +1,720 @@
+//===- engine/ExecutionEngine.cpp -----------------------------------------===//
+
+#include "engine/ExecutionEngine.h"
+
+#include "core/DataRace.h"
+#include "core/SeqConsistency.h"
+#include "litmus/PathEnum.h"
+#include "support/Str.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace jsmm;
+
+unsigned ExecutionEngine::effectiveThreads() const {
+  if (Cfg.Threads)
+    return Cfg.Threads;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+namespace {
+
+/// One unit of sharded work: a control-flow combination, optionally
+/// restricted to the K-th eligible writer for the first byte of the first
+/// read (so a single combination with a large justification tree still
+/// splits across workers).
+struct WorkItem {
+  size_t Combo = 0;
+  int Writer = -1; ///< -1: all writers
+};
+
+/// Runs \p Body over \p NumItems items on \p Threads workers (inline when
+/// sequential). Items are claimed from an atomic counter; \p Body must
+/// only touch state owned by its item index.
+void runSharded(size_t NumItems, unsigned Threads,
+                const std::function<void(size_t)> &Body) {
+  if (Threads <= 1 || NumItems <= 1) {
+    for (size_t I = 0; I < NumItems; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < NumItems; I = Next.fetch_add(1))
+      Body(I);
+  };
+  std::vector<std::thread> Pool;
+  unsigned N = static_cast<unsigned>(
+      std::min<size_t>(Threads, NumItems));
+  Pool.reserve(N);
+  for (unsigned T = 0; T < N; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// JavaScript candidate space
+//===----------------------------------------------------------------------===//
+
+/// The per-thread control-flow paths of a program, with mixed-radix
+/// indexing of their combinations (last thread fastest, matching the
+/// seed's recursion order).
+struct JsSpace {
+  std::vector<std::vector<ThreadPath>> PerThread;
+  size_t Combos = 1;
+
+  explicit JsSpace(const Program &P) {
+    for (unsigned T = 0; T < P.numThreads(); ++T)
+      PerThread.push_back(enumeratePaths(P.threadBody(T)));
+    for (const std::vector<ThreadPath> &Paths : PerThread)
+      Combos *= Paths.size();
+  }
+
+  std::vector<const ThreadPath *> chosen(size_t Idx) const {
+    std::vector<const ThreadPath *> C(PerThread.size());
+    for (size_t T = PerThread.size(); T-- > 0;) {
+      C[T] = &PerThread[T][Idx % PerThread[T].size()];
+      Idx /= PerThread[T].size();
+    }
+    return C;
+  }
+};
+
+/// The materialised skeleton of one path combination: events, sb, and the
+/// bookkeeping the justifier needs.
+struct JsBase {
+  CandidateExecution CE;
+  std::vector<EventId> Reads;
+  std::map<EventId, unsigned> RegOfEvent;
+  std::vector<const ThreadPath *> Paths;
+};
+
+JsBase buildJsBase(const Program &P, std::vector<const ThreadPath *> Chosen) {
+  JsBase B;
+  B.Paths = std::move(Chosen);
+
+  std::vector<Event> Events;
+  // One Init event per buffer.
+  for (unsigned Buf = 0; Buf < P.bufferSizes().size(); ++Buf)
+    Events.push_back(makeInit(static_cast<EventId>(Events.size()),
+                              P.bufferSizes()[Buf], Buf));
+  // Thread events, in path order.
+  std::vector<std::vector<EventId>> ThreadEvents(P.numThreads());
+  for (unsigned T = 0; T < B.Paths.size(); ++T) {
+    for (const Instr *I : B.Paths[T]->Accesses) {
+      EventId Id = static_cast<EventId>(Events.size());
+      const Acc &A = I->Access;
+      Event E;
+      switch (I->K) {
+      case Instr::Kind::Load:
+        E = makeRead(Id, static_cast<int>(T), A.Ord, A.Offset, A.Width,
+                     /*Value=*/0, A.TearFree, A.Block);
+        B.RegOfEvent[Id] = I->Dst;
+        break;
+      case Instr::Kind::Store:
+        E = makeWrite(Id, static_cast<int>(T), A.Ord, A.Offset, A.Width,
+                      I->Value, A.TearFree, A.Block);
+        break;
+      case Instr::Kind::Rmw:
+        E = makeRMW(Id, static_cast<int>(T), A.Offset, A.Width,
+                    /*ReadValue=*/0, I->Value, A.Block);
+        B.RegOfEvent[Id] = I->Dst;
+        break;
+      default:
+        assert(false && "conditionals never materialise as events");
+      }
+      Events.push_back(E);
+      ThreadEvents[T].push_back(Id);
+    }
+  }
+  B.CE = CandidateExecution(std::move(Events));
+  for (const std::vector<EventId> &Seq : ThreadEvents)
+    for (size_t I = 0; I < Seq.size(); ++I)
+      for (size_t J = I + 1; J < Seq.size(); ++J)
+        B.CE.Sb.set(Seq[I], Seq[J]);
+  for (const Event &E : B.CE.Events)
+    if (E.isRead())
+      B.Reads.push_back(E.Id);
+  return B;
+}
+
+/// \returns the writers eligible to justify byte \p Loc of read \p R, in
+/// event order (the order the justifier explores them in — work items
+/// index into this list).
+unsigned countJsWriters(const CandidateExecution &CE, EventId R,
+                        unsigned Loc) {
+  unsigned Count = 0;
+  for (const Event &W : CE.Events)
+    if (W.Id != R && W.Block == CE.Events[R].Block && W.writesByte(Loc))
+      ++Count;
+  return Count;
+}
+
+/// Recursive reads-byte-from justification of a JS base, byte by byte,
+/// with register-constraint pruning (always) and model-admission pruning
+/// (when a model is supplied).
+class JsJustifier {
+public:
+  JsJustifier(JsBase &B, const JsModel *Prune, uint64_t *PrunedSubtrees,
+              int FirstWriterOnly,
+              const std::function<bool(const CandidateExecution &,
+                                       const Outcome &)> &Visit)
+      : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
+        FirstWriterOnly(FirstWriterOnly), Visit(Visit) {}
+
+  /// \returns false if the visitor stopped the enumeration.
+  bool run() {
+    B.CE.Rbf.clear();
+    return justifyRead(0);
+  }
+
+private:
+  bool justifyRead(size_t ReadIdx) {
+    if (ReadIdx == B.Reads.size())
+      return emit();
+    return justifyByte(ReadIdx, B.CE.Events[B.Reads[ReadIdx]].readBegin());
+  }
+
+  bool justifyByte(size_t ReadIdx, unsigned Loc) {
+    Event &R = B.CE.Events[B.Reads[ReadIdx]];
+    if (Loc == R.readEnd()) {
+      // The read's value is complete; prune against the path constraints,
+      // then against the model's tot-independent axioms (monotone in the
+      // justified prefix, so the whole subtree dies with it).
+      auto RegIt = B.RegOfEvent.find(R.Id);
+      assert(RegIt != B.RegOfEvent.end() && "read event without a register");
+      uint64_t Value = valueOfBytes(R.ReadBytes);
+      if (!constraintsAllow(*B.Paths[R.Thread], RegIt->second, Value))
+        return true;
+      if (Prune && ReadIdx + 1 < B.Reads.size() &&
+          !Prune->admitsPartial(B.CE)) {
+        if (PrunedSubtrees)
+          ++*PrunedSubtrees;
+        return true;
+      }
+      return justifyRead(ReadIdx + 1);
+    }
+    unsigned WriterPos = 0;
+    for (const Event &W : B.CE.Events) {
+      if (W.Id == R.Id || W.Block != R.Block || !W.writesByte(Loc))
+        continue;
+      unsigned ThisPos = WriterPos++;
+      if (FirstWriterOnly >= 0 && ReadIdx == 0 && Loc == R.readBegin() &&
+          ThisPos != static_cast<unsigned>(FirstWriterOnly))
+        continue;
+      B.CE.Rbf.push_back({Loc, W.Id, R.Id});
+      R.ReadBytes[Loc - R.Index] = W.writtenByteAt(Loc);
+      bool Continue = justifyByte(ReadIdx, Loc + 1);
+      B.CE.Rbf.pop_back();
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+  bool emit() {
+    Outcome O;
+    for (const auto &[Id, Reg] : B.RegOfEvent)
+      O.add(B.CE.Events[Id].Thread, Reg,
+            valueOfBytes(B.CE.Events[Id].ReadBytes));
+    return Visit(B.CE, O);
+  }
+
+  JsBase &B;
+  const JsModel *Prune;
+  uint64_t *PrunedSubtrees;
+  int FirstWriterOnly;
+  const std::function<bool(const CandidateExecution &, const Outcome &)>
+      &Visit;
+};
+
+/// Sequential walk of the whole JS candidate space.
+bool walkJs(const Program &P, const JsModel *Prune, uint64_t *PrunedSubtrees,
+            const std::function<bool(const CandidateExecution &,
+                                     const Outcome &)> &Visit) {
+  JsSpace Space(P);
+  for (size_t C = 0; C < Space.Combos; ++C) {
+    JsBase B = buildJsBase(P, Space.chosen(C));
+    JsJustifier J(B, Prune, PrunedSubtrees, /*FirstWriterOnly=*/-1, Visit);
+    if (!J.run())
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ARMv8 candidate space
+//===----------------------------------------------------------------------===//
+
+struct ArmSpace {
+  std::vector<std::vector<ArmThreadPath>> PerThread;
+  size_t Combos = 1;
+
+  explicit ArmSpace(const ArmProgram &P) {
+    for (unsigned T = 0; T < P.numThreads(); ++T)
+      PerThread.push_back(enumerateArmPaths(P.threadBody(T)));
+    for (const std::vector<ArmThreadPath> &Paths : PerThread)
+      Combos *= Paths.size();
+  }
+
+  std::vector<const ArmThreadPath *> chosen(size_t Idx) const {
+    std::vector<const ArmThreadPath *> C(PerThread.size());
+    for (size_t T = PerThread.size(); T-- > 0;) {
+      C[T] = &PerThread[T][Idx % PerThread[T].size()];
+      Idx /= PerThread[T].size();
+    }
+    return C;
+  }
+};
+
+/// Materialises the skeleton for one choice of paths.
+ArmSkeleton buildArmSkeleton(const ArmProgram &P,
+                             std::vector<const ArmThreadPath *> Chosen) {
+  ArmSkeleton S;
+  S.Paths = std::move(Chosen);
+
+  struct DepFixup {
+    EventId Ev;
+    int AddrReg, DataReg;
+    uint64_t CtrlRegs;
+    int RmwTag;
+    bool IsLoad;
+  };
+  std::vector<ArmEvent> Events;
+  for (unsigned B = 0; B < P.bufferSizes().size(); ++B)
+    Events.push_back(makeArmInit(static_cast<EventId>(Events.size()),
+                                 P.bufferSizes()[B], B));
+  std::vector<std::vector<EventId>> ThreadEvents(P.numThreads());
+  std::vector<DepFixup> Fixups;
+  for (unsigned T = 0; T < S.Paths.size(); ++T) {
+    for (const ArmPathElem &Elem : S.Paths[T]->Elems) {
+      const ArmInstr &I = *Elem.I;
+      EventId Id = static_cast<EventId>(Events.size());
+      ArmEvent E;
+      switch (I.K) {
+      case ArmInstr::Kind::Load:
+        E = makeArmRead(Id, static_cast<int>(T), I.Offset, I.Width,
+                        I.Acquire, I.Exclusive, I.Block);
+        S.RegOfEvent[Id] = I.Dst;
+        break;
+      case ArmInstr::Kind::Store:
+        E = makeArmWrite(Id, static_cast<int>(T), I.Offset, I.Width, I.Value,
+                         I.Release, I.Exclusive, I.Block);
+        break;
+      case ArmInstr::Kind::DmbFull:
+      case ArmInstr::Kind::DmbLd:
+      case ArmInstr::Kind::DmbSt:
+      case ArmInstr::Kind::Isb:
+        E = makeArmFence(Id, static_cast<int>(T),
+                         I.K == ArmInstr::Kind::DmbFull ? ArmKind::DmbFull
+                         : I.K == ArmInstr::Kind::DmbLd ? ArmKind::DmbLd
+                         : I.K == ArmInstr::Kind::DmbSt ? ArmKind::DmbSt
+                                                        : ArmKind::Isb);
+        break;
+      case ArmInstr::Kind::IfEq:
+      case ArmInstr::Kind::IfNe:
+        continue; // branches do not materialise as events
+      }
+      E.SourceTag = I.SourceTag;
+      uint64_t CtrlRegs = Elem.CtrlRegs;
+      if (I.CtrlDepOn >= 0)
+        CtrlRegs |= uint64_t(1) << static_cast<unsigned>(I.CtrlDepOn);
+      Fixups.push_back({Id, I.AddrDepOn, I.DataDepOn, CtrlRegs, I.RmwTag,
+                        I.K == ArmInstr::Kind::Load});
+      Events.push_back(E);
+      ThreadEvents[T].push_back(Id);
+    }
+  }
+
+  S.Exec = ArmExecution(std::move(Events));
+  ArmExecution &X = S.Exec;
+  for (const std::vector<EventId> &Seq : ThreadEvents)
+    for (size_t I = 0; I < Seq.size(); ++I)
+      for (size_t J = I + 1; J < Seq.size(); ++J)
+        X.Po.set(Seq[I], Seq[J]);
+
+  // Wire register-carried dependencies. The provider of a register is the
+  // po-latest load writing it before the consumer.
+  auto ProviderOf = [&](const DepFixup &F, unsigned Reg) -> int {
+    int Provider = -1;
+    for (const auto &[Ev, R] : S.RegOfEvent)
+      if (R == Reg && X.Events[Ev].Thread == X.Events[F.Ev].Thread &&
+          X.Po.get(Ev, F.Ev))
+        Provider = std::max(Provider, static_cast<int>(Ev));
+    return Provider;
+  };
+  for (const DepFixup &F : Fixups) {
+    if (F.AddrReg >= 0) {
+      int Prov = ProviderOf(F, static_cast<unsigned>(F.AddrReg));
+      if (Prov >= 0)
+        X.AddrDep.set(static_cast<unsigned>(Prov), F.Ev);
+    }
+    if (F.DataReg >= 0) {
+      int Prov = ProviderOf(F, static_cast<unsigned>(F.DataReg));
+      if (Prov >= 0)
+        X.DataDep.set(static_cast<unsigned>(Prov), F.Ev);
+    }
+    uint64_t Ctrl = F.CtrlRegs;
+    while (Ctrl) {
+      unsigned Reg = static_cast<unsigned>(__builtin_ctzll(Ctrl));
+      Ctrl &= Ctrl - 1;
+      int Prov = ProviderOf(F, Reg);
+      if (Prov >= 0)
+        X.CtrlDep.set(static_cast<unsigned>(Prov), F.Ev);
+    }
+  }
+  // Exclusive pairs: a load and the po-next store sharing its RmwTag.
+  for (const DepFixup &FL : Fixups) {
+    if (!FL.IsLoad || FL.RmwTag < 0)
+      continue;
+    for (const DepFixup &FS : Fixups) {
+      if (FS.IsLoad || FS.RmwTag != FL.RmwTag)
+        continue;
+      if (X.Events[FS.Ev].Thread == X.Events[FL.Ev].Thread &&
+          X.Po.get(FL.Ev, FS.Ev))
+        X.Rmw.set(FL.Ev, FS.Ev);
+    }
+  }
+  return S;
+}
+
+unsigned countArmWriters(const ArmExecution &X, EventId R, unsigned Loc) {
+  unsigned Count = 0;
+  for (const ArmEvent &W : X.Events)
+    if (W.isWrite() && W.Id != R && W.Block == X.Events[R].Block &&
+        W.touchesByte(Loc))
+      ++Count;
+  return Count;
+}
+
+/// Enumerates rbf justifications and coherence orders on top of an ARM
+/// skeleton.
+class ArmJustifier {
+public:
+  ArmJustifier(const ArmSkeleton &S, int FirstWriterOnly,
+               const std::function<bool(const ArmExecution &,
+                                        const Outcome &)> &Visit)
+      : S(S), X(S.Exec), FirstWriterOnly(FirstWriterOnly), Visit(Visit) {
+    for (const ArmEvent &E : X.Events)
+      if (E.isRead())
+        Reads.push_back(E.Id);
+  }
+
+  bool run() { return justifyRead(0); }
+
+private:
+  bool justifyRead(size_t ReadIdx) {
+    if (ReadIdx == Reads.size())
+      return chooseCoherence();
+    return justifyByte(ReadIdx, X.Events[Reads[ReadIdx]].begin());
+  }
+
+  bool justifyByte(size_t ReadIdx, unsigned Loc) {
+    ArmEvent &R = X.Events[Reads[ReadIdx]];
+    if (Loc == R.end()) {
+      auto RegIt = S.RegOfEvent.find(R.Id);
+      assert(RegIt != S.RegOfEvent.end() && "read event without a register");
+      uint64_t Value = valueOfBytes(R.Bytes);
+      if (!armConstraintsAllow(*S.Paths[R.Thread], RegIt->second, Value))
+        return true;
+      return justifyRead(ReadIdx + 1);
+    }
+    unsigned WriterPos = 0;
+    for (const ArmEvent &W : X.Events) {
+      if (!W.isWrite() || W.Id == R.Id || W.Block != R.Block ||
+          !W.touchesByte(Loc))
+        continue;
+      unsigned ThisPos = WriterPos++;
+      if (FirstWriterOnly >= 0 && ReadIdx == 0 && Loc == R.begin() &&
+          ThisPos != static_cast<unsigned>(FirstWriterOnly))
+        continue;
+      X.Rbf.push_back({Loc, W.Id, R.Id});
+      R.Bytes[Loc - R.Index] = W.byteAt(Loc);
+      bool Continue = justifyByte(ReadIdx, Loc + 1);
+      X.Rbf.pop_back();
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+  bool chooseCoherence() {
+    X.Co = X.computeGranules();
+    return forEachCoherenceCompletion(X, [this] { return emit(); });
+  }
+
+  bool emit() {
+    Outcome O;
+    for (const auto &[Id, Reg] : S.RegOfEvent)
+      O.add(X.Events[Id].Thread, Reg, valueOfBytes(X.Events[Id].Bytes));
+    return Visit(X, O);
+  }
+
+  const ArmSkeleton &S;
+  ArmExecution X;
+  std::vector<EventId> Reads;
+  int FirstWriterOnly;
+  const std::function<bool(const ArmExecution &, const Outcome &)> &Visit;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JavaScript entry points
+//===----------------------------------------------------------------------===//
+
+bool ExecutionEngine::forEachCandidate(
+    const Program &P,
+    const std::function<bool(const CandidateExecution &, const Outcome &)>
+        &Visit) const {
+  return walkJs(P, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr, Visit);
+}
+
+bool ExecutionEngine::forEachAdmittedCandidate(
+    const Program &P, const JsModel &M,
+    const std::function<bool(const CandidateExecution &, const Outcome &)>
+        &Visit) const {
+  Stats = EngineStats();
+  return walkJs(P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees, Visit);
+}
+
+EnumerationResult ExecutionEngine::enumerate(const Program &P,
+                                             const JsModel &M) const {
+  Stats = EngineStats();
+  const JsModel *Prune = Cfg.Prune ? &M : nullptr;
+  unsigned Threads = effectiveThreads();
+  JsSpace Space(P);
+
+  auto Accumulate = [&M](EnumerationResult &Into, const CandidateExecution &CE,
+                         const Outcome &O) {
+    ++Into.CandidatesConsidered;
+    if (Into.Allowed.count(O))
+      return true; // outcome already justified
+    Relation Tot;
+    if (M.allows(CE, &Tot)) {
+      ++Into.ValidCandidates;
+      CandidateExecution Witness = CE;
+      Witness.Tot = Tot;
+      Into.Allowed.emplace(O, std::move(Witness));
+    }
+    return true;
+  };
+
+  if (Threads <= 1) {
+    // Sequential: one shared result, with global outcome deduplication —
+    // exactly the seed's behaviour (modulo pruning).
+    EnumerationResult Result;
+    Stats.WorkItems = Space.Combos;
+    walkJs(P, Prune, &Stats.PrunedSubtrees,
+           [&](const CandidateExecution &CE, const Outcome &O) {
+             return Accumulate(Result, CE, O);
+           });
+    return Result;
+  }
+
+  // Sharded: split combinations — and, within each, the first read's
+  // writer choices — into work items with item-local results, merged in
+  // item order for determinism.
+  std::vector<WorkItem> Items;
+  std::vector<JsBase> Bases;
+  for (size_t C = 0; C < Space.Combos; ++C) {
+    Bases.push_back(buildJsBase(P, Space.chosen(C)));
+    const JsBase &B = Bases.back();
+    if (B.Reads.empty()) {
+      Items.push_back({C, -1});
+      continue;
+    }
+    const Event &R0 = B.CE.Events[B.Reads[0]];
+    unsigned NW = countJsWriters(B.CE, R0.Id, R0.readBegin());
+    for (unsigned K = 0; K < NW; ++K)
+      Items.push_back({C, static_cast<int>(K)});
+  }
+  Stats.WorkItems = Items.size();
+
+  std::vector<EnumerationResult> PerItem(Items.size());
+  std::vector<uint64_t> PerItemPruned(Items.size(), 0);
+  runSharded(Items.size(), Threads, [&](size_t I) {
+    JsBase B = Bases[Items[I].Combo]; // worker-private copy (the justifier mutates it)
+    std::function<bool(const CandidateExecution &, const Outcome &)> Into =
+        [&](const CandidateExecution &CE, const Outcome &O) {
+          return Accumulate(PerItem[I], CE, O);
+        };
+    JsJustifier J(B, Prune, &PerItemPruned[I], Items[I].Writer, Into);
+    J.run();
+  });
+
+  EnumerationResult Result;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
+    Result.ValidCandidates += PerItem[I].ValidCandidates;
+    Stats.PrunedSubtrees += PerItemPruned[I];
+    for (auto &[O, Witness] : PerItem[I].Allowed)
+      Result.Allowed.emplace(O, std::move(Witness));
+  }
+  return Result;
+}
+
+ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
+  Stats = EngineStats();
+  ScDrfReport Report;
+  walkJs(P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
+         [&](const CandidateExecution &CE, const Outcome &O) {
+           (void)O;
+           if (!M.allows(CE))
+             return true;
+           if (Report.DataRaceFree && !isRaceFree(CE, M.spec())) {
+             Report.DataRaceFree = false;
+             Report.RaceWitness = CE;
+           }
+           if (Report.AllValidExecutionsSC &&
+               !isSequentiallyConsistent(CE)) {
+             Report.AllValidExecutionsSC = false;
+             Report.NonScWitness = CE;
+           }
+           // Keep scanning until both facets are resolved.
+           return Report.DataRaceFree || Report.AllValidExecutionsSC;
+         });
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// ARMv8 entry points
+//===----------------------------------------------------------------------===//
+
+bool ExecutionEngine::forEachSkeleton(
+    const ArmProgram &P,
+    const std::function<bool(const ArmSkeleton &)> &Visit) const {
+  ArmSpace Space(P);
+  for (size_t C = 0; C < Space.Combos; ++C)
+    if (!Visit(buildArmSkeleton(P, Space.chosen(C))))
+      return false;
+  return true;
+}
+
+bool ExecutionEngine::forEachArmCandidate(
+    const ArmProgram &P,
+    const std::function<bool(const ArmExecution &, const Outcome &)> &Visit)
+    const {
+  return forEachSkeleton(P, [&](const ArmSkeleton &S) {
+    ArmJustifier J(S, /*FirstWriterOnly=*/-1, Visit);
+    return J.run();
+  });
+}
+
+ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
+                                                const Armv8Model &M) const {
+  Stats = EngineStats();
+  unsigned Threads = effectiveThreads();
+  ArmSpace Space(P);
+
+  auto Accumulate = [&M](ArmEnumerationResult &Into, const ArmExecution &X,
+                         const Outcome &O) {
+    ++Into.CandidatesConsidered;
+    if (Into.Allowed.count(O))
+      return true;
+    if (M.allows(X)) {
+      ++Into.ConsistentCandidates;
+      Into.Allowed.emplace(O, X);
+    }
+    return true;
+  };
+
+  if (Threads <= 1) {
+    ArmEnumerationResult Result;
+    Stats.WorkItems = Space.Combos;
+    forEachArmCandidate(P, [&](const ArmExecution &X, const Outcome &O) {
+      return Accumulate(Result, X, O);
+    });
+    return Result;
+  }
+
+  std::vector<WorkItem> Items;
+  std::vector<ArmSkeleton> Skeletons;
+  for (size_t C = 0; C < Space.Combos; ++C) {
+    Skeletons.push_back(buildArmSkeleton(P, Space.chosen(C)));
+    const ArmSkeleton &S = Skeletons.back();
+    EventId FirstRead = ~0u;
+    for (const ArmEvent &E : S.Exec.Events)
+      if (E.isRead()) {
+        FirstRead = E.Id;
+        break;
+      }
+    if (FirstRead == ~0u) {
+      Items.push_back({C, -1});
+      continue;
+    }
+    unsigned NW = countArmWriters(S.Exec, FirstRead,
+                                  S.Exec.Events[FirstRead].begin());
+    for (unsigned K = 0; K < NW; ++K)
+      Items.push_back({C, static_cast<int>(K)});
+  }
+  Stats.WorkItems = Items.size();
+
+  std::vector<ArmEnumerationResult> PerItem(Items.size());
+  runSharded(Items.size(), Threads, [&](size_t I) {
+    std::function<bool(const ArmExecution &, const Outcome &)> Into =
+        [&](const ArmExecution &X, const Outcome &O) {
+          return Accumulate(PerItem[I], X, O);
+        };
+    ArmJustifier J(Skeletons[Items[I].Combo], Items[I].Writer, Into);
+    J.run();
+  });
+
+  ArmEnumerationResult Result;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
+    Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
+    for (auto &[O, Witness] : PerItem[I].Allowed)
+      Result.Allowed.emplace(O, std::move(Witness));
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Skeleton-search support
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool twinJustify(
+    CandidateExecution &Js, ArmExecution &Arm, size_t ReadIdx,
+    const std::vector<EventId> &Reads,
+    const std::function<bool(const CandidateExecution &, const ArmExecution &)>
+        &Visit) {
+  if (ReadIdx == Reads.size())
+    return Visit(Js, Arm);
+  EventId R = Reads[ReadIdx];
+  unsigned Loc = Js.Events[R].Index;
+  for (const Event &W : Js.Events) {
+    if (W.Id == R || !W.writesByte(Loc))
+      continue;
+    Js.Rbf.push_back({Loc, W.Id, R});
+    Arm.Rbf.push_back({Loc, W.Id, R});
+    Js.Events[R].ReadBytes[0] = W.writtenByteAt(Loc);
+    Arm.Events[R].Bytes[0] = W.writtenByteAt(Loc);
+    bool Continue = twinJustify(Js, Arm, ReadIdx + 1, Reads, Visit);
+    Js.Rbf.pop_back();
+    Arm.Rbf.pop_back();
+    if (!Continue)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool ExecutionEngine::forEachTwinJustification(
+    CandidateExecution &Js, ArmExecution &Arm,
+    const std::function<bool(const CandidateExecution &, const ArmExecution &)>
+        &Visit) {
+  std::vector<EventId> Reads;
+  for (const Event &E : Js.Events)
+    if (E.isRead())
+      Reads.push_back(E.Id);
+  return twinJustify(Js, Arm, 0, Reads, Visit);
+}

@@ -1,0 +1,149 @@
+//===- engine/ExecutionEngine.h - Unified enumeration core ----------------===//
+///
+/// \file
+/// The single pluggable enumeration core behind every frontend. All of the
+/// paper's results reduce to the same computational kernel — enumerate
+/// candidate executions, derive relations, check axioms — which the seed
+/// implemented three times with divergent generate-then-filter loops. The
+/// engine owns that kernel once:
+///
+///   - the candidate space: control-flow paths × reads-byte-from
+///     justifications (× coherence orders on the ARMv8 side), enumerated
+///     by one sharded recursive builder for both the JavaScript and ARMv8
+///     event languages;
+///   - incremental pruning: JsModel's tot-independent axioms are checked
+///     on partial candidates the moment each read's justification
+///     completes, cutting whole subtrees before the expensive
+///     linear-extension search (derived relations are memoized on the
+///     CandidateExecution, so the partial checks share closures);
+///   - sharded multi-threaded enumeration: the path × first-justification
+///     space is split into work items executed by a small thread pool;
+///     per-item results are merged in item order, so the outcome of an
+///     enumeration is deterministic regardless of scheduling.
+///
+/// Frontends are thin adapters: exec/Enumerator, armv8/ArmEnumerator,
+/// search/SkeletonSearch, flatsim/FlatSim and unisize/Reduction all route
+/// through this class, and new backends plug in as MemoryModel
+/// implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ENGINE_EXECUTIONENGINE_H
+#define JSMM_ENGINE_EXECUTIONENGINE_H
+
+#include "armv8/ArmEnumerator.h"
+#include "engine/MemoryModel.h"
+#include "exec/Enumerator.h"
+
+#include <functional>
+
+namespace jsmm {
+
+/// Tuning knobs of the engine.
+struct EngineConfig {
+  /// Worker threads for whole-space enumerations (enumerate()). 0 means
+  /// one worker per hardware thread. Early-stopping visitor walks
+  /// (forEachCandidate and friends) are always sequential, because their
+  /// visitation order is part of the API.
+  unsigned Threads = 1;
+  /// Incremental pruning of justification subtrees via the model's
+  /// monotone partial-candidate admission check. Turning this off restores
+  /// the seed's generate-then-filter behaviour (used as the golden
+  /// reference and the benchmark baseline).
+  bool Prune = true;
+
+  static EngineConfig sequential() { return {1, true}; }
+  static EngineConfig seedCompatible() { return {1, false}; }
+};
+
+/// Effort counters of the most recent enumeration-style call (enumerate,
+/// scDrf, forEachAdmittedCandidate) on an engine; each call resets them.
+struct EngineStats {
+  uint64_t WorkItems = 0;       ///< shards the space was split into
+  uint64_t PrunedSubtrees = 0;  ///< justification subtrees cut by pruning
+};
+
+/// The unified execution-enumeration engine.
+class ExecutionEngine {
+public:
+  ExecutionEngine() = default;
+  explicit ExecutionEngine(EngineConfig Cfg) : Cfg(Cfg) {}
+
+  const EngineConfig &config() const { return Cfg; }
+  /// \returns the worker count actually used (resolves Threads == 0).
+  unsigned effectiveThreads() const;
+
+  // --- JavaScript frontend -----------------------------------------------
+
+  /// Enumerates the outcomes of \p P allowed by \p M, sharded across the
+  /// configured threads, with incremental pruning when enabled. The
+  /// allowed-outcome set and CandidatesConsidered are identical for every
+  /// thread count; ValidCandidates may differ in sharded mode because
+  /// outcome deduplication (which gates the validity check) is per work
+  /// item rather than global.
+  EnumerationResult enumerate(const Program &P, const JsModel &M) const;
+
+  /// Checks the SC-DRF property of \p P under \p M (sequential, early
+  /// stopping).
+  ScDrfReport scDrf(const Program &P, const JsModel &M) const;
+
+  /// Invokes \p Visit on every well-formed candidate execution of \p P
+  /// with its outcome — the complete, unpruned space, in deterministic
+  /// order. \p Visit returns false to stop early; \returns false if
+  /// stopped.
+  bool forEachCandidate(
+      const Program &P,
+      const std::function<bool(const CandidateExecution &, const Outcome &)>
+          &Visit) const;
+
+  /// As forEachCandidate, but prunes subtrees \p M cannot admit (every
+  /// visited candidate is still complete and well-formed; candidates whose
+  /// prefixes violate tot-independent axioms are skipped).
+  bool forEachAdmittedCandidate(
+      const Program &P, const JsModel &M,
+      const std::function<bool(const CandidateExecution &, const Outcome &)>
+          &Visit) const;
+
+  // --- ARMv8 frontend ----------------------------------------------------
+
+  /// Enumerates the outcomes of \p P consistent under \p M, sharded across
+  /// the configured threads.
+  ArmEnumerationResult enumerate(const ArmProgram &P,
+                                 const Armv8Model &M) const;
+
+  /// Invokes \p Visit once per control-flow unfolding with the
+  /// materialised skeleton (events, po, dependencies; reads unjustified).
+  bool forEachSkeleton(
+      const ArmProgram &P,
+      const std::function<bool(const ArmSkeleton &)> &Visit) const;
+
+  /// Invokes \p Visit on every well-formed ARMv8 candidate (rbf and co
+  /// complete; consistency not yet checked) with its outcome.
+  bool forEachArmCandidate(
+      const ArmProgram &P,
+      const std::function<bool(const ArmExecution &, const Outcome &)>
+          &Visit) const;
+
+  // --- Skeleton-search support -------------------------------------------
+
+  /// Joint single-byte rbf justification of a JS/ARM twin pair sharing
+  /// events one-to-one (the §5.1 compilation scheme): enumerates one
+  /// writer per read, mirroring every choice into both executions, and
+  /// invokes \p Visit on each complete justification. Reads must be
+  /// single-byte. \p Visit returns false to stop; \returns false if
+  /// stopped.
+  static bool forEachTwinJustification(
+      CandidateExecution &Js, ArmExecution &Arm,
+      const std::function<bool(const CandidateExecution &,
+                               const ArmExecution &)> &Visit);
+
+  /// Effort counters of the most recent enumerate() call on this engine.
+  mutable EngineStats Stats;
+
+private:
+  EngineConfig Cfg;
+};
+
+} // namespace jsmm
+
+#endif // JSMM_ENGINE_EXECUTIONENGINE_H

@@ -1,0 +1,71 @@
+//===- engine/MemoryModel.cpp ---------------------------------------------===//
+
+#include "engine/MemoryModel.h"
+
+#include "support/LinearExtensions.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace jsmm;
+
+bool JsModel::admitsPartial(const CandidateExecution &CE) const {
+  const DerivedTriple &D = CE.derived(Spec.Sw);
+  // checkTearFreeReads and the hb-consistency checks see only the rf edges
+  // of reads justified so far; unjustified reads have empty rf columns and
+  // cannot fail them yet.
+  if (!checkTotIndependentAxioms(CE, D, Spec))
+    return false;
+  // HBC1 forces tot ⊇ hb, and hb only grows: a cyclic prefix is dead.
+  return D.Hb.isAcyclic();
+}
+
+bool JsModel::allows(const CandidateExecution &CE, Relation *TotOut) const {
+  return isValidForSomeTot(CE, Spec, TotOut);
+}
+
+bool JsModel::refutableForSomeTot(const CandidateExecution &CE,
+                                  Relation *TotOut) const {
+  const DerivedTriple &D = CE.derived(Spec.Sw);
+  if (!D.Hb.isAcyclic())
+    return false; // no well-formed tot exists at all
+  if (!checkTotIndependentAxioms(CE, D, Spec)) {
+    if (TotOut)
+      *TotOut =
+          totalOrderFromSequence(D.Hb.topologicalOrder(), CE.numEvents());
+    return true;
+  }
+  bool Found = false;
+  forEachLinearExtension(
+      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
+        if (!checkScAtomics(CE, D, Spec.Sc, Tot)) {
+          Found = true;
+          if (TotOut)
+            *TotOut = Tot;
+          return false;
+        }
+        return true;
+      });
+  return Found;
+}
+
+bool Armv8Model::allows(const ArmExecution &X) const {
+  return isArmConsistent(X);
+}
+
+bool Armv8Model::allowsForSomeCo(const ArmExecution &X,
+                                 ArmExecution *Witness) const {
+  ArmExecution Work = X;
+  Work.Co = Work.computeGranules();
+  bool Found = false;
+  forEachCoherenceCompletion(Work, [&] {
+    if (!isArmConsistent(Work))
+      return true; // keep searching
+    if (Witness)
+      *Witness = Work;
+    Found = true;
+    return false;
+  });
+  return Found;
+}

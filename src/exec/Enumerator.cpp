@@ -1,12 +1,14 @@
 //===- exec/Enumerator.cpp ------------------------------------------------===//
+//
+// The JavaScript enumeration frontend: a thin adapter over the unified
+// execution engine (engine/ExecutionEngine.h), kept for API stability. The
+// candidate-space construction and justification search live in the engine.
+//
+//===----------------------------------------------------------------------===//
 
 #include "exec/Enumerator.h"
 
-#include "core/SeqConsistency.h"
-#include "litmus/PathEnum.h"
-#include "support/Str.h"
-
-#include <algorithm>
+#include "engine/ExecutionEngine.h"
 
 using namespace jsmm;
 
@@ -19,197 +21,17 @@ std::vector<std::string> EnumerationResult::outcomeStrings() const {
   return Out;
 }
 
-namespace {
-
-/// Builds the events for one combination of thread paths and enumerates
-/// every reads-byte-from justification consistent with the paths' register
-/// constraints.
-class CandidateBuilder {
-public:
-  CandidateBuilder(
-      const Program &P,
-      const std::function<bool(const CandidateExecution &, const Outcome &)>
-          &Visit)
-      : P(P), Visit(Visit) {}
-
-  /// \returns false if the visitor stopped the enumeration.
-  bool run() {
-    std::vector<std::vector<ThreadPath>> PerThread;
-    for (unsigned T = 0; T < P.numThreads(); ++T)
-      PerThread.push_back(enumeratePaths(P.threadBody(T)));
-    std::vector<const ThreadPath *> Chosen(P.numThreads());
-    return pickPaths(PerThread, 0, Chosen);
-  }
-
-private:
-  bool pickPaths(const std::vector<std::vector<ThreadPath>> &PerThread,
-                 unsigned T, std::vector<const ThreadPath *> &Chosen) {
-    if (T == PerThread.size())
-      return runPaths(Chosen);
-    for (const ThreadPath &Path : PerThread[T]) {
-      Chosen[T] = &Path;
-      if (!pickPaths(PerThread, T + 1, Chosen))
-        return false;
-    }
-    return true;
-  }
-
-  /// Materialises the event skeletons for the chosen paths, then enumerates
-  /// rbf justifications read by read, byte by byte, pruning against the
-  /// register constraints as soon as each read's value is complete.
-  bool runPaths(const std::vector<const ThreadPath *> &Chosen) {
-    CE = CandidateExecution();
-    RegOfEvent.clear();
-    EventInstr.clear();
-    PathOfThread = &Chosen;
-
-    std::vector<Event> Events;
-    // One Init event per buffer.
-    for (unsigned B = 0; B < P.bufferSizes().size(); ++B)
-      Events.push_back(
-          makeInit(static_cast<EventId>(Events.size()), P.bufferSizes()[B],
-                   B));
-    // Thread events, in path order.
-    std::vector<std::vector<EventId>> ThreadEvents(P.numThreads());
-    for (unsigned T = 0; T < Chosen.size(); ++T) {
-      for (const Instr *I : Chosen[T]->Accesses) {
-        EventId Id = static_cast<EventId>(Events.size());
-        const Acc &A = I->Access;
-        Event E;
-        switch (I->K) {
-        case Instr::Kind::Load:
-          E = makeRead(Id, static_cast<int>(T), A.Ord, A.Offset, A.Width,
-                       /*Value=*/0, A.TearFree, A.Block);
-          RegOfEvent[Id] = I->Dst;
-          break;
-        case Instr::Kind::Store:
-          E = makeWrite(Id, static_cast<int>(T), A.Ord, A.Offset, A.Width,
-                        I->Value, A.TearFree, A.Block);
-          break;
-        case Instr::Kind::Rmw:
-          E = makeRMW(Id, static_cast<int>(T), A.Offset, A.Width,
-                      /*ReadValue=*/0, I->Value, A.Block);
-          RegOfEvent[Id] = I->Dst;
-          break;
-        default:
-          assert(false && "conditionals never materialise as events");
-        }
-        EventInstr[Id] = I;
-        Events.push_back(E);
-        ThreadEvents[T].push_back(Id);
-      }
-    }
-    CE = CandidateExecution(std::move(Events));
-    for (const std::vector<EventId> &Seq : ThreadEvents)
-      for (size_t I = 0; I < Seq.size(); ++I)
-        for (size_t J = I + 1; J < Seq.size(); ++J)
-          CE.Sb.set(Seq[I], Seq[J]);
-
-    // Collect the read events to justify.
-    Reads.clear();
-    for (const Event &E : CE.Events)
-      if (E.isRead())
-        Reads.push_back(E.Id);
-    CE.Rbf.clear();
-    return justifyRead(0);
-  }
-
-  /// Recursively justify Reads[ReadIdx..]; for the current read, choose a
-  /// writer for each byte.
-  bool justifyRead(size_t ReadIdx) {
-    if (ReadIdx == Reads.size())
-      return emit();
-    return justifyByte(ReadIdx, CE.Events[Reads[ReadIdx]].readBegin());
-  }
-
-  bool justifyByte(size_t ReadIdx, unsigned Loc) {
-    Event &R = CE.Events[Reads[ReadIdx]];
-    if (Loc == R.readEnd()) {
-      // The read's value is now complete; prune against this thread's path
-      // constraints.
-      auto RegIt = RegOfEvent.find(R.Id);
-      assert(RegIt != RegOfEvent.end() && "read event without a register");
-      uint64_t Value = valueOfBytes(R.ReadBytes);
-      const ThreadPath &Path = *(*PathOfThread)[R.Thread];
-      if (!constraintsAllow(Path, RegIt->second, Value))
-        return true; // prune this justification, keep enumerating
-      return justifyRead(ReadIdx + 1);
-    }
-    for (const Event &W : CE.Events) {
-      if (W.Id == R.Id || W.Block != R.Block || !W.writesByte(Loc))
-        continue;
-      CE.Rbf.push_back({Loc, W.Id, R.Id});
-      R.ReadBytes[Loc - R.Index] = W.writtenByteAt(Loc);
-      bool Continue = justifyByte(ReadIdx, Loc + 1);
-      CE.Rbf.pop_back();
-      if (!Continue)
-        return false;
-    }
-    return true;
-  }
-
-  /// A complete well-formed candidate: compute its outcome and visit.
-  bool emit() {
-    Outcome O;
-    for (const auto &[Id, Reg] : RegOfEvent)
-      O.add(CE.Events[Id].Thread, Reg, valueOfBytes(CE.Events[Id].ReadBytes));
-    return Visit(CE, O);
-  }
-
-  const Program &P;
-  const std::function<bool(const CandidateExecution &, const Outcome &)>
-      &Visit;
-  CandidateExecution CE;
-  std::vector<EventId> Reads;
-  std::map<EventId, unsigned> RegOfEvent;
-  std::map<EventId, const Instr *> EventInstr;
-  const std::vector<const ThreadPath *> *PathOfThread = nullptr;
-};
-
-} // namespace
-
 bool jsmm::forEachCandidate(
     const Program &P,
     const std::function<bool(const CandidateExecution &, const Outcome &)>
         &Visit) {
-  CandidateBuilder B(P, Visit);
-  return B.run();
+  return ExecutionEngine().forEachCandidate(P, Visit);
 }
 
 EnumerationResult jsmm::enumerateOutcomes(const Program &P, ModelSpec Spec) {
-  EnumerationResult Result;
-  forEachCandidate(P, [&](const CandidateExecution &CE, const Outcome &O) {
-    ++Result.CandidatesConsidered;
-    if (Result.Allowed.count(O))
-      return true; // outcome already justified
-    Relation Tot;
-    if (isValidForSomeTot(CE, Spec, &Tot)) {
-      ++Result.ValidCandidates;
-      CandidateExecution Witness = CE;
-      Witness.Tot = Tot;
-      Result.Allowed.emplace(O, std::move(Witness));
-    }
-    return true;
-  });
-  return Result;
+  return ExecutionEngine().enumerate(P, JsModel(Spec));
 }
 
 ScDrfReport jsmm::checkScDrf(const Program &P, ModelSpec Spec) {
-  ScDrfReport Report;
-  forEachCandidate(P, [&](const CandidateExecution &CE, const Outcome &O) {
-    (void)O;
-    if (!isValidForSomeTot(CE, Spec))
-      return true;
-    if (Report.DataRaceFree && !isRaceFree(CE, Spec)) {
-      Report.DataRaceFree = false;
-      Report.RaceWitness = CE;
-    }
-    if (Report.AllValidExecutionsSC && !isSequentiallyConsistent(CE)) {
-      Report.AllValidExecutionsSC = false;
-      Report.NonScWitness = CE;
-    }
-    // Keep scanning until both facets are resolved.
-    return Report.DataRaceFree || Report.AllValidExecutionsSC;
-  });
-  return Report;
+  return ExecutionEngine().scDrf(P, JsModel(Spec));
 }

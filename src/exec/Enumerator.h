@@ -8,6 +8,10 @@
 /// reads-byte-from justifications) and asks, for each, whether some
 /// total-order witness makes it valid under a ModelSpec.
 ///
+/// These entry points are thin adapters over the unified execution engine
+/// (engine/ExecutionEngine.h); construct an ExecutionEngine directly to
+/// control threading and pruning.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSMM_EXEC_ENUMERATOR_H

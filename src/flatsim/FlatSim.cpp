@@ -2,6 +2,7 @@
 
 #include "flatsim/FlatSim.h"
 
+#include "engine/ExecutionEngine.h"
 #include "support/Str.h"
 
 #include <map>
@@ -219,8 +220,10 @@ private:
 bool jsmm::forEachFlatExecution(
     const ArmProgram &P,
     const std::function<bool(const ArmExecution &, const Outcome &)> &Visit) {
+  // The simulator is a frontend of the engine: the engine unfolds the
+  // control-flow skeletons, the flat storage subsystem replays them.
   std::set<std::string> Seen;
-  return forEachArmSkeleton(P, [&](const ArmSkeleton &S) {
+  return ExecutionEngine().forEachSkeleton(P, [&](const ArmSkeleton &S) {
     FlatRunner R(S, Visit, Seen);
     return R.run();
   });

@@ -34,13 +34,12 @@ bool jsmm::isSyntacticallyDeadCounterExample(const CandidateExecution &CE,
   assert(CE.hasTot() && "syntactic deadness inspects a concrete tot");
   if (isValid(CE, Spec))
     return false;
-  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
-  return criticalEdgesAreHbForced(CE, CE.Tot, D.Hb);
+  return criticalEdgesAreHbForced(CE, CE.Tot, CE.derived(Spec.Sw).Hb);
 }
 
 bool jsmm::existsSyntacticallyDeadTot(const CandidateExecution &CE,
                                       ModelSpec Spec, Relation *TotOut) {
-  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
+  const DerivedTriple &D = CE.derived(Spec.Sw);
   // Invalidity through a tot-independent axiom is dead by definition.
   if (!checkTotIndependentAxioms(CE, D, Spec)) {
     if (D.Hb.isAcyclic()) {

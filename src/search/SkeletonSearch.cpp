@@ -5,7 +5,7 @@
 #include "compile/TotConstruction.h"
 #include "core/DataRace.h"
 #include "core/SeqConsistency.h"
-#include "support/LinearExtensions.h"
+#include "engine/ExecutionEngine.h"
 
 #include <algorithm>
 
@@ -56,41 +56,25 @@ void buildTwins(const std::vector<EventShape> &Shape, unsigned NumLocs,
       }
 }
 
-/// Enumerates rbf choices for the twins (one writer per read; locations are
-/// single bytes).
+/// Enumerates rbf choices for the twins through the engine's joint
+/// justifier, metering the candidate budget.
 bool enumerateRbf(
-    CandidateExecution &Js, ArmExecution &Arm, size_t ReadIdx,
-    const std::vector<EventId> &Reads, SearchStats *Stats,
+    CandidateExecution &Js, ArmExecution &Arm, SearchStats *Stats,
     uint64_t MaxCandidates,
     const std::function<bool(const CandidateExecution &, const ArmExecution &)>
         &Visit) {
-  if (ReadIdx == Reads.size()) {
-    if (Stats) {
-      ++Stats->RbfCandidates;
-      if (MaxCandidates && Stats->RbfCandidates > MaxCandidates) {
-        Stats->BudgetExhausted = true;
-        return false;
-      }
-    }
-    return Visit(Js, Arm);
-  }
-  EventId R = Reads[ReadIdx];
-  unsigned Loc = Js.Events[R].Index;
-  for (const Event &W : Js.Events) {
-    if (W.Id == R || !W.writesByte(Loc))
-      continue;
-    Js.Rbf.push_back({Loc, W.Id, R});
-    Arm.Rbf.push_back({Loc, W.Id, R});
-    Js.Events[R].ReadBytes[0] = W.writtenByteAt(Loc);
-    Arm.Events[R].Bytes[0] = W.writtenByteAt(Loc);
-    bool Continue = enumerateRbf(Js, Arm, ReadIdx + 1, Reads, Stats,
-                                 MaxCandidates, Visit);
-    Js.Rbf.pop_back();
-    Arm.Rbf.pop_back();
-    if (!Continue)
-      return false;
-  }
-  return true;
+  return ExecutionEngine::forEachTwinJustification(
+      Js, Arm,
+      [&](const CandidateExecution &J, const ArmExecution &A) {
+        if (Stats) {
+          ++Stats->RbfCandidates;
+          if (MaxCandidates && Stats->RbfCandidates > MaxCandidates) {
+            Stats->BudgetExhausted = true;
+            return false;
+          }
+        }
+        return Visit(J, A);
+      });
 }
 
 /// Enumerates shapes: thread restricted-growth strings x kind x mode x loc.
@@ -113,11 +97,7 @@ bool enumerateShapes(
     CandidateExecution Js;
     ArmExecution Arm;
     buildTwins(Shape, NumLocs, Js, Arm);
-    std::vector<EventId> Reads;
-    for (const Event &E : Js.Events)
-      if (E.isRead())
-        Reads.push_back(E.Id);
-    return enumerateRbf(Js, Arm, 0, Reads, Stats, Cfg.MaxCandidates, Visit);
+    return enumerateRbf(Js, Arm, Stats, Cfg.MaxCandidates, Visit);
   }
   int ThreadLimit = std::min<int>(MaxThreadUsed + 1,
                                   static_cast<int>(Cfg.MaxThreads) - 1);
@@ -151,60 +131,12 @@ bool jsmm::forEachSkeletonCandidate(
 
 bool jsmm::armConsistentForSomeCo(const ArmExecution &X,
                                   ArmExecution *Witness) {
-  ArmExecution Work = X;
-  Work.Co = Work.computeGranules();
-  std::function<bool(size_t)> Choose = [&](size_t G) -> bool {
-    if (G == Work.Co.size()) {
-      if (!isArmConsistent(Work))
-        return false;
-      if (Witness)
-        *Witness = Work;
-      return true;
-    }
-    CoGranule &Granule = Work.Co[G];
-    size_t SeedLen = Granule.Order.size();
-    std::vector<EventId> Rest;
-    for (const ArmEvent &E : Work.Events)
-      if (E.isWrite() && !E.IsInit && E.Block == Granule.Block &&
-          E.touchesByte(Granule.Begin))
-        Rest.push_back(E.Id);
-    std::sort(Rest.begin(), Rest.end());
-    do {
-      Granule.Order.resize(SeedLen);
-      Granule.Order.insert(Granule.Order.end(), Rest.begin(), Rest.end());
-      if (Choose(G + 1))
-        return true;
-    } while (std::next_permutation(Rest.begin(), Rest.end()));
-    Granule.Order.resize(SeedLen);
-    return false;
-  };
-  return Choose(0);
+  return Armv8Model().allowsForSomeCo(X, Witness);
 }
 
 bool jsmm::existsInvalidTot(const CandidateExecution &CE, ModelSpec Spec,
                             Relation *TotOut) {
-  DerivedRelations D = DerivedRelations::compute(CE, Spec.Sw);
-  if (!D.Hb.isAcyclic())
-    return false; // no well-formed tot exists at all
-  if (!checkTotIndependentAxioms(CE, D, Spec)) {
-    if (TotOut)
-      *TotOut =
-          totalOrderFromSequence(D.Hb.topologicalOrder(), CE.numEvents());
-    return true;
-  }
-  bool Found = false;
-  forEachLinearExtension(
-      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
-        if (!checkScAtomics(CE, D, Spec.Sc, Tot)) {
-          Found = true;
-          if (TotOut)
-            *TotOut = Tot;
-          return false;
-        }
-        return true;
-      });
-  return Found;
+  return JsModel(Spec).refutableForSomeTot(CE, TotOut);
 }
 
 std::optional<SkeletonCex>
@@ -228,29 +160,28 @@ jsmm::searchArmCompilationCex(const SearchConfig &Cfg, SearchStats *Stats) {
         }
         // Cheap necessary condition first: decide JS-side invalidity (in
         // the configured deadness mode), then look for an ARM witness.
-        CandidateExecution JsWitness = Js;
+        // The witness copy is deferred to the (rare) hit path.
         bool JsBad = false;
+        Relation Tot;
+        bool HasTot = false;
         switch (Cfg.Deadness) {
         case SearchConfig::DeadnessMode::Semantic:
           JsBad = isSemanticallyDead(Js, Cfg.Js);
           break;
-        case SearchConfig::DeadnessMode::Syntactic: {
-          Relation Tot;
+        case SearchConfig::DeadnessMode::Syntactic:
           JsBad = existsSyntacticallyDeadTot(Js, Cfg.Js, &Tot);
-          if (JsBad)
-            JsWitness.Tot = Tot;
+          HasTot = JsBad;
           break;
-        }
-        case SearchConfig::DeadnessMode::None: {
-          Relation Tot;
+        case SearchConfig::DeadnessMode::None:
           JsBad = existsInvalidTot(Js, Cfg.Js, &Tot);
-          if (JsBad)
-            JsWitness.Tot = Tot;
+          HasTot = JsBad;
           break;
-        }
         }
         if (!JsBad)
           return true;
+        CandidateExecution JsWitness = Js;
+        if (HasTot)
+          JsWitness.Tot = Tot;
         if (Stats)
           ++Stats->ArmConsistencyChecks;
         ArmExecution Witness;
@@ -313,53 +244,34 @@ jsmm::boundedCompilationCheck(const SearchConfig &Cfg) {
         // construction on each.
         ArmExecution Work = Arm;
         Work.Co = Work.computeGranules();
-        std::function<bool(size_t)> Choose = [&](size_t G) -> bool {
-          if (G == Work.Co.size()) {
-            if (!isArmConsistent(Work))
-              return true;
-            ++Report.ArmConsistentExecutions;
-            TranslationResult TR;
-            TR.Js = Js;
-            TR.JsOfArm.resize(Work.numEvents());
-            for (unsigned I = 0; I < Work.numEvents(); ++I)
-              TR.JsOfArm[I] = I;
-            Relation Tot;
-            bool Ok = false;
-            if (constructTot(TR, Work, &Tot)) {
-              CandidateExecution WithTot = Js;
-              WithTot.Tot = Tot;
-              Ok = isValid(WithTot, Cfg.Js);
-            }
-            if (!Ok) {
-              ++Report.ConstructionFailures;
-              if (!Report.FirstFailure) {
-                SkeletonCex F;
-                F.Js = Js;
-                F.Arm = Work;
-                F.NumEvents = Js.numEvents() - 1;
-                Report.FirstFailure = std::move(F);
-              }
-            }
+        forEachCoherenceCompletion(Work, [&] {
+          if (!isArmConsistent(Work))
             return true;
+          ++Report.ArmConsistentExecutions;
+          TranslationResult TR;
+          TR.Js = Js;
+          TR.JsOfArm.resize(Work.numEvents());
+          for (unsigned I = 0; I < Work.numEvents(); ++I)
+            TR.JsOfArm[I] = I;
+          Relation Tot;
+          bool Ok = false;
+          if (constructTot(TR, Work, &Tot)) {
+            CandidateExecution WithTot = Js;
+            WithTot.Tot = Tot;
+            Ok = isValid(WithTot, Cfg.Js);
           }
-          CoGranule &Granule = Work.Co[G];
-          size_t SeedLen = Granule.Order.size();
-          std::vector<EventId> Rest;
-          for (const ArmEvent &E : Work.Events)
-            if (E.isWrite() && !E.IsInit && E.Block == Granule.Block &&
-                E.touchesByte(Granule.Begin))
-              Rest.push_back(E.Id);
-          std::sort(Rest.begin(), Rest.end());
-          do {
-            Granule.Order.resize(SeedLen);
-            Granule.Order.insert(Granule.Order.end(), Rest.begin(),
-                                 Rest.end());
-            Choose(G + 1);
-          } while (std::next_permutation(Rest.begin(), Rest.end()));
-          Granule.Order.resize(SeedLen);
+          if (!Ok) {
+            ++Report.ConstructionFailures;
+            if (!Report.FirstFailure) {
+              SkeletonCex F;
+              F.Js = Js;
+              F.Arm = Work;
+              F.NumEvents = Js.numEvents() - 1;
+              Report.FirstFailure = std::move(F);
+            }
+          }
           return true;
-        };
-        Choose(0);
+        });
         return true;
       },
       &Stats);

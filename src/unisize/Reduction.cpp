@@ -2,6 +2,7 @@
 
 #include "unisize/Reduction.h"
 
+#include "engine/ExecutionEngine.h"
 #include "support/Str.h"
 
 #include <map>
@@ -125,4 +126,27 @@ ReductionResult jsmm::reduceToUniSize(const CandidateExecution &CE) {
     RR.Uni.Tot = totalOrderFromSequence(Order, RR.Uni.numEvents());
   }
   return RR;
+}
+
+ReductionScan jsmm::scanReductionEquivalence(const ExecutionEngine &Engine,
+                                             const Program &P,
+                                             ModelSpec Spec) {
+  ReductionScan Scan;
+  Engine.forEachCandidate(
+      P, [&](const CandidateExecution &CE, const Outcome &O) {
+        (void)O;
+        ++Scan.Candidates;
+        if (!isUniSizeReducible(CE)) {
+          ++Scan.Skipped; // e.g. tearing against Init: outside the theorem
+          return true;
+        }
+        ++Scan.Reducible;
+        ReductionResult RR = reduceToUniSize(CE);
+        bool Mixed = isValidForSomeTot(CE, Spec);
+        bool Uni = isUniValidForSomeTot(RR.Uni);
+        if (Mixed != Uni)
+          ++Scan.Mismatches;
+        return true;
+      });
+  return Scan;
 }

@@ -16,6 +16,8 @@
 #define JSMM_UNISIZE_REDUCTION_H
 
 #include "core/CandidateExecution.h"
+#include "core/Validity.h"
+#include "litmus/Program.h"
 #include "unisize/UniExecution.h"
 
 #include <optional>
@@ -39,6 +41,23 @@ struct ReductionResult {
 /// Reduces \p CE (which must be reducible). Carries the tot over when
 /// present: uni Init events first, then the mixed order.
 ReductionResult reduceToUniSize(const CandidateExecution &CE);
+
+class ExecutionEngine;
+
+/// Tallies of an exhaustive reduction-equivalence scan (§6.3's theorem
+/// checked on enumerated executions).
+struct ReductionScan {
+  uint64_t Candidates = 0; ///< well-formed candidates enumerated
+  uint64_t Reducible = 0;  ///< candidates satisfying the preconditions
+  uint64_t Skipped = 0;    ///< non-reducible (outside the theorem's scope)
+  uint64_t Mismatches = 0; ///< mixed/uni validity disagreements (expect 0)
+};
+
+/// Enumerates every candidate of \p P through \p Engine and checks, on
+/// each reducible one, that mixed-size validity under \p Spec coincides
+/// with uni-size validity of the reduction.
+ReductionScan scanReductionEquivalence(const ExecutionEngine &Engine,
+                                       const Program &P, ModelSpec Spec);
 
 } // namespace jsmm
 

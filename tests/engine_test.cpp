@@ -1,0 +1,145 @@
+//===- tests/engine_test.cpp - Unified engine golden equivalence ----------===//
+//
+// The engine's pruned and sharded enumerations must reproduce the seed
+// enumerators' allowed-outcome sets exactly. The golden reference is the
+// engine in seed-compatible mode (single-threaded, generate-then-filter),
+// which is line-for-line the algorithm the seed frontends implemented.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ExecutionEngine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsmm;
+using namespace jsmm::testutil;
+
+namespace {
+
+std::vector<Program> paperPrograms() {
+  return {fig1Program(), fig6Program(), fig8Program()};
+}
+
+std::vector<ModelSpec> allSpecs() {
+  return {ModelSpec::original(), ModelSpec::armFixOnly(),
+          ModelSpec::revised(), ModelSpec::revisedStrongTearFree()};
+}
+
+std::vector<std::string> outcomesOf(const Program &P, ModelSpec Spec,
+                                    EngineConfig Cfg) {
+  ExecutionEngine Engine(Cfg);
+  return Engine.enumerate(P, JsModel(Spec)).outcomeStrings();
+}
+
+} // namespace
+
+TEST(Engine, GoldenEquivalenceAcrossModelsAndConfigs) {
+  for (const Program &P : paperPrograms()) {
+    for (ModelSpec Spec : allSpecs()) {
+      std::vector<std::string> Golden =
+          outcomesOf(P, Spec, EngineConfig::seedCompatible());
+      for (EngineConfig Cfg :
+           {EngineConfig{1, true}, EngineConfig{2, true}, EngineConfig{4, true},
+            EngineConfig{4, false}}) {
+        EXPECT_EQ(Golden, outcomesOf(P, Spec, Cfg))
+            << P.Name << " under " << Spec.Name << " with threads="
+            << Cfg.Threads << " prune=" << Cfg.Prune;
+      }
+    }
+  }
+}
+
+TEST(Engine, LegacyAdaptersMatchEngine) {
+  for (const Program &P : paperPrograms()) {
+    for (ModelSpec Spec : allSpecs()) {
+      EnumerationResult Legacy = enumerateOutcomes(P, Spec);
+      EnumerationResult Direct =
+          ExecutionEngine().enumerate(P, JsModel(Spec));
+      EXPECT_EQ(Legacy.outcomeStrings(), Direct.outcomeStrings());
+    }
+  }
+}
+
+TEST(Engine, PruningCutsSubtreesWithoutChangingOutcomes) {
+  // Fig. 1 has guarded reads whose stale justifications violate the
+  // tot-independent axioms: pruning must fire and must not change results.
+  Program P = fig1Program();
+  ExecutionEngine Pruned(EngineConfig{1, true});
+  ExecutionEngine Unpruned(EngineConfig::seedCompatible());
+  EnumerationResult A = Pruned.enumerate(P, JsModel(ModelSpec::revised()));
+  EnumerationResult B = Unpruned.enumerate(P, JsModel(ModelSpec::revised()));
+  EXPECT_EQ(A.outcomeStrings(), B.outcomeStrings());
+  EXPECT_GT(Pruned.Stats.PrunedSubtrees, 0u);
+  EXPECT_EQ(Unpruned.Stats.PrunedSubtrees, 0u);
+  EXPECT_LT(A.CandidatesConsidered, B.CandidatesConsidered)
+      << "pruning should reach fewer complete candidates";
+}
+
+TEST(Engine, ShardingSplitsTheSpace) {
+  ExecutionEngine Engine(EngineConfig{4, true});
+  Engine.enumerate(fig6Program(), JsModel(ModelSpec::original()));
+  EXPECT_GT(Engine.Stats.WorkItems, 1u)
+      << "a multi-writer program must split into several work items";
+}
+
+TEST(Engine, ArmEnumerationMatchesAcrossThreadCounts) {
+  std::vector<ArmProgram> Programs = {armMP(true, true), armMP(false, false),
+                                      armSB(true), armSB(false),
+                                      armLB(true), armLB(false)};
+  for (const ArmProgram &P : Programs) {
+    ArmEnumerationResult Golden =
+        ExecutionEngine(EngineConfig{1, false}).enumerate(P, Armv8Model());
+    for (unsigned Threads : {2u, 4u}) {
+      ArmEnumerationResult Sharded =
+          ExecutionEngine(EngineConfig{Threads, true})
+              .enumerate(P, Armv8Model());
+      EXPECT_EQ(Golden.outcomeStrings(), Sharded.outcomeStrings())
+          << P.Name << " with threads=" << Threads;
+      EXPECT_EQ(Golden.CandidatesConsidered, Sharded.CandidatesConsidered)
+          << "sharding must cover the exact same candidate space";
+    }
+  }
+}
+
+TEST(Engine, ScDrfMatchesLegacyBehaviour) {
+  ScDrfReport Fig8Original =
+      ExecutionEngine().scDrf(fig8Program(), JsModel(ModelSpec::original()));
+  EXPECT_TRUE(Fig8Original.DataRaceFree);
+  EXPECT_FALSE(Fig8Original.AllValidExecutionsSC);
+  EXPECT_FALSE(Fig8Original.holds());
+
+  ScDrfReport Fig8Revised =
+      ExecutionEngine().scDrf(fig8Program(), JsModel(ModelSpec::revised()));
+  EXPECT_TRUE(Fig8Revised.holds());
+
+  ScDrfReport Fig1 =
+      ExecutionEngine().scDrf(fig1Program(), JsModel(ModelSpec::revised()));
+  EXPECT_TRUE(Fig1.DataRaceFree);
+  EXPECT_TRUE(Fig1.AllValidExecutionsSC);
+}
+
+TEST(Engine, ModelNamesAreWired) {
+  EXPECT_STREQ(JsModel(ModelSpec::original()).name(), "original");
+  EXPECT_STREQ(JsModel().name(), "revised");
+  EXPECT_STREQ(Armv8Model().name(), "armv8");
+}
+
+TEST(Engine, DerivedRelationCacheIsCoherent) {
+  // Mutating rbf must invalidate the memoized triple (fingerprint check).
+  CandidateExecution CE = fig2Execution();
+  Relation Hb1 = CE.derived(SwDefKind::Simplified).Hb;
+  EXPECT_EQ(Hb1, CE.derived(SwDefKind::Simplified).Hb); // stable when unchanged
+  CandidateExecution Weaker = fig2Execution();
+  Weaker.Rbf.clear();
+  for (unsigned K = 4; K < 8; ++K)
+    Weaker.Rbf.push_back({K, 0, 3}); // flag read now reads Init
+  for (unsigned K = 0; K < 4; ++K)
+    Weaker.Rbf.push_back({K, 1, 4});
+  Relation Hb2 = Weaker.derived(SwDefKind::Simplified).Hb;
+  EXPECT_NE(Hb1, Hb2) << "dropping the sw edge must change hb";
+  // And the same object re-derives after in-place mutation.
+  CE.Rbf = Weaker.Rbf;
+  EXPECT_EQ(CE.derived(SwDefKind::Simplified).Hb, Hb2);
+}

@@ -2,6 +2,8 @@
 
 #include "unisize/Reduction.h"
 
+#include "engine/ExecutionEngine.h"
+
 #include "TestUtil.h"
 #include "core/Validity.h"
 #include "exec/Enumerator.h"
@@ -124,23 +126,11 @@ TEST(Reduction, ValidityEquivalenceOnEnumeratedExecutions) {
   ThreadBuilder T1 = P.thread();
   T1.load(Acc::u32(4).sc());
   T1.load(Acc::u32(0));
-  unsigned Checked = 0, Skipped = 0;
-  forEachCandidate(P, [&](const CandidateExecution &CE, const Outcome &O) {
-    (void)O;
-    if (!isUniSizeReducible(CE)) {
-      ++Skipped; // tearing against Init: outside the theorem's scope
-      return true;
-    }
-    ReductionResult RR = reduceToUniSize(CE);
-    bool Mixed = isValidForSomeTot(CE, ModelSpec::revised());
-    bool Uni = isUniValidForSomeTot(RR.Uni);
-    EXPECT_EQ(Mixed, Uni) << CE.toString() << "\n--- reduces to ---\n"
-                          << RR.Uni.toString();
-    ++Checked;
-    return true;
-  });
-  EXPECT_GE(Checked, 4u);
-  EXPECT_GT(Skipped, 0u) << "byte-mixing candidates do exist";
+  ReductionScan Scan =
+      scanReductionEquivalence(ExecutionEngine(), P, ModelSpec::revised());
+  EXPECT_EQ(Scan.Mismatches, 0u);
+  EXPECT_GE(Scan.Reducible, 4u);
+  EXPECT_GT(Scan.Skipped, 0u) << "byte-mixing candidates do exist";
 }
 
 TEST(Reduction, ValidityEquivalencePerTot) {

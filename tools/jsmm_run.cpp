@@ -5,6 +5,7 @@
 ///
 ///   jsmm-run test.litmus                 # revised model
 ///   jsmm-run test.litmus --model=original
+///   jsmm-run test.litmus --threads=4     # sharded engine enumeration
 ///   jsmm-run test.litmus --arm           # also the compiled ARMv8 verdict
 ///   jsmm-run test.litmus --scdrf         # also the SC-DRF report
 ///
@@ -13,11 +14,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "armv8/ArmEnumerator.h"
 #include "compile/Compile.h"
-#include "exec/Enumerator.h"
+#include "engine/ExecutionEngine.h"
 #include "tools/LitmusParser.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,7 +29,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: jsmm-run <file.litmus> [--model=original|armfix|"
-               "revised|strong] [--arm] [--scdrf]\n";
+               "revised|strong] [--threads=N] [--arm] [--scdrf]\n";
   return 2;
 }
 
@@ -37,9 +38,18 @@ int usage() {
 int main(int Argc, char **Argv) {
   std::string Path;
   ModelSpec Spec = ModelSpec::revised();
+  EngineConfig Cfg;
   bool WithArm = false, WithScDrf = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (Arg.rfind("--threads=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg.c_str() + 10, &End, 10);
+      if (End == Arg.c_str() + 10 || *End != '\0')
+        return usage(); // non-numeric thread count
+      Cfg.Threads = static_cast<unsigned>(N);
+      continue;
+    }
     if (Arg == "--model=original")
       Spec = ModelSpec::original();
     else if (Arg == "--model=armfix")
@@ -74,8 +84,10 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  std::cout << "test " << File->P.Name << " (model: " << Spec.Name << ")\n";
-  EnumerationResult R = enumerateOutcomes(File->P, Spec);
+  ExecutionEngine Engine(Cfg);
+  std::cout << "test " << File->P.Name << " (model: " << Spec.Name
+            << ", threads: " << Engine.effectiveThreads() << ")\n";
+  EnumerationResult R = Engine.enumerate(File->P, JsModel(Spec));
   std::cout << "allowed outcomes (" << R.Allowed.size() << "):\n";
   for (const auto &[O, W] : R.Allowed) {
     (void)W;
@@ -94,7 +106,7 @@ int main(int Argc, char **Argv) {
 
   if (WithArm) {
     CompiledProgram CP = compileToArm(File->P);
-    ArmEnumerationResult Arm = enumerateArmOutcomes(CP.Arm);
+    ArmEnumerationResult Arm = Engine.enumerate(CP.Arm, Armv8Model());
     std::cout << "compiled ARMv8 outcomes (" << Arm.Allowed.size() << "):\n";
     for (const auto &[O, X] : Arm.Allowed) {
       (void)X;
@@ -104,7 +116,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (WithScDrf) {
-    ScDrfReport Rep = checkScDrf(File->P, Spec);
+    ScDrfReport Rep = Engine.scDrf(File->P, JsModel(Spec));
     std::cout << "SC-DRF: data-race-free="
               << (Rep.DataRaceFree ? "yes" : "no")
               << " all-SC=" << (Rep.AllValidExecutionsSC ? "yes" : "no")
