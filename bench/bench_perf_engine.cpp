@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "engine/ExecutionEngine.h"
 #include "flatsim/FlatSim.h"
 #include "compile/Compile.h"
@@ -28,6 +29,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -106,20 +108,31 @@ double enumerateFamilyMs(EngineConfig Cfg) {
   return std::chrono::duration<double, std::milli>(End - Start).count();
 }
 
-void headlineComparison() {
+/// \returns the failed-claim count (0 on success), for main's exit code.
+int headlineComparison() {
   // Warm-up pass so first-touch allocation noise doesn't skew the seed run.
   enumerateFamilyMs(EngineConfig{1, false});
   double SeedMs = enumerateFamilyMs(EngineConfig::seedCompatible());
   double PrunedMs = enumerateFamilyMs(EngineConfig{1, true});
   double ShardedMs = enumerateFamilyMs(EngineConfig{RequestedThreads, true});
-  std::printf("== engine vs seed on the Fig. 9 shapes ==\n");
-  std::printf("  seed (1 thread, generate-then-filter): %8.2f ms\n", SeedMs);
-  std::printf("  engine (1 thread, pruned):             %8.2f ms  (%.2fx)\n",
-              PrunedMs, SeedMs / PrunedMs);
-  std::printf("  engine (%u threads, pruned):            %8.2f ms  (%.2fx)\n",
-              RequestedThreads, ShardedMs, SeedMs / ShardedMs);
-  std::printf("  engine-beats-seed: %s\n\n",
-              ShardedMs < SeedMs ? "yes" : "NO");
+  // The table also writes BENCH_perf-engine.json: the speedup metrics in it
+  // are what tools/perf_trend.py gates CI on (bench/perf_baseline.json).
+  jsmm::bench::Table T("perf-engine",
+                       "engine headline: Fig. 9 shape family, seed "
+                       "generate-then-filter vs pruned vs sharded");
+  T.metric("seed_ms", SeedMs, "ms");
+  T.metric("pruned_ms", PrunedMs, "ms");
+  T.metric("sharded_ms", ShardedMs, "ms");
+  T.metric("speedup_pruned_x", SeedMs / PrunedMs);
+  T.metric("speedup_sharded_x", SeedMs / ShardedMs);
+  T.metric("threads", RequestedThreads);
+  // The reproduction claim is "the engine beats the seed", at whichever
+  // configuration suits the machine — on a single-core box sharding adds
+  // overhead and pruning provides the win, so gate on the better of the two.
+  T.check("engine (pruned, best of 1/" + std::to_string(RequestedThreads) +
+              " threads) beats seed",
+          true, std::min(PrunedMs, ShardedMs) < SeedMs);
+  return T.finish();
 }
 
 void BM_TransitiveClosure(benchmark::State &State) {
@@ -284,11 +297,11 @@ int main(int argc, char **argv) {
     }
   }
   int Argc = static_cast<int>(Args.size());
-  headlineComparison();
+  int HeadlineFailures = headlineComparison();
   benchmark::Initialize(&Argc, Args.data());
   if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return HeadlineFailures == 0 ? 0 : 1;
 }

@@ -462,6 +462,155 @@ private:
   const std::function<bool(const ArmExecution &, const Outcome &)> &Visit;
 };
 
+//===----------------------------------------------------------------------===//
+// Target-architecture candidate space
+//===----------------------------------------------------------------------===//
+
+/// The materialised base of a compiled target program. Target programs are
+/// straight-line (the §6.3 fragment), so there is exactly one control-flow
+/// combination; the candidate space is rf justifications × per-location
+/// coherence orders.
+struct TargetBase {
+  TargetExecution X;
+  std::vector<EventId> Reads;
+  std::map<EventId, unsigned> RegOfEvent;
+};
+
+TargetBase buildTargetBase(const CompiledTarget &CT) {
+  TargetBase B;
+  std::vector<TargetEvent> Events;
+  for (unsigned L = 0; L < CT.NumLocs; ++L) {
+    TargetEvent Init;
+    Init.Id = static_cast<EventId>(Events.size());
+    Init.Thread = -1;
+    Init.Kind = TKind::Write;
+    Init.Loc = L;
+    Init.WriteVal = 0;
+    Init.IsInit = true;
+    Events.push_back(Init);
+  }
+  std::vector<std::vector<EventId>> ThreadEvents(CT.Threads.size());
+  for (unsigned T = 0; T < CT.Threads.size(); ++T) {
+    for (const TargetInstr &I : CT.Threads[T]) {
+      TargetEvent E;
+      E.Id = static_cast<EventId>(Events.size());
+      E.Thread = static_cast<int>(T);
+      E.Kind = I.Kind;
+      E.Loc = I.Loc;
+      E.WriteVal = I.Value;
+      E.Acq = I.Acq;
+      E.Rel = I.Rel;
+      E.Sc = I.Sc;
+      E.Fence = I.Fence;
+      E.SourceIdx = I.SourceIdx;
+      if (E.isRead())
+        B.RegOfEvent[E.Id] = I.DstReg;
+      Events.push_back(E);
+      ThreadEvents[T].push_back(E.Id);
+    }
+  }
+  B.X = TargetExecution(std::move(Events), CT.NumLocs);
+  for (const std::vector<EventId> &Seq : ThreadEvents)
+    for (size_t I = 0; I < Seq.size(); ++I)
+      for (size_t J = I + 1; J < Seq.size(); ++J)
+        B.X.Po.set(Seq[I], Seq[J]);
+  for (const TargetEvent &E : B.X.Events)
+    if (E.isRead())
+      B.Reads.push_back(E.Id);
+  return B;
+}
+
+unsigned countTargetWriters(const TargetExecution &X, EventId R) {
+  unsigned Count = 0;
+  for (const TargetEvent &W : X.Events)
+    if (W.isWrite() && W.Id != R && W.Loc == X.Events[R].Loc)
+      ++Count;
+  return Count;
+}
+
+/// Enumerates rf justifications and coherence orders of a target base,
+/// pruning rf subtrees via the backend's monotone admission check.
+class TargetJustifier {
+public:
+  TargetJustifier(TargetBase &B, const TargetModel *Prune,
+                  uint64_t *PrunedSubtrees, int FirstWriterOnly,
+                  const std::function<bool(const TargetExecution &,
+                                           const Outcome &)> &Visit)
+      : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
+        FirstWriterOnly(FirstWriterOnly), Visit(Visit) {}
+
+  bool run() { return justify(0); }
+
+private:
+  bool justify(size_t ReadIdx) {
+    if (ReadIdx == B.Reads.size())
+      return chooseCo(0);
+    EventId R = B.Reads[ReadIdx];
+    unsigned WriterPos = 0;
+    for (const TargetEvent &W : B.X.Events) {
+      if (!W.isWrite() || W.Id == R || W.Loc != B.X.Events[R].Loc)
+        continue;
+      unsigned ThisPos = WriterPos++;
+      if (FirstWriterOnly >= 0 && ReadIdx == 0 &&
+          ThisPos != static_cast<unsigned>(FirstWriterOnly))
+        continue;
+      B.X.Rf.set(W.Id, R);
+      B.X.Events[R].ReadVal = W.WriteVal;
+      bool Continue = true;
+      if (Prune && !Prune->admitsPartial(B.X)) {
+        if (PrunedSubtrees)
+          ++*PrunedSubtrees;
+      } else {
+        Continue = justify(ReadIdx + 1);
+      }
+      B.X.Rf.clear(W.Id, R);
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+  bool chooseCo(unsigned Loc) {
+    if (Loc == B.X.CoPerLoc.size())
+      return emit();
+    std::vector<EventId> Writers;
+    EventId Init = ~0u;
+    for (const TargetEvent &E : B.X.Events) {
+      if (!E.isWrite() || E.Loc != Loc)
+        continue;
+      if (E.IsInit)
+        Init = E.Id;
+      else
+        Writers.push_back(E.Id);
+    }
+    std::sort(Writers.begin(), Writers.end());
+    do {
+      B.X.CoPerLoc[Loc].clear();
+      if (Init != ~0u)
+        B.X.CoPerLoc[Loc].push_back(Init);
+      for (EventId W : Writers)
+        B.X.CoPerLoc[Loc].push_back(W);
+      if (!chooseCo(Loc + 1))
+        return false;
+    } while (std::next_permutation(Writers.begin(), Writers.end()));
+    B.X.CoPerLoc[Loc].clear();
+    return true;
+  }
+
+  bool emit() {
+    Outcome O;
+    for (const auto &[Id, Reg] : B.RegOfEvent)
+      O.add(B.X.Events[Id].Thread, Reg, B.X.Events[Id].ReadVal);
+    return Visit(B.X, O);
+  }
+
+  TargetBase &B;
+  const TargetModel *Prune;
+  uint64_t *PrunedSubtrees;
+  int FirstWriterOnly;
+  const std::function<bool(const TargetExecution &, const Outcome &)> &Visit;
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -669,6 +818,92 @@ ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
   for (size_t I = 0; I < Items.size(); ++I) {
     Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
     Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
+    for (auto &[O, Witness] : PerItem[I].Allowed)
+      Result.Allowed.emplace(O, std::move(Witness));
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Target-architecture entry points
+//===----------------------------------------------------------------------===//
+
+bool ExecutionEngine::forEachTargetCandidate(
+    const CompiledTarget &CT,
+    const std::function<bool(const TargetExecution &, const Outcome &)>
+        &Visit) const {
+  TargetBase B = buildTargetBase(CT);
+  TargetJustifier J(B, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr,
+                    /*FirstWriterOnly=*/-1, Visit);
+  return J.run();
+}
+
+bool ExecutionEngine::forEachAdmittedTargetCandidate(
+    const CompiledTarget &CT, const TargetModel &M,
+    const std::function<bool(const TargetExecution &, const Outcome &)>
+        &Visit) const {
+  Stats = EngineStats();
+  TargetBase B = buildTargetBase(CT);
+  TargetJustifier J(B, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
+                    /*FirstWriterOnly=*/-1, Visit);
+  return J.run();
+}
+
+TargetEnumerationResult
+ExecutionEngine::enumerate(const CompiledTarget &CT,
+                           const TargetModel &M) const {
+  Stats = EngineStats();
+  const TargetModel *Prune = Cfg.Prune ? &M : nullptr;
+  unsigned Threads = effectiveThreads();
+
+  auto Accumulate = [&M](TargetEnumerationResult &Into,
+                         const TargetExecution &X, const Outcome &O) {
+    ++Into.CandidatesConsidered;
+    if (Into.Allowed.count(O))
+      return true; // outcome already witnessed
+    if (M.allows(X)) {
+      ++Into.ConsistentCandidates;
+      Into.Allowed.emplace(O, X);
+    }
+    return true;
+  };
+
+  TargetBase Base = buildTargetBase(CT);
+  unsigned FirstWriters =
+      Base.Reads.empty() ? 0 : countTargetWriters(Base.X, Base.Reads[0]);
+  if (Threads <= 1 || FirstWriters <= 1) {
+    TargetEnumerationResult Result;
+    Stats.WorkItems = 1;
+    std::function<bool(const TargetExecution &, const Outcome &)> Into =
+        [&](const TargetExecution &X, const Outcome &O) {
+          return Accumulate(Result, X, O);
+        };
+    TargetJustifier J(Base, Prune, &Stats.PrunedSubtrees,
+                      /*FirstWriterOnly=*/-1, Into);
+    J.run();
+    return Result;
+  }
+
+  // Sharded: the single straight-line combination splits across the first
+  // read's writer choices; item-local results merge in item order.
+  Stats.WorkItems = FirstWriters;
+  std::vector<TargetEnumerationResult> PerItem(FirstWriters);
+  std::vector<uint64_t> PerItemPruned(FirstWriters, 0);
+  runSharded(FirstWriters, Threads, [&](size_t I) {
+    TargetBase B = Base; // worker-private copy (the justifier mutates it)
+    std::function<bool(const TargetExecution &, const Outcome &)> Into =
+        [&](const TargetExecution &X, const Outcome &O) {
+          return Accumulate(PerItem[I], X, O);
+        };
+    TargetJustifier J(B, Prune, &PerItemPruned[I], static_cast<int>(I), Into);
+    J.run();
+  });
+
+  TargetEnumerationResult Result;
+  for (size_t I = 0; I < FirstWriters; ++I) {
+    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
+    Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
+    Stats.PrunedSubtrees += PerItemPruned[I];
     for (auto &[O, Witness] : PerItem[I].Allowed)
       Result.Allowed.emplace(O, std::move(Witness));
   }

@@ -33,6 +33,7 @@
 
 #include "armv8/ArmEnumerator.h"
 #include "engine/MemoryModel.h"
+#include "engine/TargetModel.h"
 #include "exec/Enumerator.h"
 
 #include <functional>
@@ -122,6 +123,35 @@ public:
   bool forEachArmCandidate(
       const ArmProgram &P,
       const std::function<bool(const ArmExecution &, const Outcome &)>
+          &Visit) const;
+
+  // --- Target-architecture frontend (Thm 6.3 backends) -------------------
+
+  /// Enumerates the outcomes of the compiled program \p CT consistent
+  /// under the target backend \p M, sharded across the configured threads,
+  /// with incremental po-loc ∪ rf pruning when enabled. The
+  /// allowed-outcome set and CandidatesConsidered are identical for every
+  /// thread count (per-item results merged in item order);
+  /// ConsistentCandidates may differ in sharded mode because outcome
+  /// deduplication (which gates the consistency check) is per work item
+  /// rather than global — the same caveat as the JS enumerate().
+  TargetEnumerationResult enumerate(const CompiledTarget &CT,
+                                    const TargetModel &M) const;
+
+  /// Invokes \p Visit on every well-formed execution of \p CT (rf and
+  /// per-location coherence chosen; consistency not yet checked) with its
+  /// outcome, in deterministic order. \p Visit returns false to stop
+  /// early; \returns false if stopped.
+  bool forEachTargetCandidate(
+      const CompiledTarget &CT,
+      const std::function<bool(const TargetExecution &, const Outcome &)>
+          &Visit) const;
+
+  /// As forEachTargetCandidate, but prunes rf subtrees \p M cannot admit
+  /// (every visited candidate is still complete and well-formed).
+  bool forEachAdmittedTargetCandidate(
+      const CompiledTarget &CT, const TargetModel &M,
+      const std::function<bool(const TargetExecution &, const Outcome &)>
           &Visit) const;
 
   // --- Skeleton-search support -------------------------------------------

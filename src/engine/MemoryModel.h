@@ -15,8 +15,10 @@
 ///     armv8/ArmModel, both for complete executions (co chosen) and as the
 ///     exists-a-coherence decision the skeleton search needs.
 ///
-/// New backends (e.g. the IMM-style targets of targets/) plug in here
-/// without touching the enumeration core.
+/// The Thm 6.3 target architectures (x86-TSO, uni-size ARMv8, ARMv7,
+/// Power, RISC-V, ImmLite) plug in as TargetModel backends — see
+/// engine/TargetModel.h. Further backends plug in the same way without
+/// touching the enumeration core.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,73 @@
+//===- engine/TargetModel.h - Target architectures as engine backends -----===//
+///
+/// \file
+/// The Thm 6.3 target architectures (targets/TargetModels.h) wrapped as
+/// MemoryModel plug-ins, so ExecutionEngine::enumerate() — with its
+/// incremental pruning and sharded threading — runs on x86-TSO, ARMv7,
+/// Power, RISC-V, ImmLite and uni-size ARMv8, not just the JavaScript and
+/// mixed-size ARMv8 models.
+///
+/// A target candidate is a reads-from justification per read of a compiled
+/// program (targets/TargetCompile.h) plus a per-location coherence order.
+/// The monotone partial-candidate admission check shared by every target is
+/// acyclicity of po-loc ∪ rf: a cycle there violates SC-per-location for
+/// any coherence completion (x86/ARMv8/ARMv7/Power/RISC-V) and ImmLite's
+/// NO-THIN-AIR axiom (sb ∪ rf acyclic) directly, and both po-loc and the
+/// justified rf prefix only grow, so the engine may cut the whole subtree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ENGINE_TARGETMODEL_H
+#define JSMM_ENGINE_TARGETMODEL_H
+
+#include "engine/MemoryModel.h"
+#include "targets/TargetCompile.h"
+
+#include <map>
+#include <vector>
+
+namespace jsmm {
+
+/// One Thm 6.3 target architecture as an engine backend.
+class TargetModel : public MemoryModel {
+public:
+  explicit TargetModel(TargetArch Arch) : Arch(Arch) {}
+
+  TargetArch arch() const { return Arch; }
+  /// CLI-style backend name ("x86-tso", "armv8-uni", "armv7", "power",
+  /// "riscv", "immlite").
+  const char *name() const override;
+
+  /// Consistency of a complete execution (rf and co chosen): dispatches to
+  /// the architecture's axiomatic predicate.
+  bool allows(const TargetExecution &X) const;
+
+  /// Monotone admission of a partially justified candidate (co not yet
+  /// chosen): \returns false when no completion of \p X can be consistent
+  /// because po-loc ∪ rf is already cyclic. Sound for every target — see
+  /// the file comment.
+  bool admitsPartial(const TargetExecution &X) const;
+
+  /// All six target backends, in TargetArch declaration order.
+  static const std::vector<TargetModel> &all();
+  /// \returns the backend with CLI name \p Name, or nullptr.
+  static const TargetModel *byName(const std::string &Name);
+
+private:
+  TargetArch Arch;
+};
+
+/// Results of enumerating a compiled program under a target backend.
+struct TargetEnumerationResult {
+  /// Allowed outcomes, each with one witnessing consistent execution.
+  std::map<Outcome, TargetExecution> Allowed;
+  uint64_t CandidatesConsidered = 0;
+  uint64_t ConsistentCandidates = 0;
+
+  bool allows(const Outcome &O) const { return Allowed.count(O) != 0; }
+  std::vector<std::string> outcomeStrings() const;
+};
+
+} // namespace jsmm
+
+#endif // JSMM_ENGINE_TARGETMODEL_H

@@ -1,0 +1,292 @@
+//===- targets/Differential.cpp -------------------------------------------===//
+
+#include "targets/Differential.h"
+
+#include "tools/LitmusParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+using namespace jsmm;
+
+namespace {
+
+Outcome outcomeOf(
+    std::initializer_list<std::tuple<int, unsigned, uint64_t>> Regs) {
+  Outcome O;
+  for (const auto &[T, R, V] : Regs)
+    O.add(T, R, V);
+  return O;
+}
+
+/// Two-location two-thread shape builders over cells x = 0, y = 1.
+UniProgram mp(Mode Data, Mode Flag, const char *Name) {
+  UniProgram P(2);
+  P.Name = Name;
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, Data);
+  P.store(T0, 1, 1, Flag);
+  unsigned T1 = P.thread();
+  P.load(T1, 1, Flag);
+  P.load(T1, 0, Data);
+  return P;
+}
+
+UniProgram sb(Mode M, const char *Name) {
+  UniProgram P(2);
+  P.Name = Name;
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, M);
+  P.load(T0, 1, M);
+  unsigned T1 = P.thread();
+  P.store(T1, 1, 1, M);
+  P.load(T1, 0, M);
+  return P;
+}
+
+/// Parser-loaded entry: litmus text -> Program -> uni-size fragment. A
+/// corpus entry that stops parsing (or leaves the uni-size fragment) is a
+/// hard error even under NDEBUG — every differential test depends on it.
+DiffCase parsedCase(const char *Src, Outcome Weak) {
+  std::string Error;
+  std::optional<LitmusFile> File = parseLitmus(Src, &Error);
+  if (!File) {
+    std::fprintf(stderr, "differential corpus litmus text must parse: %s\n",
+                 Error.c_str());
+    std::abort();
+  }
+  std::optional<UniProgram> Uni = uniFromProgram(File->P, &Error);
+  if (!Uni) {
+    std::fprintf(stderr,
+                 "differential corpus entry '%s' must be uni-size "
+                 "expressible: %s\n",
+                 File->P.Name.c_str(), Error.c_str());
+    std::abort();
+  }
+  DiffCase C;
+  C.Name = File->P.Name;
+  C.Uni = *Uni;
+  C.Weak = Weak;
+  C.Litmus = Src;
+  return C;
+}
+
+const char *MpScFlagLitmus = R"(name mp-sc-flag-litmus
+buffer 8
+thread
+  store u32 0 = 1
+  store.sc u32 4 = 1
+thread
+  r0 = load.sc u32 4
+  r1 = load u32 0
+forbid 1:r0=1 1:r1=0
+)";
+
+const char *SbScLitmus = R"(name sb-sc-litmus
+buffer 8
+thread
+  store.sc u32 0 = 1
+  r0 = load.sc u32 4
+thread
+  store.sc u32 4 = 1
+  r0 = load.sc u32 0
+forbid 0:r0=0 1:r0=0
+)";
+
+} // namespace
+
+std::vector<DiffCase> jsmm::differentialCorpus() {
+  std::vector<DiffCase> Corpus;
+  auto Add = [&](UniProgram P, Outcome Weak) {
+    DiffCase C;
+    C.Name = P.Name;
+    C.Uni = std::move(P);
+    C.Weak = Weak;
+    Corpus.push_back(std::move(C));
+  };
+
+  Outcome MpWeak = outcomeOf({{1, 0, 1}, {1, 1, 0}});
+  Add(mp(Mode::Unordered, Mode::Unordered, "mp-plain"), MpWeak);
+  Add(mp(Mode::Unordered, Mode::SeqCst, "mp-sc-flag"), MpWeak);
+  Add(mp(Mode::SeqCst, Mode::SeqCst, "mp-sc"), MpWeak);
+
+  Outcome SbWeak = outcomeOf({{0, 0, 0}, {1, 0, 0}});
+  Add(sb(Mode::Unordered, "sb-plain"), SbWeak);
+  Add(sb(Mode::SeqCst, "sb-sc"), SbWeak);
+
+  {
+    UniProgram P(2);
+    P.Name = "lb-plain";
+    unsigned T0 = P.thread();
+    P.load(T0, 0, Mode::Unordered);
+    P.store(T0, 1, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.load(T1, 1, Mode::Unordered);
+    P.store(T1, 0, 1, Mode::Unordered);
+    Add(std::move(P), outcomeOf({{0, 0, 1}, {1, 0, 1}}));
+  }
+  {
+    UniProgram P(1);
+    P.Name = "corr-plain";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.load(T1, 0, Mode::Unordered);
+    P.load(T1, 0, Mode::Unordered);
+    Add(std::move(P), outcomeOf({{1, 0, 1}, {1, 1, 0}}));
+  }
+  for (Mode M : {Mode::Unordered, Mode::SeqCst}) {
+    UniProgram P(2);
+    P.Name = M == Mode::SeqCst ? "iriw-sc" : "iriw-plain";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, M);
+    unsigned T1 = P.thread();
+    P.store(T1, 1, 1, M);
+    unsigned T2 = P.thread();
+    P.load(T2, 0, M);
+    P.load(T2, 1, M);
+    unsigned T3 = P.thread();
+    P.load(T3, 1, M);
+    P.load(T3, 0, M);
+    Add(std::move(P),
+        outcomeOf({{2, 0, 1}, {2, 1, 0}, {3, 0, 1}, {3, 1, 0}}));
+  }
+  {
+    UniProgram P(2);
+    P.Name = "wrc-plain";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.load(T1, 0, Mode::Unordered);
+    P.store(T1, 1, 1, Mode::Unordered);
+    unsigned T2 = P.thread();
+    P.load(T2, 1, Mode::Unordered);
+    P.load(T2, 0, Mode::Unordered);
+    Add(std::move(P), outcomeOf({{1, 0, 1}, {2, 0, 1}, {2, 1, 0}}));
+  }
+  {
+    // The Fig. 6 ARMv8 shape (§3.1): the designated outcome is forbidden
+    // by the original JavaScript model yet allowed by the ARMv8 scheme —
+    // the observable weakening that forced the paper's repair.
+    UniProgram P(2);
+    P.Name = "fig6-shape";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::SeqCst);
+    P.load(T0, 1, Mode::SeqCst);
+    unsigned T1 = P.thread();
+    P.store(T1, 1, 1, Mode::SeqCst);
+    P.store(T1, 1, 2, Mode::SeqCst);
+    P.store(T1, 0, 2, Mode::Unordered);
+    P.load(T1, 0, Mode::SeqCst);
+    Add(std::move(P), outcomeOf({{0, 0, 1}, {1, 0, 1}}));
+  }
+  {
+    // The Fig. 8 SC-DRF shape, unguarded.
+    UniProgram P(1);
+    P.Name = "fig8-shape";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::SeqCst);
+    unsigned T1 = P.thread();
+    P.store(T1, 0, 2, Mode::SeqCst);
+    P.load(T1, 0, Mode::SeqCst);
+    P.load(T1, 0, Mode::Unordered);
+    Add(std::move(P), outcomeOf({{1, 0, 1}, {1, 1, 2}}));
+  }
+  {
+    // Fig. 9 first shape flavour: SC writes, plain reads of the other cell.
+    UniProgram P(2);
+    P.Name = "fig9-shape1";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::SeqCst);
+    P.load(T0, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.store(T1, 1, 2, Mode::SeqCst);
+    P.load(T1, 0, Mode::Unordered);
+    Add(std::move(P), outcomeOf({{0, 0, 0}, {1, 0, 0}}));
+  }
+  {
+    // Fig. 9 second shape flavour: unordered write before an SC read of
+    // the same cell, SC write on the other thread.
+    UniProgram P(2);
+    P.Name = "fig9-shape2";
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::Unordered);
+    P.load(T0, 0, Mode::SeqCst);
+    P.load(T0, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.store(T1, 0, 2, Mode::SeqCst);
+    P.store(T1, 1, 2, Mode::Unordered);
+    Add(std::move(P), outcomeOf({{0, 0, 2}, {0, 1, 0}}));
+  }
+  {
+    UniProgram P(1);
+    P.Name = "xchg-race";
+    unsigned T0 = P.thread();
+    P.exchange(T0, 0, 1);
+    unsigned T1 = P.thread();
+    P.exchange(T1, 0, 2);
+    Add(std::move(P), outcomeOf({{0, 0, 0}, {1, 0, 0}}));
+  }
+
+  Corpus.push_back(
+      parsedCase(MpScFlagLitmus, outcomeOf({{1, 0, 1}, {1, 1, 0}})));
+  Corpus.push_back(
+      parsedCase(SbScLitmus, outcomeOf({{0, 0, 0}, {1, 0, 0}})));
+  return Corpus;
+}
+
+std::vector<std::string> jsmm::differentialBackends() {
+  std::vector<std::string> Out = {"js-original", "js-revised", "uni-js"};
+  for (const TargetModel &M : TargetModel::all())
+    Out.push_back(M.name());
+  return Out;
+}
+
+bool DiffReport::allows(const std::string &Backend, const Outcome &O) const {
+  auto It = AllowedByBackend.find(Backend);
+  if (It == AllowedByBackend.end())
+    return false;
+  std::string Want = O.toString();
+  for (const std::string &S : It->second)
+    if (S == Want)
+      return true;
+  return false;
+}
+
+DiffReport jsmm::runDifferential(const DiffCase &C, const EngineConfig &Cfg) {
+  DiffReport R;
+  R.Case = C.Name;
+  ExecutionEngine Engine(Cfg);
+
+  Program Mixed = mixedFromUni(C.Uni);
+  R.AllowedByBackend["js-original"] =
+      Engine.enumerate(Mixed, JsModel(ModelSpec::original())).outcomeStrings();
+  R.AllowedByBackend["js-revised"] =
+      Engine.enumerate(Mixed, JsModel(ModelSpec::revised())).outcomeStrings();
+
+  std::vector<std::string> UniAllowed;
+  for (const auto &[O, W] : enumerateUniOutcomes(C.Uni).Allowed) {
+    (void)W;
+    UniAllowed.push_back(O.toString());
+  }
+  R.AllowedByBackend["uni-js"] = UniAllowed;
+
+  std::set<std::string> UniSet(UniAllowed.begin(), UniAllowed.end());
+  const std::vector<std::string> &Orig = R.AllowedByBackend["js-original"];
+  std::set<std::string> OrigSet(Orig.begin(), Orig.end());
+
+  for (const TargetModel &M : TargetModel::all()) {
+    CompiledTarget CT = compileUni(C.Uni, M.arch());
+    TargetEnumerationResult TR = Engine.enumerate(CT, M);
+    std::vector<std::string> Allowed = TR.outcomeStrings();
+    for (const std::string &O : Allowed) {
+      if (!UniSet.count(O))
+        R.SoundnessViolations.push_back(std::string(M.name()) + ": " + O);
+      if (!OrigSet.count(O))
+        R.ObservableWeakenings.push_back(std::string(M.name()) + ": " + O);
+    }
+    R.AllowedByBackend[M.name()] = std::move(Allowed);
+  }
+  return R;
+}

@@ -1,0 +1,84 @@
+//===- targets/Differential.h - Cross-model differential litmus suite ------===//
+///
+/// \file
+/// The cross-model differential harness: a shared corpus of litmus
+/// programs (the classic shapes plus the paper's Fig. 1/6/8/9 shapes and
+/// parser-loaded tests) is enumerated under every engine backend —
+/// the mixed-size JavaScript model variants, the uni-size JavaScript model
+/// of Fig. 12, and the six Thm 6.3 target architectures via their
+/// compilation schemes — and the allowed-outcome sets are compared:
+///
+///   - *soundness* (the Thm 6.3 weakening direction): everything a
+///     compiled target allows must be allowed by the revised uni-size
+///     JavaScript source model, i.e. the JS model is weak enough to absorb
+///     every behaviour the scheme can produce;
+///   - *observable weakening*: target-allowed outcomes the original
+///     JavaScript model forbids — the §3.1 discovery (the Fig. 6 shape on
+///     ARMv8) that forced the paper's repair, surfaced per architecture.
+///
+/// This is the EMME/PrideMM-style model-evaluation workflow: run one
+/// corpus under many models and diff the outcome sets, instead of trusting
+/// any single model's verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_TARGETS_DIFFERENTIAL_H
+#define JSMM_TARGETS_DIFFERENTIAL_H
+
+#include "engine/ExecutionEngine.h"
+#include "targets/UniProgram.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// One corpus entry: a uni-size litmus program with a designated weak
+/// outcome whose verdict distinguishes the models.
+struct DiffCase {
+  std::string Name;
+  UniProgram Uni{0};
+  Outcome Weak;
+  std::string Litmus; ///< source text for parser-loaded entries, else empty
+};
+
+/// The shared corpus of the differential suite (≥ 12 programs): MP, SB,
+/// LB, CoRR, IRIW, WRC in relaxed and SeqCst flavours, the Fig. 6 / Fig. 8
+/// / Fig. 9 shapes, an exchange race, and litmus-text entries loaded
+/// through tools/LitmusParser.
+std::vector<DiffCase> differentialCorpus();
+
+/// The table columns of the suite, in report order: "js-original" and
+/// "js-revised" (mixed-size model on the u32 rendering of the program),
+/// "uni-js" (the revised uni-size model), then the six target backends by
+/// TargetModel name.
+std::vector<std::string> differentialBackends();
+
+/// Outcome sets and cross-model comparisons for one corpus entry.
+struct DiffReport {
+  std::string Case;
+  /// Backend name -> sorted allowed-outcome strings.
+  std::map<std::string, std::vector<std::string>> AllowedByBackend;
+  /// Thm 6.3 soundness violations: "arch: outcome" strings for target
+  /// outcomes the revised uni-size JavaScript model forbids. Empty on a
+  /// sound compilation scheme.
+  std::vector<std::string> SoundnessViolations;
+  /// Observable weakenings: "arch: outcome" strings for target outcomes
+  /// the *original* JavaScript model forbids.
+  std::vector<std::string> ObservableWeakenings;
+
+  bool allows(const std::string &Backend, const Outcome &O) const;
+};
+
+/// Enumerates \p C under every backend and diffs the sets. \p Cfg drives
+/// the engine-backed columns (the JavaScript variants and the six
+/// targets); the uni-js baseline always uses the engine-independent
+/// reference enumerator (enumerateUniOutcomes), so the soundness verdicts
+/// are never compared against the machinery under test.
+DiffReport runDifferential(const DiffCase &C,
+                           const EngineConfig &Cfg = EngineConfig());
+
+} // namespace jsmm
+
+#endif // JSMM_TARGETS_DIFFERENTIAL_H

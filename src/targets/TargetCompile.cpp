@@ -2,6 +2,8 @@
 
 #include "targets/TargetCompile.h"
 
+#include "engine/ExecutionEngine.h"
+
 #include <algorithm>
 #include <map>
 
@@ -177,126 +179,11 @@ CompiledTarget jsmm::compileUni(const UniProgram &P, TargetArch Arch) {
   return CT;
 }
 
-namespace {
-
-class TargetBuilder {
-public:
-  TargetBuilder(
-      const CompiledTarget &CT,
-      const std::function<bool(const TargetExecution &, const Outcome &)>
-          &Visit)
-      : CT(CT), Visit(Visit) {}
-
-  bool run() {
-    std::vector<TargetEvent> Events;
-    for (unsigned L = 0; L < CT.NumLocs; ++L) {
-      TargetEvent Init;
-      Init.Id = static_cast<EventId>(Events.size());
-      Init.Thread = -1;
-      Init.Kind = TKind::Write;
-      Init.Loc = L;
-      Init.WriteVal = 0;
-      Init.IsInit = true;
-      Events.push_back(Init);
-    }
-    std::vector<std::vector<EventId>> ThreadEvents(CT.Threads.size());
-    for (unsigned T = 0; T < CT.Threads.size(); ++T) {
-      for (const TargetInstr &I : CT.Threads[T]) {
-        TargetEvent E;
-        E.Id = static_cast<EventId>(Events.size());
-        E.Thread = static_cast<int>(T);
-        E.Kind = I.Kind;
-        E.Loc = I.Loc;
-        E.WriteVal = I.Value;
-        E.Acq = I.Acq;
-        E.Rel = I.Rel;
-        E.Sc = I.Sc;
-        E.Fence = I.Fence;
-        E.SourceIdx = I.SourceIdx;
-        if (E.isRead())
-          RegOfEvent[E.Id] = I.DstReg;
-        Events.push_back(E);
-        ThreadEvents[T].push_back(E.Id);
-      }
-    }
-    X = TargetExecution(std::move(Events), CT.NumLocs);
-    for (const std::vector<EventId> &Seq : ThreadEvents)
-      for (size_t I = 0; I < Seq.size(); ++I)
-        for (size_t J = I + 1; J < Seq.size(); ++J)
-          X.Po.set(Seq[I], Seq[J]);
-    for (const TargetEvent &E : X.Events)
-      if (E.isRead())
-        Reads.push_back(E.Id);
-    return justify(0);
-  }
-
-private:
-  bool justify(size_t ReadIdx) {
-    if (ReadIdx == Reads.size())
-      return chooseCo(0);
-    EventId R = Reads[ReadIdx];
-    for (const TargetEvent &W : X.Events) {
-      if (!W.isWrite() || W.Id == R || W.Loc != X.Events[R].Loc)
-        continue;
-      X.Rf.set(W.Id, R);
-      X.Events[R].ReadVal = W.WriteVal;
-      bool Continue = justify(ReadIdx + 1);
-      X.Rf.clear(W.Id, R);
-      if (!Continue)
-        return false;
-    }
-    return true;
-  }
-
-  bool chooseCo(unsigned Loc) {
-    if (Loc == CT.NumLocs)
-      return emit();
-    std::vector<EventId> Writers;
-    EventId Init = ~0u;
-    for (const TargetEvent &E : X.Events) {
-      if (!E.isWrite() || E.Loc != Loc)
-        continue;
-      if (E.IsInit)
-        Init = E.Id;
-      else
-        Writers.push_back(E.Id);
-    }
-    std::sort(Writers.begin(), Writers.end());
-    do {
-      X.CoPerLoc[Loc].clear();
-      if (Init != ~0u)
-        X.CoPerLoc[Loc].push_back(Init);
-      for (EventId W : Writers)
-        X.CoPerLoc[Loc].push_back(W);
-      if (!chooseCo(Loc + 1))
-        return false;
-    } while (std::next_permutation(Writers.begin(), Writers.end()));
-    X.CoPerLoc[Loc].clear();
-    return true;
-  }
-
-  bool emit() {
-    Outcome O;
-    for (const auto &[Id, Reg] : RegOfEvent)
-      O.add(X.Events[Id].Thread, Reg, X.Events[Id].ReadVal);
-    return Visit(X, O);
-  }
-
-  const CompiledTarget &CT;
-  const std::function<bool(const TargetExecution &, const Outcome &)> &Visit;
-  TargetExecution X;
-  std::vector<EventId> Reads;
-  std::map<EventId, unsigned> RegOfEvent;
-};
-
-} // namespace
-
 bool jsmm::forEachTargetExecution(
     const CompiledTarget &CT,
     const std::function<bool(const TargetExecution &, const Outcome &)>
         &Visit) {
-  TargetBuilder B(CT, Visit);
-  return B.run();
+  return ExecutionEngine().forEachTargetCandidate(CT, Visit);
 }
 
 UniExecution jsmm::translateTargetToUni(const TargetExecution &X,

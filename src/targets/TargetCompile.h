@@ -74,7 +74,10 @@ CompiledTarget compileUni(const UniProgram &P, TargetArch Arch);
 bool isTargetConsistent(const TargetExecution &X, TargetArch Arch);
 
 /// Enumerates every well-formed execution of the compiled program (rf and
-/// per-location coherence chosen; consistency not yet checked).
+/// per-location coherence chosen; consistency not yet checked). Thin
+/// adapter over ExecutionEngine::forEachTargetCandidate; construct an
+/// ExecutionEngine with a TargetModel backend directly for sharded and
+/// pruned enumeration.
 bool forEachTargetExecution(
     const CompiledTarget &CT,
     const std::function<bool(const TargetExecution &, const Outcome &)>

@@ -13,10 +13,12 @@
 #define JSMM_TARGETS_UNIPROGRAM_H
 
 #include "exec/Outcome.h"
+#include "litmus/Program.h"
 #include "unisize/UniExecution.h"
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -92,6 +94,22 @@ private:
 bool forEachUniExecution(
     const UniProgram &P,
     const std::function<bool(const UniExecution &, const Outcome &)> &Visit);
+
+/// Converts a straight-line mixed-size litmus Program whose accesses
+/// partition into uniform-width, non-overlapping cells into the uni-size
+/// fragment (cells become abstract locations, in (block, offset) order).
+/// Registers keep their indices: both program forms assign them in
+/// load/exchange order per thread, so outcomes compare directly. \returns
+/// std::nullopt — with a reason in \p Why — when the program uses control
+/// flow, gives one cell two widths, or overlaps distinct cells.
+std::optional<UniProgram> uniFromProgram(const Program &P,
+                                         std::string *Why = nullptr);
+
+/// Renders a uni-size program as a mixed-size litmus Program (abstract
+/// location L becomes the aligned u32 at byte offset 4L) — the syntactic
+/// inverse of the §6.3 reduction, used to run the same litmus test under
+/// the mixed-size JavaScript model variants.
+Program mixedFromUni(const UniProgram &P);
 
 /// Allowed outcomes of \p P under the (revised) uni-size JavaScript model.
 struct UniEnumerationResult {

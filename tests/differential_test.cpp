@@ -1,0 +1,150 @@
+//===- tests/differential_test.cpp - Cross-model differential suite -------===//
+//
+// Pins the allowed/forbidden verdict of every corpus program's designated
+// weak outcome across every backend (golden table), checks the Thm 6.3
+// soundness direction (a compiled target never allows an outcome the
+// revised uni-size JavaScript source forbids), and pins the §3.1
+// observable weakening: the Fig. 6 shape outcome the original JavaScript
+// model forbids is allowed by the ARMv8 scheme.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Differential.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace jsmm;
+
+namespace {
+
+/// The golden verdict table: per corpus case, whether each backend allows
+/// the designated weak outcome. Column order is differentialBackends():
+///   js-original, js-revised, uni-js,
+///   x86-tso, armv8-uni, armv7, power, riscv, immlite
+/// A = allow, F = forbid.
+const std::map<std::string, std::string> GoldenVerdicts = {
+    {"mp-plain",          "AAA FAAAAA"},
+    {"mp-sc-flag",        "FFF FFFFFF"},
+    {"mp-sc",             "FFF FFFFFF"},
+    {"sb-plain",          "AAA AAAAAA"},
+    {"sb-sc",             "FFF FFFFFF"},
+    {"lb-plain",          "AAA FAAAAF"},
+    {"corr-plain",        "AAA FFFFFF"},
+    {"iriw-plain",        "AAA FAAAAA"},
+    {"iriw-sc",           "FFF FFFFFF"},
+    {"wrc-plain",         "AAA FAAAAA"},
+    {"fig6-shape",        "FAA FAFAFA"},
+    {"fig8-shape",        "AFF FFFFFF"},
+    {"fig9-shape1",       "AAA FAFAFA"},
+    {"fig9-shape2",       "AAA AAAAAA"},
+    {"xchg-race",         "FFF FFFFFF"},
+    {"mp-sc-flag-litmus", "FFF FFFFFF"},
+    {"sb-sc-litmus",      "FFF FFFFFF"},
+};
+
+std::vector<bool> verdictsOf(const std::string &Encoded) {
+  std::vector<bool> Out;
+  for (char C : Encoded)
+    if (C == 'A' || C == 'F')
+      Out.push_back(C == 'A');
+  return Out;
+}
+
+} // namespace
+
+TEST(Differential, CorpusMeetsTheBar) {
+  std::vector<DiffCase> Corpus = differentialCorpus();
+  EXPECT_GE(Corpus.size(), 12u) << "the suite must pin >= 12 programs";
+  EXPECT_GE(differentialBackends().size(), 8u);
+  unsigned ParserLoaded = 0;
+  for (const DiffCase &C : Corpus) {
+    EXPECT_GT(C.Uni.numThreads(), 1u) << C.Name;
+    EXPECT_FALSE(C.Weak.Regs.empty()) << C.Name;
+    if (!C.Litmus.empty())
+      ++ParserLoaded;
+  }
+  EXPECT_GE(ParserLoaded, 2u)
+      << "the corpus must include parser-loaded litmus tests";
+}
+
+TEST(Differential, GoldenVerdictTable) {
+  std::vector<std::string> Backends = differentialBackends();
+  unsigned Pinned = 0;
+  for (const DiffCase &C : differentialCorpus()) {
+    auto It = GoldenVerdicts.find(C.Name);
+    ASSERT_NE(It, GoldenVerdicts.end())
+        << C.Name << " has no golden verdict row";
+    std::vector<bool> Want = verdictsOf(It->second);
+    ASSERT_EQ(Want.size(), Backends.size()) << C.Name;
+    DiffReport R = runDifferential(C);
+    for (size_t B = 0; B < Backends.size(); ++B)
+      EXPECT_EQ(R.allows(Backends[B], C.Weak), Want[B])
+          << C.Name << " / " << Backends[B] << " on " << C.Weak.toString();
+    ++Pinned;
+  }
+  EXPECT_GE(Pinned, 12u);
+}
+
+TEST(Differential, CompilationSoundnessHolds) {
+  // The Thm 6.3 weakening direction on outcome sets: everything a compiled
+  // target allows, the revised uni-size JavaScript source allows too.
+  for (const DiffCase &C : differentialCorpus()) {
+    DiffReport R = runDifferential(C);
+    EXPECT_TRUE(R.SoundnessViolations.empty())
+        << C.Name << ": " << R.SoundnessViolations.front();
+  }
+}
+
+TEST(Differential, Fig6ShapeIsTheObservableWeakening) {
+  // The §3.1 discovery: ARMv8 allows an outcome the original JavaScript
+  // model forbids (which is why the model had to be weakened — js-revised
+  // and uni-js allow it).
+  for (const DiffCase &C : differentialCorpus()) {
+    if (C.Name != "fig6-shape")
+      continue;
+    DiffReport R = runDifferential(C);
+    EXPECT_FALSE(R.allows("js-original", C.Weak));
+    EXPECT_TRUE(R.allows("js-revised", C.Weak));
+    EXPECT_TRUE(R.allows("uni-js", C.Weak));
+    EXPECT_TRUE(R.allows("armv8-uni", C.Weak));
+    std::string Expected = "armv8-uni: " + C.Weak.toString();
+    bool Found = false;
+    for (const std::string &W : R.ObservableWeakenings)
+      Found = Found || W == Expected;
+    EXPECT_TRUE(Found) << "expected observable weakening '" << Expected
+                       << "'";
+    return;
+  }
+  FAIL() << "fig6-shape missing from the corpus";
+}
+
+TEST(Differential, UniSizeModelMatchesMixedRevised) {
+  // The §6.3 reduction on the whole corpus: the uni-size model and the
+  // revised mixed-size model agree on full outcome sets for the aligned
+  // u32 rendering.
+  for (const DiffCase &C : differentialCorpus()) {
+    DiffReport R = runDifferential(C);
+    EXPECT_EQ(R.AllowedByBackend.at("uni-js"),
+              R.AllowedByBackend.at("js-revised"))
+        << C.Name;
+  }
+}
+
+TEST(Differential, ReportsAreStableAcrossEngineConfigs) {
+  // The differential verdicts are engine-config independent: sharded and
+  // unpruned runs produce the identical report.
+  for (const DiffCase &C : differentialCorpus()) {
+    if (C.Name != "fig6-shape" && C.Name != "mp-plain" &&
+        C.Name != "xchg-race")
+      continue;
+    DiffReport Seq = runDifferential(C, EngineConfig{1, true});
+    for (EngineConfig Cfg : {EngineConfig{4, true}, EngineConfig{1, false}}) {
+      DiffReport R = runDifferential(C, Cfg);
+      EXPECT_EQ(Seq.AllowedByBackend, R.AllowedByBackend) << C.Name;
+      EXPECT_EQ(Seq.SoundnessViolations, R.SoundnessViolations) << C.Name;
+      EXPECT_EQ(Seq.ObservableWeakenings, R.ObservableWeakenings) << C.Name;
+    }
+  }
+}

@@ -3,6 +3,7 @@
 #include "tools/LitmusParser.h"
 
 #include "exec/Enumerator.h"
+#include "targets/Differential.h"
 
 #include <gtest/gtest.h>
 
@@ -163,4 +164,121 @@ allow 0:r0=0x0101
   uint64_t V = 0;
   ASSERT_TRUE(File->Expectations[0].O.lookup(0, 0, V));
   EXPECT_EQ(V, 0x0101u);
+}
+
+//===----------------------------------------------------------------------===//
+// Round-tripping (parse -> Program -> re-emit) and diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusParser, EmitIsAFixedPointOnMP) {
+  auto First = parseLitmus(MPSource);
+  ASSERT_TRUE(First.has_value());
+  std::string Emitted = emitLitmus(*First);
+  std::string Error;
+  auto Second = parseLitmus(Emitted, &Error);
+  ASSERT_TRUE(Second.has_value()) << Error << "\nemitted:\n" << Emitted;
+  EXPECT_EQ(Emitted, emitLitmus(*Second)) << "re-emitting must be stable";
+  EXPECT_EQ(Second->P.Name, First->P.Name);
+  EXPECT_EQ(Second->P.numThreads(), First->P.numThreads());
+  ASSERT_EQ(Second->Expectations.size(), First->Expectations.size());
+  for (size_t I = 0; I < First->Expectations.size(); ++I) {
+    EXPECT_EQ(Second->Expectations[I].Allowed, First->Expectations[I].Allowed);
+    EXPECT_EQ(Second->Expectations[I].O, First->Expectations[I].O);
+  }
+}
+
+TEST(LitmusParser, RoundTripPreservesSemanticsOnMP) {
+  auto First = parseLitmus(MPSource);
+  ASSERT_TRUE(First.has_value());
+  auto Second = parseLitmus(emitLitmus(*First));
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(enumerateOutcomes(First->P, ModelSpec::revised()).outcomeStrings(),
+            enumerateOutcomes(Second->P, ModelSpec::revised())
+                .outcomeStrings());
+}
+
+TEST(LitmusParser, RoundTripsTheDifferentialCorpus) {
+  unsigned Seen = 0;
+  for (const DiffCase &C : differentialCorpus()) {
+    if (C.Litmus.empty())
+      continue;
+    ++Seen;
+    std::string Error;
+    auto First = parseLitmus(C.Litmus, &Error);
+    ASSERT_TRUE(First.has_value()) << C.Name << ": " << Error;
+    std::string Emitted = emitLitmus(*First);
+    auto Second = parseLitmus(Emitted, &Error);
+    ASSERT_TRUE(Second.has_value())
+        << C.Name << ": " << Error << "\nemitted:\n" << Emitted;
+    EXPECT_EQ(Emitted, emitLitmus(*Second)) << C.Name;
+    EXPECT_EQ(
+        enumerateOutcomes(First->P, ModelSpec::revised()).outcomeStrings(),
+        enumerateOutcomes(Second->P, ModelSpec::revised()).outcomeStrings())
+        << C.Name;
+    // The uni-size rendering survives the round trip too.
+    auto Uni = uniFromProgram(Second->P, &Error);
+    ASSERT_TRUE(Uni.has_value()) << C.Name << ": " << Error;
+    EXPECT_EQ(Uni->numThreads(), C.Uni.numThreads()) << C.Name;
+  }
+  EXPECT_GE(Seen, 2u) << "corpus must carry parser-loaded entries";
+}
+
+TEST(LitmusParser, EmitsControlFlowAndWidths) {
+  const char *Source = R"(name widths
+buffer 32
+buffer 16
+thread
+  r0 = load u8 0
+  r1 = load u16 2
+  r2 = exchange u32 4 = 7
+  if r0 != 3
+    store u64 8 = 9
+    r3 = load dv3 16
+  end
+forbid 0:r0=3 0:r3=0
+)";
+  std::string Error;
+  auto First = parseLitmus(Source, &Error);
+  ASSERT_TRUE(First.has_value()) << Error;
+  std::string Emitted = emitLitmus(*First);
+  auto Second = parseLitmus(Emitted, &Error);
+  ASSERT_TRUE(Second.has_value()) << Error << "\nemitted:\n" << Emitted;
+  EXPECT_EQ(Emitted, emitLitmus(*Second));
+  EXPECT_NE(Emitted.find("buffer 16"), std::string::npos);
+  EXPECT_NE(Emitted.find("u64 8 = 9"), std::string::npos);
+  EXPECT_NE(Emitted.find("dv3 16"), std::string::npos);
+  EXPECT_NE(Emitted.find("if r0 != 3"), std::string::npos);
+}
+
+TEST(LitmusParser, MalformedInputsProduceLineDiagnostics) {
+  const std::vector<std::pair<const char *, const char *>> Cases = {
+      {"thread\n  store u99 0 = 1\n", "bad width"},
+      {"store u32 0 = 1\n", "statement outside a thread"},
+      {"thread\nend\n", "'end' without an open 'if'"},
+      {"thread\n  if r0 = 5\n", "if rN"},
+      {"thread\n  if x0 == 5\n", "bad register"},
+      {"thread\n  r1 = load u32 0\n", "out of order"},
+      {"thread\n  flurb\n", "unknown statement"},
+      {"thread\n  store u32 0 = 1\nallow 1:bad\n", "bad outcome token"},
+      {"thread\n  store u32 0\n", "expected 'store"},
+      {"", "no threads declared"},
+  };
+  for (const auto &[Source, Expected] : Cases) {
+    std::string Error;
+    auto File = parseLitmus(Source, &Error);
+    EXPECT_FALSE(File.has_value()) << Source;
+    EXPECT_NE(Error.find(Expected), std::string::npos)
+        << "source <<" << Source << ">> produced: " << Error;
+    EXPECT_EQ(Error.rfind("line ", 0), 0u)
+        << "diagnostic must carry a line number: " << Error;
+  }
+}
+
+TEST(LitmusParser, DiagnosticLineNumbersPointAtTheOffendingLine) {
+  std::string Error;
+  EXPECT_FALSE(
+      parseLitmus("name t\nbuffer 8\nthread\n  store u32 0 = 1\n  bogus\n",
+                  &Error)
+          .has_value());
+  EXPECT_EQ(Error.rfind("line 5:", 0), 0u) << Error;
 }

@@ -1,0 +1,205 @@
+//===- tests/target_engine_test.cpp - Target backends in the engine -------===//
+//
+// The Thm 6.3 target architectures as engine backends: for EVERY backend —
+// the four JavaScript model variants, mixed-size ARMv8, and the six
+// targets — the engine's pruned and sharded enumerations must reproduce
+// the seed-compatible (single-threaded, generate-then-filter) outcome sets
+// exactly, across --threads 1/2/4 and pruning on/off. This extends
+// tests/engine_test.cpp's golden-equivalence idea to all models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compile/Compile.h"
+#include "engine/ExecutionEngine.h"
+#include "targets/Differential.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace jsmm;
+
+namespace {
+
+/// A small but discriminating slice of the differential corpus (keeps the
+/// full-matrix sweep fast).
+std::vector<DiffCase> corpusSlice() {
+  std::vector<DiffCase> Slice;
+  for (const DiffCase &C : differentialCorpus())
+    if (C.Name == "mp-plain" || C.Name == "sb-sc" || C.Name == "lb-plain" ||
+        C.Name == "fig6-shape" || C.Name == "xchg-race")
+      Slice.push_back(C);
+  return Slice;
+}
+
+const std::vector<EngineConfig> &sweepConfigs() {
+  static const std::vector<EngineConfig> Configs = {
+      EngineConfig{1, true},  EngineConfig{2, true}, EngineConfig{4, true},
+      EngineConfig{1, false}, EngineConfig{4, false}};
+  return Configs;
+}
+
+std::string configName(const EngineConfig &Cfg) {
+  return "threads=" + std::to_string(Cfg.Threads) +
+         " prune=" + std::to_string(Cfg.Prune);
+}
+
+} // namespace
+
+TEST(TargetEngine, GoldenEquivalenceForEveryBackend) {
+  for (const DiffCase &C : corpusSlice()) {
+    Program Mixed = mixedFromUni(C.Uni);
+    // JavaScript backends (all four ModelSpec variants).
+    for (ModelSpec Spec : {ModelSpec::original(), ModelSpec::armFixOnly(),
+                           ModelSpec::revised(),
+                           ModelSpec::revisedStrongTearFree()}) {
+      std::vector<std::string> Golden =
+          ExecutionEngine(EngineConfig::seedCompatible())
+              .enumerate(Mixed, JsModel(Spec))
+              .outcomeStrings();
+      for (const EngineConfig &Cfg : sweepConfigs())
+        EXPECT_EQ(Golden, ExecutionEngine(Cfg)
+                              .enumerate(Mixed, JsModel(Spec))
+                              .outcomeStrings())
+            << C.Name << " under " << Spec.Name << " with "
+            << configName(Cfg);
+    }
+    // Mixed-size ARMv8 backend on the compiled program.
+    {
+      CompiledProgram CP = compileToArm(Mixed);
+      std::vector<std::string> Golden =
+          ExecutionEngine(EngineConfig::seedCompatible())
+              .enumerate(CP.Arm, Armv8Model())
+              .outcomeStrings();
+      for (const EngineConfig &Cfg : sweepConfigs())
+        EXPECT_EQ(Golden, ExecutionEngine(Cfg)
+                              .enumerate(CP.Arm, Armv8Model())
+                              .outcomeStrings())
+            << C.Name << " under armv8 with " << configName(Cfg);
+    }
+    // The six target backends on their compiled programs.
+    for (const TargetModel &M : TargetModel::all()) {
+      CompiledTarget CT = compileUni(C.Uni, M.arch());
+      std::vector<std::string> Golden =
+          ExecutionEngine(EngineConfig::seedCompatible())
+              .enumerate(CT, M)
+              .outcomeStrings();
+      for (const EngineConfig &Cfg : sweepConfigs())
+        EXPECT_EQ(Golden,
+                  ExecutionEngine(Cfg).enumerate(CT, M).outcomeStrings())
+            << C.Name << " under " << M.name() << " with "
+            << configName(Cfg);
+    }
+  }
+}
+
+TEST(TargetEngine, ShardingCoversTheExactSameSpace) {
+  // CandidatesConsidered is identical for every thread count (with a fixed
+  // prune setting): sharding partitions the space, never resamples it.
+  for (const DiffCase &C : corpusSlice()) {
+    for (const TargetModel &M : TargetModel::all()) {
+      CompiledTarget CT = compileUni(C.Uni, M.arch());
+      ExecutionEngine Seq(EngineConfig{1, false});
+      TargetEnumerationResult Golden = Seq.enumerate(CT, M);
+      for (unsigned Threads : {2u, 4u}) {
+        ExecutionEngine Sharded(EngineConfig{Threads, false});
+        TargetEnumerationResult R = Sharded.enumerate(CT, M);
+        EXPECT_EQ(Golden.CandidatesConsidered, R.CandidatesConsidered)
+            << C.Name << " under " << M.name() << " threads=" << Threads;
+        EXPECT_EQ(Golden.outcomeStrings(), R.outcomeStrings());
+      }
+    }
+  }
+}
+
+TEST(TargetEngine, ShardingSplitsTheSpace) {
+  // mp-plain's first read (the flag) has two writers: Init and the store.
+  UniProgram P(2);
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, Mode::Unordered);
+  P.store(T0, 1, 1, Mode::Unordered);
+  unsigned T1 = P.thread();
+  P.load(T1, 1, Mode::Unordered);
+  P.load(T1, 0, Mode::Unordered);
+  ExecutionEngine Engine(EngineConfig{4, true});
+  Engine.enumerate(compileUni(P, TargetArch::X86), TargetModel(TargetArch::X86));
+  EXPECT_GT(Engine.Stats.WorkItems, 1u)
+      << "a multi-writer target program must split into several work items";
+}
+
+TEST(TargetEngine, PruningCutsSubtreesWithoutChangingOutcomes) {
+  // Racing exchanges can justify each other's reads in an rf cycle; the
+  // po-loc ∪ rf admission check must cut those subtrees before the co
+  // permutations are enumerated.
+  UniProgram P(1);
+  unsigned T0 = P.thread();
+  P.exchange(T0, 0, 1);
+  unsigned T1 = P.thread();
+  P.exchange(T1, 0, 2);
+  for (const TargetModel &M : TargetModel::all()) {
+    CompiledTarget CT = compileUni(P, M.arch());
+    ExecutionEngine Pruned(EngineConfig{1, true});
+    ExecutionEngine Unpruned(EngineConfig::seedCompatible());
+    TargetEnumerationResult A = Pruned.enumerate(CT, M);
+    TargetEnumerationResult B = Unpruned.enumerate(CT, M);
+    EXPECT_EQ(A.outcomeStrings(), B.outcomeStrings()) << M.name();
+    EXPECT_GT(Pruned.Stats.PrunedSubtrees, 0u) << M.name();
+    EXPECT_EQ(Unpruned.Stats.PrunedSubtrees, 0u) << M.name();
+    EXPECT_LT(A.CandidatesConsidered, B.CandidatesConsidered)
+        << M.name() << ": pruning should reach fewer complete candidates";
+  }
+}
+
+TEST(TargetEngine, LegacyAdapterMatchesEngine) {
+  // forEachTargetExecution is now a thin adapter over the engine; the
+  // generate-then-filter loop over it must agree with enumerate().
+  for (const DiffCase &C : corpusSlice()) {
+    for (const TargetModel &M : TargetModel::all()) {
+      CompiledTarget CT = compileUni(C.Uni, M.arch());
+      std::set<std::string> Legacy;
+      uint64_t Candidates = 0;
+      forEachTargetExecution(
+          CT, [&](const TargetExecution &X, const Outcome &O) {
+            ++Candidates;
+            if (M.allows(X))
+              Legacy.insert(O.toString());
+            return true;
+          });
+      TargetEnumerationResult R =
+          ExecutionEngine(EngineConfig::seedCompatible()).enumerate(CT, M);
+      EXPECT_EQ(std::vector<std::string>(Legacy.begin(), Legacy.end()),
+                R.outcomeStrings())
+          << C.Name << " under " << M.name();
+      EXPECT_EQ(Candidates, R.CandidatesConsidered);
+    }
+  }
+}
+
+TEST(TargetEngine, BackendRegistry) {
+  EXPECT_EQ(TargetModel::all().size(), 6u);
+  for (const TargetModel &M : TargetModel::all()) {
+    const TargetModel *ByName = TargetModel::byName(M.name());
+    ASSERT_NE(ByName, nullptr) << M.name();
+    EXPECT_EQ(ByName->arch(), M.arch());
+  }
+  EXPECT_EQ(TargetModel::byName("no-such-arch"), nullptr);
+  EXPECT_STREQ(TargetModel(TargetArch::X86).name(), "x86-tso");
+  EXPECT_STREQ(TargetModel(TargetArch::ArmV8).name(), "armv8-uni");
+}
+
+TEST(TargetEngine, AdmissionCheckIsSoundOnCompleteCandidates) {
+  // A complete candidate that some backend accepts must never have been
+  // prunable: allows(X) implies admitsPartial(X).
+  for (const DiffCase &C : corpusSlice()) {
+    for (const TargetModel &M : TargetModel::all()) {
+      CompiledTarget CT = compileUni(C.Uni, M.arch());
+      forEachTargetExecution(
+          CT, [&](const TargetExecution &X, const Outcome &) {
+            if (M.allows(X))
+              EXPECT_TRUE(M.admitsPartial(X))
+                  << C.Name << " under " << M.name();
+            return true;
+          });
+    }
+  }
+}

@@ -17,6 +17,7 @@ struct ParsedInstr {
   uint64_t Value = 0;       ///< Store/Exchange value; If comparison value
   unsigned CondReg = 0;
   bool CondEqual = true;
+  unsigned Line = 0;        ///< source line, for replay-phase diagnostics
   std::vector<ParsedInstr> Body;
 };
 
@@ -90,7 +91,8 @@ bool emitBody(ThreadBuilder &B, const std::vector<ParsedInstr> &Body,
       Reg R = B.load(I.A);
       if (R.Index != I.DeclaredReg) {
         if (Error)
-          *Error = "register r" + std::to_string(I.DeclaredReg) +
+          *Error = "line " + std::to_string(I.Line) + ": register r" +
+                   std::to_string(I.DeclaredReg) +
                    " out of order (expected r" + std::to_string(R.Index) +
                    "); registers are assigned in load order";
         return false;
@@ -104,8 +106,8 @@ bool emitBody(ThreadBuilder &B, const std::vector<ParsedInstr> &Body,
       Reg R = B.exchange(I.A, I.Value);
       if (R.Index != I.DeclaredReg) {
         if (Error)
-          *Error = "register r" + std::to_string(I.DeclaredReg) +
-                   " out of order";
+          *Error = "line " + std::to_string(I.Line) + ": register r" +
+                   std::to_string(I.DeclaredReg) + " out of order";
         return false;
       }
       break;
@@ -129,7 +131,69 @@ bool emitBody(ThreadBuilder &B, const std::vector<ParsedInstr> &Body,
   return true;
 }
 
+/// The width token that reparses to this access: "uN" for tear-free
+/// 8/16/32-bit accesses and 64-bit ones (whose tearing the parser derives
+/// from the width), "dvN" for DataView accesses.
+std::string widthToken(const Acc &A) {
+  if (A.Width == 8)
+    return "u64";
+  if (A.TearFree && (A.Width == 1 || A.Width == 2 || A.Width == 4))
+    return "u" + std::to_string(8 * A.Width);
+  return "dv" + std::to_string(A.Width);
+}
+
+void emitBodyText(const std::vector<Instr> &Body, unsigned Depth,
+                  std::string &Out) {
+  std::string Ind(2 * Depth, ' ');
+  for (const Instr &I : Body) {
+    bool Sc = I.Access.Ord == Mode::SeqCst;
+    switch (I.K) {
+    case Instr::Kind::Load:
+      Out += Ind + "r" + std::to_string(I.Dst) + " = load" +
+             (Sc ? ".sc" : "") + " " + widthToken(I.Access) + " " +
+             std::to_string(I.Access.Offset) + "\n";
+      break;
+    case Instr::Kind::Store:
+      Out += Ind + "store" + (Sc ? ".sc" : "") + " " + widthToken(I.Access) +
+             " " + std::to_string(I.Access.Offset) + " = " +
+             std::to_string(I.Value) + "\n";
+      break;
+    case Instr::Kind::Rmw:
+      Out += Ind + "r" + std::to_string(I.Dst) + " = exchange " +
+             widthToken(I.Access) + " " + std::to_string(I.Access.Offset) +
+             " = " + std::to_string(I.Value) + "\n";
+      break;
+    case Instr::Kind::IfEq:
+    case Instr::Kind::IfNe:
+      Out += Ind + "if r" + std::to_string(I.CondReg) +
+             (I.K == Instr::Kind::IfEq ? " == " : " != ") +
+             std::to_string(I.Value) + "\n";
+      emitBodyText(I.Body, Depth + 1, Out);
+      Out += Ind + "end\n";
+      break;
+    }
+  }
+}
+
 } // namespace
+
+std::string jsmm::emitLitmus(const LitmusFile &File) {
+  std::string Out = "name " + File.P.Name + "\n";
+  for (unsigned Size : File.P.bufferSizes())
+    Out += "buffer " + std::to_string(Size) + "\n";
+  for (unsigned T = 0; T < File.P.numThreads(); ++T) {
+    Out += "thread\n";
+    emitBodyText(File.P.threadBody(T), 1, Out);
+  }
+  for (const LitmusExpectation &E : File.Expectations) {
+    Out += E.Allowed ? "allow" : "forbid";
+    for (const auto &[T, R, V] : E.O.Regs)
+      Out += " " + std::to_string(T) + ":r" + std::to_string(R) + "=" +
+             std::to_string(V);
+    Out += "\n";
+  }
+  return Out;
+}
 
 std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
                                             std::string *Error) {
@@ -196,6 +260,7 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
         return Fail(LineNo, "expected 'if rN ==|!= value'");
       ParsedInstr I;
       I.K = ParsedInstr::Kind::If;
+      I.Line = LineNo;
       if (!parseReg(T[1], I.CondReg))
         return Fail(LineNo, "bad register '" + T[1] + "'");
       I.CondEqual = T[2] == "==";
@@ -210,6 +275,7 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
         return Fail(LineNo, "expected 'store[.sc] <width> <offset> = <v>'");
       ParsedInstr I;
       I.K = ParsedInstr::Kind::Store;
+      I.Line = LineNo;
       if (!parseWidth(T[1], I.A))
         return Fail(LineNo, "bad width '" + T[1] + "'");
       I.A.Offset = static_cast<unsigned>(std::stoul(T[2]));
@@ -230,6 +296,7 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
           return Fail(LineNo, "expected 'rN = exchange <w> <off> = <v>'");
         ParsedInstr I;
         I.K = ParsedInstr::Kind::Exchange;
+        I.Line = LineNo;
         if (!parseWidth(T[3], I.A))
           return Fail(LineNo, "bad width '" + T[3] + "'");
         I.A.Offset = static_cast<unsigned>(std::stoul(T[4]));
@@ -241,6 +308,7 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
       if (T.size() == 5 && (T[2] == "load" || T[2] == "load.sc")) {
         ParsedInstr I;
         I.K = ParsedInstr::Kind::Load;
+        I.Line = LineNo;
         if (!parseWidth(T[3], I.A))
           return Fail(LineNo, "bad width '" + T[3] + "'");
         I.A.Offset = static_cast<unsigned>(std::stoul(T[4]));

@@ -55,6 +55,14 @@ struct LitmusFile {
 std::optional<LitmusFile> parseLitmus(const std::string &Source,
                                       std::string *Error = nullptr);
 
+/// Renders \p File back to the litmus text format. For any parseable
+/// source, parse and emit are mutually inverse up to formatting:
+/// parseLitmus(emitLitmus(*parseLitmus(S))) reproduces the same program
+/// and expectations, and re-emitting is a fixed point. Only block-0
+/// accesses are expressible in the format (the parser never produces
+/// others).
+std::string emitLitmus(const LitmusFile &File);
+
 } // namespace jsmm
 
 #endif // JSMM_TOOLS_LITMUSPARSER_H

@@ -1,21 +1,31 @@
 //===- tools/jsmm_run.cpp - Command-line litmus runner --------------------===//
 ///
 /// \file
-/// The jsmm equivalent of a herd7 session on the JavaScript memory model:
+/// The jsmm equivalent of a herd7 session, on every engine backend:
 ///
-///   jsmm-run test.litmus                 # revised model
+///   jsmm-run test.litmus                 # revised JavaScript model
 ///   jsmm-run test.litmus --model=original
+///   jsmm-run test.litmus --model=x86-tso # compiled, target-model verdicts
 ///   jsmm-run test.litmus --threads=4     # sharded engine enumeration
 ///   jsmm-run test.litmus --arm           # also the compiled ARMv8 verdict
 ///   jsmm-run test.litmus --scdrf         # also the SC-DRF report
+///   jsmm-run --list-models               # every backend, one per line
 ///
 /// Prints the allowed outcomes and checks any `allow`/`forbid`
 /// expectations in the file; exits non-zero if an expectation fails.
+///
+/// JavaScript backends run the litmus program as written. Target backends
+/// (x86-tso, armv8-uni, armv7, power, riscv, immlite) require the
+/// uni-size fragment — straight-line code over uniform non-overlapping
+/// cells — which is compiled with the Thm 6.3 scheme and enumerated under
+/// the architecture's axiomatic model; `armv8` compiles to the mixed-size
+/// ARMv8 model of §4.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "compile/Compile.h"
 #include "engine/ExecutionEngine.h"
+#include "support/Str.h"
 #include "tools/LitmusParser.h"
 
 #include <cstdlib>
@@ -27,21 +37,88 @@ using namespace jsmm;
 
 namespace {
 
+struct JsVariant {
+  const char *Name;
+  ModelSpec Spec;
+  const char *Desc;
+};
+
+std::vector<JsVariant> jsVariants() {
+  return {
+      {"original", ModelSpec::original(),
+       "JavaScript model as specified (pre-repair)"},
+      {"armfix", ModelSpec::armFixOnly(),
+       "original + the ARMv8 compilation fix only"},
+      {"revised", ModelSpec::revised(),
+       "the paper's repaired model (default)"},
+      {"strong", ModelSpec::revisedStrongTearFree(),
+       "revised + strong tear-free reads"},
+  };
+}
+
+void listModels(std::ostream &Out) {
+  Out << "jsmm-run backends (--model=NAME):\n"
+      << "  JavaScript (mixed-size litmus program as written):\n";
+  for (const JsVariant &V : jsVariants())
+    Out << "    " << padRight(V.Name, 11) << V.Desc << "\n";
+  Out << "  compiled ARMv8 (mixed-size, \xC2\xA7" "4 model):\n"
+      << "    " << padRight("armv8", 11)
+      << "the litmus program under the \xC2\xA7" "5.1 scheme\n"
+      << "  compiled Thm 6.3 targets (uni-size fragment only):\n";
+  for (const TargetModel &M : TargetModel::all())
+    Out << "    " << padRight(M.name(), 11) << targetArchName(M.arch())
+        << " axiomatic model\n";
+}
+
 int usage() {
-  std::cerr << "usage: jsmm-run <file.litmus> [--model=original|armfix|"
-               "revised|strong] [--threads=N] [--arm] [--scdrf]\n";
+  std::cerr << "usage: jsmm-run <file.litmus> [--model=NAME] [--threads=N] "
+               "[--arm] [--scdrf]\n"
+               "       jsmm-run --list-models\n";
   return 2;
+}
+
+int unknownModel(const std::string &Name) {
+  std::cerr << "jsmm-run: unknown model '" << Name
+            << "'; pick one of the following (or run --list-models):\n";
+  listModels(std::cerr);
+  return 2;
+}
+
+/// Prints \p Allowed and checks \p Expectations against it; \returns the
+/// number of failed expectations.
+template <typename ResultT>
+int reportOutcomes(const ResultT &R,
+                   const std::vector<LitmusExpectation> &Expectations) {
+  std::cout << "allowed outcomes (" << R.Allowed.size() << "):\n";
+  for (const auto &[O, W] : R.Allowed) {
+    (void)W;
+    std::cout << "  " << O.toString() << "\n";
+  }
+  int Failures = 0;
+  for (const LitmusExpectation &E : Expectations) {
+    bool Observed = R.allows(E.O);
+    bool Ok = Observed == E.Allowed;
+    Failures += Ok ? 0 : 1;
+    std::cout << (Ok ? "[ok]   " : "[FAIL] ")
+              << (E.Allowed ? "allow  " : "forbid ") << E.O.toString()
+              << "  -> " << (Observed ? "allowed" : "forbidden") << "\n";
+  }
+  return Failures;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string Path;
-  ModelSpec Spec = ModelSpec::revised();
+  std::string ModelName = "revised";
   EngineConfig Cfg;
   bool WithArm = false, WithScDrf = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (Arg == "--list-models") {
+      listModels(std::cout);
+      return 0;
+    }
     if (Arg.rfind("--threads=", 0) == 0) {
       char *End = nullptr;
       unsigned long N = std::strtoul(Arg.c_str() + 10, &End, 10);
@@ -50,15 +127,11 @@ int main(int Argc, char **Argv) {
       Cfg.Threads = static_cast<unsigned>(N);
       continue;
     }
-    if (Arg == "--model=original")
-      Spec = ModelSpec::original();
-    else if (Arg == "--model=armfix")
-      Spec = ModelSpec::armFixOnly();
-    else if (Arg == "--model=revised")
-      Spec = ModelSpec::revised();
-    else if (Arg == "--model=strong")
-      Spec = ModelSpec::revisedStrongTearFree();
-    else if (Arg == "--arm")
+    if (Arg.rfind("--model=", 0) == 0) {
+      ModelName = Arg.substr(8);
+      continue;
+    }
+    if (Arg == "--arm")
       WithArm = true;
     else if (Arg == "--scdrf")
       WithScDrf = true;
@@ -67,8 +140,25 @@ int main(int Argc, char **Argv) {
     else
       Path = Arg;
   }
+
+  // Resolve the backend up front so a typo fails before any file I/O.
+  const ModelSpec *JsSpec = nullptr;
+  static std::vector<JsVariant> Variants = jsVariants();
+  for (const JsVariant &V : Variants)
+    if (ModelName == V.Name)
+      JsSpec = &V.Spec;
+  const TargetModel *Target = TargetModel::byName(ModelName);
+  bool MixedArm = ModelName == "armv8";
+  if (!JsSpec && !Target && !MixedArm)
+    return unknownModel(ModelName);
+
   if (Path.empty())
     return usage();
+  if ((WithArm || WithScDrf) && !JsSpec) {
+    std::cerr << "jsmm-run: --arm/--scdrf apply to the JavaScript backends "
+                 "only (model '" << ModelName << "' is a compiled backend)\n";
+    return 2;
+  }
 
   std::ifstream In(Path);
   if (!In) {
@@ -85,43 +175,48 @@ int main(int Argc, char **Argv) {
   }
 
   ExecutionEngine Engine(Cfg);
-  std::cout << "test " << File->P.Name << " (model: " << Spec.Name
+  std::cout << "test " << File->P.Name << " (model: " << ModelName
             << ", threads: " << Engine.effectiveThreads() << ")\n";
-  EnumerationResult R = Engine.enumerate(File->P, JsModel(Spec));
-  std::cout << "allowed outcomes (" << R.Allowed.size() << "):\n";
-  for (const auto &[O, W] : R.Allowed) {
-    (void)W;
-    std::cout << "  " << O.toString() << "\n";
-  }
 
   int Failures = 0;
-  for (const LitmusExpectation &E : File->Expectations) {
-    bool Observed = R.allows(E.O);
-    bool Ok = Observed == E.Allowed;
-    Failures += Ok ? 0 : 1;
-    std::cout << (Ok ? "[ok]   " : "[FAIL] ")
-              << (E.Allowed ? "allow  " : "forbid ") << E.O.toString()
-              << "  -> " << (Observed ? "allowed" : "forbidden") << "\n";
-  }
-
-  if (WithArm) {
-    CompiledProgram CP = compileToArm(File->P);
-    ArmEnumerationResult Arm = Engine.enumerate(CP.Arm, Armv8Model());
-    std::cout << "compiled ARMv8 outcomes (" << Arm.Allowed.size() << "):\n";
-    for (const auto &[O, X] : Arm.Allowed) {
-      (void)X;
-      std::cout << "  " << O.toString()
-                << (R.allows(O) ? "" : "   <- not allowed by JS!") << "\n";
+  if (Target) {
+    std::optional<UniProgram> Uni = uniFromProgram(File->P, &Error);
+    if (!Uni) {
+      std::cerr << "jsmm-run: " << Path << ": not in the uni-size fragment "
+                << "required by target backends: " << Error << "\n";
+      return 2;
     }
-  }
+    CompiledTarget CT = compileUni(*Uni, Target->arch());
+    Failures = reportOutcomes(Engine.enumerate(CT, *Target),
+                              File->Expectations);
+  } else if (MixedArm) {
+    CompiledProgram CP = compileToArm(File->P);
+    Failures = reportOutcomes(Engine.enumerate(CP.Arm, Armv8Model()),
+                              File->Expectations);
+  } else {
+    EnumerationResult R = Engine.enumerate(File->P, JsModel(*JsSpec));
+    Failures = reportOutcomes(R, File->Expectations);
 
-  if (WithScDrf) {
-    ScDrfReport Rep = Engine.scDrf(File->P, JsModel(Spec));
-    std::cout << "SC-DRF: data-race-free="
-              << (Rep.DataRaceFree ? "yes" : "no")
-              << " all-SC=" << (Rep.AllValidExecutionsSC ? "yes" : "no")
-              << " property=" << (Rep.holds() ? "holds" : "VIOLATED")
-              << "\n";
+    if (WithArm) {
+      CompiledProgram CP = compileToArm(File->P);
+      ArmEnumerationResult Arm = Engine.enumerate(CP.Arm, Armv8Model());
+      std::cout << "compiled ARMv8 outcomes (" << Arm.Allowed.size()
+                << "):\n";
+      for (const auto &[O, X] : Arm.Allowed) {
+        (void)X;
+        std::cout << "  " << O.toString()
+                  << (R.allows(O) ? "" : "   <- not allowed by JS!") << "\n";
+      }
+    }
+
+    if (WithScDrf) {
+      ScDrfReport Rep = Engine.scDrf(File->P, JsModel(*JsSpec));
+      std::cout << "SC-DRF: data-race-free="
+                << (Rep.DataRaceFree ? "yes" : "no")
+                << " all-SC=" << (Rep.AllValidExecutionsSC ? "yes" : "no")
+                << " property=" << (Rep.holds() ? "holds" : "VIOLATED")
+                << "\n";
+    }
   }
 
   return Failures == 0 ? 0 : 1;

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Perf-trend gate for the engine headline benchmark.
+
+Compares the speedup metrics in a freshly produced BENCH_perf-engine.json
+(written by bench_perf_engine's headline comparison) against the committed
+baseline in bench/perf_baseline.json and exits non-zero when any gated
+metric regressed by more than the tolerance (default 25%).
+
+Speedups — engine time relative to the seed generate-then-filter loop on
+the same machine and run — are machine-relative, so they are comparable
+across CI runners in a way absolute milliseconds are not. The committed
+baseline therefore stores the speedup floor, not timings.
+
+Usage:
+  perf_trend.py <current.json> <baseline.json> [--tolerance=0.25]
+
+A missing current file is reported and skipped with exit 0 (the benchmark
+binary is gated on google-benchmark being installed); a missing or
+malformed baseline is an error, so the gate cannot rot silently.
+"""
+
+import json
+import sys
+
+
+def metrics_of(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {m["name"]: float(m["value"]) for m in doc.get("metrics", [])}
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__)
+        return 2
+    current_path, baseline_path = paths
+
+    try:
+        current = metrics_of(current_path)
+    except FileNotFoundError:
+        print(f"perf-trend: '{current_path}' not found; benchmark was not "
+              "built (google-benchmark missing?) - skipping the gate")
+        return 0
+
+    baseline = metrics_of(baseline_path)
+    gated = sorted(n for n in baseline if n.startswith("speedup_"))
+    if not gated:
+        print(f"perf-trend: baseline '{baseline_path}' has no speedup_* "
+              "metrics to gate on")
+        return 2
+
+    failures = 0
+    for name in gated:
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            print(f"[FAIL] {name}: missing from {current_path}")
+            failures += 1
+            continue
+        floor = base * (1.0 - tolerance)
+        ok = cur >= floor
+        verdict = "[ok]  " if ok else "[FAIL]"
+        print(f"{verdict} {name}: current {cur:.2f}x vs baseline "
+              f"{base:.2f}x (floor {floor:.2f}x at {tolerance:.0%} "
+              "tolerance)")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"perf-trend: {failures} metric(s) regressed by more than "
+              f"{tolerance:.0%} against {baseline_path}")
+        return 1
+    print("perf-trend: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
