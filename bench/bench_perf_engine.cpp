@@ -25,6 +25,7 @@
 #include "compile/TotConstruction.h"
 #include "paper/Figures.h"
 #include "search/SkeletonSearch.h"
+#include "solver/TotSolver.h"
 #include "support/LinearExtensions.h"
 
 #include <benchmark/benchmark.h>
@@ -38,6 +39,7 @@
 
 using namespace jsmm;
 using namespace jsmm::paper;
+using jsmm::bench::timedMs;
 
 namespace {
 
@@ -108,6 +110,8 @@ double enumerateFamilyMs(EngineConfig Cfg) {
   return std::chrono::duration<double, std::milli>(End - Start).count();
 }
 
+void solverHeadline(jsmm::bench::Table &T);
+
 /// \returns the failed-claim count (0 on success), for main's exit code.
 int headlineComparison() {
   // Warm-up pass so first-touch allocation noise doesn't skew the seed run.
@@ -132,7 +136,304 @@ int headlineComparison() {
   T.check("engine (pruned, best of 1/" + std::to_string(RequestedThreads) +
               " threads) beats seed",
           true, std::min(PrunedMs, ShardedMs) < SeedMs);
+  solverHeadline(T);
   return T.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Seed-path reconstructions for the solver/sweep headlines
+//===----------------------------------------------------------------------===//
+//
+// The seed decided every tot-existence question by enumerating the linear
+// extensions of hb (no constraint extraction, no mid-prefix exit) and every
+// coherence-existence question by walking all completions (no prefix
+// refutation). Both loops are reconstructed here from the public kernel
+// APIs, so the headline baselines keep measuring the seed algorithm even
+// as the library's own fast paths evolve.
+
+/// Seed isValidForSomeTot: exhaustive linear-extension search.
+bool seedValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec) {
+  const DerivedTriple &D = CE.derived(Spec.Sw);
+  if (!checkTotIndependentAxioms(CE, D, Spec))
+    return false;
+  if (!D.Hb.isAcyclic())
+    return false;
+  bool Found = false;
+  forEachLinearExtension(
+      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
+        if (checkScAtomics(CE, D, Spec.Sc, Tot)) {
+          Found = true;
+          return false;
+        }
+        return true;
+      });
+  return Found;
+}
+
+/// Seed ArmDerived::compute: every dob/aob/bob term built unconditionally
+/// (the library now skips empty dependency and fence classes).
+Relation seedArmOb(const ArmExecution &X) {
+  unsigned N = X.numEvents();
+  Relation Rf = X.readsFrom();
+  Relation Co = X.coherence();
+  Relation Fr = X.fromReads();
+  Relation Rfe = X.externalPart(Rf);
+  Relation Coe = X.externalPart(Co);
+  Relation Fre = X.externalPart(Fr);
+  Relation Rfi = X.internalPart(Rf);
+  Relation Coi = X.internalPart(Co);
+  Relation Obs = Rfe.unioned(Coe).unioned(Fre);
+
+  uint64_t Writes =
+      X.eventsWhere([](const ArmEvent &E) { return E.isWrite(); });
+  uint64_t Reads = X.eventsWhere([](const ArmEvent &E) { return E.isRead(); });
+  uint64_t Acq = X.eventsWhere(
+      [](const ArmEvent &E) { return E.isRead() && E.Acquire; });
+  uint64_t Rel = X.eventsWhere(
+      [](const ArmEvent &E) { return E.isWrite() && E.Release; });
+  uint64_t DmbFull = X.eventsWhere(
+      [](const ArmEvent &E) { return E.Kind == ArmKind::DmbFull; });
+  uint64_t DmbLd = X.eventsWhere(
+      [](const ArmEvent &E) { return E.Kind == ArmKind::DmbLd; });
+  uint64_t DmbSt = X.eventsWhere(
+      [](const ArmEvent &E) { return E.Kind == ArmKind::DmbSt; });
+  uint64_t Isb = X.eventsWhere(
+      [](const ArmEvent &E) { return E.Kind == ArmKind::Isb; });
+  uint64_t All = X.allEventsMask();
+  const Relation &Po = X.Po;
+  auto Restrict = [&](uint64_t A, const Relation &R, uint64_t B) {
+    return R.restricted(A, B);
+  };
+  Relation CtrlOrAddrPo = X.CtrlDep.unioned(X.AddrDep.compose(Po));
+  Relation Dob =
+      X.AddrDep.unioned(X.DataDep)
+          .unioned(Restrict(All, X.CtrlDep, Writes))
+          .unioned(CtrlOrAddrPo.intersected(Relation::product(All, Isb, N))
+                       .compose(Restrict(Isb, Po, Reads)))
+          .unioned(X.AddrDep.compose(Restrict(All, Po, Writes)))
+          .unioned(X.CtrlDep.unioned(X.DataDep).compose(Coi))
+          .unioned(X.AddrDep.unioned(X.DataDep).compose(Rfi));
+  uint64_t RmwWrites = 0;
+  X.Rmw.forEachPair([&](unsigned, unsigned W) {
+    RmwWrites |= uint64_t(1) << W;
+  });
+  Relation Aob = X.Rmw.unioned(Restrict(RmwWrites, Rfi, Acq));
+  Relation PoL = Restrict(All, Po, Rel);
+  Relation Bob =
+      Restrict(All, Po, DmbFull).compose(Restrict(DmbFull, Po, All));
+  Bob.unionWith(Restrict(Rel, Po, Acq));
+  Bob.unionWith(Restrict(Reads, Po, DmbLd).compose(Restrict(DmbLd, Po, All)));
+  Bob.unionWith(Restrict(Acq, Po, All));
+  Bob.unionWith(
+      Restrict(Writes, Po, DmbSt).compose(Restrict(DmbSt, Po, Writes)));
+  Bob.unionWith(PoL);
+  Bob.unionWith(PoL.compose(Coi));
+  return Obs.unioned(Dob).unioned(Aob).unioned(Bob).transitiveClosure();
+}
+
+/// Seed isArmConsistent: internal axiom, then the full seed derivation.
+bool seedIsArmConsistent(const ArmExecution &X) {
+  if (!checkArmInternal(X))
+    return false;
+  if (!seedArmOb(X).isIrreflexive())
+    return false;
+  Relation Fre = X.externalPart(X.fromReads());
+  Relation Coe = X.externalPart(X.coherence());
+  return X.Rmw.intersected(Fre.compose(Coe)).empty();
+}
+
+/// Seed armConsistentForSomeCo: unpruned completion walk.
+bool seedArmConsistentForSomeCo(const ArmExecution &X) {
+  ArmExecution Work = X;
+  Work.Co = Work.computeGranules();
+  bool Found = false;
+  forEachCoherenceCompletion(Work, [&] {
+    if (!seedIsArmConsistent(Work))
+      return true;
+    Found = true;
+    return false;
+  });
+  return Found;
+}
+
+/// The 4-event Init-synchronization compilation counter-example (dead
+/// under the original model), padded with \p K unordered writes on fresh
+/// threads and bytes: hb stays sparse, so the seed's linear-extension
+/// count grows factorially with K while the propagation solver's conflict
+/// detection stays polynomial — the workload the ROADMAP's "factorial hot
+/// loop" note is about (the paper's Alloy bound of 8 events / 20
+/// locations lives well inside this regime).
+CandidateExecution paddedDeadExecution(unsigned K) {
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 2 + K));
+  Evs.push_back(makeWrite(1, 0, Mode::SeqCst, 0, 1, 1));
+  Evs.push_back(makeRead(2, 0, Mode::SeqCst, 1, 1, 0));
+  Evs.push_back(makeWrite(3, 1, Mode::Unordered, 1, 1, 3));
+  Evs.push_back(makeRead(4, 1, Mode::SeqCst, 0, 1, 0));
+  for (unsigned I = 0; I < K; ++I)
+    Evs.push_back(makeWrite(5 + I, 2 + static_cast<int>(I), Mode::Unordered,
+                            2 + I, 1, 1));
+  CandidateExecution CE(std::move(Evs));
+  CE.Sb.set(1, 2);
+  CE.Sb.set(3, 4);
+  CE.Rbf.push_back({1, 0, 2});
+  CE.Rbf.push_back({0, 0, 4});
+  return CE;
+}
+
+SearchConfig sec52Config() {
+  SearchConfig Cfg;
+  Cfg.MinEvents = 2;
+  Cfg.MaxEvents = 6;
+  Cfg.NumLocs = 2;
+  Cfg.Js = ModelSpec::original();
+  Cfg.Deadness = SearchConfig::DeadnessMode::Semantic;
+  Cfg.ExcludeInitSynchronization = true;
+  return Cfg;
+}
+
+/// The seed's §5.2 search loop (generate, brute-force deadness, unpruned
+/// coherence witness).
+bool seedSec52Search() {
+  SearchConfig Cfg = sec52Config();
+  bool Found = false;
+  forEachSkeletonCandidate(
+      Cfg,
+      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+        for (const Event &R : Js.Events) {
+          if (!R.isRead() || R.Ord != Mode::SeqCst)
+            continue;
+          bool OnlyInit = true;
+          for (const RbfEdge &E : Js.Rbf)
+            if (E.Reader == R.Id && Js.Events[E.Writer].Ord != Mode::Init)
+              OnlyInit = false;
+          if (OnlyInit)
+            return true;
+        }
+        if (seedValidForSomeTot(Js, Cfg.Js))
+          return true; // not semantically dead
+        if (!seedArmConsistentForSomeCo(Arm))
+          return true;
+        Found = true;
+        return false;
+      },
+      nullptr);
+  return Found;
+}
+
+SearchConfig sec53Config() {
+  SearchConfig Cfg;
+  Cfg.MinEvents = 2;
+  Cfg.MaxEvents = 4;
+  Cfg.NumLocs = 2;
+  Cfg.Js = ModelSpec::revised();
+  return Cfg;
+}
+
+/// The seed's §5.3 loop: every coherence completion consistency-checked,
+/// the construction verified on the consistent ones.
+uint64_t seedSec53Check() {
+  SearchConfig Cfg = sec53Config();
+  uint64_t Consistent = 0;
+  forEachSkeletonCandidate(
+      Cfg,
+      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+        ArmExecution Work = Arm;
+        Work.Co = Work.computeGranules();
+        forEachCoherenceCompletion(Work, [&] {
+          if (!seedIsArmConsistent(Work))
+            return true;
+          ++Consistent;
+          TranslationResult TR;
+          TR.Js = Js;
+          TR.JsOfArm.resize(Work.numEvents());
+          for (unsigned I = 0; I < Work.numEvents(); ++I)
+            TR.JsOfArm[I] = I;
+          Relation Tot;
+          if (constructTot(TR, Work, &Tot)) {
+            CandidateExecution WithTot = Js;
+            WithTot.Tot = Tot;
+            benchmark::DoNotOptimize(isValid(WithTot, Cfg.Js));
+          }
+          return true;
+        });
+        return true;
+      },
+      nullptr);
+  return Consistent;
+}
+
+/// Headline comparison of the §5.2/§5.3 sweeps and the per-candidate
+/// solver against their seed paths, appended to the perf-engine table so
+/// the speedup metrics land in BENCH_perf-engine.json and are gated by
+/// tools/perf_trend.py against bench/perf_baseline.json.
+void solverHeadline(jsmm::bench::Table &T) {
+  // Solver headline: the paper-scale padded dead execution (11 events,
+  // sparse hb: 907200 linear extensions, all of which the seed's deadness
+  // decision enumerated). The propagation solver derives the conflict at
+  // fixpoint without enumerating anything, so the gap is four orders of
+  // magnitude; the committed floor only gates the order of magnitude.
+  {
+    CandidateExecution Big = paddedDeadExecution(6);
+    bool SeedValid = true, BruteValid = true, PropValid = true;
+    double SolverSeedMs = timedMs([&] {
+      SeedValid = seedValidForSomeTot(Big, ModelSpec::original());
+    });
+    double SolverBruteMs = timedMs([&] {
+      BruteValid = isValidForSomeTot(Big, ModelSpec::original(), nullptr,
+                                     totSolver(SolverKind::Brute));
+    });
+    // The propagation run is microseconds; loop it for a stable reading.
+    constexpr unsigned PropIters = 1000;
+    double SolverPropMs = timedMs([&] {
+      for (unsigned I = 0; I < PropIters; ++I)
+        PropValid = isValidForSomeTot(Big, ModelSpec::original(), nullptr,
+                                      totSolver(SolverKind::Propagate));
+    }) / PropIters;
+    T.check("solvers agree with the seed decision procedure (dead)", true,
+            !SeedValid && !BruteValid && !PropValid);
+    T.metric("solver_seed_ms", SolverSeedMs, "ms");
+    T.metric("solver_brute_ms", SolverBruteMs, "ms");
+    T.metric("solver_propagate_ms", SolverPropMs, "ms");
+    T.metric("speedup_solver_x", SolverSeedMs / SolverPropMs);
+  }
+
+  // §5.2: the full counter-example search (E7's headline row).
+  bool SeedFound = false, FastFound = false;
+  double Sec52SeedMs = timedMs([&] { SeedFound = seedSec52Search(); });
+  double Sec52FastMs = timedMs([&] {
+    SearchConfig Cfg = sec52Config();
+    Cfg.Threads = 0; // one worker per hardware thread
+    FastFound = searchArmCompilationCex(Cfg).has_value();
+  });
+  T.check("fast and seed sec52 searches agree", true,
+          SeedFound == FastFound);
+  T.metric("sec52_seed_ms", Sec52SeedMs, "ms");
+  T.metric("sec52_fast_ms", Sec52FastMs, "ms");
+  T.metric("speedup_sec52_x", Sec52SeedMs / Sec52FastMs);
+
+  // §5.3: the bounded compilation check at a 4-event bound.
+  uint64_t SeedConsistent = 0;
+  BoundedCompilationReport FastR;
+  double Sec53SeedMs = timedMs([&] { SeedConsistent = seedSec53Check(); });
+  double Sec53FastMs = timedMs([&] {
+    SearchConfig Cfg = sec53Config();
+    Cfg.Threads = 0; // one worker per hardware thread
+    FastR = boundedCompilationCheck(Cfg);
+  });
+  T.check("fast and seed sec53 sweeps see the same consistent executions",
+          true, SeedConsistent == FastR.ArmConsistentExecutions);
+  T.check("construction holds at the 4-event bound", true, FastR.holds());
+  T.metric("sec53_seed_ms", Sec53SeedMs, "ms");
+  T.metric("sec53_fast_ms", Sec53FastMs, "ms");
+  T.metric("speedup_sec53_x", Sec53SeedMs / Sec53FastMs);
+  T.note("seed baselines replay the seed ALGORITHM (exhaustive linear "
+         "extensions, unpruned coherence walks, unconditional dob/aob/bob) "
+         "on the current kernel, which this PR also made faster "
+         "(allocation-free relations, short-circuited derivations) — a far "
+         "stricter baseline than the seed commit's binary, which ran the "
+         "sec52 search 3.5x slower than today's sweep on the dev machine");
 }
 
 void BM_TransitiveClosure(benchmark::State &State) {

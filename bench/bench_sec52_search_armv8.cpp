@@ -36,6 +36,7 @@ int main() {
   Cfg.Js = ModelSpec::original();
   Cfg.Deadness = SearchConfig::DeadnessMode::Semantic;
   Cfg.ExcludeInitSynchronization = true;
+  Cfg.Threads = 0; // shard the shape outer loop across all cores
   SearchStats Stats;
   std::optional<SkeletonCex> Cex;
   double Ms = timedMs([&] { Cex = searchArmCompilationCex(Cfg, &Stats); });

@@ -29,6 +29,7 @@ int main(int Argc, char **Argv) {
   Cfg.MaxEvents = MaxEvents;
   Cfg.NumLocs = 2;
   Cfg.Js = ModelSpec::revised();
+  Cfg.Threads = 0; // shard the shape outer loop across all cores
   BoundedCompilationReport R;
   double Ms = timedMs([&] { R = boundedCompilationCheck(Cfg); });
 

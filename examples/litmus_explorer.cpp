@@ -10,7 +10,11 @@
 /// equivalent of a herd7 session across a whole model zoo; see
 /// tests/differential_test.cpp for the pinned version of this table.
 ///
-/// Run:  build/examples/litmus_explorer
+/// Run:  build/example_litmus_explorer [--solver=brute|propagate]
+///
+/// The solver flag selects the tot-order decider behind every JavaScript
+/// verdict (default: the constraint-propagation solver); the brute
+/// linear-extension oracle is kept for differential runs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +23,7 @@
 #include "paper/Figures.h"
 #include "support/Str.h"
 
+#include <cstring>
 #include <iostream>
 
 using namespace jsmm;
@@ -110,8 +115,26 @@ const char *mark(bool Allowed) { return Allowed ? "A" : "-"; }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--solver=", 0) == 0) {
+      std::optional<SolverKind> Kind = solverKindByName(Arg.substr(9));
+      if (!Kind) {
+        std::cerr << "litmus_explorer: unknown solver '" << Arg.substr(9)
+                  << "'; pick 'brute' or 'propagate'\n";
+        return 2;
+      }
+      setDefaultSolverKind(*Kind);
+    } else {
+      std::cerr << "usage: litmus_explorer [--solver=brute|propagate]\n";
+      return 2;
+    }
+  }
   ExecutionEngine Engine;
+  std::cout << "Verdicts computed with the '"
+            << solverKindName(defaultSolverKind())
+            << "' tot-order solver.\n";
   std::cout << "Verdict of each test's weak outcome per backend:\n"
             << "  A = allowed, - = forbidden, . = not expressible uni-size\n"
             << "  (target backends compile the uni-size fragment: "

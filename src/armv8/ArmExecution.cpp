@@ -75,6 +75,15 @@ Relation ArmExecution::coherence() const {
 }
 
 Relation ArmExecution::fromReads() const {
+  return fromReadsImpl(/*WriterMustBePlaced=*/true);
+}
+
+Relation ArmExecution::fromReadsKnownCo() const {
+  return fromReadsImpl(/*WriterMustBePlaced=*/false);
+}
+
+Relation ArmExecution::fromReadsImpl(bool WriterMustBePlaced) const {
+  (void)WriterMustBePlaced;
   Relation Fr(numEvents());
   for (const RbfEdge &E : Rbf) {
     // Find the granule holding this byte; every write coherence-after the
@@ -84,9 +93,11 @@ Relation ArmExecution::fromReads() const {
           E.Loc >= G.End)
         continue;
       auto It = std::find(G.Order.begin(), G.Order.end(), E.Writer);
-      assert(It != G.Order.end() && "rbf writer missing from granule order");
-      for (auto Later = It + 1; Later != G.Order.end(); ++Later)
-        Fr.set(E.Reader, *Later);
+      assert((!WriterMustBePlaced || It != G.Order.end()) &&
+             "rbf writer missing from granule order");
+      if (It != G.Order.end())
+        for (auto Later = It + 1; Later != G.Order.end(); ++Later)
+          Fr.set(E.Reader, *Later);
       break;
     }
   }

@@ -78,8 +78,15 @@ public:
   Relation readsFrom() const; ///< rf: byte index projected away
   Relation coherence() const; ///< co: union of all granule orders
   /// fr: byte-wise from-reads, projected to events. fr(R,W') iff for some
-  /// byte the read reads a write co-before W' on that byte.
+  /// byte the read reads a write co-before W' on that byte. Every rbf
+  /// writer must appear in its granule order (i.e. co is complete).
   Relation fromReads() const;
+
+  /// As fromReads(), but tolerating partially filled granule orders (e.g.
+  /// only the forced Init prefix): rbf writers absent from their granule
+  /// order contribute no edges, so the result under-approximates every
+  /// completion's fr. Used by the co-prefix refutation.
+  Relation fromReadsKnownCo() const;
 
   /// \returns pairs restricted to distinct threads (external) or the same
   /// thread (internal).
@@ -92,6 +99,9 @@ public:
   bool checkWellFormed(std::string *Err = nullptr) const;
 
   std::string toString() const;
+
+private:
+  Relation fromReadsImpl(bool WriterMustBePlaced) const;
 };
 
 /// Enumerates every completion of \p X's granule coherence orders (X.Co

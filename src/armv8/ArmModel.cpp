@@ -6,12 +6,14 @@
 
 using namespace jsmm;
 
-ArmDerived ArmDerived::compute(const ArmExecution &X) {
+namespace {
+
+ArmDerived computeFrom(const ArmExecution &X, Relation Fr) {
   ArmDerived D;
   unsigned N = X.numEvents();
   D.Rf = X.readsFrom();
   D.Co = X.coherence();
-  D.Fr = X.fromReads();
+  D.Fr = std::move(Fr);
   D.Rfe = X.externalPart(D.Rf);
   D.Coe = X.externalPart(D.Co);
   D.Fre = X.externalPart(D.Fr);
@@ -53,39 +55,66 @@ ArmDerived ArmDerived::compute(const ArmExecution &X) {
 
   // dob = addr | data | ctrl;[W] | (ctrl | addr;po);[ISB];po;[R]
   //     | addr;po;[W] | (ctrl | data);coi | (addr | data);rfi
-  Relation CtrlOrAddrPo = X.CtrlDep.unioned(X.AddrDep.compose(Po));
-  D.Dob = X.AddrDep.unioned(X.DataDep)
-              .unioned(Restrict(All, X.CtrlDep, Writes))
-              .unioned(CtrlOrAddrPo.intersected(
-                  Relation::product(All, Isb, N)).compose(
-                  Restrict(Isb, Po, Reads)))
-              .unioned(X.AddrDep.compose(Restrict(All, Po, Writes)))
-              .unioned(X.CtrlDep.unioned(X.DataDep).compose(D.Coi))
-              .unioned(X.AddrDep.unioned(X.DataDep).compose(D.Rfi));
+  // Dependency-free executions (every skeleton-search candidate, most
+  // litmus shapes) have dob = ∅; skip its eight relation operations then —
+  // consistency checks run once per coherence completion, millions of
+  // times per sweep.
+  bool NoDeps =
+      X.AddrDep.empty() && X.DataDep.empty() && X.CtrlDep.empty();
+  D.Dob = Relation(N);
+  if (!NoDeps) {
+    Relation CtrlOrAddrPo = X.CtrlDep.unioned(X.AddrDep.compose(Po));
+    D.Dob = X.AddrDep.unioned(X.DataDep)
+                .unioned(Restrict(All, X.CtrlDep, Writes))
+                .unioned(CtrlOrAddrPo.intersected(
+                    Relation::product(All, Isb, N)).compose(
+                    Restrict(Isb, Po, Reads)))
+                .unioned(X.AddrDep.compose(Restrict(All, Po, Writes)))
+                .unioned(X.CtrlDep.unioned(X.DataDep).compose(D.Coi))
+                .unioned(X.AddrDep.unioned(X.DataDep).compose(D.Rfi));
+  }
 
   // aob = rmw | [range(rmw)];rfi;[A]
-  uint64_t RmwWrites = 0;
-  X.Rmw.forEachPair([&](unsigned, unsigned W) {
-    RmwWrites |= uint64_t(1) << W;
-  });
-  D.Aob = X.Rmw.unioned(Restrict(RmwWrites, D.Rfi, Acq));
+  D.Aob = Relation(N);
+  if (!X.Rmw.empty()) {
+    uint64_t RmwWrites = 0;
+    X.Rmw.forEachPair([&](unsigned, unsigned W) {
+      RmwWrites |= uint64_t(1) << W;
+    });
+    D.Aob = X.Rmw.unioned(Restrict(RmwWrites, D.Rfi, Acq));
+  }
 
   // bob = po;[dmb.full];po | [L];po;[A] | [R];po;[dmb.ld];po
   //     | [A];po | [W];po;[dmb.st];po;[W] | po;[L] | po;[L];coi
+  // Fence-free terms only when the corresponding fence class is present.
   Relation PoL = Restrict(All, Po, Rel);
-  D.Bob = Restrict(All, Po, DmbFull).compose(Restrict(DmbFull, Po, All));
-  D.Bob.unionWith(Restrict(Rel, Po, Acq));
-  D.Bob.unionWith(
-      Restrict(Reads, Po, DmbLd).compose(Restrict(DmbLd, Po, All)));
+  D.Bob = Restrict(Rel, Po, Acq);
+  if (DmbFull)
+    D.Bob.unionWith(
+        Restrict(All, Po, DmbFull).compose(Restrict(DmbFull, Po, All)));
+  if (DmbLd)
+    D.Bob.unionWith(
+        Restrict(Reads, Po, DmbLd).compose(Restrict(DmbLd, Po, All)));
   D.Bob.unionWith(Restrict(Acq, Po, All));
-  D.Bob.unionWith(
-      Restrict(Writes, Po, DmbSt).compose(Restrict(DmbSt, Po, Writes)));
+  if (DmbSt)
+    D.Bob.unionWith(
+        Restrict(Writes, Po, DmbSt).compose(Restrict(DmbSt, Po, Writes)));
   D.Bob.unionWith(PoL);
   D.Bob.unionWith(PoL.compose(D.Coi));
 
   D.Ob = D.Obs.unioned(D.Dob).unioned(D.Aob).unioned(D.Bob)
              .transitiveClosure();
   return D;
+}
+
+} // namespace
+
+ArmDerived ArmDerived::compute(const ArmExecution &X) {
+  return computeFrom(X, X.fromReads());
+}
+
+ArmDerived ArmDerived::computeCoPrefix(const ArmExecution &X) {
+  return computeFrom(X, X.fromReadsKnownCo());
 }
 
 bool jsmm::checkArmInternal(const ArmExecution &X) {
@@ -144,4 +173,30 @@ bool jsmm::isArmConsistent(const ArmExecution &X, std::string *WhyNot) {
   if (!checkArmAtomic(X, D))
     return Fail("atomicity of exclusives");
   return true;
+}
+
+bool jsmm::armRefutedForEveryCo(const ArmExecution &X) {
+  // checkArmInternal already skips writers missing from their granule
+  // order, so it is safe on (and monotone in) a coherence prefix.
+  if (!checkArmInternal(X))
+    return true;
+  ArmDerived D = ArmDerived::computeCoPrefix(X);
+  return !checkArmExternal(X, D) || !checkArmAtomic(X, D);
+}
+
+bool jsmm::forEachConsistentCoherenceCompletion(
+    ArmExecution &X, const std::function<bool()> &Visit) {
+  // Root refutation: every axiom is violation-monotone in co, so a
+  // violation on the forced Init-first prefix alone refutes all
+  // completions, skipping the factorial walk on most inconsistent
+  // executions. (Refuting again at inner nodes is not worth it at litmus
+  // sizes: a prefix refutation costs about as much as the handful of leaf
+  // checks it could save.)
+  if (armRefutedForEveryCo(X))
+    return true;
+  return forEachCoherenceCompletion(X, [&] {
+    if (!isArmConsistent(X))
+      return true;
+    return Visit();
+  });
 }

@@ -33,6 +33,12 @@ struct ArmDerived {
   Relation Ob;  ///< (obs ∪ dob ∪ aob ∪ bob)+
 
   static ArmDerived compute(const ArmExecution &X);
+
+  /// As compute(), but tolerating partially filled coherence granule
+  /// orders (e.g. only the forced Init prefix): co, fr and everything
+  /// downstream are computed from the known coherence edges only, giving
+  /// an under-approximation of every completion's relations.
+  static ArmDerived computeCoPrefix(const ArmExecution &X);
 };
 
 /// Internal visibility: per-byte coherence (SC per location, generalised to
@@ -47,6 +53,24 @@ bool checkArmAtomic(const ArmExecution &X, const ArmDerived &D);
 
 /// All three axioms.
 bool isArmConsistent(const ArmExecution &X, std::string *WhyNot = nullptr);
+
+/// Sound refutation over every coherence completion of \p X, whose
+/// granule orders may be partial (typically the forced Init-first
+/// prefix): each axiom is violation-monotone in co — completing the
+/// granule orders only adds co/fr/obs edges — so an axiom violated with
+/// the known edges alone is violated under every completion.
+/// \returns true if no completion can be consistent; false is
+/// inconclusive (the completions must be searched).
+bool armRefutedForEveryCo(const ArmExecution &X);
+
+/// Walks the coherence completions of \p X (granule orders seeded with
+/// their forced prefix, as by computeGranules()), invoking \p Visit on
+/// exactly the *consistent* completions. Executions refuted on the seeded
+/// prefix (armRefutedForEveryCo) skip the factorial walk entirely.
+/// \p Visit returns false to stop; \returns false if stopped. X is
+/// restored to its seeded granule orders on return.
+bool forEachConsistentCoherenceCompletion(ArmExecution &X,
+                                          const std::function<bool()> &Visit);
 
 } // namespace jsmm
 

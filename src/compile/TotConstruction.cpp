@@ -38,7 +38,8 @@ bool jsmm::constructTot(const TranslationResult &TR, const ArmExecution &X,
 }
 
 CompileCheckResult jsmm::checkCompilationForProgram(const Program &Js,
-                                                    ModelSpec Spec) {
+                                                    ModelSpec Spec,
+                                                    SolverConfig Solver) {
   CompileCheckResult Result;
   CompiledProgram CP = compileToArm(Js);
   forEachArmExecution(CP.Arm, [&](const ArmExecution &X, const Outcome &O) {
@@ -59,7 +60,9 @@ CompileCheckResult jsmm::checkCompilationForProgram(const Program &Js,
     if (Witnessed)
       ++Result.ConstructionWitnessed;
 
-    bool Exists = Witnessed || isValidForSomeTot(TR.Js, Spec);
+    bool Exists = Witnessed || isValidForSomeTot(TR.Js, Spec,
+                                                 /*TotOut=*/nullptr,
+                                                 totSolver(Solver));
     if (Exists)
       ++Result.ExistentiallyValid;
 

@@ -59,9 +59,14 @@ struct CompileCheckResult {
   }
 };
 
-/// Runs the check for \p Js under model \p Spec.
+/// Runs the check for \p Js under model \p Spec. The fallback existential
+/// validity decision (when the construction itself fails to witness) is
+/// made by the order solver selected in \p Solver (empty = process
+/// default).
 CompileCheckResult checkCompilationForProgram(const Program &Js,
-                                              ModelSpec Spec);
+                                              ModelSpec Spec,
+                                              SolverConfig Solver =
+                                                  SolverConfig());
 
 } // namespace jsmm
 

@@ -2,7 +2,7 @@
 
 #include "core/Validity.h"
 
-#include "support/LinearExtensions.h"
+#include "solver/ScConstraints.h"
 
 using namespace jsmm;
 
@@ -186,28 +186,28 @@ bool jsmm::isValid(const CandidateExecution &CE, ModelSpec Spec,
 }
 
 bool jsmm::isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
-                             Relation *TotOut) {
+                             Relation *TotOut, const TotSolver &Solver) {
   const DerivedTriple &D = CE.derived(Spec.Sw);
   if (!checkTotIndependentAxioms(CE, D, Spec))
     return false;
-  // HBC1 forces tot ⊇ hb; if hb is cyclic no tot exists.
-  if (!D.Hb.isAcyclic())
+  // HBC1 forces tot ⊇ hb; if hb is cyclic no tot exists. The derived hb
+  // is transitively closed, so irreflexivity is acyclicity.
+  if (!D.Hb.isIrreflexive())
     return false;
-  bool Found = false;
-  forEachLinearExtension(
-      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
-        if (checkScAtomics(CE, D, Spec.Sc, Tot)) {
-          Found = true;
-          if (TotOut)
-            *TotOut = Tot;
-          return false; // stop
-        }
-        return true;
-      });
-  return Found;
+  TotProblem P = scAtomicsProblem(CE, D, Spec.Sc);
+  return Solver.existsExtension(P, TotOut);
+}
+
+bool jsmm::isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
+                             Relation *TotOut) {
+  return isValidForSomeTot(CE, Spec, TotOut, defaultTotSolver());
+}
+
+bool jsmm::isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec,
+                              const TotSolver &Solver) {
+  return !isValidForSomeTot(CE, Spec, /*TotOut=*/nullptr, Solver);
 }
 
 bool jsmm::isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec) {
-  return !isValidForSomeTot(CE, Spec);
+  return isInvalidForAllTot(CE, Spec, defaultTotSolver());
 }

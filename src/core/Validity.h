@@ -25,6 +25,7 @@
 #define JSMM_CORE_VALIDITY_H
 
 #include "core/CandidateExecution.h"
+#include "solver/TotSolver.h"
 
 #include <string>
 
@@ -113,15 +114,24 @@ bool isValid(const CandidateExecution &CE, ModelSpec Spec,
 
 /// Decides whether some strict total order over the events makes \p CE
 /// valid under \p Spec. CE's own Tot member is ignored. If \p TotOut is
-/// non-null and a witness exists, it receives the witnessing order.
+/// non-null and a witness exists, it receives the witnessing order (stable
+/// smallest-index tie-break, so the witness is deterministic for a given
+/// execution regardless of solver scheduling or thread counts).
 ///
-/// Sound and complete: HBC1 requires tot ⊇ hb, so only linear extensions
-/// of hb need to be enumerated.
+/// Sound and complete: HBC1 requires tot ⊇ hb and the SC Atomics rule is
+/// a conjunction of betweenness constraints with tot-independent side
+/// conditions, so the question is handed to \p Solver as a TotProblem
+/// (solver/ScConstraints). The overload without a solver argument uses the
+/// process default (see defaultSolverKind()).
+bool isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
+                       Relation *TotOut, const TotSolver &Solver);
 bool isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
                        Relation *TotOut = nullptr);
 
 /// Decides whether \p CE is invalid under \p Spec for *every* choice of
 /// tot — the exact semantic counterpart of Wickerson-style deadness (§5.2).
+bool isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec,
+                        const TotSolver &Solver);
 bool isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec);
 
 } // namespace jsmm

@@ -2,7 +2,7 @@
 
 #include "engine/MemoryModel.h"
 
-#include "support/LinearExtensions.h"
+#include "solver/ScConstraints.h"
 
 #include <algorithm>
 #include <functional>
@@ -17,37 +17,27 @@ bool JsModel::admitsPartial(const CandidateExecution &CE) const {
   if (!checkTotIndependentAxioms(CE, D, Spec))
     return false;
   // HBC1 forces tot ⊇ hb, and hb only grows: a cyclic prefix is dead.
-  return D.Hb.isAcyclic();
+  // (The derived hb is transitively closed: irreflexivity is acyclicity.)
+  return D.Hb.isIrreflexive();
 }
 
 bool JsModel::allows(const CandidateExecution &CE, Relation *TotOut) const {
-  return isValidForSomeTot(CE, Spec, TotOut);
+  return isValidForSomeTot(CE, Spec, TotOut, totSolver(Solver));
 }
 
 bool JsModel::refutableForSomeTot(const CandidateExecution &CE,
                                   Relation *TotOut) const {
   const DerivedTriple &D = CE.derived(Spec.Sw);
-  if (!D.Hb.isAcyclic())
-    return false; // no well-formed tot exists at all
+  if (!D.Hb.isIrreflexive())
+    return false; // no well-formed tot exists at all (hb is closed)
   if (!checkTotIndependentAxioms(CE, D, Spec)) {
     if (TotOut)
-      *TotOut =
-          totalOrderFromSequence(D.Hb.topologicalOrder(), CE.numEvents());
+      *TotOut = totalOrderFromSequence(
+          lexSmallestExtension(D.Hb, CE.allEventsMask()), CE.numEvents());
     return true;
   }
-  bool Found = false;
-  forEachLinearExtension(
-      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
-        if (!checkScAtomics(CE, D, Spec.Sc, Tot)) {
-          Found = true;
-          if (TotOut)
-            *TotOut = Tot;
-          return false;
-        }
-        return true;
-      });
-  return Found;
+  TotProblem P = scAtomicsProblem(CE, D, Spec.Sc);
+  return totSolver(Solver).existsViolatingExtension(P, TotOut);
 }
 
 bool Armv8Model::allows(const ArmExecution &X) const {
@@ -56,12 +46,15 @@ bool Armv8Model::allows(const ArmExecution &X) const {
 
 bool Armv8Model::allowsForSomeCo(const ArmExecution &X,
                                  ArmExecution *Witness) const {
+  // The pruned walk refutes whole coherence subtrees on their prefix
+  // (every axiom is violation-monotone in co), skipping most of the
+  // factorial completion search in the expensive "no coherence works"
+  // direction the §5.2 sweep hits millions of times; its visitor sees
+  // exactly the consistent completions.
   ArmExecution Work = X;
   Work.Co = Work.computeGranules();
   bool Found = false;
-  forEachCoherenceCompletion(Work, [&] {
-    if (!isArmConsistent(Work))
-      return true; // keep searching
+  forEachConsistentCoherenceCompletion(Work, [&] {
     if (Witness)
       *Witness = Work;
     Found = true;

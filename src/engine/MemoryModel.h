@@ -38,13 +38,18 @@ public:
   virtual const char *name() const = 0;
 };
 
-/// The JavaScript memory model in one of its ModelSpec variants.
+/// The JavaScript memory model in one of its ModelSpec variants. The
+/// tot-order questions (allows / refutableForSomeTot) are decided by the
+/// order solver selected in \p Solver; an unset SolverConfig resolves to
+/// the process default (--solver=... in the CLI tools).
 class JsModel : public MemoryModel {
 public:
   JsModel() : Spec(ModelSpec::revised()) {}
-  explicit JsModel(ModelSpec Spec) : Spec(Spec) {}
+  explicit JsModel(ModelSpec Spec, SolverConfig Solver = SolverConfig())
+      : Spec(Spec), Solver(Solver) {}
 
   const ModelSpec &spec() const { return Spec; }
+  const SolverConfig &solver() const { return Solver; }
   const char *name() const override { return Spec.Name; }
 
   /// Monotone admission of a *partially justified* candidate: every read
@@ -67,6 +72,7 @@ public:
 
 private:
   ModelSpec Spec;
+  SolverConfig Solver;
 };
 
 /// The mixed-size ARMv8 axiomatic model (§4).

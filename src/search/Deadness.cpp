@@ -2,7 +2,7 @@
 
 #include "search/Deadness.h"
 
-#include "support/LinearExtensions.h"
+#include "solver/ScConstraints.h"
 
 using namespace jsmm;
 
@@ -38,34 +38,38 @@ bool jsmm::isSyntacticallyDeadCounterExample(const CandidateExecution &CE,
 }
 
 bool jsmm::existsSyntacticallyDeadTot(const CandidateExecution &CE,
-                                      ModelSpec Spec, Relation *TotOut) {
+                                      ModelSpec Spec, Relation *TotOut,
+                                      const TotSolver &Solver) {
   const DerivedTriple &D = CE.derived(Spec.Sw);
   // Invalidity through a tot-independent axiom is dead by definition.
+  // (The derived hb is transitively closed: irreflexivity is acyclicity.)
   if (!checkTotIndependentAxioms(CE, D, Spec)) {
-    if (D.Hb.isAcyclic()) {
+    if (D.Hb.isIrreflexive()) {
       if (TotOut)
-        *TotOut = totalOrderFromSequence(D.Hb.topologicalOrder(),
-                                         CE.numEvents());
+        *TotOut = totalOrderFromSequence(
+            lexSmallestExtension(D.Hb, CE.allEventsMask()), CE.numEvents());
       return true;
     }
     return false; // no well-formed tot at all
   }
-  if (!D.Hb.isAcyclic())
+  if (!D.Hb.isIrreflexive())
     return false;
-  bool Found = false;
-  forEachLinearExtension(
-      D.Hb, CE.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, CE.numEvents());
-        if (!checkScAtomics(CE, D, Spec.Sc, Tot) &&
-            criticalEdgesAreHbForced(CE, Tot, D.Hb)) {
-          Found = true;
-          if (TotOut)
-            *TotOut = Tot;
-          return false;
-        }
-        return true;
-      });
-  return Found;
+  // A tot is syntactically dead iff it contains every anti-critical forced
+  // edge (criticalEdgesAreHbForced), so the criterion folds into the
+  // must-order and the question becomes the plain refutation dual.
+  TotProblem P = scAtomicsProblem(CE, D, Spec.Sc);
+  addSyntacticDeadnessEdges(CE, D.Hb, P);
+  return Solver.existsViolatingExtension(P, TotOut);
+}
+
+bool jsmm::existsSyntacticallyDeadTot(const CandidateExecution &CE,
+                                      ModelSpec Spec, Relation *TotOut) {
+  return existsSyntacticallyDeadTot(CE, Spec, TotOut, defaultTotSolver());
+}
+
+bool jsmm::isSemanticallyDead(const CandidateExecution &CE, ModelSpec Spec,
+                              const TotSolver &Solver) {
+  return isInvalidForAllTot(CE, Spec, Solver);
 }
 
 bool jsmm::isSemanticallyDead(const CandidateExecution &CE, ModelSpec Spec) {

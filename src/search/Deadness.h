@@ -35,11 +35,18 @@ bool isSyntacticallyDeadCounterExample(const CandidateExecution &CE,
 
 /// \returns true if some tot makes \p CE an (invalid, syntactically dead)
 /// counter-example; fills \p TotOut with the witnessing tot if non-null.
+/// The criterion "every critical tot edge is hb-forced" is encoded as
+/// forced must-edges on the solver problem (a critical pair hb does not
+/// force must be ordered the other way), so any TotSolver decides it.
+bool existsSyntacticallyDeadTot(const CandidateExecution &CE, ModelSpec Spec,
+                                Relation *TotOut, const TotSolver &Solver);
 bool existsSyntacticallyDeadTot(const CandidateExecution &CE, ModelSpec Spec,
                                 Relation *TotOut = nullptr);
 
 /// The exact semantic criterion: invalid under every tot (equivalent to
 /// isInvalidForAllTot, re-exported here under the Wickerson vocabulary).
+bool isSemanticallyDead(const CandidateExecution &CE, ModelSpec Spec,
+                        const TotSolver &Solver);
 bool isSemanticallyDead(const CandidateExecution &CE, ModelSpec Spec);
 
 } // namespace jsmm

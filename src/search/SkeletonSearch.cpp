@@ -8,6 +8,9 @@
 #include "engine/ExecutionEngine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
 
 using namespace jsmm;
 
@@ -56,32 +59,81 @@ void buildTwins(const std::vector<EventShape> &Shape, unsigned NumLocs,
       }
 }
 
+/// Enumerates the canonical choices for one shape position (threads as a
+/// restricted-growth string x kind x mode x location), invoking
+/// \p Fn(Shape) for each. The single source of the choice order: both the
+/// sequential recursion and the sharded work-unit collection iterate
+/// through here, so unit order always refines sequential order.
+/// \p Fn returns false to stop; \returns false if stopped.
+template <typename FnT>
+bool forEachShapeChoice(const SearchConfig &Cfg, unsigned NumLocs,
+                        int MaxThreadUsed, FnT Fn) {
+  int ThreadLimit = std::min<int>(MaxThreadUsed + 1,
+                                  static_cast<int>(Cfg.MaxThreads) - 1);
+  for (int T = 0; T <= ThreadLimit; ++T)
+    for (bool IsWrite : {true, false})
+      for (Mode Ord : {Mode::SeqCst, Mode::Unordered})
+        for (unsigned Loc = 0; Loc < NumLocs; ++Loc)
+          if (!Fn(EventShape{T, IsWrite, Ord, Loc}))
+            return false;
+  return true;
+}
+
+/// Per-work-unit rbf-candidate meter. Counts locally and flushes into the
+/// shared total when the unit finishes, so workers do not contend on an
+/// atomic per candidate; the budget check uses the unit-start snapshot of
+/// the shared total plus the local count — exact in sequential runs,
+/// slightly permissive across concurrent units (documented on
+/// SearchConfig::Threads).
+struct RbfMeter {
+  std::atomic<uint64_t> *Total = nullptr; ///< null: no metering
+  std::atomic<bool> *Exhausted = nullptr;
+  uint64_t Max = 0;  ///< 0: no cap
+  uint64_t Base = 0; ///< shared total at unit start
+  uint64_t Local = 0;
+
+  void beginUnit() {
+    if (Total)
+      Base = Total->load(std::memory_order_relaxed);
+    Local = 0;
+  }
+  void flushUnit() {
+    if (Total && Local)
+      Total->fetch_add(Local, std::memory_order_relaxed);
+    Local = 0;
+  }
+};
+
 /// Enumerates rbf choices for the twins through the engine's joint
 /// justifier, metering the candidate budget.
 bool enumerateRbf(
-    CandidateExecution &Js, ArmExecution &Arm, SearchStats *Stats,
-    uint64_t MaxCandidates,
+    CandidateExecution &Js, ArmExecution &Arm, RbfMeter *Meter,
     const std::function<bool(const CandidateExecution &, const ArmExecution &)>
         &Visit) {
   return ExecutionEngine::forEachTwinJustification(
       Js, Arm,
       [&](const CandidateExecution &J, const ArmExecution &A) {
-        if (Stats) {
-          ++Stats->RbfCandidates;
-          if (MaxCandidates && Stats->RbfCandidates > MaxCandidates) {
-            Stats->BudgetExhausted = true;
+        if (Meter && Meter->Total) {
+          ++Meter->Local;
+          if (Meter->Max && Meter->Base + Meter->Local > Meter->Max) {
+            if (Meter->Exhausted)
+              Meter->Exhausted->store(true, std::memory_order_relaxed);
             return false;
           }
+          if (Meter->Exhausted &&
+              Meter->Exhausted->load(std::memory_order_relaxed))
+            return false;
         }
         return Visit(J, A);
       });
 }
 
-/// Enumerates shapes: thread restricted-growth strings x kind x mode x loc.
+/// Enumerates shapes from position \p Pos (earlier positions prefilled):
+/// thread restricted-growth strings x kind x mode x loc.
 bool enumerateShapes(
     const SearchConfig &Cfg, unsigned NumEvents, unsigned NumLocs,
     std::vector<EventShape> &Shape, unsigned Pos, int MaxThreadUsed,
-    SearchStats *Stats,
+    std::atomic<uint64_t> *Skeletons, RbfMeter *Meter,
     const std::function<bool(const CandidateExecution &, const ArmExecution &)>
         &Visit) {
   if (Pos == NumEvents) {
@@ -92,25 +144,188 @@ bool enumerateShapes(
       Used |= uint64_t(1) << S.Loc;
     if (Used != (uint64_t(1) << NumLocs) - 1)
       return true;
-    if (Stats)
-      ++Stats->Skeletons;
+    if (Skeletons)
+      Skeletons->fetch_add(1, std::memory_order_relaxed);
     CandidateExecution Js;
     ArmExecution Arm;
     buildTwins(Shape, NumLocs, Js, Arm);
-    return enumerateRbf(Js, Arm, Stats, Cfg.MaxCandidates, Visit);
+    return enumerateRbf(Js, Arm, Meter, Visit);
   }
-  int ThreadLimit = std::min<int>(MaxThreadUsed + 1,
-                                  static_cast<int>(Cfg.MaxThreads) - 1);
-  for (int T = 0; T <= ThreadLimit; ++T)
-    for (bool IsWrite : {true, false})
-      for (Mode Ord : {Mode::SeqCst, Mode::Unordered})
-        for (unsigned Loc = 0; Loc < NumLocs; ++Loc) {
-          Shape[Pos] = {T, IsWrite, Ord, Loc};
-          if (!enumerateShapes(Cfg, NumEvents, NumLocs, Shape, Pos + 1,
-                               std::max(MaxThreadUsed, T), Stats, Visit))
+  return forEachShapeChoice(Cfg, NumLocs, MaxThreadUsed,
+                            [&](const EventShape &S) {
+                              Shape[Pos] = S;
+                              return enumerateShapes(
+                                  Cfg, NumEvents, NumLocs, Shape, Pos + 1,
+                                  std::max(MaxThreadUsed, S.Thread),
+                                  Skeletons, Meter, Visit);
+                            });
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded sweep driver
+//===----------------------------------------------------------------------===//
+
+/// One work unit of a sharded (NumEvents, NumLocs) pass: a complete
+/// assignment of the first few shape positions; the unit enumerates the
+/// remaining positions sequentially. Units are collected in the order the
+/// sequential recursion reaches their prefixes, so unit order refines the
+/// sequential enumeration order.
+struct ShapeUnit {
+  std::vector<EventShape> Prefix;
+  int MaxThreadUsed = -1;
+};
+
+void collectUnits(const SearchConfig &Cfg, unsigned NumLocs,
+                  std::vector<EventShape> &Prefix, unsigned Pos,
+                  unsigned Depth, int MaxThreadUsed,
+                  std::vector<ShapeUnit> &Units) {
+  if (Pos == Depth) {
+    Units.push_back({Prefix, MaxThreadUsed});
+    return;
+  }
+  forEachShapeChoice(Cfg, NumLocs, MaxThreadUsed, [&](const EventShape &S) {
+    Prefix[Pos] = S;
+    collectUnits(Cfg, NumLocs, Prefix, Pos + 1, Depth,
+                 std::max(MaxThreadUsed, S.Thread), Units);
+    return true;
+  });
+}
+
+/// The candidate visitor of a sharded sweep. Invoked concurrently from
+/// different units, with the unit index; must only touch state owned by
+/// that unit (or atomics). \returns false to finish the unit early — the
+/// driver records the unit as a hit.
+using UnitVisit = std::function<bool(size_t Unit, const CandidateExecution &,
+                                     const ArmExecution &)>;
+
+/// Runs one (NumEvents, NumLocs) pass of the skeleton sweep across
+/// \p Workers threads. A unit whose index exceeds the smallest hit unit so
+/// far is abandoned (its hit could never win), so early termination
+/// carries over from the sequential search; units below the current best
+/// always run to completion, which makes the winning unit — and therefore
+/// the search result — identical for every thread count in unbudgeted
+/// runs. (A budget is consumed jointly by concurrent units, so where it
+/// cuts off — and hence the result of a budget-capped multi-worker run —
+/// depends on scheduling; see SearchConfig::Threads.)
+///
+/// \returns the smallest hit unit index, or SIZE_MAX if no unit hit.
+size_t runShardedPass(const SearchConfig &Cfg, unsigned NumEvents,
+                      unsigned NumLocs, unsigned Workers, SearchStats *Stats,
+                      std::atomic<bool> &BudgetExhausted,
+                      const UnitVisit &Visit) {
+  unsigned Depth = std::min(NumEvents, 2u);
+  std::vector<ShapeUnit> Units;
+  {
+    std::vector<EventShape> Prefix(Depth);
+    collectUnits(Cfg, NumLocs, Prefix, 0, Depth, -1, Units);
+  }
+
+  std::atomic<uint64_t> Skeletons{0}, RbfCandidates{Stats ? Stats->RbfCandidates
+                                                          : 0};
+  std::atomic<size_t> NextUnit{0};
+  std::atomic<size_t> MinHitUnit{SIZE_MAX};
+
+  auto RunUnit = [&](size_t I) {
+    ShapeUnit &U = Units[I];
+    std::vector<EventShape> Shape(NumEvents);
+    std::copy(U.Prefix.begin(), U.Prefix.end(), Shape.begin());
+    RbfMeter Meter{Stats ? &RbfCandidates : nullptr, &BudgetExhausted,
+                   Cfg.MaxCandidates};
+    Meter.beginUnit();
+    enumerateShapes(
+        Cfg, NumEvents, NumLocs, Shape, Depth, U.MaxThreadUsed, &Skeletons,
+        &Meter,
+        [&](const CandidateExecution &Js, const ArmExecution &Arm) {
+          if (BudgetExhausted.load(std::memory_order_relaxed))
             return false;
-        }
-  return true;
+          if (I > MinHitUnit.load(std::memory_order_relaxed))
+            return false; // beaten by an earlier unit: abandon
+          if (!Visit(I, Js, Arm)) {
+            // Record the hit; keep the smallest unit index.
+            size_t Cur = MinHitUnit.load(std::memory_order_relaxed);
+            while (I < Cur &&
+                   !MinHitUnit.compare_exchange_weak(Cur, I,
+                                                     std::memory_order_relaxed))
+              ;
+            return false;
+          }
+          return true;
+        });
+    Meter.flushUnit();
+  };
+
+  auto Worker = [&] {
+    for (size_t I = NextUnit.fetch_add(1); I < Units.size();
+         I = NextUnit.fetch_add(1)) {
+      if (BudgetExhausted.load(std::memory_order_relaxed))
+        break;
+      if (I > MinHitUnit.load(std::memory_order_relaxed))
+        continue;
+      RunUnit(I);
+    }
+  };
+
+  if (Workers <= 1 || Units.size() <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    unsigned NumThreads = static_cast<unsigned>(
+        std::min<size_t>(Workers, Units.size()));
+    Pool.reserve(NumThreads);
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  if (Stats) {
+    Stats->Skeletons += Skeletons.load();
+    Stats->RbfCandidates = RbfCandidates.load();
+    if (BudgetExhausted.load())
+      Stats->BudgetExhausted = true;
+  }
+  return MinHitUnit.load();
+}
+
+unsigned searchWorkers(const SearchConfig &Cfg) {
+  if (Cfg.Threads)
+    return Cfg.Threads;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+/// Runs the full (events × locations) sweep, returning the first hit of
+/// \p TryCandidate in sequential enumeration order, for any thread count.
+/// TryCandidate must be pure: it may not touch shared mutable state.
+std::optional<SkeletonCex> shardedFirstHit(
+    const SearchConfig &Cfg, SearchStats *Stats,
+    const std::function<std::optional<SkeletonCex>(
+        const CandidateExecution &, const ArmExecution &)> &TryCandidate) {
+  unsigned Workers = searchWorkers(Cfg);
+  std::atomic<bool> BudgetExhausted{false};
+  for (unsigned N = Cfg.MinEvents; N <= Cfg.MaxEvents; ++N)
+    for (unsigned L = 1; L <= Cfg.NumLocs; ++L) {
+      std::vector<std::optional<SkeletonCex>> Hits;
+      std::mutex HitsMutex;
+      size_t Winner = runShardedPass(
+          Cfg, N, L, Workers, Stats, BudgetExhausted,
+          [&](size_t Unit, const CandidateExecution &Js,
+              const ArmExecution &Arm) {
+            std::optional<SkeletonCex> Hit = TryCandidate(Js, Arm);
+            if (!Hit)
+              return true;
+            std::lock_guard<std::mutex> Lock(HitsMutex);
+            if (Hits.size() <= Unit)
+              Hits.resize(Unit + 1);
+            Hits[Unit] = std::move(Hit);
+            return false;
+          });
+      if (Winner != SIZE_MAX)
+        return std::move(Hits[Winner]);
+      if (BudgetExhausted.load())
+        return std::nullopt;
+    }
+  return std::nullopt;
 }
 
 } // namespace
@@ -120,13 +335,27 @@ bool jsmm::forEachSkeletonCandidate(
     const std::function<bool(const CandidateExecution &, const ArmExecution &)>
         &Visit,
     SearchStats *Stats) {
-  for (unsigned N = Cfg.MinEvents; N <= Cfg.MaxEvents; ++N)
-    for (unsigned L = 1; L <= Cfg.NumLocs; ++L) {
+  // Sequential by contract: the visitation order is part of the API.
+  std::atomic<uint64_t> Skeletons{0}, RbfCandidates{0};
+  std::atomic<bool> BudgetExhausted{false};
+  RbfMeter Meter{Stats ? &RbfCandidates : nullptr, &BudgetExhausted,
+                 Cfg.MaxCandidates};
+  Meter.beginUnit();
+  bool Completed = true;
+  for (unsigned N = Cfg.MinEvents; N <= Cfg.MaxEvents && Completed; ++N)
+    for (unsigned L = 1; L <= Cfg.NumLocs && Completed; ++L) {
       std::vector<EventShape> Shape(N);
-      if (!enumerateShapes(Cfg, N, L, Shape, 0, -1, Stats, Visit))
-        return false;
+      Completed = enumerateShapes(Cfg, N, L, Shape, 0, -1, &Skeletons,
+                                  &Meter, Visit);
     }
-  return true;
+  Meter.flushUnit();
+  if (Stats) {
+    Stats->Skeletons += Skeletons.load();
+    Stats->RbfCandidates += RbfCandidates.load();
+    if (BudgetExhausted.load())
+      Stats->BudgetExhausted = true;
+  }
+  return Completed && !BudgetExhausted.load();
 }
 
 bool jsmm::armConsistentForSomeCo(const ArmExecution &X,
@@ -135,147 +364,166 @@ bool jsmm::armConsistentForSomeCo(const ArmExecution &X,
 }
 
 bool jsmm::existsInvalidTot(const CandidateExecution &CE, ModelSpec Spec,
-                            Relation *TotOut) {
-  return JsModel(Spec).refutableForSomeTot(CE, TotOut);
+                            Relation *TotOut, SolverConfig Solver) {
+  return JsModel(Spec, Solver).refutableForSomeTot(CE, TotOut);
 }
 
 std::optional<SkeletonCex>
 jsmm::searchArmCompilationCex(const SearchConfig &Cfg, SearchStats *Stats) {
-  std::optional<SkeletonCex> Found;
-  forEachSkeletonCandidate(
-      Cfg,
-      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
-        if (Cfg.ExcludeInitSynchronization) {
-          for (const Event &R : Js.Events) {
-            if (!R.isRead() || R.Ord != Mode::SeqCst)
-              continue;
-            bool OnlyInit = true;
-            for (const RbfEdge &E : Js.Rbf)
-              if (E.Reader == R.Id &&
-                  Js.Events[E.Writer].Ord != Mode::Init)
-                OnlyInit = false;
-            if (OnlyInit)
-              return true; // would synchronize with Init: skip
-          }
-        }
-        // Cheap necessary condition first: decide JS-side invalidity (in
-        // the configured deadness mode), then look for an ARM witness.
-        // The witness copy is deferred to the (rare) hit path.
-        bool JsBad = false;
-        Relation Tot;
-        bool HasTot = false;
-        switch (Cfg.Deadness) {
-        case SearchConfig::DeadnessMode::Semantic:
-          JsBad = isSemanticallyDead(Js, Cfg.Js);
-          break;
-        case SearchConfig::DeadnessMode::Syntactic:
-          JsBad = existsSyntacticallyDeadTot(Js, Cfg.Js, &Tot);
-          HasTot = JsBad;
-          break;
-        case SearchConfig::DeadnessMode::None:
-          JsBad = existsInvalidTot(Js, Cfg.Js, &Tot);
-          HasTot = JsBad;
-          break;
-        }
-        if (!JsBad)
-          return true;
-        CandidateExecution JsWitness = Js;
-        if (HasTot)
-          JsWitness.Tot = Tot;
-        if (Stats)
-          ++Stats->ArmConsistencyChecks;
-        ArmExecution Witness;
-        if (!armConsistentForSomeCo(Arm, &Witness))
-          return true;
-        SkeletonCex Cex;
-        Cex.Js = JsWitness;
-        Cex.Arm = Witness;
-        Cex.NumEvents = Js.numEvents() - 1; // exclude Init
-        uint64_t Used = 0;
-        for (const Event &E : Js.Events)
-          if (E.Ord != Mode::Init)
-            Used |= uint64_t(1) << E.Index;
-        Cex.NumLocs = static_cast<unsigned>(__builtin_popcountll(Used));
-        Found = std::move(Cex);
-        return false;
-      },
-      Stats);
+  const TotSolver &Solver = totSolver(Cfg.Solver);
+  std::atomic<uint64_t> ArmChecks{0};
+  auto TryCandidate =
+      [&](const CandidateExecution &Js,
+          const ArmExecution &Arm) -> std::optional<SkeletonCex> {
+    if (Cfg.ExcludeInitSynchronization) {
+      for (const Event &R : Js.Events) {
+        if (!R.isRead() || R.Ord != Mode::SeqCst)
+          continue;
+        bool OnlyInit = true;
+        for (const RbfEdge &E : Js.Rbf)
+          if (E.Reader == R.Id && Js.Events[E.Writer].Ord != Mode::Init)
+            OnlyInit = false;
+        if (OnlyInit)
+          return std::nullopt; // would synchronize with Init: skip
+      }
+    }
+    // Cheap necessary condition first: decide JS-side invalidity (in the
+    // configured deadness mode), then look for an ARM witness. The witness
+    // copy is deferred to the (rare) hit path.
+    bool JsBad = false;
+    Relation Tot;
+    bool HasTot = false;
+    switch (Cfg.Deadness) {
+    case SearchConfig::DeadnessMode::Semantic:
+      JsBad = isSemanticallyDead(Js, Cfg.Js, Solver);
+      break;
+    case SearchConfig::DeadnessMode::Syntactic:
+      JsBad = existsSyntacticallyDeadTot(Js, Cfg.Js, &Tot, Solver);
+      HasTot = JsBad;
+      break;
+    case SearchConfig::DeadnessMode::None:
+      JsBad = existsInvalidTot(Js, Cfg.Js, &Tot, Cfg.Solver);
+      HasTot = JsBad;
+      break;
+    }
+    if (!JsBad)
+      return std::nullopt;
+    ArmChecks.fetch_add(1, std::memory_order_relaxed);
+    ArmExecution Witness;
+    if (!armConsistentForSomeCo(Arm, &Witness))
+      return std::nullopt;
+    SkeletonCex Cex;
+    Cex.Js = Js;
+    if (HasTot)
+      Cex.Js.Tot = Tot;
+    Cex.Arm = Witness;
+    Cex.NumEvents = Js.numEvents() - 1; // exclude Init
+    uint64_t Used = 0;
+    for (const Event &E : Js.Events)
+      if (E.Ord != Mode::Init)
+        Used |= uint64_t(1) << E.Index;
+    Cex.NumLocs = static_cast<unsigned>(__builtin_popcountll(Used));
+    return Cex;
+  };
+  std::optional<SkeletonCex> Found = shardedFirstHit(Cfg, Stats, TryCandidate);
+  if (Stats)
+    Stats->ArmConsistencyChecks += ArmChecks.load();
   return Found;
 }
 
 std::optional<SkeletonCex> jsmm::searchScDrfCex(const SearchConfig &Cfg,
                                                 SearchStats *Stats) {
-  std::optional<SkeletonCex> Found;
-  forEachSkeletonCandidate(
-      Cfg,
-      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
-        (void)Arm;
-        Relation Tot;
-        if (!isValidForSomeTot(Js, Cfg.Js, &Tot))
-          return true;
-        if (!isRaceFree(Js, Cfg.Js))
-          return true;
-        if (isSequentiallyConsistent(Js))
-          return true;
-        SkeletonCex Cex;
-        Cex.Js = Js;
-        Cex.Js.Tot = Tot;
-        Cex.NumEvents = Js.numEvents() - 1;
-        uint64_t Used = 0;
-        for (const Event &E : Js.Events)
-          if (E.Ord != Mode::Init)
-            Used |= uint64_t(1) << E.Index;
-        Cex.NumLocs = static_cast<unsigned>(__builtin_popcountll(Used));
-        Found = std::move(Cex);
-        return false;
-      },
-      Stats);
-  return Found;
+  const TotSolver &Solver = totSolver(Cfg.Solver);
+  auto TryCandidate =
+      [&](const CandidateExecution &Js,
+          const ArmExecution &Arm) -> std::optional<SkeletonCex> {
+    (void)Arm;
+    Relation Tot;
+    if (!isValidForSomeTot(Js, Cfg.Js, &Tot, Solver))
+      return std::nullopt;
+    if (!isRaceFree(Js, Cfg.Js))
+      return std::nullopt;
+    if (isSequentiallyConsistent(Js))
+      return std::nullopt;
+    SkeletonCex Cex;
+    Cex.Js = Js;
+    Cex.Js.Tot = Tot;
+    Cex.NumEvents = Js.numEvents() - 1;
+    uint64_t Used = 0;
+    for (const Event &E : Js.Events)
+      if (E.Ord != Mode::Init)
+        Used |= uint64_t(1) << E.Index;
+    Cex.NumLocs = static_cast<unsigned>(__builtin_popcountll(Used));
+    return Cex;
+  };
+  return shardedFirstHit(Cfg, Stats, TryCandidate);
 }
 
 BoundedCompilationReport
 jsmm::boundedCompilationCheck(const SearchConfig &Cfg) {
-  BoundedCompilationReport Report;
+  unsigned Workers = searchWorkers(Cfg);
   SearchStats Stats;
-  forEachSkeletonCandidate(
-      Cfg,
-      [&](const CandidateExecution &Js, const ArmExecution &Arm) {
-        // Enumerate every consistent coherence witness and verify the tot
-        // construction on each.
-        ArmExecution Work = Arm;
-        Work.Co = Work.computeGranules();
-        forEachCoherenceCompletion(Work, [&] {
-          if (!isArmConsistent(Work))
+  std::atomic<bool> BudgetExhausted{false};
+  std::atomic<uint64_t> ArmConsistent{0}, Failures{0};
+  std::mutex FirstFailureMutex;
+  // (pass index, unit index, in-unit order) of the earliest failure so
+  // far; the sequential enumeration order, so FirstFailure is
+  // deterministic for every thread count.
+  std::pair<uint64_t, size_t> FirstFailureRank{~uint64_t(0), SIZE_MAX};
+  std::optional<SkeletonCex> FirstFailure;
+
+  uint64_t PassIdx = 0;
+  for (unsigned N = Cfg.MinEvents;
+       N <= Cfg.MaxEvents && !BudgetExhausted.load(); ++N)
+    for (unsigned L = 1; L <= Cfg.NumLocs && !BudgetExhausted.load();
+         ++L, ++PassIdx) {
+      runShardedPass(
+          Cfg, N, L, Workers, &Stats, BudgetExhausted,
+          [&](size_t Unit, const CandidateExecution &Js,
+              const ArmExecution &Arm) {
+            // Enumerate every consistent coherence witness (the pruned
+            // walk refutes inconsistent coherence subtrees on their
+            // prefix) and verify the tot construction on each.
+            ArmExecution Work = Arm;
+            Work.Co = Work.computeGranules();
+            forEachConsistentCoherenceCompletion(Work, [&] {
+              ArmConsistent.fetch_add(1, std::memory_order_relaxed);
+              TranslationResult TR;
+              TR.Js = Js;
+              TR.JsOfArm.resize(Work.numEvents());
+              for (unsigned I = 0; I < Work.numEvents(); ++I)
+                TR.JsOfArm[I] = I;
+              Relation Tot;
+              bool Ok = false;
+              if (constructTot(TR, Work, &Tot)) {
+                CandidateExecution WithTot = Js;
+                WithTot.Tot = Tot;
+                Ok = isValid(WithTot, Cfg.Js);
+              }
+              if (!Ok) {
+                Failures.fetch_add(1, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> Lock(FirstFailureMutex);
+                std::pair<uint64_t, size_t> Rank{PassIdx, Unit};
+                if (Rank < FirstFailureRank) {
+                  FirstFailureRank = Rank;
+                  SkeletonCex F;
+                  F.Js = Js;
+                  F.Arm = Work;
+                  F.NumEvents = Js.numEvents() - 1;
+                  FirstFailure = std::move(F);
+                }
+              }
+              return true;
+            });
             return true;
-          ++Report.ArmConsistentExecutions;
-          TranslationResult TR;
-          TR.Js = Js;
-          TR.JsOfArm.resize(Work.numEvents());
-          for (unsigned I = 0; I < Work.numEvents(); ++I)
-            TR.JsOfArm[I] = I;
-          Relation Tot;
-          bool Ok = false;
-          if (constructTot(TR, Work, &Tot)) {
-            CandidateExecution WithTot = Js;
-            WithTot.Tot = Tot;
-            Ok = isValid(WithTot, Cfg.Js);
-          }
-          if (!Ok) {
-            ++Report.ConstructionFailures;
-            if (!Report.FirstFailure) {
-              SkeletonCex F;
-              F.Js = Js;
-              F.Arm = Work;
-              F.NumEvents = Js.numEvents() - 1;
-              Report.FirstFailure = std::move(F);
-            }
-          }
-          return true;
-        });
-        return true;
-      },
-      &Stats);
+          });
+    }
+
+  BoundedCompilationReport Report;
   Report.Skeletons = Stats.Skeletons;
   Report.RbfCandidates = Stats.RbfCandidates;
+  Report.ArmConsistentExecutions = ArmConsistent.load();
+  Report.ConstructionFailures = Failures.load();
+  Report.FirstFailure = std::move(FirstFailure);
   return Report;
 }

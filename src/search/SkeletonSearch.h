@@ -47,6 +47,20 @@ struct SearchConfig {
   enum class DeadnessMode { None, Syntactic, Semantic } Deadness =
       DeadnessMode::Semantic;
   uint64_t MaxCandidates = 0; ///< rbf-complete candidate budget; 0 = no cap
+  /// Order solver deciding the per-candidate validity/deadness questions
+  /// (empty = process default).
+  SolverConfig Solver;
+  /// Worker threads sharding the shape outer loop of the searches
+  /// (searchArmCompilationCex, searchScDrfCex, boundedCompilationCheck);
+  /// 0 = one per hardware thread. In unbudgeted runs (MaxCandidates == 0)
+  /// the search results are deterministic for every thread count — the hit
+  /// the sequential enumeration would find first is returned. With a
+  /// budget AND multiple workers, the cut-off point depends on scheduling,
+  /// so which hit (if any) is found can vary; the effort counters in
+  /// SearchStats are likewise exact only single-threaded when a budget or
+  /// an early stop cuts the sweep short. forEachSkeletonCandidate itself
+  /// always runs sequentially — its visitation order is part of the API.
+  unsigned Threads = 1;
 
   /// Skip candidates in which some SeqCst read reads only Init bytes.
   /// Such candidates acquire an Init synchronizes-with edge (Fig. 3's
@@ -89,9 +103,11 @@ bool armConsistentForSomeCo(const ArmExecution &X,
                             ArmExecution *Witness = nullptr);
 
 /// \returns true if some tot makes \p CE *invalid* under \p Spec (used by
-/// the naive search mode); fills \p TotOut if non-null.
+/// the naive search mode); fills \p TotOut if non-null. \p Solver selects
+/// the order solver (empty = process default).
 bool existsInvalidTot(const CandidateExecution &CE, ModelSpec Spec,
-                      Relation *TotOut = nullptr);
+                      Relation *TotOut = nullptr,
+                      SolverConfig Solver = SolverConfig());
 
 /// §5.1/5.2: searches for a JS->ARMv8 compilation counter-example.
 std::optional<SkeletonCex>

@@ -1,0 +1,165 @@
+//===- solver/TotSolver.cpp - Problem type, brute solver, registry --------===//
+
+#include "solver/TotSolver.h"
+
+#include "support/LinearExtensions.h"
+
+#include <atomic>
+#include <bit>
+
+using namespace jsmm;
+
+bool TotProblem::violates(const Relation &Tot) const {
+  for (const TotConstraint &C : Forbidden)
+    if (Tot.get(C.Lo, C.Mid) && Tot.get(C.Mid, C.Hi))
+      return true;
+  return false;
+}
+
+std::vector<unsigned> jsmm::lexSmallestExtension(const Relation &Must,
+                                                 uint64_t Universe) {
+  std::vector<unsigned> Order;
+  Order.reserve(static_cast<size_t>(std::popcount(Universe)));
+  std::vector<uint64_t> Preds;
+  Preds.reserve(Must.size());
+  for (unsigned B = 0; B < Must.size(); ++B)
+    Preds.push_back(Must.column(B) & Universe);
+  uint64_t Placed = 0;
+  while (Placed != Universe) {
+    unsigned Picked = Must.size();
+    for (unsigned E = 0; E < Must.size(); ++E) {
+      uint64_t Bit = uint64_t(1) << E;
+      if (!(Universe & Bit) || (Placed & Bit))
+        continue;
+      if ((Preds[E] & ~Placed & ~Bit) != 0)
+        continue; // has an unplaced (strict) predecessor
+      Picked = E;
+      break; // smallest index first: the stable tie-break
+    }
+    assert(Picked < Must.size() &&
+           "lexSmallestExtension on a cyclic must-order");
+    Placed |= uint64_t(1) << Picked;
+    Order.push_back(Picked);
+  }
+  return Order;
+}
+
+//===----------------------------------------------------------------------===//
+// BruteForceSolver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// \returns true if the just-placed last element of \p Seq completes a
+/// Forbidden constraint (as its Hi endpoint) in realized order. Realized
+/// prefixes stay realized under every completion, so existsExtension may
+/// prune the subtree.
+bool prefixRealizesConstraint(const TotProblem &P,
+                              const std::vector<unsigned> &Seq) {
+  if (Seq.empty())
+    return false;
+  unsigned Last = Seq.back();
+  for (const TotConstraint &C : P.Forbidden) {
+    if (C.Hi != Last)
+      continue;
+    // Lo must appear before Mid, both before Last.
+    int LoPos = -1, MidPos = -1;
+    for (size_t I = 0; I + 1 < Seq.size(); ++I) {
+      if (Seq[I] == C.Lo)
+        LoPos = static_cast<int>(I);
+      else if (Seq[I] == C.Mid)
+        MidPos = static_cast<int>(I);
+    }
+    if (LoPos >= 0 && MidPos >= 0 && LoPos < MidPos)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool BruteForceSolver::existsExtension(const TotProblem &P,
+                                       Relation *TotOut) const {
+  bool Found = false;
+  forEachLinearExtension(
+      P.Must, P.Universe,
+      [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, P.N);
+        if (!P.violates(Tot)) {
+          Found = true;
+          if (TotOut)
+            *TotOut = Tot;
+          return false; // stop
+        }
+        return true;
+      },
+      [&](const std::vector<unsigned> &Seq) {
+        return !prefixRealizesConstraint(P, Seq);
+      });
+  return Found;
+}
+
+bool BruteForceSolver::existsViolatingExtension(const TotProblem &P,
+                                                Relation *TotOut) const {
+  bool Found = false;
+  forEachLinearExtension(
+      P.Must, P.Universe, [&](const std::vector<unsigned> &Seq) {
+        Relation Tot = totalOrderFromSequence(Seq, P.N);
+        if (P.violates(Tot)) {
+          Found = true;
+          if (TotOut)
+            *TotOut = Tot;
+          return false;
+        }
+        return true;
+      });
+  return Found;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const TotSolver &jsmm::totSolver(SolverKind Kind) {
+  static const BruteForceSolver Brute;
+  static const PropagationSolver Propagate;
+  return Kind == SolverKind::Brute ? static_cast<const TotSolver &>(Brute)
+                                   : Propagate;
+}
+
+const TotSolver &jsmm::totSolver(const SolverConfig &Config) {
+  return totSolver(Config.Kind.value_or(defaultSolverKind()));
+}
+
+namespace {
+
+std::atomic<SolverKind> DefaultKind{SolverKind::Propagate};
+
+} // namespace
+
+SolverKind jsmm::defaultSolverKind() {
+  return DefaultKind.load(std::memory_order_relaxed);
+}
+
+void jsmm::setDefaultSolverKind(SolverKind Kind) {
+  DefaultKind.store(Kind, std::memory_order_relaxed);
+}
+
+const TotSolver &jsmm::defaultTotSolver() {
+  return totSolver(defaultSolverKind());
+}
+
+const char *jsmm::solverKindName(SolverKind Kind) {
+  return Kind == SolverKind::Brute ? "brute" : "propagate";
+}
+
+std::optional<SolverKind> jsmm::solverKindByName(const std::string &Name) {
+  for (SolverKind K : allSolverKinds())
+    if (Name == solverKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::vector<SolverKind> jsmm::allSolverKinds() {
+  return {SolverKind::Brute, SolverKind::Propagate};
+}

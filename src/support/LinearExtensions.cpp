@@ -1,7 +1,8 @@
 //===- support/LinearExtensions.cpp ---------------------------------------===//
 ///
 /// \file
-/// Backtracking enumeration of linear extensions.
+/// Backtracking enumeration of linear extensions, with an optional
+/// mid-prefix early exit for visitors that can reject whole subtrees.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,8 +20,10 @@ namespace {
 class Enumerator {
 public:
   Enumerator(const Relation &Order, uint64_t Universe,
-             const std::function<bool(const std::vector<unsigned> &)> &Visit)
-      : Order(Order), Universe(Universe), Visit(Visit) {
+             const std::function<bool(const std::vector<unsigned> &)> &Visit,
+             const std::function<bool(const std::vector<unsigned> &)>
+                 *PrefixOk)
+      : Order(Order), Universe(Universe), Visit(Visit), PrefixOk(PrefixOk) {
     // Precompute predecessor sets restricted to the universe.
     for (unsigned B = 0; B < Order.size(); ++B)
       Preds.push_back(Order.column(B) & Universe);
@@ -43,7 +46,13 @@ private:
       if ((Preds[E] & ~Placed) != 0)
         continue; // has an unplaced predecessor
       Sequence.push_back(E);
-      bool Continue = recurse(Placed | Bit);
+      bool Continue = true;
+      if (PrefixOk && !(*PrefixOk)(Sequence)) {
+        // Mid-prefix early exit: every completion of this prefix is
+        // rejected, so skip the subtree without stopping the enumeration.
+      } else {
+        Continue = recurse(Placed | Bit);
+      }
       Sequence.pop_back();
       if (!Continue)
         return false;
@@ -54,6 +63,7 @@ private:
   const Relation &Order;
   uint64_t Universe;
   const std::function<bool(const std::vector<unsigned> &)> &Visit;
+  const std::function<bool(const std::vector<unsigned> &)> *PrefixOk;
   std::vector<uint64_t> Preds;
   std::vector<unsigned> Sequence;
 };
@@ -66,7 +76,15 @@ bool jsmm::forEachLinearExtension(
   // A cyclic order (within the universe) has no linear extensions; the
   // recursion below naturally never reaches a complete sequence in that
   // case, so no special handling is needed.
-  Enumerator E(Order, Universe, Visit);
+  Enumerator E(Order, Universe, Visit, /*PrefixOk=*/nullptr);
+  return E.run();
+}
+
+bool jsmm::forEachLinearExtension(
+    const Relation &Order, uint64_t Universe,
+    const std::function<bool(const std::vector<unsigned> &)> &Visit,
+    const std::function<bool(const std::vector<unsigned> &)> &PrefixOk) {
+  Enumerator E(Order, Universe, Visit, &PrefixOk);
   return E.run();
 }
 

@@ -28,6 +28,16 @@ bool forEachLinearExtension(
     const Relation &Order, uint64_t Universe,
     const std::function<bool(const std::vector<unsigned> &)> &Visit);
 
+/// As above, with a mid-prefix early exit: after each element is placed,
+/// \p PrefixOk is consulted with the partial sequence; returning false
+/// abandons every extension of that prefix (without stopping the whole
+/// enumeration). Sound whenever the property \p PrefixOk rejects on is
+/// preserved by extension — e.g. an already-violated ordering constraint.
+bool forEachLinearExtension(
+    const Relation &Order, uint64_t Universe,
+    const std::function<bool(const std::vector<unsigned> &)> &Visit,
+    const std::function<bool(const std::vector<unsigned> &)> &PrefixOk);
+
 /// \returns the number of linear extensions of \p Order over \p Universe,
 /// stopping at \p Limit if nonzero.
 uint64_t countLinearExtensions(const Relation &Order, uint64_t Universe,

@@ -22,16 +22,16 @@ uint64_t Relation::column(unsigned B) const {
 }
 
 bool Relation::empty() const {
-  for (uint64_t Row : Rows)
-    if (Row)
+  for (unsigned A = 0; A < N; ++A)
+    if (Rows[A])
       return false;
   return true;
 }
 
 unsigned Relation::count() const {
   unsigned Count = 0;
-  for (uint64_t Row : Rows)
-    Count += static_cast<unsigned>(std::popcount(Row));
+  for (unsigned A = 0; A < N; ++A)
+    Count += static_cast<unsigned>(std::popcount(Rows[A]));
   return Count;
 }
 

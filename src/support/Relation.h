@@ -17,6 +17,8 @@
 #ifndef JSMM_SUPPORT_RELATION_H
 #define JSMM_SUPPORT_RELATION_H
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <string>
@@ -27,13 +29,31 @@ namespace jsmm {
 /// A binary relation on {0, ..., size()-1} represented as a bit matrix.
 /// Row A holds the successor set of A: bit B of row A is set iff <A,B> is in
 /// the relation.
+///
+/// Storage is a fixed inline array (universes are at most 64 elements), so
+/// constructing, copying and returning relations never allocates — the
+/// derived-relation pipelines create tens of temporaries per candidate
+/// execution, millions of times per sweep, and heap traffic dominated
+/// their cost with heap-backed rows. Only the first size() entries of the
+/// array are meaningful; every operation is bounded by size().
 class Relation {
 public:
   Relation() : N(0) {}
 
   /// Creates the empty relation over a universe of \p Size elements.
-  explicit Relation(unsigned Size) : N(Size), Rows(Size, 0) {
+  explicit Relation(unsigned Size) : N(Size) {
     assert(Size <= MaxSize && "relation universe too large");
+    std::fill_n(Rows.begin(), N, 0);
+  }
+
+  Relation(const Relation &Other) : N(Other.N) {
+    std::copy_n(Other.Rows.begin(), N, Rows.begin());
+  }
+
+  Relation &operator=(const Relation &Other) {
+    N = Other.N;
+    std::copy_n(Other.Rows.begin(), N, Rows.begin());
+    return *this;
   }
 
   static constexpr unsigned MaxSize = 64;
@@ -132,7 +152,8 @@ public:
   static Relation identity(uint64_t Universe, unsigned Size);
 
   bool operator==(const Relation &Other) const {
-    return N == Other.N && Rows == Other.Rows;
+    return N == Other.N &&
+           std::equal(Rows.begin(), Rows.begin() + N, Other.Rows.begin());
   }
   bool operator!=(const Relation &Other) const { return !(*this == Other); }
 
@@ -160,7 +181,7 @@ public:
 
 private:
   unsigned N;
-  std::vector<uint64_t> Rows;
+  std::array<uint64_t, MaxSize> Rows;
 };
 
 /// Builds the relation {<Order[i], Order[j]> | i < j} over \p Size elements:

@@ -129,9 +129,10 @@ ReductionResult jsmm::reduceToUniSize(const CandidateExecution &CE) {
 }
 
 ReductionScan jsmm::scanReductionEquivalence(const ExecutionEngine &Engine,
-                                             const Program &P,
-                                             ModelSpec Spec) {
+                                             const Program &P, ModelSpec Spec,
+                                             SolverConfig Solver) {
   ReductionScan Scan;
+  const TotSolver &S = totSolver(Solver);
   Engine.forEachCandidate(
       P, [&](const CandidateExecution &CE, const Outcome &O) {
         (void)O;
@@ -142,8 +143,8 @@ ReductionScan jsmm::scanReductionEquivalence(const ExecutionEngine &Engine,
         }
         ++Scan.Reducible;
         ReductionResult RR = reduceToUniSize(CE);
-        bool Mixed = isValidForSomeTot(CE, Spec);
-        bool Uni = isUniValidForSomeTot(RR.Uni);
+        bool Mixed = isValidForSomeTot(CE, Spec, /*TotOut=*/nullptr, S);
+        bool Uni = isUniValidForSomeTot(RR.Uni, /*TotOut=*/nullptr, S);
         if (Mixed != Uni)
           ++Scan.Mismatches;
         return true;

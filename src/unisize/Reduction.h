@@ -55,9 +55,11 @@ struct ReductionScan {
 
 /// Enumerates every candidate of \p P through \p Engine and checks, on
 /// each reducible one, that mixed-size validity under \p Spec coincides
-/// with uni-size validity of the reduction.
+/// with uni-size validity of the reduction. Both sides are decided by the
+/// order solver selected in \p Solver (empty = process default).
 ReductionScan scanReductionEquivalence(const ExecutionEngine &Engine,
-                                       const Program &P, ModelSpec Spec);
+                                       const Program &P, ModelSpec Spec,
+                                       SolverConfig Solver = SolverConfig());
 
 } // namespace jsmm
 

@@ -2,8 +2,6 @@
 
 #include "unisize/UniExecution.h"
 
-#include "support/LinearExtensions.h"
-
 #include <map>
 
 using namespace jsmm;
@@ -188,27 +186,43 @@ bool jsmm::isUniValid(const UniExecution &X, std::string *WhyNot) {
   return true;
 }
 
-bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut) {
+bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut,
+                                const TotSolver &Solver) {
   Relation Rf = X.Rf;
   Relation Sw = X.synchronizesWith();
   Relation Hb = X.happensBefore();
   if (!checkUniTotIndependent(X, Rf, Hb, nullptr))
     return false;
-  if (!Hb.isAcyclic())
+  if (!Hb.isIrreflexive()) // happensBefore() is transitively closed
     return false;
-  bool Found = false;
-  forEachLinearExtension(
-      Hb, X.allEventsMask(), [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, X.numEvents());
-        if (checkUniScAtomics(X, Rf, Sw, Hb, Tot)) {
-          Found = true;
-          if (TotOut)
-            *TotOut = Tot;
-          return false;
-        }
-        return true;
-      });
-  return Found;
+  // The uni-size SC rule (checkUniScAtomics) forbids a SeqCst write C
+  // strictly tot-between an rf ∩ hb pair <W,R> under tot-independent side
+  // conditions — the exact betweenness form the order solvers decide.
+  TotProblem P;
+  P.N = X.numEvents();
+  P.Universe = X.allEventsMask();
+  P.Must = Hb;
+  Rf.forEachPair([&](unsigned W, unsigned R) {
+    if (!Hb.get(W, R))
+      return;
+    const UniEvent &Ew = X.Events[W];
+    const UniEvent &Er = X.Events[R];
+    for (const UniEvent &Ec : X.Events) {
+      unsigned C = Ec.Id;
+      if (C == W || C == R || Ec.Ord != Mode::SeqCst || !Ec.isWrite())
+        continue;
+      bool D1 = sameLoc(Ec, Er) && Sw.get(W, R);
+      bool D2 = sameLoc(Ew, Ec) && Ew.Ord == Mode::SeqCst && Hb.get(C, R);
+      bool D3 = sameLoc(Ec, Er) && Hb.get(W, C) && Er.Ord == Mode::SeqCst;
+      if (D1 || D2 || D3)
+        P.Forbidden.push_back({W, C, R});
+    }
+  });
+  return Solver.existsExtension(P, TotOut);
+}
+
+bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut) {
+  return isUniValidForSomeTot(X, TotOut, defaultTotSolver());
 }
 
 UniEvent jsmm::makeUniWrite(EventId Id, int Thread, Mode Ord, unsigned Loc,

@@ -14,6 +14,7 @@
 #define JSMM_UNISIZE_UNIEXECUTION_H
 
 #include "core/Event.h"
+#include "solver/TotSolver.h"
 #include "support/Relation.h"
 
 #include <string>
@@ -75,6 +76,11 @@ public:
 bool isUniValid(const UniExecution &X, std::string *WhyNot = nullptr);
 
 /// Decides whether some tot makes \p X valid; fills \p TotOut if non-null.
+/// The uni-size SC Atomics rule has the same betweenness shape as the
+/// mixed-size one, so the question is posed to the given order solver (the
+/// process default when omitted).
+bool isUniValidForSomeTot(const UniExecution &X, Relation *TotOut,
+                          const TotSolver &Solver);
 bool isUniValidForSomeTot(const UniExecution &X, Relation *TotOut = nullptr);
 
 /// Constructors for tests and the reduction.

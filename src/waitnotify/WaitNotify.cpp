@@ -176,8 +176,9 @@ private:
 /// Justifies the reads of a schedule and accumulates allowed outcomes.
 class Justifier {
 public:
-  Justifier(const WnProgram &P, ModelSpec Spec, bool Fix, WnResult &Result)
-      : P(P), Spec(Spec), Fix(Fix), Result(Result) {
+  Justifier(const WnProgram &P, ModelSpec Spec, bool Fix,
+            const TotSolver &Solver, WnResult &Result)
+      : P(P), Spec(Spec), Fix(Fix), Solver(Solver), Result(Result) {
     (void)this->P;
   }
 
@@ -234,7 +235,7 @@ private:
 
   void emit() {
     ++Result.Candidates;
-    if (!isValidForSomeTot(CE, Spec))
+    if (!isValidForSomeTot(CE, Spec, /*TotOut=*/nullptr, Solver))
       return;
     ++Result.ValidCandidates;
     Outcome O;
@@ -251,6 +252,7 @@ private:
   const WnProgram &P;
   ModelSpec Spec;
   bool Fix;
+  const TotSolver &Solver;
   WnResult &Result;
   CandidateExecution CE;
   std::vector<EventId> Reads;
@@ -260,9 +262,10 @@ private:
 } // namespace
 
 WnResult jsmm::enumerateWaitNotify(const WnProgram &P, ModelSpec Spec,
-                                   bool CriticalSectionAsw) {
+                                   bool CriticalSectionAsw,
+                                   SolverConfig Solver) {
   WnResult Result;
-  Justifier J(P, Spec, CriticalSectionAsw, Result);
+  Justifier J(P, Spec, CriticalSectionAsw, totSolver(Solver), Result);
   // Named so the std::function outlives the Scheduler, which keeps a
   // reference to it.
   std::function<void(Schedule &)> Consume = [&](Schedule &Sched) {

@@ -97,8 +97,11 @@ struct WnResult {
 /// \param CriticalSectionAsw true applies the paper's §7 correction (wake
 /// and critical-section asw edges); false reproduces the uncorrected model
 /// (no wait/notify edges in the axiomatic layer).
+/// \param Solver order solver for the per-candidate exists-a-tot decision
+/// (empty = process default).
 WnResult enumerateWaitNotify(const WnProgram &P, ModelSpec Spec,
-                             bool CriticalSectionAsw);
+                             bool CriticalSectionAsw,
+                             SolverConfig Solver = SolverConfig());
 
 } // namespace jsmm
 

@@ -7,6 +7,8 @@
 ///   jsmm-run test.litmus --model=original
 ///   jsmm-run test.litmus --model=x86-tso # compiled, target-model verdicts
 ///   jsmm-run test.litmus --threads=4     # sharded engine enumeration
+///   jsmm-run test.litmus --solver=brute  # linear-extension tot oracle
+///                                        # (default: propagate)
 ///   jsmm-run test.litmus --arm           # also the compiled ARMv8 verdict
 ///   jsmm-run test.litmus --scdrf         # also the SC-DRF report
 ///   jsmm-run --list-models               # every backend, one per line
@@ -72,7 +74,7 @@ void listModels(std::ostream &Out) {
 
 int usage() {
   std::cerr << "usage: jsmm-run <file.litmus> [--model=NAME] [--threads=N] "
-               "[--arm] [--scdrf]\n"
+               "[--solver=brute|propagate] [--arm] [--scdrf]\n"
                "       jsmm-run --list-models\n";
   return 2;
 }
@@ -131,6 +133,19 @@ int main(int Argc, char **Argv) {
       ModelName = Arg.substr(8);
       continue;
     }
+    if (Arg.rfind("--solver=", 0) == 0) {
+      std::string Name = Arg.substr(9);
+      std::optional<SolverKind> Kind = solverKindByName(Name);
+      if (!Kind) {
+        std::cerr << "jsmm-run: unknown solver '" << Name
+                  << "'; pick 'brute' or 'propagate'\n";
+        return 2;
+      }
+      // The process default: every layer (validity, deadness, searches,
+      // engine backends) resolves its unset SolverConfig to this.
+      setDefaultSolverKind(*Kind);
+      continue;
+    }
     if (Arg == "--arm")
       WithArm = true;
     else if (Arg == "--scdrf")
@@ -176,7 +191,8 @@ int main(int Argc, char **Argv) {
 
   ExecutionEngine Engine(Cfg);
   std::cout << "test " << File->P.Name << " (model: " << ModelName
-            << ", threads: " << Engine.effectiveThreads() << ")\n";
+            << ", threads: " << Engine.effectiveThreads()
+            << ", solver: " << solverKindName(defaultSolverKind()) << ")\n";
 
   int Failures = 0;
   if (Target) {
