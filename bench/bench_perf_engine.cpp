@@ -25,6 +25,7 @@
 #include "compile/TotConstruction.h"
 #include "paper/Figures.h"
 #include "search/SkeletonSearch.h"
+#include "service/LitmusService.h"
 #include "solver/TotSolver.h"
 #include "support/LinearExtensions.h"
 
@@ -112,6 +113,36 @@ double enumerateFamilyMs(EngineConfig Cfg) {
 
 void solverHeadline(jsmm::bench::Table &T);
 
+/// Batch-service headline: jobs/sec over the differential corpus (each job
+/// the full 9-backend verdict table), at one worker and at the requested
+/// worker count. The better figure is the `service_jobs_per_sec` metric
+/// gated by tools/perf_trend.py against bench/perf_baseline.json;
+/// bench_service_throughput is the full contract gate.
+void serviceHeadline(jsmm::bench::Table &T) {
+  std::vector<LitmusJob> Jobs = differentialCorpusJobs();
+  { LitmusService Warm; Warm.run(Jobs); } // warm-up
+
+  std::vector<unsigned> WorkerCounts = {1};
+  if (RequestedThreads > 1)
+    WorkerCounts.push_back(RequestedThreads); // skip a duplicate w1 leg
+  double Best = 0;
+  bool AllOk = true;
+  for (unsigned Workers : WorkerCounts) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    Cfg.CacheVerdicts = false;
+    LitmusService Service(Cfg);
+    std::vector<LitmusJobResult> Results;
+    double Ms = timedMs([&] { Results = Service.run(Jobs); });
+    for (const LitmusJobResult &R : Results)
+      AllOk = AllOk && R.ok();
+    if (Ms > 0)
+      Best = std::max(Best, 1000.0 * Jobs.size() / Ms);
+  }
+  T.check("batch service runs the differential corpus clean", true, AllOk);
+  T.metric("service_jobs_per_sec", Best, "jobs/s");
+}
+
 /// \returns the failed-claim count (0 on success), for main's exit code.
 int headlineComparison() {
   // Warm-up pass so first-touch allocation noise doesn't skew the seed run.
@@ -137,6 +168,7 @@ int headlineComparison() {
               " threads) beats seed",
           true, std::min(PrunedMs, ShardedMs) < SeedMs);
   solverHeadline(T);
+  serviceHeadline(T);
   return T.finish();
 }
 

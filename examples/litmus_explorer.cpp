@@ -10,20 +10,28 @@
 /// equivalent of a herd7 session across a whole model zoo; see
 /// tests/differential_test.cpp for the pinned version of this table.
 ///
+/// The table is produced through the batch service (service/LitmusService):
+/// each shape is submitted as a "differential" job, the batch fans out over
+/// the worker pool, and the verdict cells are read off the per-backend
+/// allowed sets of the results — the same path `jsmm-batch` serves.
+///
 /// Run:  build/example_litmus_explorer [--solver=brute|propagate]
+///                                     [--workers=N]
 ///
 /// The solver flag selects the tot-order decider behind every JavaScript
 /// verdict (default: the constraint-propagation solver); the brute
-/// linear-extension oracle is kept for differential runs.
+/// linear-extension oracle is kept for differential runs. --workers sizes
+/// the service pool (0 = one per hardware thread); the table is identical
+/// for every worker count.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "compile/Compile.h"
-#include "engine/ExecutionEngine.h"
+#include "engine/TargetModel.h"
 #include "paper/Figures.h"
+#include "service/LitmusService.h"
+#include "solver/TotSolver.h"
 #include "support/Str.h"
 
-#include <cstring>
 #include <iostream>
 
 using namespace jsmm;
@@ -111,11 +119,20 @@ std::vector<LitmusCase> cases() {
   return Out;
 }
 
-const char *mark(bool Allowed) { return Allowed ? "A" : "-"; }
+/// "A" when \p Backend has a verdict and allows the outcome, "-" when it
+/// forbids it, "." when the backend has no column (not uni-size
+/// expressible).
+std::string mark(const LitmusJobResult &R, const std::string &Backend,
+                 const std::string &Outcome) {
+  if (!R.AllowedByBackend.count(Backend))
+    return ".";
+  return R.allows(Backend, Outcome) ? "A" : "-";
+}
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  unsigned Workers = 1;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--solver=", 0) == 0) {
@@ -126,15 +143,40 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       setDefaultSolverKind(*Kind);
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      std::optional<unsigned> N =
+          parseCliUnsigned("litmus_explorer", "--workers", Arg.substr(10));
+      if (!N)
+        return 2;
+      Workers = *N;
     } else {
-      std::cerr << "usage: litmus_explorer [--solver=brute|propagate]\n";
+      std::cerr << "usage: litmus_explorer [--solver=brute|propagate] "
+                   "[--workers=N]\n";
       return 2;
     }
   }
-  ExecutionEngine Engine;
+
+  // One differential job per shape, batched through the service.
+  std::vector<LitmusCase> Cases = cases();
+  std::vector<LitmusJob> Jobs;
+  for (const LitmusCase &C : Cases) {
+    LitmusJob J;
+    J.Name = C.Name;
+    LitmusFile F;
+    F.P = C.P;
+    J.Litmus = emitLitmus(F);
+    J.Model = "differential";
+    Jobs.push_back(std::move(J));
+  }
+  ServiceConfig Cfg;
+  Cfg.Workers = Workers;
+  LitmusService Service(Cfg);
+  std::vector<LitmusJobResult> Results = Service.run(Jobs);
+
   std::cout << "Verdicts computed with the '"
             << solverKindName(defaultSolverKind())
-            << "' tot-order solver.\n";
+            << "' tot-order solver, through the batch service ("
+            << Service.effectiveWorkers() << " workers).\n";
   std::cout << "Verdict of each test's weak outcome per backend:\n"
             << "  A = allowed, - = forbidden, . = not expressible uni-size\n"
             << "  (target backends compile the uni-size fragment: "
@@ -146,24 +188,22 @@ int main(int Argc, char **Argv) {
     std::cout << padRight(M.name(), std::string(M.name()).size() + 2);
   std::cout << "\n" << std::string(127, '-') << "\n";
 
-  for (const LitmusCase &C : cases()) {
-    bool Orig =
-        Engine.enumerate(C.P, JsModel(ModelSpec::original())).allows(C.Weak);
-    bool Rev =
-        Engine.enumerate(C.P, JsModel(ModelSpec::revised())).allows(C.Weak);
-    bool Arm =
-        Engine.enumerate(compileToArm(C.P).Arm, Armv8Model()).allows(C.Weak);
-    std::cout << padRight(C.Name, 28) << padRight(C.Weak.toString(), 22)
-              << padRight(mark(Orig), 9) << padRight(mark(Rev), 8)
-              << padRight(mark(Arm), 7);
-    std::optional<UniProgram> Uni = uniFromProgram(C.P);
-    for (const TargetModel &M : TargetModel::all()) {
-      std::string Cell =
-          Uni ? mark(Engine.enumerate(compileUni(*Uni, M.arch()), M)
-                         .allows(C.Weak))
-              : ".";
-      std::cout << padRight(Cell, std::string(M.name()).size() + 2);
+  bool AllOk = true;
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const LitmusJobResult &R = Results[I];
+    std::string Weak = Cases[I].Weak.toString();
+    std::cout << padRight(Cases[I].Name, 28) << padRight(Weak, 22);
+    if (!R.ok()) {
+      AllOk = false;
+      std::cout << jobStatusName(R.Status) << ": " << R.Error << "\n";
+      continue;
     }
+    std::cout << padRight(mark(R, "js-original", Weak), 9)
+              << padRight(mark(R, "js-revised", Weak), 8)
+              << padRight(mark(R, "armv8", Weak), 7);
+    for (const TargetModel &M : TargetModel::all())
+      std::cout << padRight(mark(R, M.name(), Weak),
+                            std::string(M.name()).size() + 2);
     std::cout << "\n";
   }
   std::cout << "\nColumns where a compiled backend shows A while js-orig "
@@ -172,5 +212,5 @@ int main(int Argc, char **Argv) {
                "\xC2\xA7" "3.1 discovery (repaired by the revised column). "
                "The differential suite\n(tests/differential_test.cpp) pins "
                "this table across the full corpus.\n";
-  return 0;
+  return AllOk ? 0 : 1;
 }

@@ -182,3 +182,31 @@ bool jsmm::armConstraintsAllow(const ArmThreadPath &Path, unsigned Reg,
   }
   return true;
 }
+
+unsigned jsmm::maxArmPathEvents(const std::vector<ArmInstr> &Body) {
+  unsigned Count = 0;
+  for (const ArmInstr &I : Body) {
+    switch (I.K) {
+    case ArmInstr::Kind::Load:
+    case ArmInstr::Kind::Store:
+    case ArmInstr::Kind::DmbFull:
+    case ArmInstr::Kind::DmbLd:
+    case ArmInstr::Kind::DmbSt:
+    case ArmInstr::Kind::Isb:
+      ++Count;
+      break;
+    case ArmInstr::Kind::IfEq:
+    case ArmInstr::Kind::IfNe:
+      Count += maxArmPathEvents(I.Body);
+      break;
+    }
+  }
+  return Count;
+}
+
+unsigned jsmm::armProgramEventUpperBound(const ArmProgram &P) {
+  unsigned Bound = static_cast<unsigned>(P.bufferSizes().size());
+  for (unsigned T = 0; T < P.numThreads(); ++T)
+    Bound += maxArmPathEvents(P.threadBody(T));
+  return Bound;
+}

@@ -155,6 +155,16 @@ struct ArmThreadPath {
 /// \returns every control-flow path of \p Body.
 std::vector<ArmThreadPath> enumerateArmPaths(const std::vector<ArmInstr> &Body);
 
+/// \returns the largest number of events any control-flow path of \p Body
+/// materialises (loads, stores and fences of every nested body; branches
+/// produce no events). Computed by summation, not path enumeration.
+unsigned maxArmPathEvents(const std::vector<ArmInstr> &Body);
+
+/// \returns an upper bound on the event-universe size of any execution of
+/// \p P: one Init per buffer plus each thread's maxArmPathEvents. The
+/// ARM-side twin of programEventUpperBound (litmus/PathEnum.h).
+unsigned armProgramEventUpperBound(const ArmProgram &P);
+
 /// \returns true if register \p Reg holding \p Value satisfies the path's
 /// constraints mentioning Reg.
 bool armConstraintsAllow(const ArmThreadPath &Path, unsigned Reg,

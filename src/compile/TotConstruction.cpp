@@ -30,10 +30,12 @@ bool jsmm::constructTot(const TranslationResult &TR, const ArmExecution &X,
       Base.set(JA, JB);
   });
 
-  if (!Base.isAcyclic())
+  // topologicalOrder doubles as the acyclicity check: a cyclic base has no
+  // linearisation, so the construction fails.
+  std::optional<std::vector<unsigned>> Order = Base.topologicalOrder();
+  if (!Order)
     return false;
-  std::vector<unsigned> Order = Base.topologicalOrder();
-  *TotOut = totalOrderFromSequence(Order, N);
+  *TotOut = totalOrderFromSequence(*Order, N);
   return true;
 }
 

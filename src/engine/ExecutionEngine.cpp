@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <stdexcept>
 #include <thread>
 
 using namespace jsmm;
@@ -19,6 +20,46 @@ unsigned ExecutionEngine::effectiveThreads() const {
     return Cfg.Threads;
   unsigned HW = std::thread::hardware_concurrency();
   return HW ? HW : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Capacity checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::optional<std::string> capacityErrorFor(unsigned Bound) {
+  if (Bound <= Relation::MaxSize)
+    return std::nullopt;
+  return "program too large (" + std::to_string(Bound) + " events > " +
+         std::to_string(Relation::MaxSize) + ")";
+}
+
+/// Throws the capacity diagnostic. Entry points call this before touching
+/// the candidate space so a too-large program fails with the program-level
+/// message rather than the Relation-level one.
+template <typename ProgramT> void checkCapacity(const ProgramT &P) {
+  if (std::optional<std::string> Error = ExecutionEngine::capacityError(P))
+    throw std::length_error(*Error);
+}
+
+} // namespace
+
+std::optional<std::string> ExecutionEngine::capacityError(const Program &P) {
+  return capacityErrorFor(programEventUpperBound(P));
+}
+
+std::optional<std::string>
+ExecutionEngine::capacityError(const ArmProgram &P) {
+  return capacityErrorFor(armProgramEventUpperBound(P));
+}
+
+std::optional<std::string>
+ExecutionEngine::capacityError(const CompiledTarget &CT) {
+  unsigned Bound = CT.NumLocs;
+  for (const std::vector<TargetInstr> &Body : CT.Threads)
+    Bound += static_cast<unsigned>(Body.size());
+  return capacityErrorFor(Bound);
 }
 
 namespace {
@@ -621,6 +662,7 @@ bool ExecutionEngine::forEachCandidate(
     const Program &P,
     const std::function<bool(const CandidateExecution &, const Outcome &)>
         &Visit) const {
+  checkCapacity(P);
   return walkJs(P, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr, Visit);
 }
 
@@ -628,12 +670,14 @@ bool ExecutionEngine::forEachAdmittedCandidate(
     const Program &P, const JsModel &M,
     const std::function<bool(const CandidateExecution &, const Outcome &)>
         &Visit) const {
+  checkCapacity(P);
   Stats = EngineStats();
   return walkJs(P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees, Visit);
 }
 
 EnumerationResult ExecutionEngine::enumerate(const Program &P,
                                              const JsModel &M) const {
+  checkCapacity(P);
   Stats = EngineStats();
   const JsModel *Prune = Cfg.Prune ? &M : nullptr;
   unsigned Threads = effectiveThreads();
@@ -709,6 +753,7 @@ EnumerationResult ExecutionEngine::enumerate(const Program &P,
 }
 
 ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
+  checkCapacity(P);
   Stats = EngineStats();
   ScDrfReport Report;
   walkJs(P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
@@ -738,6 +783,7 @@ ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
 bool ExecutionEngine::forEachSkeleton(
     const ArmProgram &P,
     const std::function<bool(const ArmSkeleton &)> &Visit) const {
+  checkCapacity(P);
   ArmSpace Space(P);
   for (size_t C = 0; C < Space.Combos; ++C)
     if (!Visit(buildArmSkeleton(P, Space.chosen(C))))
@@ -757,6 +803,7 @@ bool ExecutionEngine::forEachArmCandidate(
 
 ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
                                                 const Armv8Model &M) const {
+  checkCapacity(P);
   Stats = EngineStats();
   unsigned Threads = effectiveThreads();
   ArmSpace Space(P);
@@ -832,6 +879,7 @@ bool ExecutionEngine::forEachTargetCandidate(
     const CompiledTarget &CT,
     const std::function<bool(const TargetExecution &, const Outcome &)>
         &Visit) const {
+  checkCapacity(CT);
   TargetBase B = buildTargetBase(CT);
   TargetJustifier J(B, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr,
                     /*FirstWriterOnly=*/-1, Visit);
@@ -842,6 +890,7 @@ bool ExecutionEngine::forEachAdmittedTargetCandidate(
     const CompiledTarget &CT, const TargetModel &M,
     const std::function<bool(const TargetExecution &, const Outcome &)>
         &Visit) const {
+  checkCapacity(CT);
   Stats = EngineStats();
   TargetBase B = buildTargetBase(CT);
   TargetJustifier J(B, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
@@ -852,6 +901,7 @@ bool ExecutionEngine::forEachAdmittedTargetCandidate(
 TargetEnumerationResult
 ExecutionEngine::enumerate(const CompiledTarget &CT,
                            const TargetModel &M) const {
+  checkCapacity(CT);
   Stats = EngineStats();
   const TargetModel *Prune = Cfg.Prune ? &M : nullptr;
   unsigned Threads = effectiveThreads();

@@ -37,6 +37,8 @@
 #include "exec/Enumerator.h"
 
 #include <functional>
+#include <optional>
+#include <string>
 
 namespace jsmm {
 
@@ -73,6 +75,23 @@ public:
   const EngineConfig &config() const { return Cfg; }
   /// \returns the worker count actually used (resolves Threads == 0).
   unsigned effectiveThreads() const;
+
+  // --- Capacity ----------------------------------------------------------
+  //
+  // The Relation machinery caps event universes at Relation::MaxSize (64).
+  // These checks diagnose a program whose candidate executions would
+  // exceed it with a "program too large (N events > 64)" message. Every
+  // enumeration entry point below performs the check itself and throws
+  // std::length_error on failure — in release builds a too-large program
+  // is a loud error, never the silent out-of-range bit-shifts the
+  // debug-only asserts used to allow. Frontends that accept user input
+  // (the litmus parser, jsmm-run, the batch service) call these up front
+  // to turn the condition into a structured error instead of an exception.
+
+  /// \returns the diagnostic for \p P, or std::nullopt if it fits.
+  static std::optional<std::string> capacityError(const Program &P);
+  static std::optional<std::string> capacityError(const ArmProgram &P);
+  static std::optional<std::string> capacityError(const CompiledTarget &CT);
 
   // --- JavaScript frontend -----------------------------------------------
 

@@ -52,6 +52,33 @@ jsmm::enumeratePaths(const std::vector<Instr> &Body) {
   return Out;
 }
 
+unsigned jsmm::maxPathAccesses(const std::vector<Instr> &Body) {
+  unsigned Count = 0;
+  for (const Instr &I : Body) {
+    switch (I.K) {
+    case Instr::Kind::Load:
+    case Instr::Kind::Store:
+    case Instr::Kind::Rmw:
+      ++Count;
+      break;
+    case Instr::Kind::IfEq:
+    case Instr::Kind::IfNe:
+      // Taking the branch performs the nested accesses; skipping performs
+      // none, so the taken side is the per-conditional maximum.
+      Count += maxPathAccesses(I.Body);
+      break;
+    }
+  }
+  return Count;
+}
+
+unsigned jsmm::programEventUpperBound(const Program &P) {
+  unsigned Bound = static_cast<unsigned>(P.bufferSizes().size());
+  for (unsigned T = 0; T < P.numThreads(); ++T)
+    Bound += maxPathAccesses(P.threadBody(T));
+  return Bound;
+}
+
 bool jsmm::constraintsAllow(const ThreadPath &Path, unsigned Reg,
                             uint64_t Value) {
   for (const RegConstraint &C : Path.Constraints) {

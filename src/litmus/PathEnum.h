@@ -37,6 +37,20 @@ struct ThreadPath {
 /// \returns every control-flow path of \p Body.
 std::vector<ThreadPath> enumeratePaths(const std::vector<Instr> &Body);
 
+/// \returns the largest number of memory accesses any control-flow path of
+/// \p Body performs (every access of every nested body — the all-branches-
+/// taken path). Computed by summation, not path enumeration, so it is
+/// cheap even for programs whose path count explodes.
+unsigned maxPathAccesses(const std::vector<Instr> &Body);
+
+/// \returns an upper bound on the event-universe size of any candidate
+/// execution of \p P: one Init event per buffer plus each thread's
+/// maxPathAccesses. The Relation machinery caps universes at
+/// Relation::MaxSize (64); frontends compare against this bound to reject
+/// too-large programs with a clear error instead of tripping the checked
+/// Relation construction mid-enumeration.
+unsigned programEventUpperBound(const Program &P);
+
 /// \returns true if register \p Reg holding \p Value satisfies all of the
 /// path's constraints that mention Reg.
 bool constraintsAllow(const ThreadPath &Path, unsigned Reg, uint64_t Value);

@@ -1,0 +1,377 @@
+//===- service/LitmusService.cpp ------------------------------------------===//
+
+#include "service/LitmusService.h"
+
+#include "compile/Compile.h"
+#include "engine/ExecutionEngine.h"
+#include "solver/TotSolver.h"
+#include "support/Str.h"
+#include "targets/Differential.h"
+#include "targets/TargetCompile.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+using namespace jsmm;
+
+const char *jsmm::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::TooLarge:
+    return "too-large";
+  case JobStatus::ParseError:
+    return "parse-error";
+  case JobStatus::Unsupported:
+    return "unsupported";
+  }
+  return "unknown";
+}
+
+bool LitmusJobResult::allows(const std::string &Backend,
+                             const std::string &O) const {
+  auto It = AllowedByBackend.find(Backend);
+  if (It == AllowedByBackend.end())
+    return false;
+  for (const std::string &S : It->second)
+    if (S == O)
+      return true;
+  return false;
+}
+
+bool LitmusJobResult::expectationsOk() const {
+  for (const ExpectationResult &E : Expectations)
+    if (!E.Ok)
+      return false;
+  return true;
+}
+
+namespace {
+
+/// The JavaScript model variants by jsmm-run name.
+const ModelSpec *jsSpecByName(const std::string &Name) {
+  static const std::vector<std::pair<std::string, ModelSpec>> Variants = {
+      {"original", ModelSpec::original()},
+      {"armfix", ModelSpec::armFixOnly()},
+      {"revised", ModelSpec::revised()},
+      {"strong", ModelSpec::revisedStrongTearFree()},
+  };
+  for (const auto &[N, Spec] : Variants)
+    if (N == Name)
+      return &Spec;
+  return nullptr;
+}
+
+std::string knownModelList() {
+  std::string Out = "original, armfix, revised, strong, armv8";
+  for (const TargetModel &M : TargetModel::all())
+    Out += std::string(", ") + M.name();
+  return Out + ", differential";
+}
+
+/// Sorted allowed-outcome strings of any enumeration result (its Allowed
+/// member is a std::map keyed by Outcome, so iteration order is already
+/// the sorted order).
+template <typename ResultT>
+std::vector<std::string> allowedStrings(const ResultT &R) {
+  std::vector<std::string> Out;
+  for (const auto &[O, W] : R.Allowed) {
+    (void)W;
+    Out.push_back(O.toString());
+  }
+  return Out;
+}
+
+/// Checks the file's expectations against one enumeration result.
+template <typename ResultT>
+std::vector<ExpectationResult>
+checkExpectations(const ResultT &R,
+                  const std::vector<LitmusExpectation> &Expectations) {
+  std::vector<ExpectationResult> Out;
+  for (const LitmusExpectation &E : Expectations) {
+    ExpectationResult C;
+    C.Allowed = E.Allowed;
+    C.Outcome = E.O.toString();
+    C.Observed = R.allows(E.O);
+    C.Ok = C.Observed == E.Allowed;
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+/// The cross-model verdict table of one parsed program: the three
+/// mixed-size columns on the program as written, plus — when the program
+/// is expressible in the uni-size fragment — the uni-js reference column
+/// and the six Thm 6.3 targets, with the soundness / observable-weakening
+/// diffs of targets/Differential.h.
+void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
+                          LitmusJobResult &R) {
+  R.AllowedByBackend["js-original"] =
+      allowedStrings(E.enumerate(File.P, JsModel(ModelSpec::original())));
+  R.AllowedByBackend["js-revised"] =
+      allowedStrings(E.enumerate(File.P, JsModel(ModelSpec::revised())));
+  CompiledProgram CP = compileToArm(File.P);
+  R.AllowedByBackend["armv8"] =
+      allowedStrings(E.enumerate(CP.Arm, Armv8Model()));
+
+  std::string Why;
+  std::optional<UniProgram> Uni = uniFromProgram(File.P, &Why);
+  if (!Uni)
+    return; // mixed-size columns only; target columns are inexpressible
+
+  std::vector<std::string> UniAllowed =
+      allowedStrings(enumerateUniOutcomes(*Uni));
+  std::set<std::string> UniSet(UniAllowed.begin(), UniAllowed.end());
+  const std::vector<std::string> &Orig = R.AllowedByBackend["js-original"];
+  std::set<std::string> OrigSet(Orig.begin(), Orig.end());
+  R.AllowedByBackend["uni-js"] = std::move(UniAllowed);
+
+  for (const TargetModel &M : TargetModel::all()) {
+    CompiledTarget CT = compileUni(*Uni, M.arch());
+    std::vector<std::string> Allowed = allowedStrings(E.enumerate(CT, M));
+    for (const std::string &O : Allowed) {
+      if (!UniSet.count(O))
+        R.SoundnessViolations.push_back(std::string(M.name()) + ": " + O);
+      if (!OrigSet.count(O))
+        R.ObservableWeakenings.push_back(std::string(M.name()) + ": " + O);
+    }
+    R.AllowedByBackend[M.name()] = std::move(Allowed);
+  }
+}
+
+} // namespace
+
+unsigned LitmusService::effectiveWorkers() const {
+  if (Cfg.Workers)
+    return Cfg.Workers;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+namespace {
+
+/// The cache key of a parsed job. emitLitmus is the canonical form: two
+/// sources that parse to the same program and expectations share a key no
+/// matter how they are spelled. The solver is part of the key because it
+/// is process-global state the verdict was computed under (identical
+/// verdicts are pinned by solver_test, but the cache must not assume
+/// that).
+std::string keyOf(const LitmusFile &File, const std::string &Model) {
+  return emitLitmus(File) + "\x1f" + "model=" + Model + "\x1f" +
+         "solver=" + solverKindName(defaultSolverKind());
+}
+
+} // namespace
+
+std::optional<std::string> LitmusService::cacheKey(const LitmusJob &Job) {
+  std::optional<LitmusFile> File = parseLitmus(Job.Litmus);
+  if (!File)
+    return std::nullopt;
+  return keyOf(*File, Job.Model);
+}
+
+LitmusJobResult
+LitmusService::computeResult(const LitmusJob &Job,
+                             const std::optional<LitmusFile> &File,
+                             const std::string &ParseError) const {
+  LitmusJobResult R;
+  R.Name = Job.Name;
+  R.Model = Job.Model;
+
+  if (!File) {
+    // The parser is the capacity boundary for source programs; surface its
+    // "program too large" rejection under the dedicated status.
+    R.Status = ParseError.find("program too large") != std::string::npos
+                   ? JobStatus::TooLarge
+                   : JobStatus::ParseError;
+    R.Error = ParseError;
+    return R;
+  }
+  if (R.Name.empty())
+    R.Name = File->P.Name;
+
+  const ModelSpec *JsSpec = jsSpecByName(Job.Model);
+  const TargetModel *Target = TargetModel::byName(Job.Model);
+  bool MixedArm = Job.Model == "armv8";
+  bool Differential = Job.Model == "differential";
+  if (!JsSpec && !Target && !MixedArm && !Differential) {
+    R.Status = JobStatus::Unsupported;
+    R.Error = "unknown model '" + Job.Model + "' (known: " +
+              knownModelList() + ")";
+    return R;
+  }
+
+  ExecutionEngine Engine(EngineConfig{Job.Threads, true});
+  try {
+    // The parser already rejects source programs beyond Relation::MaxSize;
+    // compiled forms can still exceed it (schemes insert fences), so the
+    // engine checks are re-surfaced per compiled program below.
+    if (std::optional<std::string> Cap =
+            ExecutionEngine::capacityError(File->P)) {
+      R.Status = JobStatus::TooLarge;
+      R.Error = *Cap;
+      return R;
+    }
+
+    if (Differential) {
+      runDifferentialTable(*File, Engine, R);
+      return R;
+    }
+
+    if (Target) {
+      std::string Why;
+      std::optional<UniProgram> Uni = uniFromProgram(File->P, &Why);
+      if (!Uni) {
+        R.Status = JobStatus::Unsupported;
+        R.Error = "not in the uni-size fragment required by target "
+                  "backends: " +
+                  Why;
+        return R;
+      }
+      CompiledTarget CT = compileUni(*Uni, Target->arch());
+      if (std::optional<std::string> Cap =
+              ExecutionEngine::capacityError(CT)) {
+        R.Status = JobStatus::TooLarge;
+        R.Error = *Cap + " (after compilation for " + Job.Model + ")";
+        return R;
+      }
+      TargetEnumerationResult TR = Engine.enumerate(CT, *Target);
+      R.AllowedByBackend[Job.Model] = allowedStrings(TR);
+      R.Expectations = checkExpectations(TR, File->Expectations);
+      return R;
+    }
+
+    if (MixedArm) {
+      CompiledProgram CP = compileToArm(File->P);
+      if (std::optional<std::string> Cap =
+              ExecutionEngine::capacityError(CP.Arm)) {
+        R.Status = JobStatus::TooLarge;
+        R.Error = *Cap + " (after compilation for armv8)";
+        return R;
+      }
+      ArmEnumerationResult AR = Engine.enumerate(CP.Arm, Armv8Model());
+      R.AllowedByBackend[Job.Model] = allowedStrings(AR);
+      R.Expectations = checkExpectations(AR, File->Expectations);
+      return R;
+    }
+
+    EnumerationResult ER = Engine.enumerate(File->P, JsModel(*JsSpec));
+    R.AllowedByBackend[Job.Model] = allowedStrings(ER);
+    R.Expectations = checkExpectations(ER, File->Expectations);
+    return R;
+  } catch (const std::length_error &E) {
+    // Backstop for any capacity path the up-front checks missed (e.g. a
+    // compiled form growing beyond the source bound): the job fails, the
+    // batch does not.
+    R = LitmusJobResult();
+    R.Name = Job.Name.empty() ? File->P.Name : Job.Name;
+    R.Model = Job.Model;
+    R.Status = JobStatus::TooLarge;
+    R.Error = E.what();
+    return R;
+  } catch (const std::exception &E) {
+    R = LitmusJobResult();
+    R.Name = Job.Name.empty() ? File->P.Name : Job.Name;
+    R.Model = Job.Model;
+    R.Status = JobStatus::Unsupported;
+    R.Error = std::string("internal error: ") + E.what();
+    return R;
+  }
+}
+
+LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
+  // Parse once: the canonical cache key, the name fallback and the
+  // verdict computation all share this parse.
+  std::string ParseError;
+  std::optional<LitmusFile> File = parseLitmus(Job.Litmus, &ParseError);
+
+  // The result's name is a deterministic function of the job alone (its
+  // label, else the parsed program's name) — never of which duplicate
+  // populated the cache first, so the JSONL stream stays byte-identical
+  // across worker counts.
+  std::string Name = Job.Name;
+  if (Name.empty() && File)
+    Name = File->P.Name;
+
+  std::optional<std::string> Key;
+  if (Cfg.CacheVerdicts && File)
+    Key = keyOf(*File, Job.Model);
+  if (Key) {
+    std::lock_guard<std::mutex> Lock(CacheMu);
+    auto It = Cache.find(*Key);
+    if (It != Cache.end()) {
+      ++Stats.Hits;
+      LitmusJobResult R = It->second;
+      R.Name = Name;
+      R.FromCache = true;
+      return R;
+    }
+  }
+  LitmusJobResult R = computeResult(Job, File, ParseError);
+  if (Key) {
+    std::lock_guard<std::mutex> Lock(CacheMu);
+    ++Stats.Misses;
+    Cache.emplace(*Key, R);
+  }
+  return R;
+}
+
+std::vector<LitmusJobResult>
+LitmusService::run(const std::vector<LitmusJob> &Jobs) {
+  std::vector<LitmusJobResult> Results(Jobs.size());
+  unsigned Workers = static_cast<unsigned>(
+      std::min<size_t>(effectiveWorkers(), Jobs.size()));
+  if (Workers <= 1) {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Results[I] = runOne(Jobs[I]);
+    return Results;
+  }
+  // Bounded pool: jobs are claimed from an atomic counter and each worker
+  // writes only its claimed submission slots, so the result vector is
+  // deterministic in submission order for every worker count.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < Jobs.size();
+         I = Next.fetch_add(1))
+      Results[I] = runOne(Jobs[I]);
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
+}
+
+LitmusService::CacheStats LitmusService::cacheStats() const {
+  std::lock_guard<std::mutex> Lock(CacheMu);
+  return Stats;
+}
+
+void LitmusService::clearCache() {
+  std::lock_guard<std::mutex> Lock(CacheMu);
+  Cache.clear();
+}
+
+std::vector<LitmusJob> jsmm::differentialCorpusJobs(const std::string &Model,
+                                                    unsigned Threads) {
+  std::vector<LitmusJob> Jobs;
+  for (const DiffCase &C : differentialCorpus()) {
+    LitmusJob J;
+    J.Name = C.Name;
+    J.Model = Model;
+    J.Threads = Threads;
+    if (!C.Litmus.empty()) {
+      J.Litmus = C.Litmus;
+    } else {
+      LitmusFile F;
+      F.P = mixedFromUni(C.Uni);
+      J.Litmus = emitLitmus(F);
+    }
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
+}

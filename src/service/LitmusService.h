@@ -1,0 +1,184 @@
+//===- service/LitmusService.h - Batch litmus exploration service ---------===//
+//
+// Part of the jsmm project: a reproduction of "Repairing and Mechanising the
+// JavaScript Relaxed Memory Model" (Watt et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch litmus service: the engine's deterministic sharded
+/// enumeration, put behind a request queue for herd7/diy-scale litmus
+/// campaigns (the ROADMAP's many-scenario exploration direction). A batch
+/// of jobs — litmus source text plus a backend, solver and thread budget —
+/// runs on a bounded worker pool; verdicts are cached keyed by the
+/// canonicalised program plus configuration, and results come back in
+/// deterministic submission order regardless of worker count or
+/// scheduling.
+///
+/// Every job result carries a structured status:
+///
+///   - ok          the job ran and produced verdicts;
+///   - too-large   the program's event universe exceeds Relation::MaxSize;
+///   - parse-error the litmus text did not parse ("line N: ..." message);
+///   - unsupported the backend is unknown, or requires the uni-size
+///                 fragment the program is not in.
+///
+/// A failed job never poisons the batch: the other jobs run to completion
+/// and the failed one reports its status and message in its submission
+/// slot. This is the property that forces the failure-path hardening
+/// through every layer below (checked Relation construction, engine
+/// capacity checks, parser numeric hardening).
+///
+/// Front doors: the `jsmm-batch` tool (JSONL job files / litmus
+/// directories in, a JSONL verdict stream out) and the C++ API used by
+/// examples/litmus_explorer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SERVICE_LITMUSSERVICE_H
+#define JSMM_SERVICE_LITMUSSERVICE_H
+
+#include "tools/LitmusParser.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jsmm {
+
+/// Structured per-job status. One bad program fails its job, never the
+/// batch.
+enum class JobStatus : uint8_t { Ok, TooLarge, ParseError, Unsupported };
+
+/// \returns "ok" / "too-large" / "parse-error" / "unsupported".
+const char *jobStatusName(JobStatus S);
+
+/// One unit of service work: a litmus program and how to run it.
+struct LitmusJob {
+  /// Job label reported back in the result; when empty, the parsed
+  /// program's `name` is used.
+  std::string Name;
+  /// Litmus source text (tools/LitmusParser format).
+  std::string Litmus;
+  /// Backend: any jsmm-run model name ("original", "armfix", "revised",
+  /// "strong", "armv8", "x86-tso", "armv8-uni", "armv7", "power", "riscv",
+  /// "immlite"), or "differential" for the cross-model verdict table.
+  std::string Model = "revised";
+  /// Engine threads for this job's enumerations (sharding within the job;
+  /// the pool's workers parallelise across jobs). 0 means one per
+  /// hardware thread.
+  unsigned Threads = 1;
+};
+
+/// One checked `allow`/`forbid` line of a job's litmus file.
+struct ExpectationResult {
+  bool Allowed = false;  ///< the expectation as written
+  std::string Outcome;   ///< the outcome's string form
+  bool Observed = false; ///< what the model said
+  bool Ok = false;       ///< Observed == Allowed
+};
+
+/// The result of one job, in its submission slot.
+struct LitmusJobResult {
+  JobStatus Status = JobStatus::Ok;
+  std::string Error; ///< human-readable reason when Status != Ok
+  std::string Name;
+  std::string Model;
+
+  /// Sorted allowed-outcome strings per backend. Single-model jobs have
+  /// exactly one entry (the job's model); "differential" jobs carry the
+  /// full table — "js-original", "js-revised" and "armv8" on the program
+  /// as written, plus "uni-js" and the six Thm 6.3 targets when the
+  /// program is expressible in the uni-size fragment.
+  std::map<std::string, std::vector<std::string>> AllowedByBackend;
+  /// Differential jobs: Thm 6.3 soundness violations ("arch: outcome"
+  /// strings for target outcomes uni-js forbids) and §3.1-style observable
+  /// weakenings (target outcomes js-original forbids).
+  std::vector<std::string> SoundnessViolations;
+  std::vector<std::string> ObservableWeakenings;
+  /// The file's allow/forbid lines checked against the job's model
+  /// (single-model jobs only; differential jobs leave it empty).
+  std::vector<ExpectationResult> Expectations;
+
+  /// True when this result came from the verdict cache. Depends on
+  /// scheduling under concurrent workers, so it is excluded from the
+  /// deterministic JSONL rendering; tests use it through the C++ API.
+  bool FromCache = false;
+
+  bool ok() const { return Status == JobStatus::Ok; }
+  /// \returns true if \p Backend allows the outcome string \p O.
+  bool allows(const std::string &Backend, const std::string &O) const;
+  /// \returns true if every expectation check passed.
+  bool expectationsOk() const;
+};
+
+/// Service tuning knobs.
+struct ServiceConfig {
+  /// Worker threads of the job pool. 0 means one per hardware thread.
+  unsigned Workers = 1;
+  /// Cache verdicts keyed by canonicalised program + model + solver.
+  bool CacheVerdicts = true;
+
+  static ServiceConfig sequential() { return {1, true}; }
+};
+
+/// The batch litmus service. Thread-compatible: one service may be driven
+/// from one thread at a time; its own pool fans jobs out internally.
+class LitmusService {
+public:
+  LitmusService() = default;
+  explicit LitmusService(ServiceConfig Cfg) : Cfg(Cfg) {}
+
+  const ServiceConfig &config() const { return Cfg; }
+  /// \returns the worker count actually used (resolves Workers == 0).
+  unsigned effectiveWorkers() const;
+
+  /// Runs \p Jobs on the worker pool. The result vector is index-aligned
+  /// with the submission order and byte-for-byte identical for every
+  /// worker count (FromCache excepted, see its comment).
+  std::vector<LitmusJobResult> run(const std::vector<LitmusJob> &Jobs);
+
+  /// Runs a single job synchronously (worker pool bypassed; the cache is
+  /// still consulted).
+  LitmusJobResult runOne(const LitmusJob &Job);
+
+  /// Hit/miss counters of the verdict cache, cumulative over the service's
+  /// lifetime.
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  CacheStats cacheStats() const;
+  void clearCache();
+
+  /// The cache key of \p Job: the canonical re-emission of its parsed
+  /// program (whitespace, comments and line-ending differences collapse)
+  /// plus model and process solver. \returns std::nullopt for unparseable
+  /// jobs (which are never cached).
+  static std::optional<std::string> cacheKey(const LitmusJob &Job);
+
+private:
+  LitmusJobResult computeResult(const LitmusJob &Job,
+                                const std::optional<LitmusFile> &File,
+                                const std::string &ParseError) const;
+
+  ServiceConfig Cfg;
+  mutable std::mutex CacheMu;
+  std::map<std::string, LitmusJobResult> Cache;
+  CacheStats Stats;
+};
+
+/// The built-in differential corpus (targets/Differential.h) as service
+/// jobs: parser-loaded entries keep their source text, programmatic
+/// entries go through the canonical emitter of their u32 rendering. The
+/// shared job list of jsmm-batch --corpus, the service benches and the
+/// determinism tests.
+std::vector<LitmusJob>
+differentialCorpusJobs(const std::string &Model = "differential",
+                       unsigned Threads = 1);
+
+} // namespace jsmm
+
+#endif // JSMM_SERVICE_LITMUSSERVICE_H

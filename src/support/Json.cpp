@@ -1,0 +1,332 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace jsmm;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string jsmm::jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string JsonValue::toString() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return BoolVal ? "true" : "false";
+  case Kind::Number: {
+    // Integers (the only numbers jsmm emits) print without a fraction.
+    if (NumVal == std::floor(NumVal) && std::abs(NumVal) < 1e15) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.0f", NumVal);
+      return Buf;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", NumVal);
+    return Buf;
+  }
+  case Kind::String:
+    return jsonQuote(StrVal);
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += Elems[I].toString();
+    }
+    return Out + "]";
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    for (size_t I = 0; I < Members.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += jsonQuote(Members[I].first) + ":" + Members[I].second.toString();
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const std::string &Src;
+  size_t Pos = 0;
+  std::string Error;
+
+  explicit Parser(const std::string &Src) : Src(Src) {}
+
+  bool fail(const std::string &Why) {
+    if (Error.empty())
+      Error = "offset " + std::to_string(Pos) + ": " + Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Src.size() &&
+           std::isspace(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Src.size() && Src[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Src.compare(Pos, Len, Word) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return fail(std::string("expected '") + Word + "'");
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Src.size()) {
+      char C = Src[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Src.size())
+        return fail("truncated escape");
+      char E = Src[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Src.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Src[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a') + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A') + 10;
+          else
+            return fail("bad \\u escape digit");
+        }
+        // UTF-8 encode the code point (BMP only; surrogate pairs are
+        // passed through as two encoded code units).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Src.size() && Src[Pos] == '-')
+      ++Pos;
+    while (Pos < Src.size() &&
+           (std::isdigit(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == '.' || Src[Pos] == 'e' || Src[Pos] == 'E' ||
+            Src[Pos] == '+' || Src[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a number");
+    try {
+      size_t Used = 0;
+      double Value = std::stod(Src.substr(Start, Pos - Start), &Used);
+      if (Used != Pos - Start)
+        return fail("bad number");
+      Out = JsonValue(Value);
+      return true;
+    } catch (...) {
+      Pos = Start;
+      return fail("bad number");
+    }
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Src.size())
+      return fail("unexpected end of input");
+    char C = Src[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = JsonValue::object();
+      skipWs();
+      if (Pos < Src.size() && Src[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!consume(':'))
+          return false;
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Out.set(Key, std::move(V));
+        skipWs();
+        if (Pos < Src.size() && Src[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = JsonValue::array();
+      skipWs();
+      if (Pos < Src.size() && Src[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Out.push(std::move(V));
+        skipWs();
+        if (Pos < Src.size() && Src[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue(std::move(S));
+      return true;
+    }
+    if (C == 't') {
+      Out = JsonValue(true);
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out = JsonValue(false);
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out = JsonValue();
+      return literal("null");
+    }
+    return parseNumber(Out);
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> jsmm::parseJson(const std::string &Source,
+                                         std::string *Error) {
+  Parser P(Source);
+  JsonValue V;
+  if (!P.parseValue(V)) {
+    if (Error)
+      *Error = P.Error;
+    return std::nullopt;
+  }
+  P.skipWs();
+  if (P.Pos != Source.size()) {
+    if (Error)
+      *Error = "offset " + std::to_string(P.Pos) + ": trailing characters";
+    return std::nullopt;
+  }
+  return V;
+}

@@ -1,0 +1,105 @@
+//===- support/Json.h - Minimal JSON values ------------------------------===//
+//
+// Part of the jsmm project: a reproduction of "Repairing and Mechanising the
+// JavaScript Relaxed Memory Model" (Watt et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON value type with a strict parser and a
+/// deterministic writer. Used by the batch litmus service front door
+/// (tools/jsmm_batch.cpp) for JSONL job files and verdict streams, where
+/// determinism matters: objects preserve insertion order, so serialising
+/// the same value always yields the same bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SUPPORT_JSON_H
+#define JSMM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsmm {
+
+/// One JSON value. Objects keep their members in insertion order (JSON
+/// objects are unordered per the spec, but a deterministic writer needs a
+/// deterministic member order).
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolVal(B) {}
+  JsonValue(double N) : K(Kind::Number), NumVal(N) {}
+  JsonValue(int N) : K(Kind::Number), NumVal(N) {}
+  JsonValue(uint64_t N) : K(Kind::Number), NumVal(static_cast<double>(N)) {}
+  JsonValue(std::string S) : K(Kind::String), StrVal(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StrVal(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolVal; }
+  double asNumber() const { return NumVal; }
+  const std::string &asString() const { return StrVal; }
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Appends \p V to an array value.
+  void push(JsonValue V) { Elems.push_back(std::move(V)); }
+  /// Appends member \p Key = \p V to an object value (no dedup; callers
+  /// control the key set).
+  void set(const std::string &Key, JsonValue V) {
+    Members.emplace_back(Key, std::move(V));
+  }
+
+  /// \returns the member named \p Key of an object, or nullptr.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Serialises the value on one line (no whitespace), object members in
+  /// insertion order — the JSONL-friendly deterministic form.
+  std::string toString() const;
+
+private:
+  Kind K;
+  bool BoolVal = false;
+  double NumVal = 0;
+  std::string StrVal;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Strictly parses \p Source as one JSON value (surrounding whitespace
+/// allowed, nothing else trailing). On failure returns std::nullopt and,
+/// when \p Error is non-null, an "offset N: reason" message.
+std::optional<JsonValue> parseJson(const std::string &Source,
+                                   std::string *Error = nullptr);
+
+/// \returns \p S as a quoted, escaped JSON string literal.
+std::string jsonQuote(const std::string &S);
+
+} // namespace jsmm
+
+#endif // JSMM_SUPPORT_JSON_H

@@ -9,8 +9,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 using namespace jsmm;
+
+void jsmm::detail::relationUniverseTooLarge(unsigned Size) {
+  throw std::length_error("relation universe too large (" +
+                          std::to_string(Size) + " elements > " +
+                          std::to_string(Relation::MaxSize) + ")");
+}
 
 uint64_t Relation::column(unsigned B) const {
   assert(B < N && "element out of range");
@@ -173,7 +180,7 @@ std::vector<std::pair<unsigned, unsigned>> Relation::pairs() const {
   return Result;
 }
 
-std::vector<unsigned> Relation::topologicalOrder() const {
+std::optional<std::vector<unsigned>> Relation::topologicalOrder() const {
   std::vector<unsigned> InDegree(N, 0);
   forEachPair([&](unsigned, unsigned B) { ++InDegree[B]; });
   std::vector<unsigned> Ready;
@@ -196,7 +203,8 @@ std::vector<unsigned> Relation::topologicalOrder() const {
         Ready.push_back(B);
     }
   }
-  assert(Order.size() == N && "topologicalOrder on a cyclic relation");
+  if (Order.size() != N)
+    return std::nullopt; // a cycle kept some element's in-degree positive
   return Order;
 }
 

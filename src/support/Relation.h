@@ -21,10 +21,18 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace jsmm {
+
+namespace detail {
+/// Fails a Relation construction whose universe exceeds MaxSize by throwing
+/// std::length_error("relation universe too large (N elements > 64)").
+/// Out-of-line so the header does not pull in <stdexcept>.
+[[noreturn]] void relationUniverseTooLarge(unsigned Size);
+} // namespace detail
 
 /// A binary relation on {0, ..., size()-1} represented as a bit matrix.
 /// Row A holds the successor set of A: bit B of row A is set iff <A,B> is in
@@ -40,9 +48,16 @@ class Relation {
 public:
   Relation() : N(0) {}
 
-  /// Creates the empty relation over a universe of \p Size elements.
+  /// Creates the empty relation over a universe of \p Size elements. The
+  /// universe cap is enforced in every build mode: a Size above MaxSize
+  /// throws std::length_error instead of writing past the row array
+  /// (`Rows[A] |= 1 << B` with B >= 64 would be silent UB in release
+  /// builds). Frontends validate event counts up front — see
+  /// ExecutionEngine::capacityError — so a throwing construction marks a
+  /// caller that skipped the check, never a user-input condition.
   explicit Relation(unsigned Size) : N(Size) {
-    assert(Size <= MaxSize && "relation universe too large");
+    if (Size > MaxSize)
+      detail::relationUniverseTooLarge(Size);
     std::fill_n(Rows.begin(), N, 0);
   }
 
@@ -173,8 +188,10 @@ public:
   std::vector<std::pair<unsigned, unsigned>> pairs() const;
 
   /// \returns some topological order of the universe consistent with this
-  /// relation. The relation must be acyclic.
-  std::vector<unsigned> topologicalOrder() const;
+  /// relation, or std::nullopt if the relation is cyclic (in which case no
+  /// such order exists). Callers must handle the nullopt branch — release
+  /// builds previously received a silently truncated order here.
+  std::optional<std::vector<unsigned>> topologicalOrder() const;
 
   /// \returns a human-readable "{<0,1>, <2,3>}" rendering for debugging.
   std::string toString() const;

@@ -10,6 +10,7 @@
 #define JSMM_SUPPORT_STR_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,30 @@ uint64_t valueOfBytes(const std::vector<uint8_t> &Bytes);
 
 /// \returns "0xNN" hex rendering of a value.
 std::string hexByte(uint8_t Byte);
+
+/// Strict decimal parse of \p S into an unsigned. \returns std::nullopt on
+/// an empty string, any non-digit character (including signs, whitespace
+/// and an 0x prefix), or a value that does not fit — the CLI flag parsers
+/// use this so "--threads=1e9", "--threads=-1", "--threads=0x4" and
+/// overflowing values are friendly errors instead of crashes or a silent 0.
+std::optional<unsigned> parseUnsigned(const std::string &S);
+
+/// Strict parse of a litmus *value*: decimal, or hex with an 0x/0X prefix
+/// (a leading zero is decimal, never octal). \returns std::nullopt on any
+/// other character or on overflow.
+std::optional<uint64_t> parseUnsigned64(const std::string &S);
+
+/// Parses the numeric CLI flag \p Value (strict decimal, see
+/// parseUnsigned); on failure prints "<Tool>: invalid <Flag> value ..."
+/// to stderr and returns std::nullopt so the caller can exit 2. Shared by
+/// every jsmm binary so the flag-diagnostic contract cannot drift.
+std::optional<unsigned> parseCliUnsigned(const std::string &Tool,
+                                         const std::string &Flag,
+                                         const std::string &Value);
+
+/// \returns the entire contents of the file at \p Path, or std::nullopt
+/// if it cannot be opened.
+std::optional<std::string> readFileText(const std::string &Path);
 
 } // namespace jsmm
 

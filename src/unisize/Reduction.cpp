@@ -116,14 +116,19 @@ ReductionResult jsmm::reduceToUniSize(const CandidateExecution &CE) {
   }
 
   if (CE.hasTot()) {
-    // Uni Inits first (in location order), then the mixed tot order.
-    std::vector<unsigned> Order;
-    for (EventId I : InitOfLoc)
-      Order.push_back(I);
-    for (unsigned MixedId : CE.Tot.topologicalOrder())
-      if (RR.UniOfMixed[MixedId] >= 0)
-        Order.push_back(static_cast<unsigned>(RR.UniOfMixed[MixedId]));
-    RR.Uni.Tot = totalOrderFromSequence(Order, RR.Uni.numEvents());
+    // Uni Inits first (in location order), then the mixed tot order. A
+    // cyclic Tot is malformed input — leave the uni execution without a
+    // tot rather than building one from a truncated order.
+    if (std::optional<std::vector<unsigned>> MixedOrder =
+            CE.Tot.topologicalOrder()) {
+      std::vector<unsigned> Order;
+      for (EventId I : InitOfLoc)
+        Order.push_back(I);
+      for (unsigned MixedId : *MixedOrder)
+        if (RR.UniOfMixed[MixedId] >= 0)
+          Order.push_back(static_cast<unsigned>(RR.UniOfMixed[MixedId]));
+      RR.Uni.Tot = totalOrderFromSequence(Order, RR.Uni.numEvents());
+    }
   }
   return RR;
 }

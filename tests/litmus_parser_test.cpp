@@ -282,3 +282,111 @@ TEST(LitmusParser, DiagnosticLineNumbersPointAtTheOffendingLine) {
           .has_value());
   EXPECT_EQ(Error.rfind("line 5:", 0), 0u) << Error;
 }
+
+//===----------------------------------------------------------------------===//
+// Input hardening: CRLF, trailing whitespace, numeric overflow, capacity
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusParser, CrlfLineEndingsParseIdentically) {
+  std::string Crlf;
+  for (const char *C = MPSource; *C; ++C) {
+    if (*C == '\n')
+      Crlf += "\r\n";
+    else
+      Crlf += *C;
+  }
+  std::string Error;
+  auto Unix = parseLitmus(MPSource, &Error);
+  ASSERT_TRUE(Unix.has_value()) << Error;
+  auto Dos = parseLitmus(Crlf, &Error);
+  ASSERT_TRUE(Dos.has_value()) << Error;
+  EXPECT_EQ(emitLitmus(*Dos), emitLitmus(*Unix));
+  EXPECT_EQ(Dos->Expectations.size(), Unix->Expectations.size());
+}
+
+TEST(LitmusParser, TrailingAndLeadingWhitespaceIsTolerated) {
+  const char *Src = "name ws  \t \n"
+                    "buffer 8\t\n"
+                    "thread   \n"
+                    "\t store u32 0 = 1 \t \n"
+                    "  \t  \n"
+                    "thread\n"
+                    "  r0 = load u32 0\t\n"
+                    "allow 0:r0=1 \t\n";
+  std::string Error;
+  auto File = parseLitmus(Src, &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  EXPECT_EQ(File->P.Name, "ws");
+  EXPECT_EQ(File->P.numThreads(), 2u);
+  ASSERT_EQ(File->Expectations.size(), 1u);
+}
+
+TEST(LitmusParser, OverflowingNumbersAreErrorsNotCrashes) {
+  // Every one of these used to reach std::stoul/stoull and throw (or
+  // silently truncate); all must now be line-diagnosed parse errors.
+  const std::vector<std::pair<const char *, const char *>> Cases = {
+      {"buffer 99999999999999999999\nthread\n  store u32 0 = 1\n",
+       "bad buffer size"},
+      {"thread\n  store u32 99999999999999999999 = 1\n", "bad offset"},
+      {"thread\n  store u32 0 = 99999999999999999999999\n", "bad value"},
+      {"thread\n  r0 = load u32 99999999999999999999\n", "bad offset"},
+      {"thread\n  r0 = exchange u32 0 = 99999999999999999999999\n",
+       "bad value"},
+      {"thread\n  r0 = load u32 0\n  if r0 == 99999999999999999999999\n",
+       "bad value"},
+      {"thread\n  r0 = load dv99 0\n", "bad width"},
+      {"thread\n  r0 = load dv0 0\n", "bad width"},
+      {"thread\n  store u32 -4 = 1\n", "bad offset"},
+      {"buffer 0\nthread\n  store u32 0 = 1\n", "bad buffer size"},
+      {"buffer 2000000\nthread\n  store u32 0 = 1\n", "buffer too large"},
+      {"thread\n  r0 = load u32 0\n  if r99999999999999999999 == 1\n",
+       "bad register"},
+      {"thread\n  store u32 0 = 1\nallow 0:r0=99999999999999999999999\n",
+       "bad outcome token"},
+      {"thread\n  store u32 0 = 1\nallow -1:r0=5\n", "bad outcome token"},
+  };
+  for (const auto &[Source, Expected] : Cases) {
+    std::string Error;
+    auto File = parseLitmus(Source, &Error);
+    EXPECT_FALSE(File.has_value()) << Source;
+    EXPECT_NE(Error.find(Expected), std::string::npos)
+        << "source <<" << Source << ">> produced: " << Error;
+    EXPECT_EQ(Error.rfind("line ", 0), 0u)
+        << "diagnostic must carry a line number: " << Error;
+  }
+}
+
+TEST(LitmusParser, LeadingZeroNumbersAreDecimalNotOctal) {
+  const char *Src = R"(
+buffer 16
+thread
+  store u32 010 = 010
+  r0 = load u32 010
+allow 0:r0=010
+)";
+  auto File = parseLitmus(Src);
+  ASSERT_TRUE(File.has_value());
+  EXPECT_EQ(File->P.threadBody(0)[0].Access.Offset, 10u);
+  EXPECT_EQ(File->P.threadBody(0)[0].Value, 10u);
+  uint64_t V = 0;
+  ASSERT_TRUE(File->Expectations[0].O.lookup(0, 0, V));
+  EXPECT_EQ(V, 10u);
+}
+
+TEST(LitmusParser, RejectsProgramsBeyondTheEventUniverse) {
+  std::string Src = "name big\nbuffer 64\nthread\n";
+  for (unsigned I = 0; I < 70; ++I)
+    Src += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
+  std::string Error;
+  EXPECT_FALSE(parseLitmus(Src, &Error).has_value());
+  EXPECT_NE(Error.find("program too large (71 events > 64)"),
+            std::string::npos)
+      << Error;
+  EXPECT_EQ(Error.rfind("line ", 0), 0u) << Error;
+
+  // Exactly at the cap still parses: 1 init + 63 stores = 64 events.
+  std::string AtCap = "name cap\nbuffer 64\nthread\n";
+  for (unsigned I = 0; I < 63; ++I)
+    AtCap += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
+  EXPECT_TRUE(parseLitmus(AtCap, &Error).has_value()) << Error;
+}

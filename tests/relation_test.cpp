@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace jsmm;
 
 TEST(Relation, EmptyRelationHasNoPairs) {
@@ -170,14 +172,42 @@ TEST(Relation, TopologicalOrderRespectsEdges) {
   R.set(3, 1);
   R.set(1, 0);
   R.set(2, 0);
-  std::vector<unsigned> Order = R.topologicalOrder();
-  ASSERT_EQ(Order.size(), 4u);
+  std::optional<std::vector<unsigned>> Order = R.topologicalOrder();
+  ASSERT_TRUE(Order.has_value());
+  ASSERT_EQ(Order->size(), 4u);
   std::vector<unsigned> Pos(4);
   for (unsigned I = 0; I < 4; ++I)
-    Pos[Order[I]] = I;
+    Pos[(*Order)[I]] = I;
   EXPECT_LT(Pos[3], Pos[1]);
   EXPECT_LT(Pos[1], Pos[0]);
   EXPECT_LT(Pos[2], Pos[0]);
+}
+
+TEST(Relation, TopologicalOrderOnCyclicInputIsNullopt) {
+  Relation R(3);
+  R.set(0, 1);
+  R.set(1, 2);
+  R.set(2, 0);
+  EXPECT_FALSE(R.topologicalOrder().has_value());
+  // A self-loop is the smallest cycle.
+  Relation Self(2);
+  Self.set(1, 1);
+  EXPECT_FALSE(Self.topologicalOrder().has_value());
+  // Acyclic part of a partly-cyclic relation still has no order.
+  Relation Mixed(4);
+  Mixed.set(0, 1);
+  Mixed.set(2, 3);
+  Mixed.set(3, 2);
+  EXPECT_FALSE(Mixed.topologicalOrder().has_value());
+}
+
+TEST(Relation, ConstructionBeyondMaxSizeThrowsInEveryBuildMode) {
+  EXPECT_THROW(Relation R(Relation::MaxSize + 1), std::length_error);
+  EXPECT_THROW(Relation R(1000), std::length_error);
+  EXPECT_NO_THROW(Relation R(Relation::MaxSize));
+  // totalOrderFromSequence goes through the checked constructor too.
+  EXPECT_THROW(totalOrderFromSequence({0, 1}, Relation::MaxSize + 1),
+               std::length_error);
 }
 
 TEST(Relation, PairsEnumeration) {

@@ -1,0 +1,369 @@
+//===- tests/service_test.cpp - Batch litmus service ----------------------===//
+//
+// Covers the service layer introduced for the batch/async litmus
+// direction: batch determinism across worker counts, per-job error
+// isolation (one too-large or malformed program never poisons the batch),
+// verdict-cache behaviour, and the hardened Relation / topologicalOrder
+// failure paths the service forces through the lower layers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/LitmusService.h"
+
+#include "engine/ExecutionEngine.h"
+#include "support/Relation.h"
+#include "targets/Differential.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+using namespace jsmm;
+
+namespace {
+
+const char *GoodMp = R"(name mp
+buffer 8
+thread
+  store u32 0 = 1
+  store.sc u32 4 = 1
+thread
+  r0 = load.sc u32 4
+  r1 = load u32 0
+forbid 1:r0=1 1:r1=0
+)";
+
+/// A straight-line program whose event universe exceeds Relation::MaxSize.
+std::string tooLargeLitmus() {
+  std::string Out = "name too-big\nbuffer 64\nthread\n";
+  for (unsigned I = 0; I < 70; ++I)
+    Out += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
+  return Out;
+}
+
+/// A canonical-form-insensitive rendering of a result, for cross-worker
+/// equality checks (FromCache deliberately excluded — it depends on
+/// scheduling).
+std::string fingerprint(const LitmusJobResult &R) {
+  std::ostringstream Out;
+  Out << jobStatusName(R.Status) << "|" << R.Name << "|" << R.Model << "|"
+      << R.Error << "|";
+  for (const auto &[Backend, Allowed] : R.AllowedByBackend) {
+    Out << Backend << "=[";
+    for (const std::string &O : Allowed)
+      Out << O << ";";
+    Out << "]";
+  }
+  for (const std::string &S : R.SoundnessViolations)
+    Out << "S:" << S;
+  for (const std::string &S : R.ObservableWeakenings)
+    Out << "W:" << S;
+  for (const ExpectationResult &E : R.Expectations)
+    Out << "E:" << E.Allowed << E.Outcome << E.Observed << E.Ok;
+  return Out.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Batch determinism
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusService, BatchResultsIdenticalAcrossWorkerCounts) {
+  std::vector<LitmusJob> Jobs = differentialCorpusJobs();
+  ASSERT_GE(Jobs.size(), 12u);
+
+  std::vector<std::string> Reference;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    LitmusService Service(Cfg);
+    std::vector<LitmusJobResult> Results = Service.run(Jobs);
+    ASSERT_EQ(Results.size(), Jobs.size());
+    std::vector<std::string> Prints;
+    for (const LitmusJobResult &R : Results) {
+      EXPECT_TRUE(R.ok()) << R.Name << ": " << R.Error;
+      Prints.push_back(fingerprint(R));
+    }
+    if (Reference.empty())
+      Reference = Prints;
+    else
+      EXPECT_EQ(Prints, Reference) << "workers=" << Workers;
+  }
+}
+
+TEST(LitmusService, MixedStatusBatchIsDeterministicToo) {
+  std::vector<LitmusJob> Jobs;
+  Jobs.push_back({"good", GoodMp, "revised", 1});
+  Jobs.push_back({"big", tooLargeLitmus(), "revised", 1});
+  Jobs.push_back({"bad", "thread\n  flurb\n", "revised", 1});
+  Jobs.push_back({"good-again", GoodMp, "revised", 1});
+
+  std::vector<std::string> Reference;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    LitmusService Service(Cfg);
+    std::vector<LitmusJobResult> Results = Service.run(Jobs);
+    std::vector<std::string> Prints;
+    for (const LitmusJobResult &R : Results)
+      Prints.push_back(fingerprint(R));
+    if (Reference.empty())
+      Reference = Prints;
+    else
+      EXPECT_EQ(Prints, Reference) << "workers=" << Workers;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-job error isolation
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusService, OneBadJobNeverPoisonsTheBatch) {
+  std::vector<LitmusJob> Jobs;
+  Jobs.push_back({"big", tooLargeLitmus(), "revised", 1});
+  Jobs.push_back({"malformed", "thread\n  store u32 0\n", "revised", 1});
+  Jobs.push_back({"good", GoodMp, "revised", 1});
+  Jobs.push_back({"unknown-model", GoodMp, "armv9", 1});
+  Jobs.push_back({"not-uni", R"(name cf
+buffer 8
+thread
+  r0 = load u32 0
+  if r0 == 1
+    store u32 4 = 1
+  end
+)",
+                  "x86-tso", 1});
+
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  LitmusService Service(Cfg);
+  std::vector<LitmusJobResult> Results = Service.run(Jobs);
+  ASSERT_EQ(Results.size(), 5u);
+
+  EXPECT_EQ(Results[0].Status, JobStatus::TooLarge);
+  EXPECT_NE(Results[0].Error.find("program too large (71 events > 64)"),
+            std::string::npos)
+      << Results[0].Error;
+
+  EXPECT_EQ(Results[1].Status, JobStatus::ParseError);
+  EXPECT_NE(Results[1].Error.find("line 2"), std::string::npos);
+
+  // The good job is completely unaffected by its failed neighbours.
+  EXPECT_EQ(Results[2].Status, JobStatus::Ok);
+  EXPECT_TRUE(Results[2].expectationsOk());
+  ASSERT_TRUE(Results[2].AllowedByBackend.count("revised"));
+  EXPECT_FALSE(Results[2].allows("revised", "1:r0=1 1:r1=0"));
+  EXPECT_TRUE(Results[2].allows("revised", "1:r0=1 1:r1=1"));
+
+  EXPECT_EQ(Results[3].Status, JobStatus::Unsupported);
+  EXPECT_NE(Results[3].Error.find("unknown model 'armv9'"),
+            std::string::npos);
+
+  EXPECT_EQ(Results[4].Status, JobStatus::Unsupported);
+  EXPECT_NE(Results[4].Error.find("uni-size"), std::string::npos);
+}
+
+TEST(LitmusService, TooLargeIsAStructuredStatusNotACrash) {
+  // This is the release-build UB the service hardening fixed: >64 events
+  // used to sail past debug-only asserts into out-of-range bit shifts.
+  LitmusService Service;
+  LitmusJobResult R = Service.runOne({"", tooLargeLitmus(), "revised", 1});
+  EXPECT_EQ(R.Status, JobStatus::TooLarge);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("events > 64"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict cache
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusService, CacheHitsOnCanonicallyEqualPrograms) {
+  LitmusService Service(ServiceConfig::sequential());
+  LitmusJobResult First = Service.runOne({"a", GoodMp, "revised", 1});
+  EXPECT_FALSE(First.FromCache);
+
+  // Same program, different spelling: comments, blank lines and CRLF all
+  // collapse under the canonical emitter.
+  std::string Respelled;
+  for (const char *C = GoodMp; *C; ++C) {
+    if (*C == '\n')
+      Respelled += "   # trailing comment\r\n";
+    else
+      Respelled += *C;
+  }
+  LitmusJobResult Second = Service.runOne({"b", Respelled, "revised", 1});
+  EXPECT_TRUE(Second.FromCache);
+  EXPECT_EQ(Second.Name, "b") << "the job's own label wins over the cache";
+  EXPECT_EQ(Second.AllowedByBackend, First.AllowedByBackend);
+  EXPECT_EQ(Second.Expectations.size(), First.Expectations.size());
+
+  LitmusService::CacheStats Stats = Service.cacheStats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+
+  // A different model is a different key.
+  LitmusJobResult Third = Service.runOne({"c", GoodMp, "original", 1});
+  EXPECT_FALSE(Third.FromCache);
+  EXPECT_EQ(Service.cacheStats().Misses, 2u);
+
+  Service.clearCache();
+  LitmusJobResult Fourth = Service.runOne({"d", GoodMp, "revised", 1});
+  EXPECT_FALSE(Fourth.FromCache);
+}
+
+TEST(LitmusService, CachedResultNameIsAFunctionOfTheJobAlone) {
+  // An unnamed job must report the parsed program's name even when the
+  // verdict is served from a cache entry populated by a custom-named
+  // submitter — otherwise the JSONL stream depends on which duplicate ran
+  // first and worker-count determinism breaks.
+  LitmusService Service(ServiceConfig::sequential());
+  LitmusJobResult Named = Service.runOne({"custom", GoodMp, "revised", 1});
+  EXPECT_EQ(Named.Name, "custom");
+  LitmusJobResult Unnamed = Service.runOne({"", GoodMp, "revised", 1});
+  EXPECT_TRUE(Unnamed.FromCache);
+  EXPECT_EQ(Unnamed.Name, "mp") << "parsed program name, not the first "
+                                   "submitter's label";
+}
+
+TEST(LitmusService, CacheCanBeDisabled) {
+  ServiceConfig Cfg;
+  Cfg.CacheVerdicts = false;
+  LitmusService Service(Cfg);
+  Service.runOne({"a", GoodMp, "revised", 1});
+  LitmusJobResult Again = Service.runOne({"a", GoodMp, "revised", 1});
+  EXPECT_FALSE(Again.FromCache);
+  EXPECT_EQ(Service.cacheStats().Hits, 0u);
+  EXPECT_EQ(Service.cacheStats().Misses, 0u);
+}
+
+TEST(LitmusService, CacheKeyCanonicalises) {
+  LitmusJob A{"x", GoodMp, "revised", 1};
+  LitmusJob B{"y", std::string(GoodMp) + "\n# comment\n", "revised", 4};
+  std::optional<std::string> KeyA = LitmusService::cacheKey(A);
+  std::optional<std::string> KeyB = LitmusService::cacheKey(B);
+  ASSERT_TRUE(KeyA && KeyB);
+  EXPECT_EQ(*KeyA, *KeyB) << "names, comments and thread budgets are not "
+                             "part of the verdict";
+  LitmusJob C{"x", GoodMp, "original", 1};
+  EXPECT_NE(*KeyA, *LitmusService::cacheKey(C));
+  EXPECT_FALSE(LitmusService::cacheKey({"z", "not litmus", "revised", 1})
+                   .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential jobs agree with the differential suite
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusService, DifferentialTableMatchesRunDifferential) {
+  LitmusService Service;
+  unsigned Seen = 0;
+  for (const DiffCase &C : differentialCorpus()) {
+    if (C.Litmus.empty())
+      continue;
+    ++Seen;
+    LitmusJobResult R =
+        Service.runOne({C.Name, C.Litmus, "differential", 1});
+    ASSERT_EQ(R.Status, JobStatus::Ok) << C.Name << ": " << R.Error;
+    DiffReport Ref = runDifferential(C);
+    for (const std::string &Backend : differentialBackends()) {
+      ASSERT_TRUE(R.AllowedByBackend.count(Backend))
+          << C.Name << " missing " << Backend;
+      EXPECT_EQ(R.AllowedByBackend.at(Backend),
+                Ref.AllowedByBackend.at(Backend))
+          << C.Name << " / " << Backend;
+    }
+    EXPECT_EQ(R.SoundnessViolations, Ref.SoundnessViolations) << C.Name;
+    EXPECT_EQ(R.ObservableWeakenings, Ref.ObservableWeakenings) << C.Name;
+    // The service's table additionally carries the mixed-size ARMv8 column.
+    EXPECT_TRUE(R.AllowedByBackend.count("armv8")) << C.Name;
+  }
+  EXPECT_GE(Seen, 2u);
+}
+
+TEST(LitmusService, SingleModelJobMatchesDirectEnumeration) {
+  LitmusService Service;
+  LitmusJobResult R = Service.runOne({"mp", GoodMp, "x86-tso", 1});
+  ASSERT_EQ(R.Status, JobStatus::Ok) << R.Error;
+
+  std::optional<LitmusFile> File = parseLitmus(GoodMp);
+  ASSERT_TRUE(File.has_value());
+  std::optional<UniProgram> Uni = uniFromProgram(File->P);
+  ASSERT_TRUE(Uni.has_value());
+  const TargetModel *M = TargetModel::byName("x86-tso");
+  ASSERT_NE(M, nullptr);
+  ExecutionEngine Engine;
+  TargetEnumerationResult TR = Engine.enumerate(compileUni(*Uni, M->arch()),
+                                                *M);
+  std::vector<std::string> Expect;
+  for (const auto &[O, W] : TR.Allowed) {
+    (void)W;
+    Expect.push_back(O.toString());
+  }
+  EXPECT_EQ(R.AllowedByBackend.at("x86-tso"), Expect);
+  ASSERT_EQ(R.Expectations.size(), 1u);
+  EXPECT_TRUE(R.Expectations[0].Ok) << "x86-TSO forbids the MP weak outcome";
+}
+
+//===----------------------------------------------------------------------===//
+// Relation / topologicalOrder failure paths (the layers the service
+// hardening forced)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceHardening, RelationConstructionIsCheckedInReleaseBuilds) {
+  EXPECT_THROW(Relation R(Relation::MaxSize + 1), std::length_error);
+  try {
+    Relation R(70);
+    FAIL() << "construction must not succeed";
+  } catch (const std::length_error &E) {
+    EXPECT_NE(std::string(E.what()).find("70 elements > 64"),
+              std::string::npos)
+        << E.what();
+  }
+}
+
+TEST(ServiceHardening, TopologicalOrderReportsCyclesAsNullopt) {
+  Relation R(4);
+  R.set(0, 1);
+  R.set(1, 2);
+  R.set(2, 0);
+  EXPECT_FALSE(R.topologicalOrder().has_value());
+  R.clear(2, 0);
+  std::optional<std::vector<unsigned>> Order = R.topologicalOrder();
+  ASSERT_TRUE(Order.has_value());
+  EXPECT_EQ(Order->size(), 4u);
+}
+
+TEST(ServiceHardening, EngineCapacityErrorsNameTheBound) {
+  Program P(4);
+  ThreadBuilder T0 = P.thread();
+  for (unsigned I = 0; I < 70; ++I)
+    T0.store(Acc::u8(0), 1);
+  std::optional<std::string> Error = ExecutionEngine::capacityError(P);
+  ASSERT_TRUE(Error.has_value());
+  EXPECT_NE(Error->find("program too large (71 events > 64)"),
+            std::string::npos)
+      << *Error;
+  EXPECT_THROW(ExecutionEngine().enumerate(P, JsModel(ModelSpec::revised())),
+               std::length_error);
+
+  Program Small(4);
+  ThreadBuilder S0 = Small.thread();
+  S0.store(Acc::u8(0), 1);
+  EXPECT_FALSE(ExecutionEngine::capacityError(Small).has_value());
+}
+
+TEST(ServiceHardening, ConditionalBodiesCountTowardTheBound) {
+  // 1 init + 1 load + 63 nested stores = 65 events on the taken path.
+  Program P(4);
+  ThreadBuilder T0 = P.thread();
+  Reg R0 = T0.load(Acc::u8(0));
+  T0.ifEq(R0, 1, [&](ThreadBuilder &B) {
+    for (unsigned I = 0; I < 63; ++I)
+      B.store(Acc::u8(0), 1);
+  });
+  std::optional<std::string> Error = ExecutionEngine::capacityError(P);
+  ASSERT_TRUE(Error.has_value());
+  EXPECT_NE(Error->find("65 events > 64"), std::string::npos) << *Error;
+}

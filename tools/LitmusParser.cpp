@@ -2,12 +2,22 @@
 
 #include "tools/LitmusParser.h"
 
+#include "litmus/PathEnum.h"
+#include "support/Relation.h"
+#include "support/Str.h"
+
 #include <cctype>
+#include <climits>
 #include <sstream>
 
 using namespace jsmm;
 
 namespace {
+
+/// Largest SharedArrayBuffer a litmus file may declare. Init events
+/// materialise the whole buffer as a byte vector, so an unchecked size is
+/// a memory-exhaustion vector for a service that accepts user corpora.
+constexpr unsigned MaxBufferBytes = 1u << 20;
 
 /// Parsed statement tree (mirrors litmus::Instr, but built incrementally).
 struct ParsedInstr {
@@ -41,6 +51,7 @@ std::vector<std::string> tokenize(const std::string &Line) {
 }
 
 /// Parses "u8" / "u16" / "u32" / "u64" / "dvN" into an access template.
+/// DataView widths are capped at 8 bytes (the value-encoding limit).
 bool parseWidth(const std::string &Tok, Acc &A) {
   if (Tok == "u8")
     A = Acc::u8(0);
@@ -50,18 +61,24 @@ bool parseWidth(const std::string &Tok, Acc &A) {
     A = Acc::u32(0);
   else if (Tok == "u64")
     A = Acc::u64(0);
-  else if (Tok.size() > 2 && Tok.compare(0, 2, "dv") == 0)
-    A = Acc::dataView(0, static_cast<unsigned>(std::stoul(Tok.substr(2))));
-  else
+  else if (Tok.size() > 2 && Tok.compare(0, 2, "dv") == 0) {
+    std::optional<unsigned> Width = parseUnsigned(Tok.substr(2));
+    if (!Width || *Width == 0 || *Width > 8)
+      return false;
+    A = Acc::dataView(0, *Width);
+  } else
     return false;
   return true;
 }
 
 /// Parses "rN" into N.
 bool parseReg(const std::string &Tok, unsigned &Reg) {
-  if (Tok.size() < 2 || Tok[0] != 'r' || !std::isdigit(Tok[1]))
+  if (Tok.size() < 2 || Tok[0] != 'r')
     return false;
-  Reg = static_cast<unsigned>(std::stoul(Tok.substr(1)));
+  std::optional<unsigned> N = parseUnsigned(Tok.substr(1));
+  if (!N)
+    return false;
+  Reg = *N;
   return true;
 }
 
@@ -75,8 +92,13 @@ bool parseOutcomeToken(const std::string &Tok, Outcome &O) {
   unsigned Reg = 0;
   if (!parseReg(RegTok, Reg))
     return false;
-  O.add(std::stoi(Tok.substr(0, Colon)), Reg,
-        std::stoull(Tok.substr(Eq + 1), nullptr, 0));
+  std::optional<unsigned> Thread = parseUnsigned(Tok.substr(0, Colon));
+  std::optional<uint64_t> Value = parseUnsigned64(Tok.substr(Eq + 1));
+  // Thread ids are ints downstream; values beyond INT_MAX would wrap to
+  // negative ids and report bogus expectation failures.
+  if (!Thread || *Thread > static_cast<unsigned>(INT_MAX) || !Value)
+    return false;
+  O.add(static_cast<int>(*Thread), Reg, *Value);
   return true;
 }
 
@@ -223,8 +245,13 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
     if (T[0] == "buffer") {
       if (T.size() != 2)
         return Fail(LineNo, "expected 'buffer <bytes>'");
-      S.BufferSizes.push_back(
-          static_cast<unsigned>(std::stoul(T[1])));
+      std::optional<unsigned> Bytes = parseUnsigned(T[1]);
+      if (!Bytes || *Bytes == 0)
+        return Fail(LineNo, "bad buffer size '" + T[1] + "'");
+      if (*Bytes > MaxBufferBytes)
+        return Fail(LineNo, "buffer too large (" + T[1] + " bytes > " +
+                                std::to_string(MaxBufferBytes) + ")");
+      S.BufferSizes.push_back(*Bytes);
       continue;
     }
     if (T[0] == "thread") {
@@ -264,7 +291,10 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
       if (!parseReg(T[1], I.CondReg))
         return Fail(LineNo, "bad register '" + T[1] + "'");
       I.CondEqual = T[2] == "==";
-      I.Value = std::stoull(T[3], nullptr, 0);
+      std::optional<uint64_t> Value = parseUnsigned64(T[3]);
+      if (!Value)
+        return Fail(LineNo, "bad value '" + T[3] + "'");
+      I.Value = *Value;
       Into.push_back(std::move(I));
       Open.push_back(&Into.back().Body);
       continue;
@@ -278,12 +308,18 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
       I.Line = LineNo;
       if (!parseWidth(T[1], I.A))
         return Fail(LineNo, "bad width '" + T[1] + "'");
-      I.A.Offset = static_cast<unsigned>(std::stoul(T[2]));
+      std::optional<unsigned> Offset = parseUnsigned(T[2]);
+      if (!Offset)
+        return Fail(LineNo, "bad offset '" + T[2] + "'");
+      I.A.Offset = *Offset;
       if (T[0] == "store.sc")
         I.A = I.A.sc();
       else if (T[0] != "store")
         return Fail(LineNo, "unknown statement '" + T[0] + "'");
-      I.Value = std::stoull(T[4], nullptr, 0);
+      std::optional<uint64_t> Value = parseUnsigned64(T[4]);
+      if (!Value)
+        return Fail(LineNo, "bad value '" + T[4] + "'");
+      I.Value = *Value;
       Into.push_back(I);
       continue;
     }
@@ -299,8 +335,14 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
         I.Line = LineNo;
         if (!parseWidth(T[3], I.A))
           return Fail(LineNo, "bad width '" + T[3] + "'");
-        I.A.Offset = static_cast<unsigned>(std::stoul(T[4]));
-        I.Value = std::stoull(T[6], nullptr, 0);
+        std::optional<unsigned> Offset = parseUnsigned(T[4]);
+        if (!Offset)
+          return Fail(LineNo, "bad offset '" + T[4] + "'");
+        I.A.Offset = *Offset;
+        std::optional<uint64_t> Value = parseUnsigned64(T[6]);
+        if (!Value)
+          return Fail(LineNo, "bad value '" + T[6] + "'");
+        I.Value = *Value;
         I.DeclaredReg = Dst;
         Into.push_back(I);
         continue;
@@ -311,7 +353,10 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
         I.Line = LineNo;
         if (!parseWidth(T[3], I.A))
           return Fail(LineNo, "bad width '" + T[3] + "'");
-        I.A.Offset = static_cast<unsigned>(std::stoul(T[4]));
+        std::optional<unsigned> Offset = parseUnsigned(T[4]);
+        if (!Offset)
+          return Fail(LineNo, "bad offset '" + T[4] + "'");
+        I.A.Offset = *Offset;
         if (T[2] == "load.sc")
           I.A = I.A.sc();
         I.DeclaredReg = Dst;
@@ -339,6 +384,15 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
     if (!emitBody(TB, Body, Error))
       return std::nullopt;
   }
+  // The parser is the user-input boundary of the event-universe cap: a
+  // program that cannot fit any candidate execution into Relation::MaxSize
+  // elements is rejected here with a structured error, so release builds
+  // never reach the (throwing) checked Relation construction.
+  unsigned Bound = programEventUpperBound(Out.P);
+  if (Bound > Relation::MaxSize)
+    return Fail(LineNo, "program too large (" + std::to_string(Bound) +
+                            " events > " +
+                            std::to_string(Relation::MaxSize) + ")");
   Out.Expectations = S.Expectations;
   return Out;
 }

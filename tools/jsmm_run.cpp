@@ -34,6 +34,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 using namespace jsmm;
 
@@ -122,11 +123,13 @@ int main(int Argc, char **Argv) {
       return 0;
     }
     if (Arg.rfind("--threads=", 0) == 0) {
-      char *End = nullptr;
-      unsigned long N = std::strtoul(Arg.c_str() + 10, &End, 10);
-      if (End == Arg.c_str() + 10 || *End != '\0')
-        return usage(); // non-numeric thread count
-      Cfg.Threads = static_cast<unsigned>(N);
+      // Strict parse: non-numeric and overflowing values are friendly
+      // errors (exit 2), never a crash or a silently clamped config.
+      std::optional<unsigned> N =
+          parseCliUnsigned("jsmm-run", "--threads", Arg.substr(10));
+      if (!N)
+        return 2;
+      Cfg.Threads = *N;
       continue;
     }
     if (Arg.rfind("--model=", 0) == 0) {
@@ -195,6 +198,7 @@ int main(int Argc, char **Argv) {
             << ", solver: " << solverKindName(defaultSolverKind()) << ")\n";
 
   int Failures = 0;
+  try {
   if (Target) {
     std::optional<UniProgram> Uni = uniFromProgram(File->P, &Error);
     if (!Uni) {
@@ -233,6 +237,13 @@ int main(int Argc, char **Argv) {
                 << " property=" << (Rep.holds() ? "holds" : "VIOLATED")
                 << "\n";
     }
+  }
+  } catch (const std::length_error &E) {
+    // The parser bounds source programs; compiled forms (fence-inserting
+    // schemes) can still exceed the 64-event relation universe, which the
+    // engine reports by throwing.
+    std::cerr << "jsmm-run: " << Path << ": " << E.what() << "\n";
+    return 2;
   }
 
   return Failures == 0 ? 0 : 1;

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Perf-trend gate for the engine headline benchmark.
 
-Compares the speedup metrics in a freshly produced BENCH_perf-engine.json
+Compares the gated metrics in a freshly produced BENCH_perf-engine.json
 (written by bench_perf_engine's headline comparison) against the committed
 baseline in bench/perf_baseline.json and exits non-zero when any gated
 metric regressed by more than the tolerance (default 25%).
 
-Speedups — engine time relative to the seed generate-then-filter loop on
-the same machine and run — are machine-relative, so they are comparable
-across CI runners in a way absolute milliseconds are not. The committed
-baseline therefore stores the speedup floor, not timings.
+Gated metrics are the ``speedup_*`` ratios plus the batch service's
+``service_jobs_per_sec`` floor. Speedups — engine time relative to the
+seed generate-then-filter loop on the same machine and run — are
+machine-relative, so they are comparable across CI runners in a way
+absolute milliseconds are not; the jobs/sec floor is deliberately set far
+below any plausible machine so it catches only order-of-magnitude service
+regressions. The committed baseline stores those floors, not timings.
 
 Usage:
   perf_trend.py <current.json> <baseline.json> [--tolerance=0.25]
@@ -50,10 +53,11 @@ def main(argv):
         return 0
 
     baseline = metrics_of(baseline_path)
-    gated = sorted(n for n in baseline if n.startswith("speedup_"))
+    gated = sorted(n for n in baseline
+                   if n.startswith("speedup_") or n == "service_jobs_per_sec")
     if not gated:
-        print(f"perf-trend: baseline '{baseline_path}' has no speedup_* "
-              "metrics to gate on")
+        print(f"perf-trend: baseline '{baseline_path}' has no gated "
+              "(speedup_* / service_jobs_per_sec) metrics")
         return 2
 
     failures = 0
