@@ -111,6 +111,51 @@ double enumerateFamilyMs(EngineConfig Cfg) {
   return std::chrono::duration<double, std::milli>(End - Start).count();
 }
 
+/// Outcome-level run of the Fig. 9 family, optionally forced through the
+/// heap-backed DynRelation tier — the workload of the small-path headline.
+double enumerateOutcomesFamilyMs(bool ForceDyn) {
+  EngineConfig Cfg;
+  Cfg.ForceDynRelation = ForceDyn;
+  ExecutionEngine Engine(Cfg);
+  auto Start = std::chrono::steady_clock::now();
+  for (const Program &P : fig9ShapePrograms()) {
+    benchmark::DoNotOptimize(
+        Engine.enumerateOutcomes(P, JsModel(ModelSpec::original()))
+            .Allowed.size());
+    benchmark::DoNotOptimize(
+        Engine.enumerateOutcomes(P, JsModel(ModelSpec::revised()))
+            .Allowed.size());
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+/// Small-path headline: the ≤64-event fast tier (inline single-word
+/// Relation) against the identical enumeration forced through the
+/// heap-backed DynRelation tier. Guards the PR 5 contract that
+/// generalising the relation layer did not regress the small-program fast
+/// path: the inline tier must keep a clear margin over the dynamic one
+/// (`speedup_smallpath_x`, floored in bench/perf_baseline.json), and the
+/// two tiers must agree outcome-for-outcome.
+void smallPathHeadline(jsmm::bench::Table &T) {
+  enumerateOutcomesFamilyMs(false); // warm-up
+  double SmallMs = enumerateOutcomesFamilyMs(false);
+  double DynMs = enumerateOutcomesFamilyMs(true);
+  bool Agree = true;
+  EngineConfig DynCfg;
+  DynCfg.ForceDynRelation = true;
+  ExecutionEngine Small, Dyn(DynCfg);
+  for (const Program &P : fig9ShapePrograms())
+    Agree = Agree &&
+            Small.enumerateOutcomes(P, JsModel(ModelSpec::revised())).Allowed ==
+                Dyn.enumerateOutcomes(P, JsModel(ModelSpec::revised())).Allowed;
+  T.check("fast and dynamic relation tiers agree on the Fig. 9 family",
+          true, Agree);
+  T.metric("smallpath_ms", SmallMs, "ms");
+  T.metric("dynpath_ms", DynMs, "ms");
+  T.metric("speedup_smallpath_x", DynMs / SmallMs);
+}
+
 void solverHeadline(jsmm::bench::Table &T);
 
 /// Batch-service headline: jobs/sec over the differential corpus (each job
@@ -141,6 +186,24 @@ void serviceHeadline(jsmm::bench::Table &T) {
   }
   T.check("batch service runs the differential corpus clean", true, AllOk);
   T.metric("service_jobs_per_sec", Best, "jobs/s");
+
+  // Large-program leg: the 65+-event corpus served through the dynamic
+  // relation tier, full verdict table per job. Gated by the
+  // `large_program_jobs_per_sec` floor in bench/perf_baseline.json.
+  std::vector<LitmusJob> LargeJobs = largeCorpusJobs();
+  ServiceConfig LargeCfg;
+  LargeCfg.CacheVerdicts = false;
+  LitmusService LargeService(LargeCfg);
+  { LitmusService Warm; Warm.run(LargeJobs); } // warm-up
+  std::vector<LitmusJobResult> LargeResults;
+  double LargeMs = timedMs([&] { LargeResults = LargeService.run(LargeJobs); });
+  bool LargeOk = true;
+  for (const LitmusJobResult &R : LargeResults)
+    LargeOk = LargeOk && R.ok();
+  T.check("batch service serves the 65+-event corpus with ok verdicts",
+          true, LargeOk);
+  T.metric("large_program_jobs_per_sec",
+           LargeMs > 0 ? 1000.0 * LargeJobs.size() / LargeMs : 0, "jobs/s");
 }
 
 /// \returns the failed-claim count (0 on success), for main's exit code.
@@ -167,6 +230,7 @@ int headlineComparison() {
   T.check("engine (pruned, best of 1/" + std::to_string(RequestedThreads) +
               " threads) beats seed",
           true, std::min(PrunedMs, ShardedMs) < SeedMs);
+  smallPathHeadline(T);
   solverHeadline(T);
   serviceHeadline(T);
   return T.finish();

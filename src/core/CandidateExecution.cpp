@@ -9,7 +9,8 @@
 
 using namespace jsmm;
 
-CandidateExecution::CandidateExecution(std::vector<Event> Evs)
+template <typename RelT>
+BasicCandidateExecution<RelT>::BasicCandidateExecution(std::vector<Event> Evs)
     : Events(std::move(Evs)), Sb(static_cast<unsigned>(Events.size())),
       Asw(static_cast<unsigned>(Events.size())),
       Tot(static_cast<unsigned>(Events.size())) {
@@ -17,16 +18,18 @@ CandidateExecution::CandidateExecution(std::vector<Event> Evs)
     assert(Events[I].Id == I && "event id must equal its index");
 }
 
-Relation CandidateExecution::readsFrom() const {
-  Relation Rf(numEvents());
+template <typename RelT>
+RelT BasicCandidateExecution<RelT>::readsFrom() const {
+  RelT Rf(numEvents());
   for (const RbfEdge &E : Rbf)
     Rf.set(E.Writer, E.Reader);
   return Rf;
 }
 
-Relation CandidateExecution::synchronizesWith(SwDefKind Def,
-                                              const Relation &Rf) const {
-  Relation Sw = Asw;
+template <typename RelT>
+RelT BasicCandidateExecution<RelT>::synchronizesWith(SwDefKind Def,
+                                                     const RelT &Rf) const {
+  RelT Sw = Asw;
   Rf.forEachPair([&](unsigned W, unsigned R) {
     const Event &Ew = Events[W];
     const Event &Er = Events[R];
@@ -41,13 +44,10 @@ Relation CandidateExecution::synchronizesWith(SwDefKind Def,
         return;
       }
       bool ReadsOnlyInit = true;
-      uint64_t Writers = Rf.column(R);
-      while (Writers) {
-        unsigned C = static_cast<unsigned>(__builtin_ctzll(Writers));
-        Writers &= Writers - 1;
+      bits::forEach(Rf.column(R), [&](unsigned C) {
         if (Events[C].Ord != Mode::Init)
           ReadsOnlyInit = false;
-      }
+      });
       if (ReadsOnlyInit)
         Sw.set(W, R);
       return;
@@ -61,11 +61,14 @@ Relation CandidateExecution::synchronizesWith(SwDefKind Def,
   return Sw;
 }
 
-Relation CandidateExecution::happensBefore(SwDefKind Def) const {
+template <typename RelT>
+RelT BasicCandidateExecution<RelT>::happensBefore(SwDefKind Def) const {
   return derived(Def).Hb;
 }
 
-const DerivedTriple &CandidateExecution::derived(SwDefKind Def) const {
+template <typename RelT>
+const BasicDerivedTriple<RelT> &
+BasicCandidateExecution<RelT>::derived(SwDefKind Def) const {
   // rf/sw/hb depend on the rbf edges and the sb and asw relations only:
   // event kinds, modes and footprints are fixed at construction, and read
   // *values* do not enter the derived relations. The cached inputs are
@@ -85,8 +88,9 @@ const DerivedTriple &CandidateExecution::derived(SwDefKind Def) const {
   return Slot.D;
 }
 
-Relation CandidateExecution::happensBeforeFromSw(const Relation &Sw) const {
-  Relation Base = Sb;
+template <typename RelT>
+RelT BasicCandidateExecution<RelT>::happensBeforeFromSw(const RelT &Sw) const {
+  RelT Base = Sb;
   Base.unionWith(Sw);
   for (const Event &A : Events) {
     if (A.Ord != Mode::Init)
@@ -98,7 +102,8 @@ Relation CandidateExecution::happensBeforeFromSw(const Relation &Sw) const {
   return Base.transitiveClosure();
 }
 
-bool CandidateExecution::checkWellFormed(std::string *Err) const {
+template <typename RelT>
+bool BasicCandidateExecution<RelT>::checkWellFormed(std::string *Err) const {
   auto Fail = [&](const std::string &Why) {
     if (Err)
       *Err = Why;
@@ -113,10 +118,14 @@ bool CandidateExecution::checkWellFormed(std::string *Err) const {
       return Fail("event id does not equal its index");
 
   // sb: intra-thread, and a strict total order on each thread's events.
-  std::map<int, uint64_t> ThreadEvents;
+  std::map<int, SetT> ThreadEvents;
   for (const Event &E : Events)
-    if (E.Ord != Mode::Init)
-      ThreadEvents[E.Thread] |= uint64_t(1) << E.Id;
+    if (E.Ord != Mode::Init) {
+      auto [It, Inserted] =
+          ThreadEvents.try_emplace(E.Thread, RelT::emptySet(N));
+      (void)Inserted;
+      bits::set(It->second, E.Id);
+    }
   bool SbOk = true;
   Sb.forEachPair([&](unsigned A, unsigned B) {
     if (Events[A].Ord == Mode::Init || Events[B].Ord == Mode::Init ||
@@ -176,7 +185,8 @@ bool CandidateExecution::checkWellFormed(std::string *Err) const {
   return true;
 }
 
-std::string CandidateExecution::toString() const {
+template <typename RelT>
+std::string BasicCandidateExecution<RelT>::toString() const {
   std::string Out;
   for (const Event &E : Events)
     Out += "  " + E.toString() + "\n";
@@ -196,3 +206,6 @@ std::string CandidateExecution::toString() const {
     Out += "  tot: " + Tot.toString() + "\n";
   return Out;
 }
+
+template class jsmm::BasicCandidateExecution<jsmm::Relation>;
+template class jsmm::BasicCandidateExecution<jsmm::DynRelation>;

@@ -13,14 +13,15 @@ DerivedRelations DerivedRelations::compute(const CandidateExecution &CE,
   return D;
 }
 
-bool jsmm::checkHbConsistency1(const CandidateExecution &CE,
-                               const DerivedTriple &D) {
-  (void)CE;
+template <typename RelT>
+bool jsmm::checkHbConsistency1(const BasicCandidateExecution<RelT> &CE,
+                               const BasicDerivedTriple<RelT> &D) {
   return CE.Tot.contains(D.Hb);
 }
 
-bool jsmm::checkHbConsistency2(const CandidateExecution &CE,
-                               const DerivedTriple &D) {
+template <typename RelT>
+bool jsmm::checkHbConsistency2(const BasicCandidateExecution<RelT> &CE,
+                               const BasicDerivedTriple<RelT> &D) {
   bool Ok = true;
   D.Rf.forEachPair([&](unsigned W, unsigned R) {
     if (D.Hb.get(R, W))
@@ -30,41 +31,40 @@ bool jsmm::checkHbConsistency2(const CandidateExecution &CE,
   return Ok;
 }
 
-bool jsmm::checkHbConsistency3(const CandidateExecution &CE,
-                               const DerivedTriple &D) {
+template <typename RelT>
+bool jsmm::checkHbConsistency3(const BasicCandidateExecution<RelT> &CE,
+                               const BasicDerivedTriple<RelT> &D) {
   for (const RbfEdge &E : CE.Rbf) {
     // Look for a "newer" write of byte E.Loc strictly hb-between the writer
     // and the reader.
-    uint64_t Between = D.Hb.row(E.Writer) & D.Hb.column(E.Reader);
-    while (Between) {
-      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
-      Between &= Between - 1;
-      if (CE.Events[C].writesByte(E.Loc))
-        return false;
-    }
+    bool Newer = !bits::forEachWhile(
+        D.Hb.row(E.Writer) & D.Hb.column(E.Reader), [&](unsigned C) {
+          return !CE.Events[C].writesByte(E.Loc);
+        });
+    if (Newer)
+      return false;
   }
   return true;
 }
 
-bool jsmm::checkTearFreeReads(const CandidateExecution &CE,
-                              const DerivedTriple &D, TearRuleKind Rule) {
+template <typename RelT>
+bool jsmm::checkTearFreeReads(const BasicCandidateExecution<RelT> &CE,
+                              const BasicDerivedTriple<RelT> &D,
+                              TearRuleKind Rule) {
   for (const Event &R : CE.Events) {
     if (!R.isRead() || !R.TearFree)
       continue;
     unsigned MatchingWriters = 0;
-    uint64_t Writers = D.Rf.column(R.Id);
-    while (Writers) {
-      unsigned W = static_cast<unsigned>(__builtin_ctzll(Writers));
-      Writers &= Writers - 1;
+    bits::forEach(D.Rf.column(R.Id), [&](unsigned W) {
       const Event &Ew = CE.Events[W];
       if (!Ew.TearFree)
-        continue;
+        return;
       bool Counts = sameWriteReadRange(Ew, R);
       if (Rule == TearRuleKind::Strong)
         Counts = Counts || Ew.Ord == Mode::Init;
       if (Counts)
         ++MatchingWriters;
-    }
+    });
     if (MatchingWriters > 1)
       return false;
   }
@@ -76,46 +76,43 @@ namespace {
 /// First/second attempt rule: for every synchronizes-with pair <Ew,Er>,
 /// there is no write E'w (SeqCst only, for the second attempt) with
 /// rangew(E'w) = ranger(Er) strictly tot-between Ew and Er.
-bool checkScAtomicsAttempt(const CandidateExecution &CE,
-                           const DerivedTriple &D, const Relation &Tot,
+template <typename RelT>
+bool checkScAtomicsAttempt(const BasicCandidateExecution<RelT> &CE,
+                           const BasicDerivedTriple<RelT> &D, const RelT &Tot,
                            bool InterveningMustBeSeqCst) {
   bool Ok = true;
   D.Sw.forEachPair([&](unsigned W, unsigned R) {
     if (!Ok)
       return;
     const Event &Er = CE.Events[R];
-    uint64_t Between = Tot.row(W) & Tot.column(R);
-    while (Between) {
-      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
-      Between &= Between - 1;
+    bits::forEachWhile(Tot.row(W) & Tot.column(R), [&](unsigned C) {
       const Event &Ec = CE.Events[C];
       if (InterveningMustBeSeqCst && Ec.Ord != Mode::SeqCst)
-        continue;
+        return true;
       if (sameWriteReadRange(Ec, Er)) {
         Ok = false;
-        return;
+        return false;
       }
-    }
+      return true;
+    });
   });
   return Ok;
 }
 
 /// The final rule of Fig. 10.
-bool checkScAtomicsFinal(const CandidateExecution &CE,
-                         const DerivedTriple &D, const Relation &Tot) {
+template <typename RelT>
+bool checkScAtomicsFinal(const BasicCandidateExecution<RelT> &CE,
+                         const BasicDerivedTriple<RelT> &D, const RelT &Tot) {
   bool Ok = true;
   D.Rf.forEachPair([&](unsigned W, unsigned R) {
     if (!Ok || !D.Hb.get(W, R))
       return;
     const Event &Ew = CE.Events[W];
     const Event &Er = CE.Events[R];
-    uint64_t Between = Tot.row(W) & Tot.column(R);
-    while (Between) {
-      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
-      Between &= Between - 1;
+    bits::forEachWhile(Tot.row(W) & Tot.column(R), [&](unsigned C) {
       const Event &Ec = CE.Events[C];
       if (Ec.Ord != Mode::SeqCst)
-        continue;
+        return true;
       bool D1 = sameWriteReadRange(Ec, Er) && D.Sw.get(W, R);
       bool D2 = sameWriteWriteRange(Ew, Ec) && Ew.Ord == Mode::SeqCst &&
                 D.Hb.get(C, R);
@@ -123,18 +120,20 @@ bool checkScAtomicsFinal(const CandidateExecution &CE,
                 Er.Ord == Mode::SeqCst;
       if (D1 || D2 || D3) {
         Ok = false;
-        return;
+        return false;
       }
-    }
+      return true;
+    });
   });
   return Ok;
 }
 
 } // namespace
 
-bool jsmm::checkScAtomics(const CandidateExecution &CE,
-                          const DerivedTriple &D, ScRuleKind Rule,
-                          const Relation &Tot) {
+template <typename RelT>
+bool jsmm::checkScAtomics(const BasicCandidateExecution<RelT> &CE,
+                          const BasicDerivedTriple<RelT> &D, ScRuleKind Rule,
+                          const RelT &Tot) {
   switch (Rule) {
   case ScRuleKind::FirstAttempt:
     return checkScAtomicsAttempt(CE, D, Tot,
@@ -148,8 +147,9 @@ bool jsmm::checkScAtomics(const CandidateExecution &CE,
   return false;
 }
 
-bool jsmm::checkTotIndependentAxioms(const CandidateExecution &CE,
-                                     const DerivedTriple &D,
+template <typename RelT>
+bool jsmm::checkTotIndependentAxioms(const BasicCandidateExecution<RelT> &CE,
+                                     const BasicDerivedTriple<RelT> &D,
                                      ModelSpec Spec, std::string *WhyNot) {
   auto Fail = [&](const char *Axiom) {
     if (WhyNot)
@@ -165,11 +165,12 @@ bool jsmm::checkTotIndependentAxioms(const CandidateExecution &CE,
   return true;
 }
 
-bool jsmm::isValid(const CandidateExecution &CE, ModelSpec Spec,
+template <typename RelT>
+bool jsmm::isValid(const BasicCandidateExecution<RelT> &CE, ModelSpec Spec,
                    std::string *WhyNot) {
   assert(CE.Tot.size() == CE.numEvents() &&
          "isValid requires a tot witness; use isValidForSomeTot otherwise");
-  const DerivedTriple &D = CE.derived(Spec.Sw);
+  const BasicDerivedTriple<RelT> &D = CE.derived(Spec.Sw);
   if (!checkTotIndependentAxioms(CE, D, Spec, WhyNot))
     return false;
   if (!checkHbConsistency1(CE, D)) {
@@ -185,29 +186,73 @@ bool jsmm::isValid(const CandidateExecution &CE, ModelSpec Spec,
   return true;
 }
 
-bool jsmm::isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
-                             Relation *TotOut, const TotSolver &Solver) {
-  const DerivedTriple &D = CE.derived(Spec.Sw);
+template <typename RelT>
+bool jsmm::isValidForSomeTot(const BasicCandidateExecution<RelT> &CE,
+                             ModelSpec Spec,
+                             std::type_identity_t<RelT> *TotOut,
+                             const TotSolver &Solver) {
+  const BasicDerivedTriple<RelT> &D = CE.derived(Spec.Sw);
   if (!checkTotIndependentAxioms(CE, D, Spec))
     return false;
   // HBC1 forces tot ⊇ hb; if hb is cyclic no tot exists. The derived hb
   // is transitively closed, so irreflexivity is acyclicity.
   if (!D.Hb.isIrreflexive())
     return false;
-  TotProblem P = scAtomicsProblem(CE, D, Spec.Sc);
+  BasicTotProblem<RelT> P = scAtomicsProblem(CE, D, Spec.Sc);
   return Solver.existsExtension(P, TotOut);
 }
 
-bool jsmm::isValidForSomeTot(const CandidateExecution &CE, ModelSpec Spec,
-                             Relation *TotOut) {
+template <typename RelT>
+bool jsmm::isValidForSomeTot(const BasicCandidateExecution<RelT> &CE,
+                             ModelSpec Spec,
+                             std::type_identity_t<RelT> *TotOut) {
   return isValidForSomeTot(CE, Spec, TotOut, defaultTotSolver());
 }
 
-bool jsmm::isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec,
-                              const TotSolver &Solver) {
+template <typename RelT>
+bool jsmm::isInvalidForAllTot(const BasicCandidateExecution<RelT> &CE,
+                              ModelSpec Spec, const TotSolver &Solver) {
   return !isValidForSomeTot(CE, Spec, /*TotOut=*/nullptr, Solver);
 }
 
-bool jsmm::isInvalidForAllTot(const CandidateExecution &CE, ModelSpec Spec) {
+template <typename RelT>
+bool jsmm::isInvalidForAllTot(const BasicCandidateExecution<RelT> &CE,
+                              ModelSpec Spec) {
   return isInvalidForAllTot(CE, Spec, defaultTotSolver());
 }
+
+// Explicit instantiation for both capacity tiers.
+#define JSMM_INSTANTIATE_VALIDITY(RelT)                                      \
+  template bool jsmm::checkHbConsistency1<RelT>(                             \
+      const BasicCandidateExecution<RelT> &,                                 \
+      const BasicDerivedTriple<RelT> &);                                     \
+  template bool jsmm::checkHbConsistency2<RelT>(                             \
+      const BasicCandidateExecution<RelT> &,                                 \
+      const BasicDerivedTriple<RelT> &);                                     \
+  template bool jsmm::checkHbConsistency3<RelT>(                             \
+      const BasicCandidateExecution<RelT> &,                                 \
+      const BasicDerivedTriple<RelT> &);                                     \
+  template bool jsmm::checkTearFreeReads<RelT>(                              \
+      const BasicCandidateExecution<RelT> &,                                 \
+      const BasicDerivedTriple<RelT> &, TearRuleKind);                       \
+  template bool jsmm::checkScAtomics<RelT>(                                  \
+      const BasicCandidateExecution<RelT> &,                                 \
+      const BasicDerivedTriple<RelT> &, ScRuleKind, const RelT &);           \
+  template bool jsmm::checkTotIndependentAxioms<RelT>(                       \
+      const BasicCandidateExecution<RelT> &,                                 \
+      const BasicDerivedTriple<RelT> &, ModelSpec, std::string *);           \
+  template bool jsmm::isValid<RelT>(const BasicCandidateExecution<RelT> &,   \
+                                    ModelSpec, std::string *);               \
+  template bool jsmm::isValidForSomeTot<RelT>(                               \
+      const BasicCandidateExecution<RelT> &, ModelSpec, RelT *,              \
+      const TotSolver &);                                                    \
+  template bool jsmm::isValidForSomeTot<RelT>(                               \
+      const BasicCandidateExecution<RelT> &, ModelSpec, RelT *);             \
+  template bool jsmm::isInvalidForAllTot<RelT>(                              \
+      const BasicCandidateExecution<RelT> &, ModelSpec, const TotSolver &);  \
+  template bool jsmm::isInvalidForAllTot<RelT>(                              \
+      const BasicCandidateExecution<RelT> &, ModelSpec);
+
+JSMM_INSTANTIATE_VALIDITY(jsmm::Relation)
+JSMM_INSTANTIATE_VALIDITY(jsmm::DynRelation)
+#undef JSMM_INSTANTIATE_VALIDITY

@@ -5,12 +5,12 @@
 #include "core/DataRace.h"
 #include "core/SeqConsistency.h"
 #include "litmus/PathEnum.h"
+#include "support/CapacityError.h"
 #include "support/Str.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <stdexcept>
 #include <thread>
 
 using namespace jsmm;
@@ -22,44 +22,79 @@ unsigned ExecutionEngine::effectiveThreads() const {
   return HW ? HW : 1;
 }
 
+bool OutcomeSummary::allows(const Outcome &O) const {
+  return std::binary_search(Allowed.begin(), Allowed.end(), O);
+}
+
+std::vector<std::string> OutcomeSummary::outcomeStrings() const {
+  std::vector<std::string> Out;
+  Out.reserve(Allowed.size());
+  for (const Outcome &O : Allowed)
+    Out.push_back(O.toString());
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Capacity checks
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-std::optional<std::string> capacityErrorFor(unsigned Bound) {
-  if (Bound <= Relation::MaxSize)
+std::optional<std::string> capacityErrorFor(unsigned Bound, unsigned Cap) {
+  if (Bound <= Cap)
     return std::nullopt;
   return "program too large (" + std::to_string(Bound) + " events > " +
-         std::to_string(Relation::MaxSize) + ")";
+         std::to_string(Cap) + ")";
 }
 
-/// Throws the capacity diagnostic. Entry points call this before touching
-/// the candidate space so a too-large program fails with the program-level
-/// message rather than the Relation-level one.
+unsigned targetEventBound(const CompiledTarget &CT) {
+  unsigned Bound = CT.NumLocs;
+  for (const std::vector<TargetInstr> &Body : CT.Threads)
+    Bound += static_cast<unsigned>(Body.size());
+  return Bound;
+}
+
+/// Throws the capacity diagnostic for the dynamic serving cap. Entry
+/// points call this before touching the candidate space so a too-large
+/// program fails with the program-level message rather than the
+/// relation-level one.
 template <typename ProgramT> void checkCapacity(const ProgramT &P) {
   if (std::optional<std::string> Error = ExecutionEngine::capacityError(P))
-    throw std::length_error(*Error);
+    throw CapacityError(*Error);
+}
+
+/// The witness-carrying entry points return Relation-typed executions, so
+/// they serve the fixed tier only; this throws the 64-event diagnostic.
+template <typename ProgramT> void checkFixedCapacity(const ProgramT &P) {
+  if (std::optional<std::string> Error =
+          ExecutionEngine::fixedCapacityError(P))
+    throw CapacityError(*Error);
 }
 
 } // namespace
 
 std::optional<std::string> ExecutionEngine::capacityError(const Program &P) {
-  return capacityErrorFor(programEventUpperBound(P));
+  return capacityErrorFor(programEventUpperBound(P), DynRelation::MaxSize);
 }
 
 std::optional<std::string>
 ExecutionEngine::capacityError(const ArmProgram &P) {
-  return capacityErrorFor(armProgramEventUpperBound(P));
+  return capacityErrorFor(armProgramEventUpperBound(P), Relation::MaxSize);
 }
 
 std::optional<std::string>
 ExecutionEngine::capacityError(const CompiledTarget &CT) {
-  unsigned Bound = CT.NumLocs;
-  for (const std::vector<TargetInstr> &Body : CT.Threads)
-    Bound += static_cast<unsigned>(Body.size());
-  return capacityErrorFor(Bound);
+  return capacityErrorFor(targetEventBound(CT), DynRelation::MaxSize);
+}
+
+std::optional<std::string>
+ExecutionEngine::fixedCapacityError(const Program &P) {
+  return capacityErrorFor(programEventUpperBound(P), Relation::MaxSize);
+}
+
+std::optional<std::string>
+ExecutionEngine::fixedCapacityError(const CompiledTarget &CT) {
+  return capacityErrorFor(targetEventBound(CT), Relation::MaxSize);
 }
 
 namespace {
@@ -127,16 +162,18 @@ struct JsSpace {
 };
 
 /// The materialised skeleton of one path combination: events, sb, and the
-/// bookkeeping the justifier needs.
-struct JsBase {
-  CandidateExecution CE;
+/// bookkeeping the justifier needs. Generic over the relation tier.
+template <typename RelT> struct JsBase {
+  BasicCandidateExecution<RelT> CE;
   std::vector<EventId> Reads;
   std::map<EventId, unsigned> RegOfEvent;
   std::vector<const ThreadPath *> Paths;
 };
 
-JsBase buildJsBase(const Program &P, std::vector<const ThreadPath *> Chosen) {
-  JsBase B;
+template <typename RelT>
+JsBase<RelT> buildJsBase(const Program &P,
+                         std::vector<const ThreadPath *> Chosen) {
+  JsBase<RelT> B;
   B.Paths = std::move(Chosen);
 
   std::vector<Event> Events;
@@ -173,7 +210,7 @@ JsBase buildJsBase(const Program &P, std::vector<const ThreadPath *> Chosen) {
       ThreadEvents[T].push_back(Id);
     }
   }
-  B.CE = CandidateExecution(std::move(Events));
+  B.CE = BasicCandidateExecution<RelT>(std::move(Events));
   for (const std::vector<EventId> &Seq : ThreadEvents)
     for (size_t I = 0; I < Seq.size(); ++I)
       for (size_t J = I + 1; J < Seq.size(); ++J)
@@ -187,7 +224,8 @@ JsBase buildJsBase(const Program &P, std::vector<const ThreadPath *> Chosen) {
 /// \returns the writers eligible to justify byte \p Loc of read \p R, in
 /// event order (the order the justifier explores them in — work items
 /// index into this list).
-unsigned countJsWriters(const CandidateExecution &CE, EventId R,
+template <typename RelT>
+unsigned countJsWriters(const BasicCandidateExecution<RelT> &CE, EventId R,
                         unsigned Loc) {
   unsigned Count = 0;
   for (const Event &W : CE.Events)
@@ -199,12 +237,14 @@ unsigned countJsWriters(const CandidateExecution &CE, EventId R,
 /// Recursive reads-byte-from justification of a JS base, byte by byte,
 /// with register-constraint pruning (always) and model-admission pruning
 /// (when a model is supplied).
-class JsJustifier {
+template <typename RelT> class JsJustifier {
+  using ExecT = BasicCandidateExecution<RelT>;
+
 public:
-  JsJustifier(JsBase &B, const JsModel *Prune, uint64_t *PrunedSubtrees,
+  JsJustifier(JsBase<RelT> &B, const JsModel *Prune, uint64_t *PrunedSubtrees,
               int FirstWriterOnly,
-              const std::function<bool(const CandidateExecution &,
-                                       const Outcome &)> &Visit)
+              const std::function<bool(const ExecT &, const Outcome &)>
+                  &Visit)
       : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
         FirstWriterOnly(FirstWriterOnly), Visit(Visit) {}
 
@@ -266,26 +306,119 @@ private:
     return Visit(B.CE, O);
   }
 
-  JsBase &B;
+  JsBase<RelT> &B;
   const JsModel *Prune;
   uint64_t *PrunedSubtrees;
   int FirstWriterOnly;
-  const std::function<bool(const CandidateExecution &, const Outcome &)>
-      &Visit;
+  const std::function<bool(const ExecT &, const Outcome &)> &Visit;
 };
 
 /// Sequential walk of the whole JS candidate space.
+template <typename RelT>
 bool walkJs(const Program &P, const JsModel *Prune, uint64_t *PrunedSubtrees,
-            const std::function<bool(const CandidateExecution &,
+            const std::function<bool(const BasicCandidateExecution<RelT> &,
                                      const Outcome &)> &Visit) {
   JsSpace Space(P);
   for (size_t C = 0; C < Space.Combos; ++C) {
-    JsBase B = buildJsBase(P, Space.chosen(C));
-    JsJustifier J(B, Prune, PrunedSubtrees, /*FirstWriterOnly=*/-1, Visit);
+    JsBase<RelT> B = buildJsBase<RelT>(P, Space.chosen(C));
+    JsJustifier<RelT> J(B, Prune, PrunedSubtrees, /*FirstWriterOnly=*/-1,
+                        Visit);
     if (!J.run())
       return false;
   }
   return true;
+}
+
+/// The shared JS enumeration core: identical structure for both relation
+/// tiers, so the fast path and the dynamic path cannot diverge.
+template <typename RelT>
+BasicEnumerationResult<RelT>
+enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
+                unsigned Threads, EngineStats &Stats) {
+  using ExecT = BasicCandidateExecution<RelT>;
+  using ResultT = BasicEnumerationResult<RelT>;
+  const JsModel *Prune = Cfg.Prune ? &M : nullptr;
+  JsSpace Space(P);
+
+  auto Accumulate = [&M](ResultT &Into, const ExecT &CE, const Outcome &O) {
+    ++Into.CandidatesConsidered;
+    if (Into.Allowed.count(O))
+      return true; // outcome already justified
+    RelT Tot;
+    if (M.allows(CE, &Tot)) {
+      ++Into.ValidCandidates;
+      ExecT Witness = CE;
+      Witness.Tot = Tot;
+      Into.Allowed.emplace(O, std::move(Witness));
+    }
+    return true;
+  };
+
+  if (Threads <= 1) {
+    // Sequential: one shared result, with global outcome deduplication —
+    // exactly the seed's behaviour (modulo pruning).
+    ResultT Result;
+    Stats.WorkItems = Space.Combos;
+    walkJs<RelT>(P, Prune, &Stats.PrunedSubtrees,
+                 [&](const ExecT &CE, const Outcome &O) {
+                   return Accumulate(Result, CE, O);
+                 });
+    return Result;
+  }
+
+  // Sharded: split combinations — and, within each, the first read's
+  // writer choices — into work items with item-local results, merged in
+  // item order for determinism.
+  std::vector<WorkItem> Items;
+  std::vector<JsBase<RelT>> Bases;
+  for (size_t C = 0; C < Space.Combos; ++C) {
+    Bases.push_back(buildJsBase<RelT>(P, Space.chosen(C)));
+    const JsBase<RelT> &B = Bases.back();
+    if (B.Reads.empty()) {
+      Items.push_back({C, -1});
+      continue;
+    }
+    const Event &R0 = B.CE.Events[B.Reads[0]];
+    unsigned NW = countJsWriters(B.CE, R0.Id, R0.readBegin());
+    for (unsigned K = 0; K < NW; ++K)
+      Items.push_back({C, static_cast<int>(K)});
+  }
+  Stats.WorkItems = Items.size();
+
+  std::vector<ResultT> PerItem(Items.size());
+  std::vector<uint64_t> PerItemPruned(Items.size(), 0);
+  runSharded(Items.size(), Threads, [&](size_t I) {
+    JsBase<RelT> B = Bases[Items[I].Combo]; // worker-private copy (the justifier mutates it)
+    std::function<bool(const ExecT &, const Outcome &)> Into =
+        [&](const ExecT &CE, const Outcome &O) {
+          return Accumulate(PerItem[I], CE, O);
+        };
+    JsJustifier<RelT> J(B, Prune, &PerItemPruned[I], Items[I].Writer, Into);
+    J.run();
+  });
+
+  ResultT Result;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
+    Result.ValidCandidates += PerItem[I].ValidCandidates;
+    Stats.PrunedSubtrees += PerItemPruned[I];
+    for (auto &[O, Witness] : PerItem[I].Allowed)
+      Result.Allowed.emplace(O, std::move(Witness));
+  }
+  return Result;
+}
+
+template <typename ResultT>
+OutcomeSummary summarize(const ResultT &R) {
+  OutcomeSummary S;
+  S.CandidatesConsidered = R.CandidatesConsidered;
+  S.ValidCandidates = R.ValidCandidates;
+  S.Allowed.reserve(R.Allowed.size());
+  for (const auto &[O, Witness] : R.Allowed) {
+    (void)Witness;
+    S.Allowed.push_back(O);
+  }
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -510,15 +643,16 @@ private:
 /// The materialised base of a compiled target program. Target programs are
 /// straight-line (the §6.3 fragment), so there is exactly one control-flow
 /// combination; the candidate space is rf justifications × per-location
-/// coherence orders.
-struct TargetBase {
-  TargetExecution X;
+/// coherence orders. Generic over the relation tier.
+template <typename RelT> struct TargetBase {
+  BasicTargetExecution<RelT> X;
   std::vector<EventId> Reads;
   std::map<EventId, unsigned> RegOfEvent;
 };
 
-TargetBase buildTargetBase(const CompiledTarget &CT) {
-  TargetBase B;
+template <typename RelT>
+TargetBase<RelT> buildTargetBase(const CompiledTarget &CT) {
+  TargetBase<RelT> B;
   std::vector<TargetEvent> Events;
   for (unsigned L = 0; L < CT.NumLocs; ++L) {
     TargetEvent Init;
@@ -550,7 +684,7 @@ TargetBase buildTargetBase(const CompiledTarget &CT) {
       ThreadEvents[T].push_back(E.Id);
     }
   }
-  B.X = TargetExecution(std::move(Events), CT.NumLocs);
+  B.X = BasicTargetExecution<RelT>(std::move(Events), CT.NumLocs);
   for (const std::vector<EventId> &Seq : ThreadEvents)
     for (size_t I = 0; I < Seq.size(); ++I)
       for (size_t J = I + 1; J < Seq.size(); ++J)
@@ -561,7 +695,8 @@ TargetBase buildTargetBase(const CompiledTarget &CT) {
   return B;
 }
 
-unsigned countTargetWriters(const TargetExecution &X, EventId R) {
+template <typename RelT>
+unsigned countTargetWriters(const BasicTargetExecution<RelT> &X, EventId R) {
   unsigned Count = 0;
   for (const TargetEvent &W : X.Events)
     if (W.isWrite() && W.Id != R && W.Loc == X.Events[R].Loc)
@@ -571,12 +706,14 @@ unsigned countTargetWriters(const TargetExecution &X, EventId R) {
 
 /// Enumerates rf justifications and coherence orders of a target base,
 /// pruning rf subtrees via the backend's monotone admission check.
-class TargetJustifier {
+template <typename RelT> class TargetJustifier {
+  using ExecT = BasicTargetExecution<RelT>;
+
 public:
-  TargetJustifier(TargetBase &B, const TargetModel *Prune,
+  TargetJustifier(TargetBase<RelT> &B, const TargetModel *Prune,
                   uint64_t *PrunedSubtrees, int FirstWriterOnly,
-                  const std::function<bool(const TargetExecution &,
-                                           const Outcome &)> &Visit)
+                  const std::function<bool(const ExecT &, const Outcome &)>
+                      &Visit)
       : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
         FirstWriterOnly(FirstWriterOnly), Visit(Visit) {}
 
@@ -645,12 +782,89 @@ private:
     return Visit(B.X, O);
   }
 
-  TargetBase &B;
+  TargetBase<RelT> &B;
   const TargetModel *Prune;
   uint64_t *PrunedSubtrees;
   int FirstWriterOnly;
-  const std::function<bool(const TargetExecution &, const Outcome &)> &Visit;
+  const std::function<bool(const ExecT &, const Outcome &)> &Visit;
 };
+
+/// The shared target enumeration core for both relation tiers.
+template <typename RelT>
+BasicTargetEnumerationResult<RelT>
+enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
+                    const EngineConfig &Cfg, unsigned Threads,
+                    EngineStats &Stats) {
+  using ExecT = BasicTargetExecution<RelT>;
+  using ResultT = BasicTargetEnumerationResult<RelT>;
+  const TargetModel *Prune = Cfg.Prune ? &M : nullptr;
+
+  auto Accumulate = [&M](ResultT &Into, const ExecT &X, const Outcome &O) {
+    ++Into.CandidatesConsidered;
+    if (Into.Allowed.count(O))
+      return true; // outcome already witnessed
+    if (M.allows(X)) {
+      ++Into.ConsistentCandidates;
+      Into.Allowed.emplace(O, X);
+    }
+    return true;
+  };
+
+  TargetBase<RelT> Base = buildTargetBase<RelT>(CT);
+  unsigned FirstWriters =
+      Base.Reads.empty() ? 0 : countTargetWriters(Base.X, Base.Reads[0]);
+  if (Threads <= 1 || FirstWriters <= 1) {
+    ResultT Result;
+    Stats.WorkItems = 1;
+    std::function<bool(const ExecT &, const Outcome &)> Into =
+        [&](const ExecT &X, const Outcome &O) {
+          return Accumulate(Result, X, O);
+        };
+    TargetJustifier<RelT> J(Base, Prune, &Stats.PrunedSubtrees,
+                            /*FirstWriterOnly=*/-1, Into);
+    J.run();
+    return Result;
+  }
+
+  // Sharded: the single straight-line combination splits across the first
+  // read's writer choices; item-local results merge in item order.
+  Stats.WorkItems = FirstWriters;
+  std::vector<ResultT> PerItem(FirstWriters);
+  std::vector<uint64_t> PerItemPruned(FirstWriters, 0);
+  runSharded(FirstWriters, Threads, [&](size_t I) {
+    TargetBase<RelT> B = Base; // worker-private copy (the justifier mutates it)
+    std::function<bool(const ExecT &, const Outcome &)> Into =
+        [&](const ExecT &X, const Outcome &O) {
+          return Accumulate(PerItem[I], X, O);
+        };
+    TargetJustifier<RelT> J(B, Prune, &PerItemPruned[I],
+                            static_cast<int>(I), Into);
+    J.run();
+  });
+
+  ResultT Result;
+  for (size_t I = 0; I < FirstWriters; ++I) {
+    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
+    Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
+    Stats.PrunedSubtrees += PerItemPruned[I];
+    for (auto &[O, Witness] : PerItem[I].Allowed)
+      Result.Allowed.emplace(O, std::move(Witness));
+  }
+  return Result;
+}
+
+template <typename RelT>
+OutcomeSummary summarizeTarget(const BasicTargetEnumerationResult<RelT> &R) {
+  OutcomeSummary S;
+  S.CandidatesConsidered = R.CandidatesConsidered;
+  S.ValidCandidates = R.ConsistentCandidates;
+  S.Allowed.reserve(R.Allowed.size());
+  for (const auto &[O, Witness] : R.Allowed) {
+    (void)Witness;
+    S.Allowed.push_back(O);
+  }
+  return S;
+}
 
 } // namespace
 
@@ -662,117 +876,60 @@ bool ExecutionEngine::forEachCandidate(
     const Program &P,
     const std::function<bool(const CandidateExecution &, const Outcome &)>
         &Visit) const {
-  checkCapacity(P);
-  return walkJs(P, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr, Visit);
+  checkFixedCapacity(P);
+  return walkJs<Relation>(P, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr,
+                          Visit);
 }
 
 bool ExecutionEngine::forEachAdmittedCandidate(
     const Program &P, const JsModel &M,
     const std::function<bool(const CandidateExecution &, const Outcome &)>
         &Visit) const {
-  checkCapacity(P);
+  checkFixedCapacity(P);
   Stats = EngineStats();
-  return walkJs(P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees, Visit);
+  return walkJs<Relation>(P, Cfg.Prune ? &M : nullptr,
+                          &Stats.PrunedSubtrees, Visit);
 }
 
 EnumerationResult ExecutionEngine::enumerate(const Program &P,
                                              const JsModel &M) const {
+  checkFixedCapacity(P);
+  Stats = EngineStats();
+  return enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Stats);
+}
+
+OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
+                                                  const JsModel &M) const {
   checkCapacity(P);
   Stats = EngineStats();
-  const JsModel *Prune = Cfg.Prune ? &M : nullptr;
-  unsigned Threads = effectiveThreads();
-  JsSpace Space(P);
-
-  auto Accumulate = [&M](EnumerationResult &Into, const CandidateExecution &CE,
-                         const Outcome &O) {
-    ++Into.CandidatesConsidered;
-    if (Into.Allowed.count(O))
-      return true; // outcome already justified
-    Relation Tot;
-    if (M.allows(CE, &Tot)) {
-      ++Into.ValidCandidates;
-      CandidateExecution Witness = CE;
-      Witness.Tot = Tot;
-      Into.Allowed.emplace(O, std::move(Witness));
-    }
-    return true;
-  };
-
-  if (Threads <= 1) {
-    // Sequential: one shared result, with global outcome deduplication —
-    // exactly the seed's behaviour (modulo pruning).
-    EnumerationResult Result;
-    Stats.WorkItems = Space.Combos;
-    walkJs(P, Prune, &Stats.PrunedSubtrees,
-           [&](const CandidateExecution &CE, const Outcome &O) {
-             return Accumulate(Result, CE, O);
-           });
-    return Result;
-  }
-
-  // Sharded: split combinations — and, within each, the first read's
-  // writer choices — into work items with item-local results, merged in
-  // item order for determinism.
-  std::vector<WorkItem> Items;
-  std::vector<JsBase> Bases;
-  for (size_t C = 0; C < Space.Combos; ++C) {
-    Bases.push_back(buildJsBase(P, Space.chosen(C)));
-    const JsBase &B = Bases.back();
-    if (B.Reads.empty()) {
-      Items.push_back({C, -1});
-      continue;
-    }
-    const Event &R0 = B.CE.Events[B.Reads[0]];
-    unsigned NW = countJsWriters(B.CE, R0.Id, R0.readBegin());
-    for (unsigned K = 0; K < NW; ++K)
-      Items.push_back({C, static_cast<int>(K)});
-  }
-  Stats.WorkItems = Items.size();
-
-  std::vector<EnumerationResult> PerItem(Items.size());
-  std::vector<uint64_t> PerItemPruned(Items.size(), 0);
-  runSharded(Items.size(), Threads, [&](size_t I) {
-    JsBase B = Bases[Items[I].Combo]; // worker-private copy (the justifier mutates it)
-    std::function<bool(const CandidateExecution &, const Outcome &)> Into =
-        [&](const CandidateExecution &CE, const Outcome &O) {
-          return Accumulate(PerItem[I], CE, O);
-        };
-    JsJustifier J(B, Prune, &PerItemPruned[I], Items[I].Writer, Into);
-    J.run();
-  });
-
-  EnumerationResult Result;
-  for (size_t I = 0; I < Items.size(); ++I) {
-    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
-    Result.ValidCandidates += PerItem[I].ValidCandidates;
-    Stats.PrunedSubtrees += PerItemPruned[I];
-    for (auto &[O, Witness] : PerItem[I].Allowed)
-      Result.Allowed.emplace(O, std::move(Witness));
-  }
-  return Result;
+  if (programEventUpperBound(P) <= Relation::MaxSize && !Cfg.ForceDynRelation)
+    return summarize(
+        enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Stats));
+  return summarize(
+      enumerateJsCore<DynRelation>(P, M, Cfg, effectiveThreads(), Stats));
 }
 
 ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
-  checkCapacity(P);
+  checkFixedCapacity(P);
   Stats = EngineStats();
   ScDrfReport Report;
-  walkJs(P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
-         [&](const CandidateExecution &CE, const Outcome &O) {
-           (void)O;
-           if (!M.allows(CE))
-             return true;
-           if (Report.DataRaceFree && !isRaceFree(CE, M.spec())) {
-             Report.DataRaceFree = false;
-             Report.RaceWitness = CE;
-           }
-           if (Report.AllValidExecutionsSC &&
-               !isSequentiallyConsistent(CE)) {
-             Report.AllValidExecutionsSC = false;
-             Report.NonScWitness = CE;
-           }
-           // Keep scanning until both facets are resolved.
-           return Report.DataRaceFree || Report.AllValidExecutionsSC;
-         });
+  walkJs<Relation>(
+      P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
+      [&](const CandidateExecution &CE, const Outcome &O) {
+        (void)O;
+        if (!M.allows(CE))
+          return true;
+        if (Report.DataRaceFree && !isRaceFree(CE, M.spec())) {
+          Report.DataRaceFree = false;
+          Report.RaceWitness = CE;
+        }
+        if (Report.AllValidExecutionsSC && !isSequentiallyConsistent(CE)) {
+          Report.AllValidExecutionsSC = false;
+          Report.NonScWitness = CE;
+        }
+        // Keep scanning until both facets are resolved.
+        return Report.DataRaceFree || Report.AllValidExecutionsSC;
+      });
   return Report;
 }
 
@@ -879,10 +1036,11 @@ bool ExecutionEngine::forEachTargetCandidate(
     const CompiledTarget &CT,
     const std::function<bool(const TargetExecution &, const Outcome &)>
         &Visit) const {
-  checkCapacity(CT);
-  TargetBase B = buildTargetBase(CT);
-  TargetJustifier J(B, /*Prune=*/nullptr, /*PrunedSubtrees=*/nullptr,
-                    /*FirstWriterOnly=*/-1, Visit);
+  checkFixedCapacity(CT);
+  TargetBase<Relation> B = buildTargetBase<Relation>(CT);
+  TargetJustifier<Relation> J(B, /*Prune=*/nullptr,
+                              /*PrunedSubtrees=*/nullptr,
+                              /*FirstWriterOnly=*/-1, Visit);
   return J.run();
 }
 
@@ -890,74 +1048,32 @@ bool ExecutionEngine::forEachAdmittedTargetCandidate(
     const CompiledTarget &CT, const TargetModel &M,
     const std::function<bool(const TargetExecution &, const Outcome &)>
         &Visit) const {
-  checkCapacity(CT);
+  checkFixedCapacity(CT);
   Stats = EngineStats();
-  TargetBase B = buildTargetBase(CT);
-  TargetJustifier J(B, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
-                    /*FirstWriterOnly=*/-1, Visit);
+  TargetBase<Relation> B = buildTargetBase<Relation>(CT);
+  TargetJustifier<Relation> J(B, Cfg.Prune ? &M : nullptr,
+                              &Stats.PrunedSubtrees,
+                              /*FirstWriterOnly=*/-1, Visit);
   return J.run();
 }
 
 TargetEnumerationResult
 ExecutionEngine::enumerate(const CompiledTarget &CT,
                            const TargetModel &M) const {
+  checkFixedCapacity(CT);
+  Stats = EngineStats();
+  return enumerateTargetCore<Relation>(CT, M, Cfg, effectiveThreads(), Stats);
+}
+
+OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
+                                                  const TargetModel &M) const {
   checkCapacity(CT);
   Stats = EngineStats();
-  const TargetModel *Prune = Cfg.Prune ? &M : nullptr;
-  unsigned Threads = effectiveThreads();
-
-  auto Accumulate = [&M](TargetEnumerationResult &Into,
-                         const TargetExecution &X, const Outcome &O) {
-    ++Into.CandidatesConsidered;
-    if (Into.Allowed.count(O))
-      return true; // outcome already witnessed
-    if (M.allows(X)) {
-      ++Into.ConsistentCandidates;
-      Into.Allowed.emplace(O, X);
-    }
-    return true;
-  };
-
-  TargetBase Base = buildTargetBase(CT);
-  unsigned FirstWriters =
-      Base.Reads.empty() ? 0 : countTargetWriters(Base.X, Base.Reads[0]);
-  if (Threads <= 1 || FirstWriters <= 1) {
-    TargetEnumerationResult Result;
-    Stats.WorkItems = 1;
-    std::function<bool(const TargetExecution &, const Outcome &)> Into =
-        [&](const TargetExecution &X, const Outcome &O) {
-          return Accumulate(Result, X, O);
-        };
-    TargetJustifier J(Base, Prune, &Stats.PrunedSubtrees,
-                      /*FirstWriterOnly=*/-1, Into);
-    J.run();
-    return Result;
-  }
-
-  // Sharded: the single straight-line combination splits across the first
-  // read's writer choices; item-local results merge in item order.
-  Stats.WorkItems = FirstWriters;
-  std::vector<TargetEnumerationResult> PerItem(FirstWriters);
-  std::vector<uint64_t> PerItemPruned(FirstWriters, 0);
-  runSharded(FirstWriters, Threads, [&](size_t I) {
-    TargetBase B = Base; // worker-private copy (the justifier mutates it)
-    std::function<bool(const TargetExecution &, const Outcome &)> Into =
-        [&](const TargetExecution &X, const Outcome &O) {
-          return Accumulate(PerItem[I], X, O);
-        };
-    TargetJustifier J(B, Prune, &PerItemPruned[I], static_cast<int>(I), Into);
-    J.run();
-  });
-
-  TargetEnumerationResult Result;
-  for (size_t I = 0; I < FirstWriters; ++I) {
-    Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
-    Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
-    Stats.PrunedSubtrees += PerItemPruned[I];
-    for (auto &[O, Witness] : PerItem[I].Allowed)
-      Result.Allowed.emplace(O, std::move(Witness));
-  }
-  return Result;
+  if (targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation)
+    return summarizeTarget(
+        enumerateTargetCore<Relation>(CT, M, Cfg, effectiveThreads(), Stats));
+  return summarizeTarget(enumerateTargetCore<DynRelation>(
+      CT, M, Cfg, effectiveThreads(), Stats));
 }
 
 //===----------------------------------------------------------------------===//

@@ -54,6 +54,12 @@ struct EngineConfig {
   /// the seed's generate-then-filter behaviour (used as the golden
   /// reference and the benchmark baseline).
   bool Prune = true;
+  /// Route even ≤64-event programs through the heap-backed DynRelation
+  /// tier in the outcome-level entry points. Only for the
+  /// golden-equivalence tests and the `speedup_smallpath_x` benchmark —
+  /// it exists to prove the two tiers agree and to measure what the
+  /// inline fast path buys; never enable it in production configurations.
+  bool ForceDynRelation = false;
 
   static EngineConfig sequential() { return {1, true}; }
   static EngineConfig seedCompatible() { return {1, false}; }
@@ -64,6 +70,21 @@ struct EngineConfig {
 struct EngineStats {
   uint64_t WorkItems = 0;       ///< shards the space was split into
   uint64_t PrunedSubtrees = 0;  ///< justification subtrees cut by pruning
+};
+
+/// Capacity-agnostic enumeration result: the allowed outcome set plus the
+/// effort counters, without per-outcome witness executions (whose relation
+/// flavour depends on the tier that served the program). The return type
+/// of the enumerateOutcomes() entry points, and the column type of the
+/// differential verdict tables.
+struct OutcomeSummary {
+  std::vector<Outcome> Allowed; ///< sorted (Outcome's operator<)
+  uint64_t CandidatesConsidered = 0;
+  /// Valid (JS) / consistent (target) candidates counted by the tier.
+  uint64_t ValidCandidates = 0;
+
+  bool allows(const Outcome &O) const;
+  std::vector<std::string> outcomeStrings() const;
 };
 
 /// The unified execution-enumeration engine.
@@ -78,20 +99,36 @@ public:
 
   // --- Capacity ----------------------------------------------------------
   //
-  // The Relation machinery caps event universes at Relation::MaxSize (64).
-  // These checks diagnose a program whose candidate executions would
-  // exceed it with a "program too large (N events > 64)" message. Every
-  // enumeration entry point below performs the check itself and throws
-  // std::length_error on failure — in release builds a too-large program
+  // The relation layer has two tiers: the inline single-word Relation
+  // (≤ 64 events, every fast path) and the heap-backed DynRelation
+  // (≤ DynRelation::MaxSize events), which the outcome-level entry points
+  // select automatically per program. capacityError() reports against the
+  // dynamic cap — the largest program the engine can serve at all — with a
+  // "program too large (N events > 256)" diagnostic. The witness-carrying
+  // entry points (enumerate / scDrf / forEach*Candidate) return
+  // Relation-typed executions and therefore stay on the fixed tier; they
+  // throw a CapacityError naming the 64-event bound for larger programs,
+  // and enumerateOutcomes() is the size-agnostic door. Every enumeration
+  // entry point performs its own check and throws CapacityError (a
+  // std::length_error) on failure — in release builds a too-large program
   // is a loud error, never the silent out-of-range bit-shifts the
   // debug-only asserts used to allow. Frontends that accept user input
   // (the litmus parser, jsmm-run, the batch service) call these up front
   // to turn the condition into a structured error instead of an exception.
 
-  /// \returns the diagnostic for \p P, or std::nullopt if it fits.
+  /// \returns the diagnostic for \p P against the dynamic serving cap
+  /// (DynRelation::MaxSize), or std::nullopt if some tier fits it. The
+  /// ArmProgram overload still checks the fixed 64-event tier: the
+  /// mixed-size ARMv8 model has no dynamic backend yet (see ROADMAP).
   static std::optional<std::string> capacityError(const Program &P);
   static std::optional<std::string> capacityError(const ArmProgram &P);
   static std::optional<std::string> capacityError(const CompiledTarget &CT);
+
+  /// \returns the fixed-tier (64-event) diagnostic for \p P, or
+  /// std::nullopt if the witness-carrying entry points can serve it.
+  static std::optional<std::string> fixedCapacityError(const Program &P);
+  static std::optional<std::string>
+  fixedCapacityError(const CompiledTarget &CT);
 
   // --- JavaScript frontend -----------------------------------------------
 
@@ -102,6 +139,14 @@ public:
   /// outcome deduplication (which gates the validity check) is per work
   /// item rather than global.
   EnumerationResult enumerate(const Program &P, const JsModel &M) const;
+
+  /// Outcome-level enumeration for either capacity tier: the allowed
+  /// outcome set (sorted), without witnesses. Identical outcomes and
+  /// counters to enumerate() on ≤64-event programs (it is the same
+  /// templated core, instantiated on Relation there and on DynRelation for
+  /// larger programs). Throws CapacityError only past
+  /// DynRelation::MaxSize events.
+  OutcomeSummary enumerateOutcomes(const Program &P, const JsModel &M) const;
 
   /// Checks the SC-DRF property of \p P under \p M (sequential, early
   /// stopping).
@@ -156,6 +201,11 @@ public:
   /// rather than global — the same caveat as the JS enumerate().
   TargetEnumerationResult enumerate(const CompiledTarget &CT,
                                     const TargetModel &M) const;
+
+  /// Outcome-level target enumeration for either capacity tier; see the
+  /// JavaScript enumerateOutcomes overload for the contract.
+  OutcomeSummary enumerateOutcomes(const CompiledTarget &CT,
+                                   const TargetModel &M) const;
 
   /// Invokes \p Visit on every well-formed execution of \p CT (rf and
   /// per-location coherence chosen; consistency not yet checked) with its

@@ -26,8 +26,18 @@ bool TargetModel::allows(const TargetExecution &X) const {
   return isTargetConsistent(X, Arch);
 }
 
+bool TargetModel::allows(const DynTargetExecution &X) const {
+  return isTargetConsistent(X, Arch);
+}
+
 bool TargetModel::admitsPartial(const TargetExecution &X) const {
   Relation PoLocRf = X.poLoc();
+  PoLocRf.unionWith(X.Rf);
+  return PoLocRf.isAcyclic();
+}
+
+bool TargetModel::admitsPartial(const DynTargetExecution &X) const {
+  DynRelation PoLocRf = X.poLoc();
   PoLocRf.unionWith(X.Rf);
   return PoLocRf.isAcyclic();
 }
@@ -47,11 +57,3 @@ const TargetModel *TargetModel::byName(const std::string &Name) {
   return nullptr;
 }
 
-std::vector<std::string> TargetEnumerationResult::outcomeStrings() const {
-  std::vector<std::string> Out;
-  for (const auto &[Outcome, Witness] : Allowed) {
-    (void)Witness;
-    Out.push_back(Outcome.toString());
-  }
-  return Out;
-}

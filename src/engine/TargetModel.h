@@ -39,14 +39,18 @@ public:
   const char *name() const override;
 
   /// Consistency of a complete execution (rf and co chosen): dispatches to
-  /// the architecture's axiomatic predicate.
+  /// the architecture's axiomatic predicate. The Dyn overload serves the
+  /// dynamic-universe tier (compiled programs beyond 64 events) through
+  /// the same templated model definitions.
   bool allows(const TargetExecution &X) const;
+  bool allows(const DynTargetExecution &X) const;
 
   /// Monotone admission of a partially justified candidate (co not yet
   /// chosen): \returns false when no completion of \p X can be consistent
   /// because po-loc ∪ rf is already cyclic. Sound for every target — see
   /// the file comment.
   bool admitsPartial(const TargetExecution &X) const;
+  bool admitsPartial(const DynTargetExecution &X) const;
 
   /// All six target backends, in TargetArch declaration order.
   static const std::vector<TargetModel> &all();
@@ -57,16 +61,27 @@ private:
   TargetArch Arch;
 };
 
-/// Results of enumerating a compiled program under a target backend.
-struct TargetEnumerationResult {
+/// Results of enumerating a compiled program under a target backend,
+/// generic over the relation flavour of the witnesses.
+template <typename RelT> struct BasicTargetEnumerationResult {
   /// Allowed outcomes, each with one witnessing consistent execution.
-  std::map<Outcome, TargetExecution> Allowed;
+  std::map<Outcome, BasicTargetExecution<RelT>> Allowed;
   uint64_t CandidatesConsidered = 0;
   uint64_t ConsistentCandidates = 0;
 
   bool allows(const Outcome &O) const { return Allowed.count(O) != 0; }
-  std::vector<std::string> outcomeStrings() const;
+  std::vector<std::string> outcomeStrings() const {
+    std::vector<std::string> Out;
+    for (const auto &[O, Witness] : Allowed) {
+      (void)Witness;
+      Out.push_back(O.toString());
+    }
+    return Out;
+  }
 };
+
+using TargetEnumerationResult = BasicTargetEnumerationResult<Relation>;
+using DynTargetEnumerationResult = BasicTargetEnumerationResult<DynRelation>;
 
 } // namespace jsmm
 

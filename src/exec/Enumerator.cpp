@@ -12,15 +12,6 @@
 
 using namespace jsmm;
 
-std::vector<std::string> EnumerationResult::outcomeStrings() const {
-  std::vector<std::string> Out;
-  for (const auto &[Outcome, Witness] : Allowed) {
-    (void)Witness;
-    Out.push_back(Outcome.toString());
-  }
-  return Out;
-}
-
 bool jsmm::forEachCandidate(
     const Program &P,
     const std::function<bool(const CandidateExecution &, const Outcome &)>

@@ -28,17 +28,28 @@
 
 namespace jsmm {
 
-/// Statistics and results of enumerating a program's executions.
-struct EnumerationResult {
+/// Statistics and results of enumerating a program's executions, generic
+/// over the relation flavour of the witnesses.
+template <typename RelT> struct BasicEnumerationResult {
   /// Allowed outcomes, each with one witnessing valid execution (with tot).
-  std::map<Outcome, CandidateExecution> Allowed;
+  std::map<Outcome, BasicCandidateExecution<RelT>> Allowed;
   uint64_t CandidatesConsidered = 0;
   uint64_t ValidCandidates = 0;
 
   bool allows(const Outcome &O) const { return Allowed.count(O) != 0; }
   /// \returns the sorted allowed outcomes as strings (for table printing).
-  std::vector<std::string> outcomeStrings() const;
+  std::vector<std::string> outcomeStrings() const {
+    std::vector<std::string> Out;
+    for (const auto &[O, Witness] : Allowed) {
+      (void)Witness;
+      Out.push_back(O.toString());
+    }
+    return Out;
+  }
 };
+
+using EnumerationResult = BasicEnumerationResult<Relation>;
+using DynEnumerationResult = BasicEnumerationResult<DynRelation>;
 
 /// Enumerates the allowed outcomes of \p P under \p Spec.
 EnumerationResult enumerateOutcomes(const Program &P, ModelSpec Spec);

@@ -5,6 +5,7 @@
 #include "compile/Compile.h"
 #include "engine/ExecutionEngine.h"
 #include "solver/TotSolver.h"
+#include "support/CapacityError.h"
 #include "support/Str.h"
 #include "targets/Differential.h"
 #include "targets/TargetCompile.h"
@@ -101,28 +102,36 @@ checkExpectations(const ResultT &R,
   return Out;
 }
 
-/// The cross-model verdict table of one parsed program: the three
-/// mixed-size columns on the program as written, plus — when the program
-/// is expressible in the uni-size fragment — the uni-js reference column
-/// and the six Thm 6.3 targets, with the soundness / observable-weakening
-/// diffs of targets/Differential.h.
+/// The cross-model verdict table of one parsed program: the JavaScript
+/// columns on the program as written, the mixed-size ARMv8 column when the
+/// compiled form fits the fixed 64-event tier (the §4 model has no dynamic
+/// backend yet — large programs simply omit that column), plus — when the
+/// program is expressible in the uni-size fragment — the uni-js reference
+/// column and the six Thm 6.3 targets, with the soundness /
+/// observable-weakening diffs of targets/Differential.h. The JavaScript
+/// and target columns go through the size-agnostic enumerateOutcomes entry
+/// points, so programs beyond 64 events get real verdicts.
 void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
                           LitmusJobResult &R) {
   R.AllowedByBackend["js-original"] =
-      allowedStrings(E.enumerate(File.P, JsModel(ModelSpec::original())));
+      E.enumerateOutcomes(File.P, JsModel(ModelSpec::original()))
+          .outcomeStrings();
   R.AllowedByBackend["js-revised"] =
-      allowedStrings(E.enumerate(File.P, JsModel(ModelSpec::revised())));
+      E.enumerateOutcomes(File.P, JsModel(ModelSpec::revised()))
+          .outcomeStrings();
   CompiledProgram CP = compileToArm(File.P);
-  R.AllowedByBackend["armv8"] =
-      allowedStrings(E.enumerate(CP.Arm, Armv8Model()));
+  if (!ExecutionEngine::capacityError(CP.Arm))
+    R.AllowedByBackend["armv8"] =
+        allowedStrings(E.enumerate(CP.Arm, Armv8Model()));
 
   std::string Why;
   std::optional<UniProgram> Uni = uniFromProgram(File.P, &Why);
   if (!Uni)
     return; // mixed-size columns only; target columns are inexpressible
 
-  std::vector<std::string> UniAllowed =
-      allowedStrings(enumerateUniOutcomes(*Uni));
+  std::vector<std::string> UniAllowed;
+  for (const Outcome &O : uniAllowedOutcomes(*Uni))
+    UniAllowed.push_back(O.toString());
   std::set<std::string> UniSet(UniAllowed.begin(), UniAllowed.end());
   const std::vector<std::string> &Orig = R.AllowedByBackend["js-original"];
   std::set<std::string> OrigSet(Orig.begin(), Orig.end());
@@ -130,7 +139,8 @@ void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
 
   for (const TargetModel &M : TargetModel::all()) {
     CompiledTarget CT = compileUni(*Uni, M.arch());
-    std::vector<std::string> Allowed = allowedStrings(E.enumerate(CT, M));
+    std::vector<std::string> Allowed =
+        E.enumerateOutcomes(CT, M).outcomeStrings();
     for (const std::string &O : Allowed) {
       if (!UniSet.count(O))
         R.SoundnessViolations.push_back(std::string(M.name()) + ": " + O);
@@ -175,18 +185,18 @@ std::optional<std::string> LitmusService::cacheKey(const LitmusJob &Job) {
 LitmusJobResult
 LitmusService::computeResult(const LitmusJob &Job,
                              const std::optional<LitmusFile> &File,
-                             const std::string &ParseError) const {
+                             const LitmusParseDiag &ParseDiag) const {
   LitmusJobResult R;
   R.Name = Job.Name;
   R.Model = Job.Model;
 
   if (!File) {
-    // The parser is the capacity boundary for source programs; surface its
-    // "program too large" rejection under the dedicated status.
-    R.Status = ParseError.find("program too large") != std::string::npos
-                   ? JobStatus::TooLarge
-                   : JobStatus::ParseError;
-    R.Error = ParseError;
+    // The parser is the capacity boundary for source programs; its typed
+    // TooLarge flag — never message-text matching, which a crafted
+    // diagnostic could spoof — selects the dedicated status.
+    R.Status = ParseDiag.TooLarge ? JobStatus::TooLarge
+                                  : JobStatus::ParseError;
+    R.Error = ParseDiag.Message;
     return R;
   }
   if (R.Name.empty())
@@ -205,9 +215,10 @@ LitmusService::computeResult(const LitmusJob &Job,
 
   ExecutionEngine Engine(EngineConfig{Job.Threads, true});
   try {
-    // The parser already rejects source programs beyond Relation::MaxSize;
-    // compiled forms can still exceed it (schemes insert fences), so the
-    // engine checks are re-surfaced per compiled program below.
+    // The parser already rejects source programs beyond the dynamic cap
+    // (DynRelation::MaxSize); compiled forms can still exceed it (schemes
+    // insert fences), so the engine checks are re-surfaced per compiled
+    // program below.
     if (std::optional<std::string> Cap =
             ExecutionEngine::capacityError(File->P)) {
       R.Status = JobStatus::TooLarge;
@@ -237,8 +248,8 @@ LitmusService::computeResult(const LitmusJob &Job,
         R.Error = *Cap + " (after compilation for " + Job.Model + ")";
         return R;
       }
-      TargetEnumerationResult TR = Engine.enumerate(CT, *Target);
-      R.AllowedByBackend[Job.Model] = allowedStrings(TR);
+      OutcomeSummary TR = Engine.enumerateOutcomes(CT, *Target);
+      R.AllowedByBackend[Job.Model] = TR.outcomeStrings();
       R.Expectations = checkExpectations(TR, File->Expectations);
       return R;
     }
@@ -257,14 +268,16 @@ LitmusService::computeResult(const LitmusJob &Job,
       return R;
     }
 
-    EnumerationResult ER = Engine.enumerate(File->P, JsModel(*JsSpec));
-    R.AllowedByBackend[Job.Model] = allowedStrings(ER);
+    OutcomeSummary ER = Engine.enumerateOutcomes(File->P, JsModel(*JsSpec));
+    R.AllowedByBackend[Job.Model] = ER.outcomeStrings();
     R.Expectations = checkExpectations(ER, File->Expectations);
     return R;
-  } catch (const std::length_error &E) {
+  } catch (const CapacityError &E) {
     // Backstop for any capacity path the up-front checks missed (e.g. a
     // compiled form growing beyond the source bound): the job fails, the
-    // batch does not.
+    // batch does not. Classification is on the exception *type*: an
+    // unrelated std::length_error (below) is an internal error, not a
+    // too-large program.
     R = LitmusJobResult();
     R.Name = Job.Name.empty() ? File->P.Name : Job.Name;
     R.Model = Job.Model;
@@ -284,8 +297,8 @@ LitmusService::computeResult(const LitmusJob &Job,
 LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
   // Parse once: the canonical cache key, the name fallback and the
   // verdict computation all share this parse.
-  std::string ParseError;
-  std::optional<LitmusFile> File = parseLitmus(Job.Litmus, &ParseError);
+  LitmusParseDiag ParseDiag;
+  std::optional<LitmusFile> File = parseLitmus(Job.Litmus, ParseDiag);
 
   // The result's name is a deterministic function of the job alone (its
   // label, else the parsed program's name) — never of which duplicate
@@ -309,7 +322,7 @@ LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
       return R;
     }
   }
-  LitmusJobResult R = computeResult(Job, File, ParseError);
+  LitmusJobResult R = computeResult(Job, File, ParseDiag);
   if (Key) {
     std::lock_guard<std::mutex> Lock(CacheMu);
     ++Stats.Misses;
@@ -356,10 +369,13 @@ void LitmusService::clearCache() {
   Cache.clear();
 }
 
-std::vector<LitmusJob> jsmm::differentialCorpusJobs(const std::string &Model,
-                                                    unsigned Threads) {
+namespace {
+
+std::vector<LitmusJob> jobsOfCorpus(const std::vector<DiffCase> &Corpus,
+                                    const std::string &Model,
+                                    unsigned Threads) {
   std::vector<LitmusJob> Jobs;
-  for (const DiffCase &C : differentialCorpus()) {
+  for (const DiffCase &C : Corpus) {
     LitmusJob J;
     J.Name = C.Name;
     J.Model = Model;
@@ -374,4 +390,16 @@ std::vector<LitmusJob> jsmm::differentialCorpusJobs(const std::string &Model,
     Jobs.push_back(std::move(J));
   }
   return Jobs;
+}
+
+} // namespace
+
+std::vector<LitmusJob> jsmm::differentialCorpusJobs(const std::string &Model,
+                                                    unsigned Threads) {
+  return jobsOfCorpus(differentialCorpus(), Model, Threads);
+}
+
+std::vector<LitmusJob> jsmm::largeCorpusJobs(const std::string &Model,
+                                             unsigned Threads) {
+  return jobsOfCorpus(largeDifferentialCorpus(), Model, Threads);
 }

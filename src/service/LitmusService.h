@@ -18,10 +18,18 @@
 /// Every job result carries a structured status:
 ///
 ///   - ok          the job ran and produced verdicts;
-///   - too-large   the program's event universe exceeds Relation::MaxSize;
+///   - too-large   the program's event universe exceeds the dynamic
+///                 relation cap (DynRelation::MaxSize events; programs
+///                 between 65 and that cap are served through the
+///                 heap-backed tier and return ok with real verdicts);
 ///   - parse-error the litmus text did not parse ("line N: ..." message);
 ///   - unsupported the backend is unknown, or requires the uni-size
 ///                 fragment the program is not in.
+///
+/// too-large is classified on typed markers (the parser's LitmusParseDiag
+/// flag, the engine's CapacityError exception), never by matching message
+/// substrings — a diagnostic that merely *contains* "program too large"
+/// stays a parse-error.
 ///
 /// A failed job never poisons the batch: the other jobs run to completion
 /// and the failed one reports its status and message in its submission
@@ -162,7 +170,7 @@ public:
 private:
   LitmusJobResult computeResult(const LitmusJob &Job,
                                 const std::optional<LitmusFile> &File,
-                                const std::string &ParseError) const;
+                                const LitmusParseDiag &ParseDiag) const;
 
   ServiceConfig Cfg;
   mutable std::mutex CacheMu;
@@ -178,6 +186,14 @@ private:
 std::vector<LitmusJob>
 differentialCorpusJobs(const std::string &Model = "differential",
                        unsigned Threads = 1);
+
+/// The large-program corpus (targets/Differential.h, 65+ events each) as
+/// service jobs — the workload of the `large_program_jobs_per_sec` bench
+/// floor and the large-job determinism tests, and jsmm-batch
+/// --corpus=large.
+std::vector<LitmusJob>
+largeCorpusJobs(const std::string &Model = "differential",
+                unsigned Threads = 1);
 
 } // namespace jsmm
 

@@ -17,7 +17,8 @@
 ///     is a conflict that fails the whole branch at once;
 ///   - propagation runs to fixpoint; only constraints still genuinely
 ///     unconstrained afterwards trigger a two-way branch, with the solver
-///     state (1 KiB of bit sets) trailed and restored on backtrack.
+///     state (1 KiB of bit sets on the fast tier) trailed and restored on
+///     backtrack.
 ///
 /// When every constraint is discharged the closed must-order is acyclic
 /// and every one of its linear extensions avoids every constraint, so the
@@ -26,6 +27,11 @@
 /// given problem (it may differ from the brute-force oracle's witness,
 /// which is the lex-smallest satisfying extension of the *original*
 /// must-order; both validate, and each solver is self-consistent).
+///
+/// The search is templated over the relation flavour: the ≤64-event tier
+/// keeps its inline single-word bit sets and codegen, the dynamic tier
+/// (DynRelation, up to DynRelation::MaxSize events) runs the identical
+/// algorithm over heap-backed sets.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,18 +43,27 @@ using namespace jsmm;
 
 namespace {
 
-/// Transitively closed order over at most 64 elements, with O(1)
-/// entailment probes and incremental closure on edge insertion.
-struct ClosedOrder {
-  uint64_t Succ[Relation::MaxSize]; ///< Succ[A]: everything after A
-  uint64_t Pred[Relation::MaxSize]; ///< Pred[B]: everything before B
+/// Transitively closed order with O(1) entailment probes and incremental
+/// closure on edge insertion. Succ/Pred storage is the relation flavour's
+/// SetArray: a fixed inline array on the fast tier, a vector of heap sets
+/// on the dynamic tier.
+template <typename RelT> struct ClosedOrder {
+  using SetT = typename RelT::SetT;
+
+  typename RelT::SetArray Succ; ///< Succ[A]: everything after A
+  typename RelT::SetArray Pred; ///< Pred[B]: everything before B
   unsigned N = 0;
 
   /// Initializes from \p Must restricted to \p Universe.
   /// \returns false if the restriction is cyclic.
-  bool init(const Relation &Must, uint64_t Universe) {
+  bool init(const RelT &Must, const SetT &Universe) {
     N = Must.size();
-    Relation Closed = Must.restricted(Universe, Universe).transitiveClosure();
+    if constexpr (std::is_same_v<typename RelT::SetArray,
+                                 std::vector<SetT>>) {
+      Succ.assign(N, RelT::emptySet(N));
+      Pred.assign(N, RelT::emptySet(N));
+    }
+    RelT Closed = Must.restricted(Universe, Universe).transitiveClosure();
     if (!Closed.isIrreflexive())
       return false;
     for (unsigned A = 0; A < N; ++A) {
@@ -59,7 +74,7 @@ struct ClosedOrder {
   }
 
   bool entails(unsigned A, unsigned B) const {
-    return (Succ[A] >> B) & 1;
+    return bits::test(Succ[A], B);
   }
 
   /// Adds A -> B and recloses. \returns false on a cycle (B already
@@ -69,42 +84,30 @@ struct ClosedOrder {
       return false;
     if (entails(A, B))
       return true;
-    uint64_t Before = Pred[A] | (uint64_t(1) << A);
-    uint64_t After = Succ[B] | (uint64_t(1) << B);
-    uint64_t P = Before;
-    while (P) {
-      unsigned E = static_cast<unsigned>(__builtin_ctzll(P));
-      P &= P - 1;
-      Succ[E] |= After;
-    }
-    uint64_t S = After;
-    while (S) {
-      unsigned E = static_cast<unsigned>(__builtin_ctzll(S));
-      S &= S - 1;
-      Pred[E] |= Before;
-    }
+    SetT Before = Pred[A];
+    bits::set(Before, A);
+    SetT After = Succ[B];
+    bits::set(After, B);
+    bits::forEach(Before, [&](unsigned E) { Succ[E] |= After; });
+    bits::forEach(After, [&](unsigned E) { Pred[E] |= Before; });
     return true;
   }
 
-  Relation toRelation() const {
-    Relation R(N);
+  RelT toRelation() const {
+    RelT R(N);
     for (unsigned A = 0; A < N; ++A)
-      for (uint64_t Row = Succ[A]; Row;) {
-        unsigned B = static_cast<unsigned>(__builtin_ctzll(Row));
-        Row &= Row - 1;
-        R.set(A, B);
-      }
+      bits::forEach(Succ[A], [&](unsigned B) { R.set(A, B); });
     return R;
   }
 };
 
 /// The backtracking search over constraint branches.
-class Search {
+template <typename RelT> class Search {
 public:
-  Search(const TotProblem &P) : P(P) {}
+  Search(const BasicTotProblem<RelT> &P) : P(P) {}
 
-  bool run(Relation *TotOut) {
-    ClosedOrder Order;
+  bool run(RelT *TotOut) {
+    ClosedOrder<RelT> Order;
     if (!Order.init(P.Must, P.Universe))
       return false;
     std::vector<uint32_t> Active(P.Forbidden.size());
@@ -113,17 +116,15 @@ public:
     if (!solve(Order, std::move(Active)))
       return false;
     if (TotOut)
-      *TotOut =
-          totalOrderFromSequence(lexSmallestExtension(Witness.toRelation(),
-                                                      P.Universe),
-                                 P.N);
+      *TotOut = totalOrderOver<RelT>(
+          lexSmallestExtension<RelT>(Witness.toRelation(), P.Universe), P.N);
     return true;
   }
 
 private:
   /// Propagates to fixpoint, then branches on the first surviving
   /// constraint. \p Active is owned by this frame (branches copy it).
-  bool solve(ClosedOrder Order, std::vector<uint32_t> Active) {
+  bool solve(ClosedOrder<RelT> Order, std::vector<uint32_t> Active) {
     // Unit propagation to fixpoint: discharge entailed constraints, force
     // the surviving disjunct of half-dead ones, fail on fully dead ones.
     bool Changed = true;
@@ -163,42 +164,63 @@ private:
     // branches cover every satisfying total order.
     const TotConstraint &C = P.Forbidden[Active.front()];
     {
-      ClosedOrder Try = Order;
+      ClosedOrder<RelT> Try = Order;
       if (Try.addEdge(C.Mid, C.Lo) && solve(Try, Active))
         return true;
     }
-    ClosedOrder Try = Order;
+    ClosedOrder<RelT> Try = Order;
     return Try.addEdge(C.Hi, C.Mid) && solve(std::move(Try),
                                              std::move(Active));
   }
 
-  const TotProblem &P;
-  ClosedOrder Witness;
+  const BasicTotProblem<RelT> &P;
+  ClosedOrder<RelT> Witness;
 };
 
-} // namespace
-
-bool PropagationSolver::existsExtension(const TotProblem &P,
-                                        Relation *TotOut) const {
-  Search S(P);
+template <typename RelT>
+bool propagateExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut) {
+  Search<RelT> S(P);
   return S.run(TotOut);
 }
 
-bool PropagationSolver::existsViolatingExtension(const TotProblem &P,
-                                                 Relation *TotOut) const {
-  ClosedOrder Base;
+template <typename RelT>
+bool propagateExistsViolatingExtension(const BasicTotProblem<RelT> &P,
+                                       RelT *TotOut) {
+  ClosedOrder<RelT> Base;
   if (!Base.init(P.Must, P.Universe))
     return false; // no well-formed tot at all
   // A single realized constraint suffices: try each in order (stable
   // choice), checking that Lo < Mid < Hi is compatible with the must-order.
   for (const TotConstraint &C : P.Forbidden) {
-    ClosedOrder Try = Base;
+    ClosedOrder<RelT> Try = Base;
     if (!Try.addEdge(C.Lo, C.Mid) || !Try.addEdge(C.Mid, C.Hi))
       continue;
     if (TotOut)
-      *TotOut = totalOrderFromSequence(
-          lexSmallestExtension(Try.toRelation(), P.Universe), P.N);
+      *TotOut = totalOrderOver<RelT>(
+          lexSmallestExtension<RelT>(Try.toRelation(), P.Universe), P.N);
     return true;
   }
   return false;
+}
+
+} // namespace
+
+bool PropagationSolver::existsExtension(const TotProblem &P,
+                                        Relation *TotOut) const {
+  return propagateExistsExtension(P, TotOut);
+}
+
+bool PropagationSolver::existsExtension(const DynTotProblem &P,
+                                        DynRelation *TotOut) const {
+  return propagateExistsExtension(P, TotOut);
+}
+
+bool PropagationSolver::existsViolatingExtension(const TotProblem &P,
+                                                 Relation *TotOut) const {
+  return propagateExistsViolatingExtension(P, TotOut);
+}
+
+bool PropagationSolver::existsViolatingExtension(const DynTotProblem &P,
+                                                 DynRelation *TotOut) const {
+  return propagateExistsViolatingExtension(P, TotOut);
 }

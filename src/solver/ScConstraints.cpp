@@ -9,8 +9,11 @@ namespace {
 /// First/second attempt rule (Fig. 4 / §3.1): for a synchronizes-with pair
 /// <W,R>, no write with rangew = ranger(R) (SeqCst only for the second
 /// attempt) may be strictly tot-between W and R.
-void attemptConstraints(const CandidateExecution &CE, const DerivedTriple &D,
-                        bool InterveningMustBeSeqCst, TotProblem &P) {
+template <typename RelT>
+void attemptConstraints(const BasicCandidateExecution<RelT> &CE,
+                        const BasicDerivedTriple<RelT> &D,
+                        bool InterveningMustBeSeqCst,
+                        BasicTotProblem<RelT> &P) {
   D.Sw.forEachPair([&](unsigned W, unsigned R) {
     const Event &Er = CE.Events[R];
     for (const Event &Ec : CE.Events) {
@@ -27,8 +30,10 @@ void attemptConstraints(const CandidateExecution &CE, const DerivedTriple &D,
 
 /// The final rule of Fig. 10: for an rf pair <W,R> with hb(W,R), no SeqCst
 /// event satisfying one of the three disjuncts may be strictly tot-between.
-void finalConstraints(const CandidateExecution &CE, const DerivedTriple &D,
-                      TotProblem &P) {
+template <typename RelT>
+void finalConstraints(const BasicCandidateExecution<RelT> &CE,
+                      const BasicDerivedTriple<RelT> &D,
+                      BasicTotProblem<RelT> &P) {
   D.Rf.forEachPair([&](unsigned W, unsigned R) {
     if (!D.Hb.get(W, R))
       return;
@@ -51,9 +56,11 @@ void finalConstraints(const CandidateExecution &CE, const DerivedTriple &D,
 
 } // namespace
 
-TotProblem jsmm::scAtomicsProblem(const CandidateExecution &CE,
-                                  const DerivedTriple &D, ScRuleKind Rule) {
-  TotProblem P;
+template <typename RelT>
+BasicTotProblem<RelT>
+jsmm::scAtomicsProblem(const BasicCandidateExecution<RelT> &CE,
+                       const BasicDerivedTriple<RelT> &D, ScRuleKind Rule) {
+  BasicTotProblem<RelT> P;
   P.N = CE.numEvents();
   P.Universe = CE.allEventsMask();
   P.Must = D.Hb;
@@ -70,6 +77,15 @@ TotProblem jsmm::scAtomicsProblem(const CandidateExecution &CE,
   }
   return P;
 }
+
+template jsmm::BasicTotProblem<jsmm::Relation>
+jsmm::scAtomicsProblem<jsmm::Relation>(
+    const BasicCandidateExecution<Relation> &, const DerivedTriple &,
+    ScRuleKind);
+template jsmm::BasicTotProblem<jsmm::DynRelation>
+jsmm::scAtomicsProblem<jsmm::DynRelation>(
+    const BasicCandidateExecution<DynRelation> &,
+    const BasicDerivedTriple<DynRelation> &, ScRuleKind);
 
 void jsmm::addSyntacticDeadnessEdges(const CandidateExecution &CE,
                                      const Relation &Hb, TotProblem &P) {

@@ -5,44 +5,45 @@
 #include "support/LinearExtensions.h"
 
 #include <atomic>
-#include <bit>
 
 using namespace jsmm;
 
-bool TotProblem::violates(const Relation &Tot) const {
-  for (const TotConstraint &C : Forbidden)
-    if (Tot.get(C.Lo, C.Mid) && Tot.get(C.Mid, C.Hi))
-      return true;
-  return false;
-}
-
-std::vector<unsigned> jsmm::lexSmallestExtension(const Relation &Must,
-                                                 uint64_t Universe) {
+template <typename RelT>
+std::vector<unsigned>
+jsmm::lexSmallestExtension(const RelT &Must,
+                           const typename RelT::SetT &Universe) {
+  using SetT = typename RelT::SetT;
   std::vector<unsigned> Order;
-  Order.reserve(static_cast<size_t>(std::popcount(Universe)));
-  std::vector<uint64_t> Preds;
+  Order.reserve(bits::count(Universe));
+  std::vector<SetT> Preds;
   Preds.reserve(Must.size());
   for (unsigned B = 0; B < Must.size(); ++B)
     Preds.push_back(Must.column(B) & Universe);
-  uint64_t Placed = 0;
+  SetT Placed = RelT::emptySet(Must.size());
   while (Placed != Universe) {
     unsigned Picked = Must.size();
     for (unsigned E = 0; E < Must.size(); ++E) {
-      uint64_t Bit = uint64_t(1) << E;
-      if (!(Universe & Bit) || (Placed & Bit))
+      if (!bits::test(Universe, E) || bits::test(Placed, E))
         continue;
-      if ((Preds[E] & ~Placed & ~Bit) != 0)
+      SetT Unplaced = Preds[E] & ~Placed;
+      bits::clear(Unplaced, E);
+      if (bits::any(Unplaced))
         continue; // has an unplaced (strict) predecessor
       Picked = E;
       break; // smallest index first: the stable tie-break
     }
     assert(Picked < Must.size() &&
            "lexSmallestExtension on a cyclic must-order");
-    Placed |= uint64_t(1) << Picked;
+    bits::set(Placed, Picked);
     Order.push_back(Picked);
   }
   return Order;
 }
+
+template std::vector<unsigned>
+jsmm::lexSmallestExtension<Relation>(const Relation &, const uint64_t &);
+template std::vector<unsigned>
+jsmm::lexSmallestExtension<DynRelation>(const DynRelation &, const DynSet &);
 
 //===----------------------------------------------------------------------===//
 // BruteForceSolver
@@ -54,7 +55,8 @@ namespace {
 /// Forbidden constraint (as its Hi endpoint) in realized order. Realized
 /// prefixes stay realized under every completion, so existsExtension may
 /// prune the subtree.
-bool prefixRealizesConstraint(const TotProblem &P,
+template <typename RelT>
+bool prefixRealizesConstraint(const BasicTotProblem<RelT> &P,
                               const std::vector<unsigned> &Seq) {
   if (Seq.empty())
     return false;
@@ -76,15 +78,13 @@ bool prefixRealizesConstraint(const TotProblem &P,
   return false;
 }
 
-} // namespace
-
-bool BruteForceSolver::existsExtension(const TotProblem &P,
-                                       Relation *TotOut) const {
+template <typename RelT>
+bool bruteExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut) {
   bool Found = false;
-  forEachLinearExtension(
+  forEachLinearExtension<RelT>(
       P.Must, P.Universe,
       [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, P.N);
+        RelT Tot = totalOrderOver<RelT>(Seq, P.N);
         if (!P.violates(Tot)) {
           Found = true;
           if (TotOut)
@@ -99,12 +99,13 @@ bool BruteForceSolver::existsExtension(const TotProblem &P,
   return Found;
 }
 
-bool BruteForceSolver::existsViolatingExtension(const TotProblem &P,
-                                                Relation *TotOut) const {
+template <typename RelT>
+bool bruteExistsViolatingExtension(const BasicTotProblem<RelT> &P,
+                                   RelT *TotOut) {
   bool Found = false;
-  forEachLinearExtension(
+  forEachLinearExtension<RelT>(
       P.Must, P.Universe, [&](const std::vector<unsigned> &Seq) {
-        Relation Tot = totalOrderFromSequence(Seq, P.N);
+        RelT Tot = totalOrderOver<RelT>(Seq, P.N);
         if (P.violates(Tot)) {
           Found = true;
           if (TotOut)
@@ -114,6 +115,28 @@ bool BruteForceSolver::existsViolatingExtension(const TotProblem &P,
         return true;
       });
   return Found;
+}
+
+} // namespace
+
+bool BruteForceSolver::existsExtension(const TotProblem &P,
+                                       Relation *TotOut) const {
+  return bruteExistsExtension(P, TotOut);
+}
+
+bool BruteForceSolver::existsExtension(const DynTotProblem &P,
+                                       DynRelation *TotOut) const {
+  return bruteExistsExtension(P, TotOut);
+}
+
+bool BruteForceSolver::existsViolatingExtension(const TotProblem &P,
+                                                Relation *TotOut) const {
+  return bruteExistsViolatingExtension(P, TotOut);
+}
+
+bool BruteForceSolver::existsViolatingExtension(const DynTotProblem &P,
+                                                DynRelation *TotOut) const {
+  return bruteExistsViolatingExtension(P, TotOut);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,149 @@
+//===- support/Bits.h - Generic bit-set helpers ---------------------------===//
+//
+// Part of the jsmm project: a reproduction of "Repairing and Mechanising the
+// JavaScript Relaxed Memory Model" (Watt et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Word-level bit-set helpers shared by every relation flavour. The model
+/// code manipulates event classes as bit sets; historically those were raw
+/// uint64_t words, which caps the event universe at 64. The relation layer
+/// is now generic over the set representation:
+///
+///   - uint64_t            — the classic single-word set (Relation's SetT);
+///   - WideBits<W>         — a fixed W-word inline set (BasicRelation<W>);
+///   - DynSet              — a heap-backed set of runtime width (DynRelation,
+///                           see support/DynRelation.h).
+///
+/// Templated model code uses the jsmm::bits free functions (test / set /
+/// clear / any / count / forEach / forEachWhile) plus the ordinary bitwise
+/// operators, which all three representations provide with identical
+/// semantics. For uint64_t the helpers compile to the exact single-word
+/// instructions the pre-generic code used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SUPPORT_BITS_H
+#define JSMM_SUPPORT_BITS_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace jsmm {
+
+/// A fixed-width inline bit set of W 64-bit words. Value type: cheap to
+/// copy, no allocation, usable as the mask type of BasicRelation<W>.
+template <unsigned W> struct WideBits {
+  std::array<uint64_t, W> Words{};
+
+  friend WideBits operator|(WideBits A, const WideBits &B) {
+    for (unsigned K = 0; K < W; ++K)
+      A.Words[K] |= B.Words[K];
+    return A;
+  }
+  friend WideBits operator&(WideBits A, const WideBits &B) {
+    for (unsigned K = 0; K < W; ++K)
+      A.Words[K] &= B.Words[K];
+    return A;
+  }
+  friend WideBits operator~(WideBits A) {
+    for (unsigned K = 0; K < W; ++K)
+      A.Words[K] = ~A.Words[K];
+    return A;
+  }
+  WideBits &operator|=(const WideBits &B) {
+    for (unsigned K = 0; K < W; ++K)
+      Words[K] |= B.Words[K];
+    return *this;
+  }
+  WideBits &operator&=(const WideBits &B) {
+    for (unsigned K = 0; K < W; ++K)
+      Words[K] &= B.Words[K];
+    return *this;
+  }
+  bool operator==(const WideBits &B) const { return Words == B.Words; }
+  bool operator!=(const WideBits &B) const { return !(*this == B); }
+};
+
+namespace bits {
+
+// --- uint64_t (the single-word fast path) --------------------------------
+
+inline bool test(uint64_t S, unsigned I) { return (S >> I) & 1; }
+inline void set(uint64_t &S, unsigned I) { S |= uint64_t(1) << I; }
+inline void clear(uint64_t &S, unsigned I) { S &= ~(uint64_t(1) << I); }
+inline bool any(uint64_t S) { return S != 0; }
+inline unsigned count(uint64_t S) {
+  return static_cast<unsigned>(__builtin_popcountll(S));
+}
+
+/// Invokes \p Fn(I) for every set bit I, in ascending order.
+template <typename FnT> inline void forEach(uint64_t S, FnT Fn) {
+  while (S) {
+    unsigned I = static_cast<unsigned>(__builtin_ctzll(S));
+    S &= S - 1;
+    Fn(I);
+  }
+}
+
+/// As forEach, but \p Fn returns false to stop. \returns false if stopped.
+template <typename FnT> inline bool forEachWhile(uint64_t S, FnT Fn) {
+  while (S) {
+    unsigned I = static_cast<unsigned>(__builtin_ctzll(S));
+    S &= S - 1;
+    if (!Fn(I))
+      return false;
+  }
+  return true;
+}
+
+// --- WideBits<W> ---------------------------------------------------------
+
+template <unsigned W> inline bool test(const WideBits<W> &S, unsigned I) {
+  return (S.Words[I / 64] >> (I % 64)) & 1;
+}
+template <unsigned W> inline void set(WideBits<W> &S, unsigned I) {
+  S.Words[I / 64] |= uint64_t(1) << (I % 64);
+}
+template <unsigned W> inline void clear(WideBits<W> &S, unsigned I) {
+  S.Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+}
+template <unsigned W> inline bool any(const WideBits<W> &S) {
+  for (unsigned K = 0; K < W; ++K)
+    if (S.Words[K])
+      return true;
+  return false;
+}
+template <unsigned W> inline unsigned count(const WideBits<W> &S) {
+  unsigned Total = 0;
+  for (unsigned K = 0; K < W; ++K)
+    Total += static_cast<unsigned>(__builtin_popcountll(S.Words[K]));
+  return Total;
+}
+template <unsigned W, typename FnT>
+inline void forEach(const WideBits<W> &S, FnT Fn) {
+  for (unsigned K = 0; K < W; ++K)
+    for (uint64_t Word = S.Words[K]; Word;) {
+      unsigned I = static_cast<unsigned>(__builtin_ctzll(Word));
+      Word &= Word - 1;
+      Fn(K * 64 + I);
+    }
+}
+template <unsigned W, typename FnT>
+inline bool forEachWhile(const WideBits<W> &S, FnT Fn) {
+  for (unsigned K = 0; K < W; ++K)
+    for (uint64_t Word = S.Words[K]; Word;) {
+      unsigned I = static_cast<unsigned>(__builtin_ctzll(Word));
+      Word &= Word - 1;
+      if (!Fn(K * 64 + I))
+        return false;
+    }
+  return true;
+}
+
+} // namespace bits
+} // namespace jsmm
+
+#endif // JSMM_SUPPORT_BITS_H

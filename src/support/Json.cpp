@@ -131,6 +131,26 @@ struct Parser {
     return fail(std::string("expected '") + Word + "'");
   }
 
+  /// Reads exactly four hex digits into \p Code.
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Src.size())
+      return fail("truncated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = Src[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a') + 10;
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A') + 10;
+      else
+        return fail("bad \\u escape digit");
+    }
+    return true;
+  }
+
   bool parseString(std::string &Out) {
     if (!consume('"'))
       return false;
@@ -174,30 +194,43 @@ struct Parser {
         Out += '\t';
         break;
       case 'u': {
-        if (Pos + 4 > Src.size())
-          return fail("truncated \\u escape");
         unsigned Code = 0;
-        for (int I = 0; I < 4; ++I) {
-          char H = Src[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<unsigned>(H - 'a') + 10;
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<unsigned>(H - 'A') + 10;
-          else
-            return fail("bad \\u escape digit");
+        if (!parseHex4(Code))
+          return false;
+        // UTF-16 surrogate pairs encode one supplementary-plane code
+        // point across two \u escapes. A high surrogate must be followed
+        // by an escaped low surrogate (combined per RFC 8259 §7); a bare
+        // low surrogate, or a high one without its partner, is malformed
+        // input — emitting the lone surrogate as a three-byte sequence
+        // would produce invalid UTF-8 (CESU-8) that round-trips
+        // differently through every conforming JSON reader.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 2 > Src.size() || Src[Pos] != '\\' ||
+              Src[Pos + 1] != 'u')
+            return fail("high surrogate without a following \\u escape");
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("high surrogate not followed by a low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired low surrogate in \\u escape");
         }
-        // UTF-8 encode the code point (BMP only; surrogate pairs are
-        // passed through as two encoded code units).
+        // UTF-8 encode the (possibly supplementary) code point.
         if (Code < 0x80) {
           Out += static_cast<char>(Code);
         } else if (Code < 0x800) {
           Out += static_cast<char>(0xC0 | (Code >> 6));
           Out += static_cast<char>(0x80 | (Code & 0x3F));
-        } else {
+        } else if (Code < 0x10000) {
           Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xF0 | (Code >> 18));
+          Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
           Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
           Out += static_cast<char>(0x80 | (Code & 0x3F));
         }

@@ -3,12 +3,13 @@
 /// \file
 /// Backtracking enumeration of linear extensions, with an optional
 /// mid-prefix early exit for visitors that can reject whole subtrees.
+/// Instantiated for both relation flavours (Relation and DynRelation).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "support/LinearExtensions.h"
 
-#include <bit>
+#include "support/DynRelation.h"
 
 using namespace jsmm;
 
@@ -17,9 +18,11 @@ namespace {
 /// Depth-first enumeration state. Elements are picked one at a time; an
 /// element is ready when all of its predecessors (within the universe) have
 /// already been placed.
-class Enumerator {
+template <typename RelT> class Enumerator {
+  using SetT = typename RelT::SetT;
+
 public:
-  Enumerator(const Relation &Order, uint64_t Universe,
+  Enumerator(const RelT &Order, const SetT &Universe,
              const std::function<bool(const std::vector<unsigned> &)> &Visit,
              const std::function<bool(const std::vector<unsigned> &)>
                  *PrefixOk)
@@ -31,19 +34,18 @@ public:
 
   /// \returns false if the visitor requested an early stop.
   bool run() {
-    Sequence.reserve(static_cast<size_t>(std::popcount(Universe)));
-    return recurse(0);
+    Sequence.reserve(bits::count(Universe));
+    return recurse(RelT::emptySet(Order.size()));
   }
 
 private:
-  bool recurse(uint64_t Placed) {
+  bool recurse(const SetT &Placed) {
     if (Placed == Universe)
       return Visit(Sequence);
     for (unsigned E = 0; E < Order.size(); ++E) {
-      uint64_t Bit = uint64_t(1) << E;
-      if (!(Universe & Bit) || (Placed & Bit))
+      if (!bits::test(Universe, E) || bits::test(Placed, E))
         continue;
-      if ((Preds[E] & ~Placed) != 0)
+      if (bits::any(Preds[E] & ~Placed))
         continue; // has an unplaced predecessor
       Sequence.push_back(E);
       bool Continue = true;
@@ -51,7 +53,9 @@ private:
         // Mid-prefix early exit: every completion of this prefix is
         // rejected, so skip the subtree without stopping the enumeration.
       } else {
-        Continue = recurse(Placed | Bit);
+        SetT Next = Placed;
+        bits::set(Next, E);
+        Continue = recurse(Next);
       }
       Sequence.pop_back();
       if (!Continue)
@@ -60,41 +64,61 @@ private:
     return true;
   }
 
-  const Relation &Order;
-  uint64_t Universe;
+  const RelT &Order;
+  const SetT &Universe;
   const std::function<bool(const std::vector<unsigned> &)> &Visit;
   const std::function<bool(const std::vector<unsigned> &)> *PrefixOk;
-  std::vector<uint64_t> Preds;
+  std::vector<SetT> Preds;
   std::vector<unsigned> Sequence;
 };
 
 } // namespace
 
+template <typename RelT>
 bool jsmm::forEachLinearExtension(
-    const Relation &Order, uint64_t Universe,
+    const RelT &Order, const typename RelT::SetT &Universe,
     const std::function<bool(const std::vector<unsigned> &)> &Visit) {
   // A cyclic order (within the universe) has no linear extensions; the
   // recursion below naturally never reaches a complete sequence in that
   // case, so no special handling is needed.
-  Enumerator E(Order, Universe, Visit, /*PrefixOk=*/nullptr);
+  Enumerator<RelT> E(Order, Universe, Visit, /*PrefixOk=*/nullptr);
   return E.run();
 }
 
+template <typename RelT>
 bool jsmm::forEachLinearExtension(
-    const Relation &Order, uint64_t Universe,
+    const RelT &Order, const typename RelT::SetT &Universe,
     const std::function<bool(const std::vector<unsigned> &)> &Visit,
     const std::function<bool(const std::vector<unsigned> &)> &PrefixOk) {
-  Enumerator E(Order, Universe, Visit, &PrefixOk);
+  Enumerator<RelT> E(Order, Universe, Visit, &PrefixOk);
   return E.run();
 }
 
-uint64_t jsmm::countLinearExtensions(const Relation &Order, uint64_t Universe,
+template <typename RelT>
+uint64_t jsmm::countLinearExtensions(const RelT &Order,
+                                     const typename RelT::SetT &Universe,
                                      uint64_t Limit) {
   uint64_t Count = 0;
-  forEachLinearExtension(Order, Universe,
-                         [&](const std::vector<unsigned> &) {
-                           ++Count;
-                           return Limit == 0 || Count < Limit;
-                         });
+  forEachLinearExtension<RelT>(Order, Universe,
+                               [&](const std::vector<unsigned> &) {
+                                 ++Count;
+                                 return Limit == 0 || Count < Limit;
+                               });
   return Count;
 }
+
+// Explicit instantiation for both capacity tiers.
+#define JSMM_INSTANTIATE_LINEXT(RelT)                                        \
+  template bool jsmm::forEachLinearExtension<RelT>(                          \
+      const RelT &, const RelT::SetT &,                                      \
+      const std::function<bool(const std::vector<unsigned> &)> &);           \
+  template bool jsmm::forEachLinearExtension<RelT>(                          \
+      const RelT &, const RelT::SetT &,                                      \
+      const std::function<bool(const std::vector<unsigned> &)> &,            \
+      const std::function<bool(const std::vector<unsigned> &)> &);           \
+  template uint64_t jsmm::countLinearExtensions<RelT>(                       \
+      const RelT &, const RelT::SetT &, uint64_t);
+
+JSMM_INSTANTIATE_LINEXT(jsmm::Relation)
+JSMM_INSTANTIATE_LINEXT(jsmm::DynRelation)
+#undef JSMM_INSTANTIATE_LINEXT

@@ -1,231 +1,44 @@
 //===- support/Relation.cpp -----------------------------------------------===//
 ///
 /// \file
-/// Bit-matrix relation algebra implementation.
+/// Out-of-line pieces of the bit-matrix relation layer: the capacity
+/// failure (a typed CapacityError), the debug renderer, and the historical
+/// single-word totalOrderFromSequence entry point.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "support/Relation.h"
 
-#include <algorithm>
-#include <bit>
-#include <stdexcept>
+#include "support/CapacityError.h"
 
 using namespace jsmm;
 
-void jsmm::detail::relationUniverseTooLarge(unsigned Size) {
-  throw std::length_error("relation universe too large (" +
-                          std::to_string(Size) + " elements > " +
-                          std::to_string(Relation::MaxSize) + ")");
+void jsmm::detail::relationUniverseTooLarge(unsigned Size, unsigned MaxSize) {
+  throw CapacityError("relation universe too large (" +
+                      std::to_string(Size) + " elements > " +
+                      std::to_string(MaxSize) + ")");
 }
 
-uint64_t Relation::column(unsigned B) const {
-  assert(B < N && "element out of range");
-  uint64_t Col = 0;
-  for (unsigned A = 0; A < N; ++A)
-    if ((Rows[A] >> B) & 1)
-      Col |= uint64_t(1) << A;
-  return Col;
-}
-
-bool Relation::empty() const {
-  for (unsigned A = 0; A < N; ++A)
-    if (Rows[A])
-      return false;
-  return true;
-}
-
-unsigned Relation::count() const {
-  unsigned Count = 0;
-  for (unsigned A = 0; A < N; ++A)
-    Count += static_cast<unsigned>(std::popcount(Rows[A]));
-  return Count;
-}
-
-Relation &Relation::unionWith(const Relation &Other) {
-  assert(N == Other.N && "universe mismatch");
-  for (unsigned A = 0; A < N; ++A)
-    Rows[A] |= Other.Rows[A];
-  return *this;
-}
-
-Relation &Relation::intersectWith(const Relation &Other) {
-  assert(N == Other.N && "universe mismatch");
-  for (unsigned A = 0; A < N; ++A)
-    Rows[A] &= Other.Rows[A];
-  return *this;
-}
-
-Relation &Relation::subtract(const Relation &Other) {
-  assert(N == Other.N && "universe mismatch");
-  for (unsigned A = 0; A < N; ++A)
-    Rows[A] &= ~Other.Rows[A];
-  return *this;
-}
-
-Relation Relation::inverse() const {
-  Relation Inv(N);
-  forEachPair([&](unsigned A, unsigned B) { Inv.set(B, A); });
-  return Inv;
-}
-
-Relation Relation::compose(const Relation &Other) const {
-  assert(N == Other.N && "universe mismatch");
-  Relation Result(N);
-  for (unsigned A = 0; A < N; ++A) {
-    uint64_t Mid = Rows[A];
-    uint64_t Out = 0;
-    while (Mid) {
-      unsigned B = static_cast<unsigned>(__builtin_ctzll(Mid));
-      Mid &= Mid - 1;
-      Out |= Other.Rows[B];
-    }
-    Result.Rows[A] = Out;
-  }
-  return Result;
-}
-
-Relation Relation::transitiveClosure() const {
-  // Warshall's algorithm on bit rows: if <A,K> then A reaches everything K
-  // reaches.
-  Relation Closure = *this;
-  for (unsigned K = 0; K < N; ++K) {
-    uint64_t RowK = Closure.Rows[K];
-    for (unsigned A = 0; A < N; ++A)
-      if ((Closure.Rows[A] >> K) & 1)
-        Closure.Rows[A] |= RowK;
-  }
-  return Closure;
-}
-
-Relation Relation::reflexiveTransitiveClosure() const {
-  Relation Closure = transitiveClosure();
-  for (unsigned A = 0; A < N; ++A)
-    Closure.Rows[A] |= uint64_t(1) << A;
-  return Closure;
-}
-
-bool Relation::isIrreflexive() const {
-  for (unsigned A = 0; A < N; ++A)
-    if ((Rows[A] >> A) & 1)
-      return false;
-  return true;
-}
-
-bool Relation::isStrictTotalOrderOn(uint64_t Universe) const {
-  // Empty outside the universe.
-  for (unsigned A = 0; A < N; ++A) {
-    bool InUniverse = (Universe >> A) & 1;
-    if (!InUniverse && Rows[A])
-      return false;
-    if (Rows[A] & ~Universe)
-      return false;
-  }
-  if (!isIrreflexive())
-    return false;
-  if (!contains(compose(*this).restricted(Universe, Universe)))
-    return false; // not transitive
-  // Totality: every distinct pair in the universe is ordered one way.
-  for (unsigned A = 0; A < N; ++A) {
-    if (!((Universe >> A) & 1))
-      continue;
-    for (unsigned B = A + 1; B < N; ++B) {
-      if (!((Universe >> B) & 1))
-        continue;
-      if (!get(A, B) && !get(B, A))
-        return false;
-    }
-  }
-  return true;
-}
-
-bool Relation::contains(const Relation &Other) const {
-  assert(N == Other.N && "universe mismatch");
-  for (unsigned A = 0; A < N; ++A)
-    if (Other.Rows[A] & ~Rows[A])
-      return false;
-  return true;
-}
-
-Relation Relation::product(uint64_t SetA, uint64_t SetB, unsigned Size) {
-  Relation R(Size);
-  uint64_t Mask = Size == 64 ? ~uint64_t(0) : ((uint64_t(1) << Size) - 1);
-  SetA &= Mask;
-  SetB &= Mask;
-  for (unsigned A = 0; A < Size; ++A)
-    if ((SetA >> A) & 1)
-      R.Rows[A] = SetB;
-  return R;
-}
-
-Relation Relation::restricted(uint64_t SetA, uint64_t SetB) const {
-  Relation R(N);
-  for (unsigned A = 0; A < N; ++A)
-    if ((SetA >> A) & 1)
-      R.Rows[A] = Rows[A] & SetB;
-  return R;
-}
-
-Relation Relation::identity(uint64_t Universe, unsigned Size) {
-  Relation R(Size);
-  for (unsigned A = 0; A < Size; ++A)
-    if ((Universe >> A) & 1)
-      R.set(A, A);
-  return R;
-}
-
-std::vector<std::pair<unsigned, unsigned>> Relation::pairs() const {
-  std::vector<std::pair<unsigned, unsigned>> Result;
-  forEachPair([&](unsigned A, unsigned B) { Result.emplace_back(A, B); });
-  return Result;
-}
-
-std::optional<std::vector<unsigned>> Relation::topologicalOrder() const {
-  std::vector<unsigned> InDegree(N, 0);
-  forEachPair([&](unsigned, unsigned B) { ++InDegree[B]; });
-  std::vector<unsigned> Ready;
-  for (unsigned A = 0; A < N; ++A)
-    if (InDegree[A] == 0)
-      Ready.push_back(A);
-  std::vector<unsigned> Order;
-  Order.reserve(N);
-  while (!Ready.empty()) {
-    // Pop the smallest ready element for determinism.
-    auto MinIt = std::min_element(Ready.begin(), Ready.end());
-    unsigned A = *MinIt;
-    Ready.erase(MinIt);
-    Order.push_back(A);
-    uint64_t Succ = Rows[A];
-    while (Succ) {
-      unsigned B = static_cast<unsigned>(__builtin_ctzll(Succ));
-      Succ &= Succ - 1;
-      if (--InDegree[B] == 0)
-        Ready.push_back(B);
-    }
-  }
-  if (Order.size() != N)
-    return std::nullopt; // a cycle kept some element's in-degree positive
-  return Order;
-}
-
-std::string Relation::toString() const {
+std::string jsmm::detail::renderRelation(
+    const std::vector<std::pair<unsigned, unsigned>> &Pairs) {
   std::string Out = "{";
   bool First = true;
-  forEachPair([&](unsigned A, unsigned B) {
+  for (const auto &[A, B] : Pairs) {
     if (!First)
       Out += ", ";
     First = false;
     Out += "<" + std::to_string(A) + "," + std::to_string(B) + ">";
-  });
+  }
   Out += "}";
   return Out;
 }
 
 Relation jsmm::totalOrderFromSequence(const std::vector<unsigned> &Order,
                                       unsigned Size) {
-  Relation R(Size);
-  for (size_t I = 0; I < Order.size(); ++I)
-    for (size_t J = I + 1; J < Order.size(); ++J)
-      R.set(Order[I], Order[J]);
-  return R;
+  return totalOrderOver<Relation>(Order, Size);
 }
+
+// Anchor the two relation widths the library actually instantiates, so
+// their code is emitted once here rather than in every including TU.
+template class jsmm::BasicRelation<1>;
+template class jsmm::BasicRelation<2>;

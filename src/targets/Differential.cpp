@@ -254,22 +254,104 @@ bool DiffReport::allows(const std::string &Backend, const Outcome &O) const {
   return false;
 }
 
+std::vector<DiffCase> jsmm::largeDifferentialCorpus() {
+  std::vector<DiffCase> Corpus;
+  auto Add = [&](UniProgram P, Outcome Weak) {
+    DiffCase C;
+    C.Name = P.Name;
+    C.Uni = std::move(P);
+    C.Weak = Weak;
+    Corpus.push_back(std::move(C));
+  };
+
+  // A classic SB core (2 threads, the only reads) padded with filler
+  // threads that each write three private locations: the event count
+  // scales with the filler count while the candidate space stays at the
+  // SB core's four rf choices (every filler location has one writer).
+  // Uni/target-tier events: (2 + 3K) init + 4 core + 3K filler = 6 + 6K.
+  // The mixed (litmus) rendering has one Init event for its whole buffer,
+  // so its bound is 5 + 3K — the K = 20 flavour crosses the 64-event
+  // ceiling in every tier.
+  auto WideSb = [&](unsigned Fillers, const char *Name) {
+    UniProgram P(2 + 3 * Fillers);
+    P.Name = Name;
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::Unordered);
+    P.load(T0, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.store(T1, 1, 1, Mode::Unordered);
+    P.load(T1, 0, Mode::Unordered);
+    for (unsigned F = 0; F < Fillers; ++F) {
+      unsigned T = P.thread();
+      for (unsigned L = 0; L < 3; ++L)
+        P.store(T, 2 + 3 * F + L, 1 + L, Mode::Unordered);
+    }
+    return P;
+  };
+  Outcome SbWeak = outcomeOf({{0, 0, 0}, {1, 0, 0}});
+  Add(WideSb(10, "sb-wide-66"), SbWeak);  // 66 uni events, 35 mixed
+  Add(WideSb(20, "sb-wide-126"), SbWeak); // 126 uni events, 65 mixed
+
+  {
+    // A 9-thread IRIW chain: the classic two writers and two opposed
+    // readers (the only reads — 16 rf combinations), plus filler writer
+    // threads carrying every tier across the 64-event ceiling. Written as
+    // litmus text over u8 cells so the mixed-size JavaScript columns see
+    // single-byte reads (no byte-tearing blowup of the candidate space):
+    // 64 instructions + 1 Init = 65 events mixed, 60 locations + 64
+    // instructions = 124 events uni/target.
+    std::string Src = "name iriw-chain-9t\nbuffer 64\n";
+    unsigned NextOff = 2; // 0 = x, 1 = y; fillers from 2 up
+    auto Filler = [&](unsigned Count) {
+      std::string Out;
+      for (unsigned I = 0; I < Count; ++I)
+        Out += "  store u8 " + std::to_string(NextOff++) + " = 1\n";
+      return Out;
+    };
+    Src += "thread\n  store u8 0 = 1\n" + Filler(9);
+    Src += "thread\n  store u8 1 = 1\n" + Filler(9);
+    Src += "thread\n  r0 = load u8 0\n  r1 = load u8 1\n";
+    Src += "thread\n  r0 = load u8 1\n  r1 = load u8 0\n";
+    for (unsigned T = 0; T < 5; ++T)
+      Src += "thread\n" + Filler(8);
+    Src += "allow 2:r0=1 2:r1=0 3:r0=1 3:r1=0\n";
+    Corpus.push_back(parsedCase(
+        Src.c_str(),
+        outcomeOf({{2, 0, 1}, {2, 1, 0}, {3, 0, 1}, {3, 1, 0}})));
+  }
+  return Corpus;
+}
+
 DiffReport jsmm::runDifferential(const DiffCase &C, const EngineConfig &Cfg) {
   DiffReport R;
   R.Case = C.Name;
   ExecutionEngine Engine(Cfg);
 
-  Program Mixed = mixedFromUni(C.Uni);
+  // Parser-loaded entries run the JavaScript columns on the program as
+  // written (matching the batch service's differential table); for the
+  // existing u32 corpus entries this is event-for-event the u32 rendering
+  // below. Programmatic entries use that rendering directly.
+  Program Mixed(4);
+  if (C.Litmus.empty()) {
+    Mixed = mixedFromUni(C.Uni);
+  } else {
+    std::optional<LitmusFile> File = parseLitmus(C.Litmus);
+    if (!File) {
+      std::fprintf(stderr, "differential corpus litmus text must parse\n");
+      std::abort();
+    }
+    Mixed = File->P;
+  }
   R.AllowedByBackend["js-original"] =
-      Engine.enumerate(Mixed, JsModel(ModelSpec::original())).outcomeStrings();
+      Engine.enumerateOutcomes(Mixed, JsModel(ModelSpec::original()))
+          .outcomeStrings();
   R.AllowedByBackend["js-revised"] =
-      Engine.enumerate(Mixed, JsModel(ModelSpec::revised())).outcomeStrings();
+      Engine.enumerateOutcomes(Mixed, JsModel(ModelSpec::revised()))
+          .outcomeStrings();
 
   std::vector<std::string> UniAllowed;
-  for (const auto &[O, W] : enumerateUniOutcomes(C.Uni).Allowed) {
-    (void)W;
+  for (const Outcome &O : uniAllowedOutcomes(C.Uni))
     UniAllowed.push_back(O.toString());
-  }
   R.AllowedByBackend["uni-js"] = UniAllowed;
 
   std::set<std::string> UniSet(UniAllowed.begin(), UniAllowed.end());
@@ -278,8 +360,8 @@ DiffReport jsmm::runDifferential(const DiffCase &C, const EngineConfig &Cfg) {
 
   for (const TargetModel &M : TargetModel::all()) {
     CompiledTarget CT = compileUni(C.Uni, M.arch());
-    TargetEnumerationResult TR = Engine.enumerate(CT, M);
-    std::vector<std::string> Allowed = TR.outcomeStrings();
+    std::vector<std::string> Allowed =
+        Engine.enumerateOutcomes(CT, M).outcomeStrings();
     for (const std::string &O : Allowed) {
       if (!UniSet.count(O))
         R.SoundnessViolations.push_back(std::string(M.name()) + ": " + O);

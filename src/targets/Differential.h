@@ -49,6 +49,14 @@ struct DiffCase {
 /// through tools/LitmusParser.
 std::vector<DiffCase> differentialCorpus();
 
+/// The large-program corpus: 65+-event programs (a wide SB family padded
+/// with filler writer threads, and a 9-thread IRIW chain) served by the
+/// dynamic relation tier. Kept separate from differentialCorpus() so the
+/// ≤64-event golden tables stay byte-identical; the entries are sized so
+/// the candidate spaces stay enumerable (few reads, single-writer filler
+/// locations).
+std::vector<DiffCase> largeDifferentialCorpus();
+
 /// The table columns of the suite, in report order: "js-original" and
 /// "js-revised" (mixed-size model on the u32 rendering of the program),
 /// "uni-js" (the revised uni-size model), then the six target backends by

@@ -27,7 +27,9 @@ const char *jsmm::targetArchName(TargetArch A) {
   return "?";
 }
 
-bool jsmm::isTargetConsistent(const TargetExecution &X, TargetArch Arch) {
+template <typename RelT>
+bool jsmm::isTargetConsistent(const BasicTargetExecution<RelT> &X,
+                              TargetArch Arch) {
   switch (Arch) {
   case TargetArch::X86:
     return isX86Consistent(X);
@@ -44,6 +46,11 @@ bool jsmm::isTargetConsistent(const TargetExecution &X, TargetArch Arch) {
   }
   return false;
 }
+
+template bool jsmm::isTargetConsistent<jsmm::Relation>(
+    const TargetExecution &, TargetArch);
+template bool jsmm::isTargetConsistent<jsmm::DynRelation>(
+    const DynTargetExecution &, TargetArch);
 
 namespace {
 

@@ -70,8 +70,10 @@ struct CompiledTarget {
 /// Compiles \p P for \p Arch with the scheme table above.
 CompiledTarget compileUni(const UniProgram &P, TargetArch Arch);
 
-/// Dispatches to the architecture's consistency predicate.
-bool isTargetConsistent(const TargetExecution &X, TargetArch Arch);
+/// Dispatches to the architecture's consistency predicate. Generic over
+/// the relation flavour (both capacity tiers share one model definition).
+template <typename RelT>
+bool isTargetConsistent(const BasicTargetExecution<RelT> &X, TargetArch Arch);
 
 /// Enumerates every well-formed execution of the compiled program (rf and
 /// per-location coherence chosen; consistency not yet checked). Thin

@@ -48,16 +48,17 @@ std::string TargetEvent::toString() const {
   return Out;
 }
 
-TargetExecution::TargetExecution(std::vector<TargetEvent> Evs,
-                                 unsigned NumLocs)
+template <typename RelT>
+BasicTargetExecution<RelT>::BasicTargetExecution(std::vector<TargetEvent> Evs,
+                                                 unsigned NumLocs)
     : Events(std::move(Evs)), Po(static_cast<unsigned>(Events.size())),
       Rf(static_cast<unsigned>(Events.size())), CoPerLoc(NumLocs) {
   for (unsigned I = 0; I < Events.size(); ++I)
     assert(Events[I].Id == I && "event id must equal its index");
 }
 
-Relation TargetExecution::coherence() const {
-  Relation Co(numEvents());
+template <typename RelT> RelT BasicTargetExecution<RelT>::coherence() const {
+  RelT Co(numEvents());
   for (const std::vector<EventId> &Order : CoPerLoc)
     for (size_t I = 0; I < Order.size(); ++I)
       for (size_t J = I + 1; J < Order.size(); ++J)
@@ -65,8 +66,8 @@ Relation TargetExecution::coherence() const {
   return Co;
 }
 
-Relation TargetExecution::fromReads() const {
-  Relation Fr(numEvents());
+template <typename RelT> RelT BasicTargetExecution<RelT>::fromReads() const {
+  RelT Fr(numEvents());
   Rf.forEachPair([&](unsigned W, unsigned R) {
     const std::vector<EventId> &Order = CoPerLoc[Events[R].Loc];
     auto It = std::find(Order.begin(), Order.end(), W);
@@ -78,8 +79,8 @@ Relation TargetExecution::fromReads() const {
   return Fr;
 }
 
-Relation TargetExecution::poLoc() const {
-  Relation Out(numEvents());
+template <typename RelT> RelT BasicTargetExecution<RelT>::poLoc() const {
+  RelT Out(numEvents());
   Po.forEachPair([&](unsigned A, unsigned B) {
     if (Events[A].isAccess() && Events[B].isAccess() &&
         Events[A].Loc == Events[B].Loc)
@@ -88,8 +89,9 @@ Relation TargetExecution::poLoc() const {
   return Out;
 }
 
-Relation TargetExecution::externalPart(const Relation &R) const {
-  Relation Out(numEvents());
+template <typename RelT>
+RelT BasicTargetExecution<RelT>::externalPart(const RelT &R) const {
+  RelT Out(numEvents());
   R.forEachPair([&](unsigned A, unsigned B) {
     if (Events[A].Thread != Events[B].Thread)
       Out.set(A, B);
@@ -97,7 +99,8 @@ Relation TargetExecution::externalPart(const Relation &R) const {
   return Out;
 }
 
-std::string TargetExecution::toString() const {
+template <typename RelT>
+std::string BasicTargetExecution<RelT>::toString() const {
   std::string Out;
   for (const TargetEvent &E : Events)
     Out += "  " + E.toString() + "\n";
@@ -105,15 +108,17 @@ std::string TargetExecution::toString() const {
   return Out;
 }
 
-bool jsmm::targetScPerLocation(const TargetExecution &X) {
-  Relation PerLoc = X.poLoc();
+template <typename RelT>
+bool jsmm::targetScPerLocation(const BasicTargetExecution<RelT> &X) {
+  RelT PerLoc = X.poLoc();
   PerLoc.unionWith(X.Rf);
   PerLoc.unionWith(X.coherence());
   PerLoc.unionWith(X.fromReads());
   return PerLoc.isAcyclic();
 }
 
-bool jsmm::targetAtomicity(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::targetAtomicity(const BasicTargetExecution<RelT> &X) {
   // No write coherence-intervenes inside an RMW: fr ; co never returns to
   // the RMW event itself.
   return X.fromReads().compose(X.coherence()).isIrreflexive();
@@ -121,15 +126,16 @@ bool jsmm::targetAtomicity(const TargetExecution &X) {
 
 namespace {
 
-struct Masks {
-  uint64_t Reads, Writes, OnlyR, OnlyW, Rmws, Acq, RelW, Sc, All;
-  uint64_t fence(const TargetExecution &X, TFence F) const {
+template <typename RelT> struct Masks {
+  using Set = typename RelT::SetT;
+  Set Reads, Writes, OnlyR, OnlyW, Rmws, Acq, RelW, Sc, All;
+  Set fence(const BasicTargetExecution<RelT> &X, TFence F) const {
     (void)this;
     return X.eventsWhere([&](const TargetEvent &E) {
       return E.Kind == TKind::Fence && E.Fence == F;
     });
   }
-  static Masks compute(const TargetExecution &X) {
+  static Masks compute(const BasicTargetExecution<RelT> &X) {
     Masks M;
     M.Reads = X.eventsWhere([](const TargetEvent &E) { return E.isRead(); });
     M.Writes = X.eventsWhere([](const TargetEvent &E) {
@@ -158,8 +164,9 @@ struct Masks {
   }
 };
 
-Relation sameLocRelation(const TargetExecution &X) {
-  Relation Out(X.numEvents());
+template <typename RelT>
+RelT sameLocRelation(const BasicTargetExecution<RelT> &X) {
+  RelT Out(X.numEvents());
   for (const TargetEvent &A : X.Events)
     for (const TargetEvent &B : X.Events)
       if (A.Id != B.Id && A.isAccess() && B.isAccess() && A.Loc == B.Loc)
@@ -168,25 +175,28 @@ Relation sameLocRelation(const TargetExecution &X) {
 }
 
 /// po ; [F] ; po with endpoint classes \p Pred and \p Succ.
-Relation fenceEdges(const TargetExecution &X, uint64_t FenceMask,
-                    uint64_t Pred, uint64_t Succ) {
+template <typename RelT>
+RelT fenceEdges(const BasicTargetExecution<RelT> &X,
+                const typename RelT::SetT &FenceMask,
+                const typename RelT::SetT &Pred,
+                const typename RelT::SetT &Succ) {
   return X.Po.restricted(Pred, FenceMask)
       .compose(X.Po.restricted(FenceMask, Succ));
 }
 
 } // namespace
 
-bool jsmm::isX86Consistent(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::isX86Consistent(const BasicTargetExecution<RelT> &X) {
   if (!targetScPerLocation(X) || !targetAtomicity(X))
     return false;
-  Masks M = Masks::compute(X);
-  uint64_t Access = M.Reads | M.Writes;
+  Masks<RelT> M = Masks<RelT>::compute(X);
+  typename RelT::SetT Access = M.Reads | M.Writes;
   // ppo: program order minus write->read pairs (the store buffer); RMWs are
   // locked and never relaxed.
-  Relation Ppo = X.Po.restricted(Access, Access)
-                     .subtracted(Relation::product(M.OnlyW, M.OnlyR,
-                                                   X.numEvents()));
-  Relation Ghb = Ppo;
+  RelT Ppo = X.Po.restricted(Access, Access)
+                 .subtracted(RelT::product(M.OnlyW, M.OnlyR, X.numEvents()));
+  RelT Ghb = Ppo;
   Ghb.unionWith(fenceEdges(X, M.fence(X, TFence::MFence), Access, Access));
   Ghb.unionWith(X.externalPart(X.Rf));
   Ghb.unionWith(X.coherence());
@@ -194,33 +204,35 @@ bool jsmm::isX86Consistent(const TargetExecution &X) {
   return Ghb.isAcyclic();
 }
 
-bool jsmm::isArmV8UniConsistent(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::isArmV8UniConsistent(const BasicTargetExecution<RelT> &X) {
   if (!targetScPerLocation(X) || !targetAtomicity(X))
     return false;
-  Masks M = Masks::compute(X);
-  Relation Obs = X.externalPart(X.Rf);
+  Masks<RelT> M = Masks<RelT>::compute(X);
+  RelT Obs = X.externalPart(X.Rf);
   Obs.unionWith(X.externalPart(X.coherence()));
   Obs.unionWith(X.externalPart(X.fromReads()));
-  Relation Bob = X.Po.restricted(M.Acq, M.All);
+  RelT Bob = X.Po.restricted(M.Acq, M.All);
   Bob.unionWith(X.Po.restricted(M.All, M.RelW));
   Bob.unionWith(X.Po.restricted(M.RelW, M.Acq));
   return Obs.unioned(Bob).isAcyclic();
 }
 
-bool jsmm::isRiscVConsistent(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::isRiscVConsistent(const BasicTargetExecution<RelT> &X) {
   if (!targetScPerLocation(X) || !targetAtomicity(X))
     return false;
-  Masks M = Masks::compute(X);
-  uint64_t RW = M.Reads | M.Writes;
+  Masks<RelT> M = Masks<RelT>::compute(X);
+  typename RelT::SetT RW = M.Reads | M.Writes;
   // Same-address ppo: ordered when the second access is a store.
-  Relation Ppo = X.poLoc().restricted(RW, M.Writes);
+  RelT Ppo = X.poLoc().restricted(RW, M.Writes);
   Ppo.unionWith(fenceEdges(X, M.fence(X, TFence::FenceRWRW), RW, RW));
   Ppo.unionWith(fenceEdges(X, M.fence(X, TFence::FenceRWW), RW, M.Writes));
   Ppo.unionWith(fenceEdges(X, M.fence(X, TFence::FenceRRW), M.Reads, RW));
   Ppo.unionWith(X.Po.restricted(M.Acq, M.All));
   Ppo.unionWith(X.Po.restricted(M.All, M.RelW));
   Ppo.unionWith(X.Po.restricted(M.RelW, M.Acq));
-  Relation Gmo = Ppo;
+  RelT Gmo = Ppo;
   Gmo.unionWith(X.externalPart(X.Rf));
   Gmo.unionWith(X.externalPart(X.coherence()));
   Gmo.unionWith(X.externalPart(X.fromReads()));
@@ -231,40 +243,40 @@ namespace {
 
 /// The herding-cats Power model, parameterised by the full-fence flavour
 /// (Power sync vs ARMv7 dmb).
-bool powerStyleConsistent(const TargetExecution &X, TFence FullFence,
-                          bool HasLwSync) {
+template <typename RelT>
+bool powerStyleConsistent(const BasicTargetExecution<RelT> &X,
+                          TFence FullFence, bool HasLwSync) {
   if (!targetScPerLocation(X) || !targetAtomicity(X))
     return false;
-  Masks M = Masks::compute(X);
-  uint64_t Access = M.Reads | M.Writes;
+  Masks<RelT> M = Masks<RelT>::compute(X);
+  typename RelT::SetT Access = M.Reads | M.Writes;
   unsigned N = X.numEvents();
 
-  Relation Ffence = fenceEdges(X, M.fence(X, FullFence), Access, Access);
-  Relation Lw(N);
+  RelT Ffence = fenceEdges(X, M.fence(X, FullFence), Access, Access);
+  RelT Lw(N);
   if (HasLwSync) {
     Lw = fenceEdges(X, M.fence(X, TFence::LwSync), Access, Access)
-             .subtracted(Relation::product(M.OnlyW, M.OnlyR, N));
+             .subtracted(RelT::product(M.OnlyW, M.OnlyR, N));
   }
   // ctrl+isync after a load orders that load before everything po-later.
-  Relation Cisync =
+  RelT Cisync =
       fenceEdges(X, M.fence(X, TFence::CtrlIsync), M.Reads, Access);
 
-  Relation Rfe = X.externalPart(X.Rf);
-  Relation Co = X.coherence();
-  Relation Fr = X.fromReads();
-  Relation Fre = X.externalPart(Fr);
+  RelT Rfe = X.externalPart(X.Rf);
+  RelT Co = X.coherence();
+  RelT Fr = X.fromReads();
+  RelT Fre = X.externalPart(Fr);
 
-  Relation Ppo = Cisync;
-  Relation Hb = Ppo.unioned(Ffence).unioned(Lw).unioned(Rfe);
+  RelT Ppo = Cisync;
+  RelT Hb = Ppo.unioned(Ffence).unioned(Lw).unioned(Rfe);
   if (!Hb.isAcyclic())
     return false; // NO THIN AIR
 
-  Relation HbStar = Hb.reflexiveTransitiveClosure();
-  Relation FencesRel = Ffence.unioned(Lw);
-  Relation PropBase =
-      FencesRel.unioned(Rfe.compose(FencesRel)).compose(HbStar);
-  Relation Com = X.Rf.unioned(Co).unioned(Fr);
-  Relation Prop =
+  RelT HbStar = Hb.reflexiveTransitiveClosure();
+  RelT FencesRel = Ffence.unioned(Lw);
+  RelT PropBase = FencesRel.unioned(Rfe.compose(FencesRel)).compose(HbStar);
+  RelT Com = X.Rf.unioned(Co).unioned(Fr);
+  RelT Prop =
       PropBase.restricted(M.Writes, M.Writes)
           .unioned(Com.reflexiveTransitiveClosure()
                        .compose(PropBase.reflexiveTransitiveClosure())
@@ -279,29 +291,32 @@ bool powerStyleConsistent(const TargetExecution &X, TFence FullFence,
 
 } // namespace
 
-bool jsmm::isPowerConsistent(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::isPowerConsistent(const BasicTargetExecution<RelT> &X) {
   return powerStyleConsistent(X, TFence::Sync, /*HasLwSync=*/true);
 }
 
-bool jsmm::isArmV7Consistent(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::isArmV7Consistent(const BasicTargetExecution<RelT> &X) {
   return powerStyleConsistent(X, TFence::DmbV7, /*HasLwSync=*/false);
 }
 
-bool jsmm::isImmLiteConsistent(const TargetExecution &X) {
+template <typename RelT>
+bool jsmm::isImmLiteConsistent(const BasicTargetExecution<RelT> &X) {
   if (!targetAtomicity(X))
     return false;
-  Masks M = Masks::compute(X);
+  Masks<RelT> M = Masks<RelT>::compute(X);
   unsigned N = X.numEvents();
-  Relation Sb = X.Po;
-  Relation Sw(N);
+  RelT Sb = X.Po;
+  RelT Sw(N);
   X.Rf.forEachPair([&](unsigned W, unsigned R) {
     if (X.Events[W].Sc && X.Events[R].Sc)
       Sw.set(W, R);
   });
-  Relation Hb = Sb.unioned(Sw).transitiveClosure();
-  Relation Co = X.coherence();
-  Relation Fr = X.fromReads();
-  Relation Eco = X.Rf.unioned(Co).unioned(Fr).transitiveClosure();
+  RelT Hb = Sb.unioned(Sw).transitiveClosure();
+  RelT Co = X.coherence();
+  RelT Fr = X.fromReads();
+  RelT Eco = X.Rf.unioned(Co).unioned(Fr).transitiveClosure();
   // COHERENCE
   if (!Hb.isIrreflexive() || !Hb.compose(Eco).isIrreflexive())
     return false;
@@ -309,11 +324,35 @@ bool jsmm::isImmLiteConsistent(const TargetExecution &X) {
   if (!Sb.unioned(X.Rf).isAcyclic())
     return false;
   // SC (RC11-style partial SC order)
-  Relation SameLoc = sameLocRelation(X);
-  Relation Scb = Sb.unioned(Sb.compose(Hb).compose(Sb))
-                     .unioned(Hb.intersected(SameLoc))
-                     .unioned(Co)
-                     .unioned(Fr);
-  Relation Psc = Scb.restricted(M.Sc, M.Sc);
+  RelT SameLoc = sameLocRelation(X);
+  RelT Scb = Sb.unioned(Sb.compose(Hb).compose(Sb))
+                 .unioned(Hb.intersected(SameLoc))
+                 .unioned(Co)
+                 .unioned(Fr);
+  RelT Psc = Scb.restricted(M.Sc, M.Sc);
   return Psc.isAcyclic();
 }
+
+// Explicit instantiation for both capacity tiers.
+#define JSMM_INSTANTIATE_TARGET(RelT)                                        \
+  template class jsmm::BasicTargetExecution<RelT>;                           \
+  template bool jsmm::isX86Consistent<RelT>(                                 \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::isArmV8UniConsistent<RelT>(                            \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::isRiscVConsistent<RelT>(                               \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::isPowerConsistent<RelT>(                               \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::isArmV7Consistent<RelT>(                               \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::isImmLiteConsistent<RelT>(                             \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::targetScPerLocation<RelT>(                             \
+      const BasicTargetExecution<RelT> &);                                   \
+  template bool jsmm::targetAtomicity<RelT>(                                 \
+      const BasicTargetExecution<RelT> &);
+
+JSMM_INSTANTIATE_TARGET(jsmm::Relation)
+JSMM_INSTANTIATE_TARGET(jsmm::DynRelation)
+#undef JSMM_INSTANTIATE_TARGET

@@ -14,12 +14,17 @@
 /// behaviours allowed), which is the conservative direction for the
 /// compilation claims checked on top of these models.
 ///
+/// Executions and predicates are generic over the relation flavour
+/// (Relation for the ≤64-event fast tier, DynRelation beyond), so one
+/// model definition serves both capacity tiers with identical verdicts.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSMM_TARGETS_TARGETMODELS_H
 #define JSMM_TARGETS_TARGETMODELS_H
 
 #include "core/Event.h"
+#include "support/DynRelation.h"
 #include "support/Relation.h"
 
 #include <string>
@@ -67,50 +72,64 @@ struct TargetEvent {
 
 /// A target execution: po, rf (writer->reader) and one coherence order per
 /// location (Init first).
-class TargetExecution {
+template <typename RelT> class BasicTargetExecution {
 public:
+  using Rel = RelT;
+  using SetT = typename RelT::SetT;
+
   std::vector<TargetEvent> Events;
-  Relation Po;
-  Relation Rf;
+  RelT Po;
+  RelT Rf;
   std::vector<std::vector<EventId>> CoPerLoc;
 
-  TargetExecution() = default;
-  explicit TargetExecution(std::vector<TargetEvent> Evs, unsigned NumLocs);
+  BasicTargetExecution() = default;
+  explicit BasicTargetExecution(std::vector<TargetEvent> Evs,
+                                unsigned NumLocs);
 
   unsigned numEvents() const {
     return static_cast<unsigned>(Events.size());
   }
-  uint64_t allEventsMask() const {
-    unsigned N = numEvents();
-    return N == 64 ? ~uint64_t(0) : ((uint64_t(1) << N) - 1);
-  }
-  template <typename PredT> uint64_t eventsWhere(PredT Pred) const {
-    uint64_t Mask = 0;
+  SetT allEventsMask() const { return RelT::fullSet(numEvents()); }
+  template <typename PredT> SetT eventsWhere(PredT Pred) const {
+    SetT Mask = RelT::emptySet(numEvents());
     for (const TargetEvent &E : Events)
       if (Pred(E))
-        Mask |= uint64_t(1) << E.Id;
+        bits::set(Mask, E.Id);
     return Mask;
   }
 
-  Relation coherence() const;
-  Relation fromReads() const;
-  Relation poLoc() const;
-  Relation externalPart(const Relation &R) const;
+  RelT coherence() const;
+  RelT fromReads() const;
+  RelT poLoc() const;
+  RelT externalPart(const RelT &R) const;
 
   std::string toString() const;
 };
 
+/// The allocation-free ≤64-event tier.
+using TargetExecution = BasicTargetExecution<Relation>;
+/// The dynamic tier for compiled programs beyond 64 events.
+using DynTargetExecution = BasicTargetExecution<DynRelation>;
+
 /// Per-architecture consistency predicates.
-bool isX86Consistent(const TargetExecution &X);
-bool isArmV8UniConsistent(const TargetExecution &X);
-bool isRiscVConsistent(const TargetExecution &X);
-bool isPowerConsistent(const TargetExecution &X);
-bool isArmV7Consistent(const TargetExecution &X);
-bool isImmLiteConsistent(const TargetExecution &X);
+template <typename RelT>
+bool isX86Consistent(const BasicTargetExecution<RelT> &X);
+template <typename RelT>
+bool isArmV8UniConsistent(const BasicTargetExecution<RelT> &X);
+template <typename RelT>
+bool isRiscVConsistent(const BasicTargetExecution<RelT> &X);
+template <typename RelT>
+bool isPowerConsistent(const BasicTargetExecution<RelT> &X);
+template <typename RelT>
+bool isArmV7Consistent(const BasicTargetExecution<RelT> &X);
+template <typename RelT>
+bool isImmLiteConsistent(const BasicTargetExecution<RelT> &X);
 
 /// Shared axioms, exposed for tests.
-bool targetScPerLocation(const TargetExecution &X);
-bool targetAtomicity(const TargetExecution &X);
+template <typename RelT>
+bool targetScPerLocation(const BasicTargetExecution<RelT> &X);
+template <typename RelT>
+bool targetAtomicity(const BasicTargetExecution<RelT> &X);
 
 } // namespace jsmm
 

@@ -10,11 +10,13 @@ using namespace jsmm;
 
 namespace {
 
-class UniBuilder {
+template <typename RelT> class UniBuilder {
+  using ExecT = BasicUniExecution<RelT>;
+
 public:
   UniBuilder(
       const UniProgram &P,
-      const std::function<bool(const UniExecution &, const Outcome &)> &Visit)
+      const std::function<bool(const ExecT &, const Outcome &)> &Visit)
       : P(P), Visit(Visit) {}
 
   bool run() {
@@ -44,7 +46,7 @@ public:
         ThreadEvents[T].push_back(Id);
       }
     }
-    X = UniExecution(std::move(Events));
+    X = ExecT(std::move(Events));
     for (const std::vector<EventId> &Seq : ThreadEvents)
       for (size_t I = 0; I < Seq.size(); ++I)
         for (size_t J = I + 1; J < Seq.size(); ++J)
@@ -78,8 +80,8 @@ private:
   }
 
   const UniProgram &P;
-  const std::function<bool(const UniExecution &, const Outcome &)> &Visit;
-  UniExecution X;
+  const std::function<bool(const ExecT &, const Outcome &)> &Visit;
+  ExecT X;
   std::vector<EventId> Reads;
   std::map<EventId, unsigned> RegOfEvent;
 };
@@ -175,10 +177,25 @@ Program jsmm::mixedFromUni(const UniProgram &P) {
   return Out;
 }
 
+unsigned jsmm::uniProgramEventBound(const UniProgram &P) {
+  unsigned Bound = P.numLocs();
+  for (unsigned T = 0; T < P.numThreads(); ++T)
+    Bound += static_cast<unsigned>(P.threadBody(T).size());
+  return Bound;
+}
+
 bool jsmm::forEachUniExecution(
     const UniProgram &P,
     const std::function<bool(const UniExecution &, const Outcome &)> &Visit) {
-  UniBuilder B(P, Visit);
+  UniBuilder<Relation> B(P, Visit);
+  return B.run();
+}
+
+bool jsmm::forEachDynUniExecution(
+    const UniProgram &P,
+    const std::function<bool(const DynUniExecution &, const Outcome &)>
+        &Visit) {
+  UniBuilder<DynRelation> B(P, Visit);
   return B.run();
 }
 
@@ -197,4 +214,30 @@ UniEnumerationResult jsmm::enumerateUniOutcomes(const UniProgram &P) {
     return true;
   });
   return Result;
+}
+
+std::vector<Outcome> jsmm::uniAllowedOutcomes(const UniProgram &P) {
+  // Both tiers dedupe outcomes through a std::map keyed by Outcome, so the
+  // returned vector is sorted and identical to enumerateUniOutcomes' key
+  // set whenever the program fits the fast tier.
+  if (uniProgramEventBound(P) <= Relation::MaxSize) {
+    std::vector<Outcome> Out;
+    for (const auto &[O, Witness] : enumerateUniOutcomes(P).Allowed) {
+      (void)Witness;
+      Out.push_back(O);
+    }
+    return Out;
+  }
+  std::map<Outcome, bool> Verdicts;
+  forEachDynUniExecution(P, [&](const DynUniExecution &X, const Outcome &O) {
+    auto [It, Inserted] = Verdicts.try_emplace(O, false);
+    if (Inserted || !It->second)
+      It->second = isUniValidForSomeTot(X);
+    return true;
+  });
+  std::vector<Outcome> Out;
+  for (const auto &[O, Allowed] : Verdicts)
+    if (Allowed)
+      Out.push_back(O);
+  return Out;
 }

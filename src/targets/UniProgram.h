@@ -89,11 +89,23 @@ private:
   std::vector<unsigned> NextReg;
 };
 
+/// \returns the exact event count of \p P's executions: one Init per
+/// abstract location plus one event per instruction (uni-size programs are
+/// straight-line, so every execution materialises every instruction).
+unsigned uniProgramEventBound(const UniProgram &P);
+
 /// Enumerates every well-formed uni-size execution of \p P (rf chosen per
 /// read; tot left empty) with its outcome. \p Visit returns false to stop.
 bool forEachUniExecution(
     const UniProgram &P,
     const std::function<bool(const UniExecution &, const Outcome &)> &Visit);
+
+/// The dynamic-tier twin for programs beyond 64 events (same enumeration
+/// order and outcomes).
+bool forEachDynUniExecution(
+    const UniProgram &P,
+    const std::function<bool(const DynUniExecution &, const Outcome &)>
+        &Visit);
 
 /// Converts a straight-line mixed-size litmus Program whose accesses
 /// partition into uniform-width, non-overlapping cells into the uni-size
@@ -118,6 +130,13 @@ struct UniEnumerationResult {
   bool allows(const Outcome &O) const { return Allowed.count(O) != 0; }
 };
 UniEnumerationResult enumerateUniOutcomes(const UniProgram &P);
+
+/// Capacity-agnostic allowed-outcome set of \p P under the revised
+/// uni-size model: identical to enumerateUniOutcomes' key set for ≤64-event
+/// programs, served through DynRelation beyond (up to
+/// DynRelation::MaxSize events; throws CapacityError past that). The
+/// uni-js reference column of the differential suite for both tiers.
+std::vector<Outcome> uniAllowedOutcomes(const UniProgram &P);
 
 } // namespace jsmm
 

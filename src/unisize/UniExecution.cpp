@@ -17,7 +17,8 @@ std::string UniEvent::toString() const {
   return Out;
 }
 
-UniExecution::UniExecution(std::vector<UniEvent> Evs)
+template <typename RelT>
+BasicUniExecution<RelT>::BasicUniExecution(std::vector<UniEvent> Evs)
     : Events(std::move(Evs)), Sb(static_cast<unsigned>(Events.size())),
       Asw(static_cast<unsigned>(Events.size())),
       Rf(static_cast<unsigned>(Events.size())),
@@ -26,8 +27,9 @@ UniExecution::UniExecution(std::vector<UniEvent> Evs)
     assert(Events[I].Id == I && "event id must equal its index");
 }
 
-Relation UniExecution::synchronizesWith() const {
-  Relation Sw = Asw;
+template <typename RelT>
+RelT BasicUniExecution<RelT>::synchronizesWith() const {
+  RelT Sw = Asw;
   Rf.forEachPair([&](unsigned W, unsigned R) {
     if (Events[W].Ord == Mode::SeqCst && Events[R].Ord == Mode::SeqCst &&
         Events[W].Loc == Events[R].Loc)
@@ -36,8 +38,8 @@ Relation UniExecution::synchronizesWith() const {
   return Sw;
 }
 
-Relation UniExecution::happensBefore() const {
-  Relation Base = Sb.unioned(synchronizesWith());
+template <typename RelT> RelT BasicUniExecution<RelT>::happensBefore() const {
+  RelT Base = Sb.unioned(synchronizesWith());
   for (const UniEvent &A : Events) {
     if (A.Ord != Mode::Init)
       continue;
@@ -48,17 +50,22 @@ Relation UniExecution::happensBefore() const {
   return Base.transitiveClosure();
 }
 
-bool UniExecution::checkWellFormed(std::string *Err) const {
+template <typename RelT>
+bool BasicUniExecution<RelT>::checkWellFormed(std::string *Err) const {
   auto Fail = [&](const std::string &Why) {
     if (Err)
       *Err = Why;
     return false;
   };
   unsigned N = numEvents();
-  std::map<int, uint64_t> ThreadEvents;
+  std::map<int, SetT> ThreadEvents;
   for (const UniEvent &E : Events)
-    if (E.Ord != Mode::Init)
-      ThreadEvents[E.Thread] |= uint64_t(1) << E.Id;
+    if (E.Ord != Mode::Init) {
+      auto [It, Inserted] =
+          ThreadEvents.try_emplace(E.Thread, RelT::emptySet(N));
+      (void)Inserted;
+      bits::set(It->second, E.Id);
+    }
   for (const auto &[Thread, Mask] : ThreadEvents) {
     (void)Thread;
     if (!Sb.restricted(Mask, Mask).isStrictTotalOrderOn(Mask))
@@ -92,7 +99,8 @@ bool UniExecution::checkWellFormed(std::string *Err) const {
   return true;
 }
 
-std::string UniExecution::toString() const {
+template <typename RelT>
+std::string BasicUniExecution<RelT>::toString() const {
   std::string Out;
   for (const UniEvent &E : Events)
     Out += "  " + E.toString() + "\n";
@@ -106,36 +114,35 @@ bool sameLoc(const UniEvent &A, const UniEvent &B) { return A.Loc == B.Loc; }
 
 /// The uni-size Sequentially Consistent Atomics rule of Fig. 12 against a
 /// given tot.
-bool checkUniScAtomics(const UniExecution &X, const Relation &Rf,
-                       const Relation &Sw, const Relation &Hb,
-                       const Relation &Tot) {
+template <typename RelT>
+bool checkUniScAtomics(const BasicUniExecution<RelT> &X, const RelT &Rf,
+                       const RelT &Sw, const RelT &Hb, const RelT &Tot) {
   bool Ok = true;
   Rf.forEachPair([&](unsigned W, unsigned R) {
     if (!Ok || !Hb.get(W, R))
       return;
     const UniEvent &Ew = X.Events[W];
     const UniEvent &Er = X.Events[R];
-    uint64_t Between = Tot.row(W) & Tot.column(R);
-    while (Between) {
-      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
-      Between &= Between - 1;
+    bits::forEachWhile(Tot.row(W) & Tot.column(R), [&](unsigned C) {
       const UniEvent &Ec = X.Events[C];
       if (Ec.Ord != Mode::SeqCst || !Ec.isWrite())
-        continue;
+        return true;
       bool D1 = sameLoc(Ec, Er) && Sw.get(W, R);
       bool D2 = sameLoc(Ew, Ec) && Ew.Ord == Mode::SeqCst && Hb.get(C, R);
       bool D3 = sameLoc(Ec, Er) && Hb.get(W, C) && Er.Ord == Mode::SeqCst;
       if (D1 || D2 || D3) {
         Ok = false;
-        return;
+        return false;
       }
-    }
+      return true;
+    });
   });
   return Ok;
 }
 
-bool checkUniTotIndependent(const UniExecution &X, const Relation &Rf,
-                            const Relation &Hb, std::string *WhyNot) {
+template <typename RelT>
+bool checkUniTotIndependent(const BasicUniExecution<RelT> &X, const RelT &Rf,
+                            const RelT &Hb, std::string *WhyNot) {
   auto Fail = [&](const char *Why) {
     if (WhyNot)
       *WhyNot = Why;
@@ -152,13 +159,10 @@ bool checkUniTotIndependent(const UniExecution &X, const Relation &Rf,
   // HBC (3): no same-location write hb-between writer and reader.
   bool Hbc3 = true;
   Rf.forEachPair([&](unsigned W, unsigned R) {
-    uint64_t Between = Hb.row(W) & Hb.column(R);
-    while (Between) {
-      unsigned C = static_cast<unsigned>(__builtin_ctzll(Between));
-      Between &= Between - 1;
+    bits::forEach(Hb.row(W) & Hb.column(R), [&](unsigned C) {
       if (X.Events[C].isWrite() && X.Events[C].Loc == X.Events[R].Loc)
         Hbc3 = false;
-    }
+    });
   });
   if (!Hbc3)
     return Fail("happens-before consistency (3)");
@@ -186,11 +190,13 @@ bool jsmm::isUniValid(const UniExecution &X, std::string *WhyNot) {
   return true;
 }
 
-bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut,
+template <typename RelT>
+bool jsmm::isUniValidForSomeTot(const BasicUniExecution<RelT> &X,
+                                std::type_identity_t<RelT> *TotOut,
                                 const TotSolver &Solver) {
-  Relation Rf = X.Rf;
-  Relation Sw = X.synchronizesWith();
-  Relation Hb = X.happensBefore();
+  RelT Rf = X.Rf;
+  RelT Sw = X.synchronizesWith();
+  RelT Hb = X.happensBefore();
   if (!checkUniTotIndependent(X, Rf, Hb, nullptr))
     return false;
   if (!Hb.isIrreflexive()) // happensBefore() is transitively closed
@@ -198,7 +204,7 @@ bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut,
   // The uni-size SC rule (checkUniScAtomics) forbids a SeqCst write C
   // strictly tot-between an rf ∩ hb pair <W,R> under tot-independent side
   // conditions — the exact betweenness form the order solvers decide.
-  TotProblem P;
+  BasicTotProblem<RelT> P;
   P.N = X.numEvents();
   P.Universe = X.allEventsMask();
   P.Must = Hb;
@@ -221,9 +227,22 @@ bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut,
   return Solver.existsExtension(P, TotOut);
 }
 
-bool jsmm::isUniValidForSomeTot(const UniExecution &X, Relation *TotOut) {
+template <typename RelT>
+bool jsmm::isUniValidForSomeTot(const BasicUniExecution<RelT> &X,
+                                std::type_identity_t<RelT> *TotOut) {
   return isUniValidForSomeTot(X, TotOut, defaultTotSolver());
 }
+
+#define JSMM_INSTANTIATE_UNI(RelT)                                           \
+  template class jsmm::BasicUniExecution<RelT>;                              \
+  template bool jsmm::isUniValidForSomeTot<RelT>(                            \
+      const BasicUniExecution<RelT> &, RelT *, const TotSolver &);           \
+  template bool jsmm::isUniValidForSomeTot<RelT>(                            \
+      const BasicUniExecution<RelT> &, RelT *);
+
+JSMM_INSTANTIATE_UNI(jsmm::Relation)
+JSMM_INSTANTIATE_UNI(jsmm::DynRelation)
+#undef JSMM_INSTANTIATE_UNI
 
 UniEvent jsmm::makeUniWrite(EventId Id, int Thread, Mode Ord, unsigned Loc,
                             uint64_t Value) {

@@ -8,6 +8,11 @@
 /// Tear-Free Reads rule becomes trivially true and disappears, and range
 /// comparisons become a same-location predicate.
 ///
+/// Executions and the Fig. 12 validity questions are generic over the
+/// relation flavour, so the uni-js reference column of the differential
+/// suite serves both capacity tiers (≤64 events on Relation, beyond on
+/// DynRelation) from one model definition.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSMM_UNISIZE_UNIEXECUTION_H
@@ -15,6 +20,7 @@
 
 #include "core/Event.h"
 #include "solver/TotSolver.h"
+#include "support/DynRelation.h"
 #include "support/Relation.h"
 
 #include <string>
@@ -42,35 +48,38 @@ struct UniEvent {
 
 /// A uni-size candidate execution: like Fig. 3 with reads-from instead of
 /// reads-byte-from.
-class UniExecution {
+template <typename RelT> class BasicUniExecution {
 public:
-  std::vector<UniEvent> Events;
-  Relation Sb;
-  Relation Asw;
-  Relation Rf;  ///< writer -> reader; each read has exactly one writer
-  Relation Tot;
+  using Rel = RelT;
+  using SetT = typename RelT::SetT;
 
-  UniExecution() = default;
-  explicit UniExecution(std::vector<UniEvent> Evs);
+  std::vector<UniEvent> Events;
+  RelT Sb;
+  RelT Asw;
+  RelT Rf;  ///< writer -> reader; each read has exactly one writer
+  RelT Tot;
+
+  BasicUniExecution() = default;
+  explicit BasicUniExecution(std::vector<UniEvent> Evs);
 
   unsigned numEvents() const {
     return static_cast<unsigned>(Events.size());
   }
-  uint64_t allEventsMask() const {
-    unsigned N = numEvents();
-    return N == 64 ? ~uint64_t(0) : ((uint64_t(1) << N) - 1);
-  }
+  SetT allEventsMask() const { return RelT::fullSet(numEvents()); }
 
   /// sw: same-location SeqCst write/read reads-from pairs, plus asw
   /// (the simplified definition; the uni-size model is derived from the
   /// revised mixed-size model).
-  Relation synchronizesWith() const;
+  RelT synchronizesWith() const;
   /// hb = (sb ∪ sw ∪ {<I,B> | I is an Init on B's location})+.
-  Relation happensBefore() const;
+  RelT happensBefore() const;
 
   bool checkWellFormed(std::string *Err = nullptr) const;
   std::string toString() const;
 };
+
+using UniExecution = BasicUniExecution<Relation>;
+using DynUniExecution = BasicUniExecution<DynRelation>;
 
 /// Validity of \p X (with its Tot) under the uni-size model (Fig. 12).
 bool isUniValid(const UniExecution &X, std::string *WhyNot = nullptr);
@@ -79,9 +88,13 @@ bool isUniValid(const UniExecution &X, std::string *WhyNot = nullptr);
 /// The uni-size SC Atomics rule has the same betweenness shape as the
 /// mixed-size one, so the question is posed to the given order solver (the
 /// process default when omitted).
-bool isUniValidForSomeTot(const UniExecution &X, Relation *TotOut,
+template <typename RelT>
+bool isUniValidForSomeTot(const BasicUniExecution<RelT> &X,
+                          std::type_identity_t<RelT> *TotOut,
                           const TotSolver &Solver);
-bool isUniValidForSomeTot(const UniExecution &X, Relation *TotOut = nullptr);
+template <typename RelT>
+bool isUniValidForSomeTot(const BasicUniExecution<RelT> &X,
+                          std::type_identity_t<RelT> *TotOut = nullptr);
 
 /// Constructors for tests and the reduction.
 UniEvent makeUniWrite(EventId Id, int Thread, Mode Ord, unsigned Loc,

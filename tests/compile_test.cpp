@@ -193,3 +193,33 @@ TEST(Compile, CompilationHoldsWithUnalignedDataView) {
   CompileCheckResult R = checkCompilationForProgram(P, ModelSpec::revised());
   EXPECT_TRUE(R.holds());
 }
+
+TEST(TotConstruction, CyclicBaseIsRejectedNotTruncated) {
+  // The audited Relation::topologicalOrder call site (PR 4/PR 5):
+  // constructTot's base relation doubles as the acyclicity check, so a
+  // cyclic base (malformed input — the Thm 6.2 proof rules it out for
+  // consistent executions) must return false, never a tot built from a
+  // truncated topological order.
+  std::vector<Event> Evs;
+  Evs.push_back(makeInit(0, 4));
+  Evs.push_back(makeWrite(1, 0, Mode::Unordered, 0, 1, 1));
+  Evs.push_back(makeWrite(2, 1, Mode::Unordered, 1, 1, 1));
+  TranslationResult TR;
+  TR.Js = CandidateExecution(std::move(Evs));
+  TR.Js.Asw.set(1, 2);
+  TR.Js.Asw.set(2, 1); // the cycle
+
+  std::vector<ArmEvent> ArmEvs;
+  ArmEvs.push_back(makeArmInit(0, 4));
+  ArmExecution X(std::move(ArmEvs));
+  TR.JsOfArm = {0};
+
+  Relation Tot = totalOrderFromSequence({0, 1, 2}, 3); // sentinel content
+  EXPECT_FALSE(constructTot(TR, X, &Tot));
+
+  // Dropping the cycle makes the construction succeed with a genuine
+  // strict total order (control for the test setup).
+  TR.Js.Asw.clear(2, 1);
+  EXPECT_TRUE(constructTot(TR, X, &Tot));
+  EXPECT_TRUE(Tot.isStrictTotalOrderOn(TR.Js.allEventsMask()));
+}

@@ -9,6 +9,9 @@
 
 #include "engine/ExecutionEngine.h"
 
+#include "targets/Differential.h"
+#include "tools/LitmusParser.h"
+
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
@@ -142,4 +145,90 @@ TEST(Engine, DerivedRelationCacheIsCoherent) {
   // And the same object re-derives after in-place mutation.
   CE.Rbf = Weaker.Rbf;
   EXPECT_EQ(CE.derived(SwDefKind::Simplified).Hb, Hb2);
+}
+
+//===----------------------------------------------------------------------===//
+// Relation-tier golden equivalence (PR 5): the heap-backed DynRelation
+// tier must reproduce the inline fast tier's results exactly on ≤64-event
+// programs, and the outcome-level door must match the witnessed one.
+//===----------------------------------------------------------------------===//
+
+TEST(Engine, OutcomeSummaryMatchesWitnessedEnumeration) {
+  for (const Program &P : paperPrograms())
+    for (ModelSpec Spec : allSpecs()) {
+      ExecutionEngine Engine;
+      EnumerationResult Witnessed = Engine.enumerate(P, JsModel(Spec));
+      OutcomeSummary Summary = Engine.enumerateOutcomes(P, JsModel(Spec));
+      EXPECT_EQ(Summary.outcomeStrings(), Witnessed.outcomeStrings())
+          << P.Name << " / " << Spec.Name;
+      EXPECT_EQ(Summary.CandidatesConsidered, Witnessed.CandidatesConsidered)
+          << P.Name << " / " << Spec.Name;
+      EXPECT_EQ(Summary.ValidCandidates, Witnessed.ValidCandidates)
+          << P.Name << " / " << Spec.Name;
+    }
+}
+
+TEST(Engine, DynRelationTierAgreesOnSmallPrograms) {
+  // ForceDynRelation reroutes ≤64-event outcome enumeration through the
+  // dynamic tier: outcome sets and counters must be identical — the
+  // "byte-identical small programs" guarantee of the dynamic-universe
+  // refactor, checked at its strongest point (same run, same programs).
+  EngineConfig DynCfg;
+  DynCfg.ForceDynRelation = true;
+  for (const Program &P : paperPrograms())
+    for (ModelSpec Spec : allSpecs()) {
+      OutcomeSummary Fast =
+          ExecutionEngine().enumerateOutcomes(P, JsModel(Spec));
+      OutcomeSummary Dyn =
+          ExecutionEngine(DynCfg).enumerateOutcomes(P, JsModel(Spec));
+      EXPECT_EQ(Fast.Allowed, Dyn.Allowed) << P.Name << " / " << Spec.Name;
+      EXPECT_EQ(Fast.CandidatesConsidered, Dyn.CandidatesConsidered)
+          << P.Name << " / " << Spec.Name;
+      EXPECT_EQ(Fast.ValidCandidates, Dyn.ValidCandidates)
+          << P.Name << " / " << Spec.Name;
+    }
+}
+
+TEST(Engine, DynRelationTierAgreesOnTargetBackends) {
+  // Same two-tier agreement for every Thm 6.3 target backend, on the
+  // differential corpus's uni-size programs.
+  EngineConfig DynCfg;
+  DynCfg.ForceDynRelation = true;
+  unsigned Checked = 0;
+  for (const DiffCase &C : differentialCorpus()) {
+    for (const TargetModel &M : TargetModel::all()) {
+      CompiledTarget CT = compileUni(C.Uni, M.arch());
+      OutcomeSummary Fast = ExecutionEngine().enumerateOutcomes(CT, M);
+      OutcomeSummary Dyn = ExecutionEngine(DynCfg).enumerateOutcomes(CT, M);
+      EXPECT_EQ(Fast.Allowed, Dyn.Allowed) << C.Name << " / " << M.name();
+      ++Checked;
+    }
+    if (Checked >= 18)
+      break; // three programs x six backends keeps the test quick
+  }
+  EXPECT_GE(Checked, 18u);
+}
+
+TEST(Engine, ShardedLargeProgramEnumerationIsDeterministic) {
+  // Thread-count determinism on a 65+-event program served by the
+  // dynamic tier.
+  for (const DiffCase &C : largeDifferentialCorpus()) {
+    if (C.Name != "iriw-chain-9t")
+      continue;
+    ASSERT_FALSE(C.Litmus.empty());
+    std::optional<LitmusFile> File = parseLitmus(C.Litmus);
+    ASSERT_TRUE(File.has_value());
+    const Program &Mixed = File->P;
+    OutcomeSummary Seq = ExecutionEngine(EngineConfig{1, true, false})
+                             .enumerateOutcomes(Mixed, JsModel());
+    for (unsigned Threads : {2u, 4u}) {
+      OutcomeSummary Sharded =
+          ExecutionEngine(EngineConfig{Threads, true, false})
+              .enumerateOutcomes(Mixed, JsModel());
+      EXPECT_EQ(Seq.Allowed, Sharded.Allowed) << "threads=" << Threads;
+      EXPECT_EQ(Seq.CandidatesConsidered, Sharded.CandidatesConsidered);
+    }
+    return;
+  }
+  FAIL() << "iriw-chain-9t missing from the large corpus";
 }

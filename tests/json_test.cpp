@@ -1,0 +1,77 @@
+//===- tests/json_test.cpp - Minimal JSON library ------------------------===//
+//
+// Covers the support/Json escape handling the jsmm-batch front door relies
+// on — in particular the UTF-16 surrogate-pair decoding fixed in PR 5: a
+// \uD83D\uDE00 pair must decode to one U+1F600 code point (4-byte UTF-8),
+// not two lone-surrogate sequences, and unpaired surrogates are malformed
+// input, not silently emitted CESU-8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsmm;
+
+namespace {
+
+const char *Emoji = "\xF0\x9F\x98\x80"; // U+1F600 in UTF-8
+
+} // namespace
+
+TEST(Json, SurrogatePairDecodesToOneCodePoint) {
+  std::string Error;
+  std::optional<JsonValue> V =
+      parseJson("\"\\uD83D\\uDE00\"", &Error);
+  ASSERT_TRUE(V.has_value()) << Error;
+  ASSERT_TRUE(V->isString());
+  EXPECT_EQ(V->asString(), Emoji);
+}
+
+TEST(Json, UnpairedSurrogatesAreRejected) {
+  std::string Error;
+  // Lone high surrogate at end of string.
+  EXPECT_FALSE(parseJson("\"\\uD83D\"", &Error).has_value());
+  EXPECT_NE(Error.find("surrogate"), std::string::npos) << Error;
+  // High surrogate followed by a non-surrogate escape.
+  Error.clear();
+  EXPECT_FALSE(parseJson("\"\\uD83Dx\"", &Error).has_value());
+  // High surrogate followed by another high surrogate.
+  Error.clear();
+  EXPECT_FALSE(parseJson("\"\\uD83D\\uD83D\"", &Error).has_value());
+  // Bare low surrogate.
+  Error.clear();
+  EXPECT_FALSE(parseJson("\"\\uDE00\"", &Error).has_value());
+  EXPECT_NE(Error.find("surrogate"), std::string::npos) << Error;
+}
+
+TEST(Json, BmpEscapesStillDecode) {
+  std::string Error;
+  std::optional<JsonValue> V = parseJson("\"\\u0041\\u00e9\\u20ac\"", &Error);
+  ASSERT_TRUE(V.has_value()) << Error;
+  EXPECT_EQ(V->asString(), "A\xC3\xA9\xE2\x82\xAC"); // A é €
+}
+
+TEST(Json, BatchJobNameWithEmojiRoundTrips) {
+  // The jsmm-batch shape: a JSONL job line carrying an escaped emoji name
+  // parses, and re-emitting the name through the writer (which passes
+  // UTF-8 through raw) reparses to the same string — the round trip a
+  // batch result stream performs.
+  std::string Error;
+  std::optional<JsonValue> Job = parseJson(
+      "{\"name\":\"job-\\uD83D\\uDE00\",\"litmus\":\"name x\"}", &Error);
+  ASSERT_TRUE(Job.has_value()) << Error;
+  const JsonValue *Name = Job->find("name");
+  ASSERT_NE(Name, nullptr);
+  EXPECT_EQ(Name->asString(), std::string("job-") + Emoji);
+
+  JsonValue Out = JsonValue::object();
+  Out.set("name", JsonValue(Name->asString()));
+  std::string Rendered = Out.toString();
+  EXPECT_NE(Rendered.find(Emoji), std::string::npos)
+      << "the writer must emit raw UTF-8, not escapes: " << Rendered;
+  std::optional<JsonValue> Back = parseJson(Rendered, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->find("name")->asString(), Name->asString());
+}

@@ -3,6 +3,7 @@
 #include "tools/LitmusParser.h"
 
 #include "exec/Enumerator.h"
+#include "litmus/PathEnum.h"
 #include "targets/Differential.h"
 
 #include <gtest/gtest.h>
@@ -373,20 +374,39 @@ allow 0:r0=010
   EXPECT_EQ(V, 10u);
 }
 
-TEST(LitmusParser, RejectsProgramsBeyondTheEventUniverse) {
+TEST(LitmusParser, RejectsProgramsBeyondTheDynamicEventCap) {
+  // The dynamic relation tier lifted the parser's cap from the fixed
+  // 64-event relations to DynRelation::MaxSize. A program beyond the
+  // *dynamic* cap is rejected with the typed TooLarge diagnostic...
   std::string Src = "name big\nbuffer 64\nthread\n";
-  for (unsigned I = 0; I < 70; ++I)
+  for (unsigned I = 0; I < 300; ++I)
     Src += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
-  std::string Error;
-  EXPECT_FALSE(parseLitmus(Src, &Error).has_value());
-  EXPECT_NE(Error.find("program too large (71 events > 64)"),
+  LitmusParseDiag Diag;
+  EXPECT_FALSE(parseLitmus(Src, Diag).has_value());
+  EXPECT_TRUE(Diag.TooLarge);
+  EXPECT_NE(Diag.Message.find("program too large (301 events > 256)"),
             std::string::npos)
-      << Error;
-  EXPECT_EQ(Error.rfind("line ", 0), 0u) << Error;
+      << Diag.Message;
+  EXPECT_EQ(Diag.Message.rfind("line ", 0), 0u) << Diag.Message;
 
-  // Exactly at the cap still parses: 1 init + 63 stores = 64 events.
+  // ...while an ordinary parse error leaves the flag clear.
+  LitmusParseDiag BadDiag;
+  EXPECT_FALSE(parseLitmus("thread\n  flurb\n", BadDiag).has_value());
+  EXPECT_FALSE(BadDiag.TooLarge);
+
+  // The former fixed-tier rejection (65..256 events) now parses: these
+  // programs are served by the heap-backed DynRelation tier.
+  std::string Formerly = "name formerly-too-big\nbuffer 64\nthread\n";
+  for (unsigned I = 0; I < 70; ++I)
+    Formerly += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
+  std::string Error;
+  std::optional<LitmusFile> File = parseLitmus(Formerly, &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  EXPECT_EQ(programEventUpperBound(File->P), 71u);
+
+  // Exactly at the dynamic cap still parses: 1 init + 255 stores.
   std::string AtCap = "name cap\nbuffer 64\nthread\n";
-  for (unsigned I = 0; I < 63; ++I)
+  for (unsigned I = 0; I < 255; ++I)
     AtCap += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
   EXPECT_TRUE(parseLitmus(AtCap, &Error).has_value()) << Error;
 }

@@ -1,5 +1,7 @@
 //===- tests/relation_test.cpp - Relation algebra unit tests --------------===//
 
+#include "support/CapacityError.h"
+#include "support/DynRelation.h"
 #include "support/LinearExtensions.h"
 #include "support/Relation.h"
 
@@ -284,4 +286,143 @@ TEST(Relation, TotalOrderFromSequenceSubset) {
   Relation R = totalOrderFromSequence({3, 1}, 4);
   EXPECT_TRUE(R.get(3, 1));
   EXPECT_EQ(R.count(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The dynamic-universe tier: BasicRelation<W> beyond one word, and the
+// heap-backed DynRelation (PR 5). The fixed and dynamic flavours must
+// implement the same algebra, so most tests mirror an operation across
+// tiers and compare pair sets.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the same pseudo-random relation in two flavours and \returns
+/// whether an operation agrees pair-for-pair.
+template <typename RelA, typename RelB>
+void expectSamePairs(const RelA &A, const RelB &B) {
+  EXPECT_EQ(A.size(), B.size());
+  EXPECT_EQ(A.pairs(), B.pairs());
+}
+
+template <typename RelT> RelT scatter(unsigned N, unsigned Seed) {
+  RelT R(N);
+  unsigned State = Seed;
+  for (unsigned I = 0; I < 4 * N; ++I) {
+    State = State * 1664525u + 1013904223u;
+    unsigned A = (State >> 8) % N;
+    unsigned B = (State >> 20) % N;
+    if (A != B)
+      R.set(A, B);
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(DynRelation, AlgebraMatchesWideBasicRelation) {
+  // 100 elements: beyond the single-word tier, within BasicRelation<2>
+  // and DynRelation. Every operation must agree between the inline wide
+  // flavour and the heap-backed one.
+  constexpr unsigned N = 100;
+  BasicRelation<2> W1 = scatter<BasicRelation<2>>(N, 7);
+  BasicRelation<2> W2 = scatter<BasicRelation<2>>(N, 99);
+  DynRelation D1 = scatter<DynRelation>(N, 7);
+  DynRelation D2 = scatter<DynRelation>(N, 99);
+  expectSamePairs(W1, D1);
+  expectSamePairs(W1.unioned(W2), D1.unioned(D2));
+  expectSamePairs(W1.intersected(W2), D1.intersected(D2));
+  expectSamePairs(W1.subtracted(W2), D1.subtracted(D2));
+  expectSamePairs(W1.compose(W2), D1.compose(D2));
+  expectSamePairs(W1.inverse(), D1.inverse());
+  expectSamePairs(W1.transitiveClosure(), D1.transitiveClosure());
+  expectSamePairs(W1.reflexiveTransitiveClosure(),
+                  D1.reflexiveTransitiveClosure());
+  EXPECT_EQ(W1.isAcyclic(), D1.isAcyclic());
+  EXPECT_EQ(W1.count(), D1.count());
+  EXPECT_EQ(W1.column(70) == BasicRelation<2>::emptySet(N),
+            D1.column(70) == DynRelation::emptySet(N));
+}
+
+TEST(DynRelation, HighBitOperationsBeyondSixtyFour) {
+  DynRelation R(200);
+  R.set(0, 150);
+  R.set(150, 199);
+  EXPECT_TRUE(R.get(0, 150));
+  EXPECT_FALSE(R.get(150, 0));
+  DynRelation Closed = R.transitiveClosure();
+  EXPECT_TRUE(Closed.get(0, 199));
+  EXPECT_TRUE(R.isAcyclic());
+  DynSet Col = Closed.column(199);
+  EXPECT_TRUE(bits::test(Col, 0));
+  EXPECT_TRUE(bits::test(Col, 150));
+  EXPECT_EQ(bits::count(Col), 2u);
+  // Sets: complement stays inside the declared universe.
+  DynSet Full = DynRelation::fullSet(200);
+  EXPECT_EQ(bits::count(Full), 200u);
+  EXPECT_EQ(bits::count(~Full), 0u);
+  EXPECT_EQ(bits::count(~DynRelation::emptySet(200)), 200u);
+}
+
+TEST(DynRelation, TotalOrderAndLinearExtensions) {
+  // totalOrderOver and the templated linear-extension machinery work on
+  // the dynamic tier with high indices.
+  std::vector<unsigned> Seq = {80, 3, 150};
+  DynRelation R = totalOrderOver<DynRelation>(Seq, 151);
+  EXPECT_TRUE(R.get(80, 3));
+  EXPECT_TRUE(R.get(80, 150));
+  EXPECT_TRUE(R.get(3, 150));
+  EXPECT_EQ(R.count(), 3u);
+
+  DynSet Universe(151);
+  for (unsigned E : Seq)
+    bits::set(Universe, E);
+  uint64_t Count = countLinearExtensions(R, Universe);
+  EXPECT_EQ(Count, 1u); // it is already a total order on the universe
+}
+
+TEST(DynRelation, TopologicalOrderOnLargeUniverses) {
+  // The audited nullopt path of Relation::topologicalOrder (PR 4) holds
+  // on the dynamic tier: a cycle across word boundaries is reported as
+  // nullopt, never a truncated order.
+  DynRelation Cyclic(120);
+  Cyclic.set(10, 70);
+  Cyclic.set(70, 115);
+  Cyclic.set(115, 10);
+  EXPECT_FALSE(Cyclic.topologicalOrder().has_value());
+
+  Cyclic.clear(115, 10);
+  std::optional<std::vector<unsigned>> Order = Cyclic.topologicalOrder();
+  ASSERT_TRUE(Order.has_value());
+  EXPECT_EQ(Order->size(), 120u);
+  std::vector<unsigned> Pos(120);
+  for (unsigned I = 0; I < Order->size(); ++I)
+    Pos[(*Order)[I]] = I;
+  EXPECT_LT(Pos[10], Pos[70]);
+  EXPECT_LT(Pos[70], Pos[115]);
+
+  // Self edge: also cyclic.
+  DynRelation SelfEdge(100);
+  SelfEdge.set(99, 99);
+  EXPECT_FALSE(SelfEdge.topologicalOrder().has_value());
+}
+
+TEST(DynRelation, CapacityIsCheckedWithATypedError) {
+  EXPECT_THROW(DynRelation R(DynRelation::MaxSize + 1), CapacityError);
+  EXPECT_THROW(Relation R(Relation::MaxSize + 1), CapacityError);
+  // CapacityError remains a std::length_error for legacy catch sites.
+  EXPECT_THROW(DynRelation R(1000), std::length_error);
+  DynRelation AtCap(DynRelation::MaxSize);
+  EXPECT_EQ(AtCap.size(), DynRelation::MaxSize);
+}
+
+TEST(DynRelation, StrictTotalOrderOnSubsets) {
+  DynRelation R = totalOrderOver<DynRelation>({100, 20, 90}, 128);
+  DynSet Universe(128);
+  bits::set(Universe, 100);
+  bits::set(Universe, 20);
+  bits::set(Universe, 90);
+  EXPECT_TRUE(R.isStrictTotalOrderOn(Universe));
+  bits::set(Universe, 5); // unordered element joins the universe
+  EXPECT_FALSE(R.isStrictTotalOrderOn(Universe));
 }

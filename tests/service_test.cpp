@@ -11,6 +11,8 @@
 #include "service/LitmusService.h"
 
 #include "engine/ExecutionEngine.h"
+#include "support/CapacityError.h"
+#include "support/DynRelation.h"
 #include "support/Relation.h"
 #include "targets/Differential.h"
 
@@ -34,11 +36,25 @@ thread
 forbid 1:r0=1 1:r1=0
 )";
 
-/// A straight-line program whose event universe exceeds Relation::MaxSize.
+/// A straight-line program whose event universe exceeds the *dynamic*
+/// relation cap (DynRelation::MaxSize) — the only tier that still reports
+/// too-large since PR 5 lifted the fixed 64-event ceiling.
 std::string tooLargeLitmus() {
   std::string Out = "name too-big\nbuffer 64\nthread\n";
-  for (unsigned I = 0; I < 70; ++I)
+  for (unsigned I = 0; I < 300; ++I)
     Out += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
+  return Out;
+}
+
+/// A 71-event program: beyond the fixed 64-event tier, comfortably inside
+/// the dynamic one. PR 4 could only reject it; it now gets real verdicts.
+std::string formerlyTooLargeLitmus() {
+  std::string Out = "name formerly-too-big\nbuffer 64\nthread\n";
+  Out += "  store u32 0 = 1\n";
+  for (unsigned I = 0; I < 68; ++I)
+    Out += "  store u32 " + std::to_string(4 + 4 * (I % 8)) + " = 1\n";
+  Out += "thread\n  r0 = load u32 0\n";
+  Out += "allow 1:r0=1\nallow 1:r0=0\nforbid 1:r0=2\n";
   return Out;
 }
 
@@ -143,7 +159,7 @@ thread
   ASSERT_EQ(Results.size(), 5u);
 
   EXPECT_EQ(Results[0].Status, JobStatus::TooLarge);
-  EXPECT_NE(Results[0].Error.find("program too large (71 events > 64)"),
+  EXPECT_NE(Results[0].Error.find("program too large (301 events > 256)"),
             std::string::npos)
       << Results[0].Error;
 
@@ -166,13 +182,98 @@ thread
 }
 
 TEST(LitmusService, TooLargeIsAStructuredStatusNotACrash) {
-  // This is the release-build UB the service hardening fixed: >64 events
-  // used to sail past debug-only asserts into out-of-range bit shifts.
+  // This is the release-build UB the service hardening fixed: an
+  // over-capacity universe used to sail past debug-only asserts into
+  // out-of-range bit shifts. The cap is now the dynamic tier's.
   LitmusService Service;
   LitmusJobResult R = Service.runOne({"", tooLargeLitmus(), "revised", 1});
   EXPECT_EQ(R.Status, JobStatus::TooLarge);
   EXPECT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("events > 64"), std::string::npos);
+  EXPECT_NE(R.Error.find("events > 256"), std::string::npos) << R.Error;
+}
+
+TEST(LitmusService, FormerlyTooLargeProgramsNowServeRealVerdicts) {
+  // The acceptance gate of the dynamic-universe PR: a 65+-event program
+  // returns ok with a genuine outcome set — not the structured too-large
+  // error PR 4 hardened it into.
+  LitmusService Service;
+  LitmusJobResult R =
+      Service.runOne({"", formerlyTooLargeLitmus(), "revised", 1});
+  ASSERT_EQ(R.Status, JobStatus::Ok) << R.Error;
+  ASSERT_TRUE(R.AllowedByBackend.count("revised"));
+  EXPECT_FALSE(R.AllowedByBackend.at("revised").empty());
+  // The cross-thread read sees Init or the store: both values (the fillers
+  // never touch its cell), nothing else.
+  EXPECT_TRUE(R.allows("revised", "1:r0=0"));
+  EXPECT_TRUE(R.allows("revised", "1:r0=1"));
+  EXPECT_FALSE(R.allows("revised", "1:r0=2"));
+  EXPECT_TRUE(R.expectationsOk());
+}
+
+TEST(LitmusService, TooLargeClassificationIsTypedNotTextual) {
+  // Classification must key on the parser's typed TooLarge marker and the
+  // engine's CapacityError type. A parse failure whose *content* mentions
+  // capacity-sounding words stays parse-error.
+  LitmusService Service;
+  LitmusJobResult R = Service.runOne(
+      {"program too large", "name big\nthread\n  program too large\n",
+       "revised", 1});
+  EXPECT_EQ(R.Status, JobStatus::ParseError);
+  EXPECT_NE(R.Error.find("unknown statement"), std::string::npos) << R.Error;
+
+  // And the genuine capacity rejection still classifies as too-large for
+  // any job name.
+  LitmusJobResult Big =
+      Service.runOne({"innocent-name", tooLargeLitmus(), "revised", 1});
+  EXPECT_EQ(Big.Status, JobStatus::TooLarge);
+}
+
+TEST(LitmusService, LargeCorpusIsDeterministicAcrossWorkerCounts) {
+  // The 65+-event corpus (dynamic relation tier) under the same contract
+  // as the classic corpus: every job ok, results byte-identical for every
+  // worker count.
+  std::vector<LitmusJob> Jobs = largeCorpusJobs();
+  ASSERT_GE(Jobs.size(), 3u);
+
+  std::vector<std::string> Reference;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    LitmusService Service(Cfg);
+    std::vector<LitmusJobResult> Results = Service.run(Jobs);
+    ASSERT_EQ(Results.size(), Jobs.size());
+    std::vector<std::string> Prints;
+    for (const LitmusJobResult &R : Results) {
+      EXPECT_TRUE(R.ok()) << R.Name << ": " << R.Error;
+      Prints.push_back(fingerprint(R));
+    }
+    if (Reference.empty())
+      Reference = Prints;
+    else
+      EXPECT_EQ(Prints, Reference) << "workers=" << Workers;
+  }
+}
+
+TEST(LitmusService, LargeDifferentialTableMatchesRunDifferential) {
+  // The service's large-program verdict tables agree with the
+  // targets/Differential reference on every one of the nine backends.
+  LitmusService Service;
+  std::vector<DiffCase> Corpus = largeDifferentialCorpus();
+  std::vector<LitmusJob> Jobs = largeCorpusJobs();
+  ASSERT_EQ(Corpus.size(), Jobs.size());
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    LitmusJobResult R = Service.runOne(Jobs[I]);
+    ASSERT_EQ(R.Status, JobStatus::Ok) << Jobs[I].Name << ": " << R.Error;
+    DiffReport Ref = runDifferential(Corpus[I]);
+    for (const std::string &Backend : differentialBackends()) {
+      ASSERT_TRUE(R.AllowedByBackend.count(Backend))
+          << Jobs[I].Name << " missing " << Backend;
+      EXPECT_EQ(R.AllowedByBackend.at(Backend),
+                Ref.AllowedByBackend.at(Backend))
+          << Jobs[I].Name << " / " << Backend;
+    }
+    EXPECT_EQ(R.SoundnessViolations, Ref.SoundnessViolations) << Jobs[I].Name;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -312,6 +413,9 @@ TEST(LitmusService, SingleModelJobMatchesDirectEnumeration) {
 //===----------------------------------------------------------------------===//
 
 TEST(ServiceHardening, RelationConstructionIsCheckedInReleaseBuilds) {
+  // The capacity failure is the typed CapacityError (still a
+  // std::length_error for legacy catch sites).
+  EXPECT_THROW(Relation R(Relation::MaxSize + 1), CapacityError);
   EXPECT_THROW(Relation R(Relation::MaxSize + 1), std::length_error);
   try {
     Relation R(70);
@@ -336,34 +440,58 @@ TEST(ServiceHardening, TopologicalOrderReportsCyclesAsNullopt) {
 }
 
 TEST(ServiceHardening, EngineCapacityErrorsNameTheBound) {
+  // 71 events: beyond the fixed tier, inside the dynamic one. The serving
+  // cap (capacityError) passes; the witness-carrying entry points report
+  // their fixed 64-event bound and throw the typed CapacityError, while
+  // the outcome-level door serves the program.
   Program P(4);
   ThreadBuilder T0 = P.thread();
   for (unsigned I = 0; I < 70; ++I)
     T0.store(Acc::u8(0), 1);
-  std::optional<std::string> Error = ExecutionEngine::capacityError(P);
+  EXPECT_FALSE(ExecutionEngine::capacityError(P).has_value());
+  std::optional<std::string> Fixed = ExecutionEngine::fixedCapacityError(P);
+  ASSERT_TRUE(Fixed.has_value());
+  EXPECT_NE(Fixed->find("program too large (71 events > 64)"),
+            std::string::npos)
+      << *Fixed;
+  EXPECT_THROW(ExecutionEngine().enumerate(P, JsModel(ModelSpec::revised())),
+               CapacityError);
+  OutcomeSummary S =
+      ExecutionEngine().enumerateOutcomes(P, JsModel(ModelSpec::revised()));
+  EXPECT_EQ(S.Allowed.size(), 1u) << "writes only: exactly one outcome";
+
+  // Beyond the dynamic cap, every door reports the 256-event bound.
+  Program Big(4);
+  ThreadBuilder B0 = Big.thread();
+  for (unsigned I = 0; I < 300; ++I)
+    B0.store(Acc::u8(0), 1);
+  std::optional<std::string> Error = ExecutionEngine::capacityError(Big);
   ASSERT_TRUE(Error.has_value());
-  EXPECT_NE(Error->find("program too large (71 events > 64)"),
+  EXPECT_NE(Error->find("program too large (301 events > 256)"),
             std::string::npos)
       << *Error;
-  EXPECT_THROW(ExecutionEngine().enumerate(P, JsModel(ModelSpec::revised())),
-               std::length_error);
+  EXPECT_THROW(
+      ExecutionEngine().enumerateOutcomes(Big, JsModel(ModelSpec::revised())),
+      CapacityError);
 
   Program Small(4);
   ThreadBuilder S0 = Small.thread();
   S0.store(Acc::u8(0), 1);
   EXPECT_FALSE(ExecutionEngine::capacityError(Small).has_value());
+  EXPECT_FALSE(ExecutionEngine::fixedCapacityError(Small).has_value());
 }
 
 TEST(ServiceHardening, ConditionalBodiesCountTowardTheBound) {
-  // 1 init + 1 load + 63 nested stores = 65 events on the taken path.
+  // 1 init + 1 load + 260 nested stores = 262 events on the taken path:
+  // conditional bodies count toward the (dynamic) bound.
   Program P(4);
   ThreadBuilder T0 = P.thread();
   Reg R0 = T0.load(Acc::u8(0));
   T0.ifEq(R0, 1, [&](ThreadBuilder &B) {
-    for (unsigned I = 0; I < 63; ++I)
+    for (unsigned I = 0; I < 260; ++I)
       B.store(Acc::u8(0), 1);
   });
   std::optional<std::string> Error = ExecutionEngine::capacityError(P);
   ASSERT_TRUE(Error.has_value());
-  EXPECT_NE(Error->find("65 events > 64"), std::string::npos) << *Error;
+  EXPECT_NE(Error->find("262 events > 256"), std::string::npos) << *Error;
 }

@@ -377,3 +377,62 @@ TEST(SkeletonSearch, ShardedSearchMatchesSequential) {
     }
   }
 }
+
+TEST(Solver, DynamicTierAgreesWithFastTier) {
+  // The DynTotProblem overloads answer through the same templated cores
+  // as the fast tier: mirror pseudo-random problems across both relation
+  // flavours (with the dynamic one shifted into >64-bit indices) and
+  // require identical decisions from both solvers.
+  unsigned State = 12345;
+  auto Rand = [&](unsigned Mod) {
+    State = State * 1664525u + 1013904223u;
+    return (State >> 16) % Mod;
+  };
+  constexpr unsigned N = 9;
+  constexpr unsigned Shift = 90; // dynamic-tier ids: 90..98
+  for (unsigned Round = 0; Round < 60; ++Round) {
+    TotProblem P;
+    P.N = N;
+    P.Universe = Relation::fullSet(N);
+    P.Must = Relation(N);
+    DynTotProblem D;
+    D.N = Shift + N;
+    D.Universe = DynRelation::emptySet(Shift + N);
+    for (unsigned E = 0; E < N; ++E)
+      bits::set(D.Universe, Shift + E);
+    D.Must = DynRelation(Shift + N);
+    for (unsigned I = 0; I < 6; ++I) {
+      unsigned A = Rand(N), B = Rand(N);
+      if (A == B)
+        continue;
+      P.Must.set(A, B);
+      D.Must.set(Shift + A, Shift + B);
+    }
+    for (unsigned I = 0; I < 5; ++I) {
+      unsigned Lo = Rand(N), Mid = Rand(N), Hi = Rand(N);
+      if (Lo == Mid || Mid == Hi || Lo == Hi)
+        continue;
+      P.Forbidden.push_back({Lo, Mid, Hi});
+      D.Forbidden.push_back({Shift + Lo, Shift + Mid, Shift + Hi});
+    }
+    for (SolverKind K : allSolverKinds()) {
+      const TotSolver &S = totSolver(K);
+      Relation Tot;
+      DynRelation DynTot;
+      bool Fast = S.existsExtension(P, &Tot);
+      bool Dyn = S.existsExtension(D, &DynTot);
+      EXPECT_EQ(Fast, Dyn) << "round " << Round << " solver "
+                           << solverKindName(K);
+      if (Fast && Dyn) {
+        // The witnesses must agree modulo the index shift.
+        std::vector<std::pair<unsigned, unsigned>> Shifted;
+        for (auto [A, B] : Tot.pairs())
+          Shifted.emplace_back(A + Shift, B + Shift);
+        EXPECT_EQ(Shifted, DynTot.pairs());
+        EXPECT_FALSE(D.violates(DynTot));
+      }
+      EXPECT_EQ(S.existsViolatingExtension(P), S.existsViolatingExtension(D))
+          << "round " << Round << " solver " << solverKindName(K);
+    }
+  }
+}

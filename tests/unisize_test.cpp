@@ -177,3 +177,26 @@ TEST(Reduction, DistinctBlocksGetDistinctLocations) {
   EXPECT_NE(RR.Uni.Events[RR.UniOfMixed[2]].Loc,
             RR.Uni.Events[RR.UniOfMixed[3]].Loc);
 }
+
+TEST(Reduction, CyclicTotIsDroppedNotTruncated) {
+  // The audited Relation::topologicalOrder call site (PR 4/PR 5): a
+  // malformed cyclic Tot on the mixed execution must leave the reduced
+  // uni execution without a tot — never build one from a truncated order.
+  CandidateExecution CE = fig2Execution();
+  unsigned N = CE.numEvents();
+  Relation Cyclic(N);
+  for (unsigned A = 0; A < N; ++A)
+    Cyclic.set(A, (A + 1) % N); // a full cycle: count()>0, hasTot() true
+  CE.Tot = Cyclic;
+  ASSERT_TRUE(CE.hasTot());
+  ReductionResult RR = reduceToUniSize(CE);
+  EXPECT_TRUE(RR.Uni.Tot.empty())
+      << "a cyclic tot must not produce a (truncated) uni tot";
+
+  // A genuine tot still carries over (control for the test itself).
+  Relation Tot;
+  ASSERT_TRUE(isValidForSomeTot(CE, ModelSpec::revised(), &Tot));
+  CE.Tot = Tot;
+  ReductionResult Ok = reduceToUniSize(CE);
+  EXPECT_TRUE(Ok.Uni.Tot.isStrictTotalOrderOn(Ok.Uni.allEventsMask()));
+}

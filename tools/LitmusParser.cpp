@@ -3,7 +3,7 @@
 #include "tools/LitmusParser.h"
 
 #include "litmus/PathEnum.h"
-#include "support/Relation.h"
+#include "support/DynRelation.h"
 #include "support/Str.h"
 
 #include <cctype>
@@ -219,7 +219,17 @@ std::string jsmm::emitLitmus(const LitmusFile &File) {
 
 std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
                                             std::string *Error) {
+  LitmusParseDiag Diag;
+  std::optional<LitmusFile> Out = parseLitmus(Source, Diag);
+  if (!Out && Error)
+    *Error = Diag.Message;
+  return Out;
+}
+
+std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
+                                            LitmusParseDiag &Diag) {
   ParserState S;
+  std::string *Error = &Diag.Message;
   // Stack of open statement lists: the innermost is where statements go.
   std::vector<std::vector<ParsedInstr> *> Open;
 
@@ -385,14 +395,18 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
       return std::nullopt;
   }
   // The parser is the user-input boundary of the event-universe cap: a
-  // program that cannot fit any candidate execution into Relation::MaxSize
-  // elements is rejected here with a structured error, so release builds
-  // never reach the (throwing) checked Relation construction.
+  // program that cannot fit any candidate execution into the dynamic
+  // relation tier (DynRelation::MaxSize elements) is rejected here with a
+  // structured, *typed* error, so release builds never reach the
+  // (throwing) checked relation construction. Programs between 65 and the
+  // dynamic cap parse fine: the engine serves them through DynRelation.
   unsigned Bound = programEventUpperBound(Out.P);
-  if (Bound > Relation::MaxSize)
+  if (Bound > DynRelation::MaxSize) {
+    Diag.TooLarge = true;
     return Fail(LineNo, "program too large (" + std::to_string(Bound) +
                             " events > " +
-                            std::to_string(Relation::MaxSize) + ")");
+                            std::to_string(DynRelation::MaxSize) + ")");
+  }
   Out.Expectations = S.Expectations;
   return Out;
 }

@@ -50,10 +50,26 @@ struct LitmusFile {
   std::vector<LitmusExpectation> Expectations;
 };
 
+/// Structured parse failure: the "line N: reason" message plus a typed
+/// capacity marker. TooLarge is set only by the parser's own event-bound
+/// rejection (the program parsed but exceeds DynRelation::MaxSize events),
+/// never inferred from message text — callers that need to distinguish
+/// "too large" from ordinary parse errors (the batch service's job status)
+/// classify on this flag, not on substrings a user-controlled diagnostic
+/// could spoof.
+struct LitmusParseDiag {
+  std::string Message;
+  bool TooLarge = false;
+};
+
 /// Parses the litmus text \p Source. On failure returns std::nullopt and,
 /// when \p Error is non-null, a "line N: reason" message.
 std::optional<LitmusFile> parseLitmus(const std::string &Source,
                                       std::string *Error = nullptr);
+
+/// As above, with the structured diagnostic.
+std::optional<LitmusFile> parseLitmus(const std::string &Source,
+                                      LitmusParseDiag &Diag);
 
 /// Renders \p File back to the litmus text format. For any parseable
 /// source, parse and emit are mutually inverse up to formatting:

@@ -10,6 +10,7 @@
 ///   jsmm-batch examples/litmus --model=revised  # every .litmus, sorted
 ///   jsmm-batch a.litmus b.litmus --workers=4    # explicit files
 ///   jsmm-batch --corpus                         # differential corpus
+///   jsmm-batch --corpus=large                   # 65+-event corpus
 ///
 /// JSONL job lines are objects with "litmus" (inline source) or "file"
 /// (path, relative to the job file), plus optional "name", "model"
@@ -50,6 +51,7 @@ int usage() {
       << "usage: jsmm-batch <jobs.jsonl | directory | file.litmus>... "
          "[options]\n"
          "       jsmm-batch --corpus [options]\n"
+         "       jsmm-batch --corpus=large [options]   (65+-event programs)\n"
          "options:\n"
          "  --model=NAME   backend for directory/file jobs (default: "
          "differential)\n"
@@ -211,12 +213,15 @@ int main(int Argc, char **Argv) {
   unsigned Workers = 1;
   unsigned JobThreads = 1;
   bool UseCorpus = false;
+  bool UseLargeCorpus = false;
   bool NoCache = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--corpus") {
       UseCorpus = true;
+    } else if (Arg == "--corpus=large") {
+      UseLargeCorpus = true;
     } else if (Arg == "--no-cache") {
       NoCache = true;
     } else if (Arg.rfind("--model=", 0) == 0) {
@@ -247,7 +252,7 @@ int main(int Argc, char **Argv) {
       Inputs.push_back(Arg);
     }
   }
-  if (Inputs.empty() && !UseCorpus)
+  if (Inputs.empty() && !UseCorpus && !UseLargeCorpus)
     return usage();
 
   // Collect jobs in submission order. Input-layer failures (unreadable
@@ -255,6 +260,9 @@ int main(int Argc, char **Argv) {
   std::vector<PendingJob> Pending;
   if (UseCorpus)
     for (LitmusJob &J : differentialCorpusJobs(Model, JobThreads))
+      Pending.push_back({std::move(J), std::nullopt});
+  if (UseLargeCorpus)
+    for (LitmusJob &J : largeCorpusJobs(Model, JobThreads))
       Pending.push_back({std::move(J), std::nullopt});
   for (const std::string &Input : Inputs) {
     std::error_code Ec;

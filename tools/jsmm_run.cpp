@@ -93,10 +93,8 @@ template <typename ResultT>
 int reportOutcomes(const ResultT &R,
                    const std::vector<LitmusExpectation> &Expectations) {
   std::cout << "allowed outcomes (" << R.Allowed.size() << "):\n";
-  for (const auto &[O, W] : R.Allowed) {
-    (void)W;
-    std::cout << "  " << O.toString() << "\n";
-  }
+  for (const std::string &O : R.outcomeStrings())
+    std::cout << "  " << O << "\n";
   int Failures = 0;
   for (const LitmusExpectation &E : Expectations) {
     bool Observed = R.allows(E.O);
@@ -207,14 +205,16 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     CompiledTarget CT = compileUni(*Uni, Target->arch());
-    Failures = reportOutcomes(Engine.enumerate(CT, *Target),
+    Failures = reportOutcomes(Engine.enumerateOutcomes(CT, *Target),
                               File->Expectations);
   } else if (MixedArm) {
     CompiledProgram CP = compileToArm(File->P);
     Failures = reportOutcomes(Engine.enumerate(CP.Arm, Armv8Model()),
                               File->Expectations);
   } else {
-    EnumerationResult R = Engine.enumerate(File->P, JsModel(*JsSpec));
+    // Outcome-level enumeration serves both capacity tiers: programs
+    // beyond 64 events run on the heap-backed DynRelation automatically.
+    OutcomeSummary R = Engine.enumerateOutcomes(File->P, JsModel(*JsSpec));
     Failures = reportOutcomes(R, File->Expectations);
 
     if (WithArm) {
@@ -240,8 +240,9 @@ int main(int Argc, char **Argv) {
   }
   } catch (const std::length_error &E) {
     // The parser bounds source programs; compiled forms (fence-inserting
-    // schemes) can still exceed the 64-event relation universe, which the
-    // engine reports by throwing.
+    // schemes) and the witness-carrying --arm/--scdrf extras can still
+    // exceed a relation tier, which the engine reports by throwing a
+    // CapacityError.
     std::cerr << "jsmm-run: " << Path << ": " << E.what() << "\n";
     return 2;
   }

@@ -7,12 +7,17 @@ baseline in bench/perf_baseline.json and exits non-zero when any gated
 metric regressed by more than the tolerance (default 25%).
 
 Gated metrics are the ``speedup_*`` ratios plus the batch service's
-``service_jobs_per_sec`` floor. Speedups — engine time relative to the
-seed generate-then-filter loop on the same machine and run — are
+``*_jobs_per_sec`` floors (``service_jobs_per_sec`` for the ≤64-event
+differential corpus, ``large_program_jobs_per_sec`` for the 65+-event
+corpus served by the dynamic relation tier). Speedups — engine time
+relative to a reference algorithm on the same machine and run, e.g. the
+seed generate-then-filter loop, or for ``speedup_smallpath_x`` the
+heap-backed DynRelation tier replaying the ≤64-event workload — are
 machine-relative, so they are comparable across CI runners in a way
-absolute milliseconds are not; the jobs/sec floor is deliberately set far
-below any plausible machine so it catches only order-of-magnitude service
-regressions. The committed baseline stores those floors, not timings.
+absolute milliseconds are not; the jobs/sec floors are deliberately set
+far below any plausible machine so they catch only order-of-magnitude
+service regressions. The committed baseline stores those floors, not
+timings.
 
 Usage:
   perf_trend.py <current.json> <baseline.json> [--tolerance=0.25]
@@ -54,10 +59,10 @@ def main(argv):
 
     baseline = metrics_of(baseline_path)
     gated = sorted(n for n in baseline
-                   if n.startswith("speedup_") or n == "service_jobs_per_sec")
+                   if n.startswith("speedup_") or n.endswith("_jobs_per_sec"))
     if not gated:
         print(f"perf-trend: baseline '{baseline_path}' has no gated "
-              "(speedup_* / service_jobs_per_sec) metrics")
+              "(speedup_* / *_jobs_per_sec) metrics")
         return 2
 
     failures = 0
