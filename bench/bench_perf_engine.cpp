@@ -26,6 +26,7 @@
 #include "paper/Figures.h"
 #include "search/SkeletonSearch.h"
 #include "service/LitmusService.h"
+#include "targets/UniProgram.h"
 #include "solver/TotSolver.h"
 #include "support/LinearExtensions.h"
 
@@ -158,6 +159,113 @@ void smallPathHeadline(jsmm::bench::Table &T) {
 
 void solverHeadline(jsmm::bench::Table &T);
 
+//===----------------------------------------------------------------------===//
+// Equivalence-aware enumeration (POR) headline
+//===----------------------------------------------------------------------===//
+
+/// The wide-SB/IRIW-chain family the reduction targets (the
+/// largeDifferentialCorpus shapes as mixed-size programs): an SB core
+/// padded with symmetric filler writer threads, where the rf sleep sets
+/// collapse the byte-level justification blowup of the u32 reads, plus the
+/// 9-thread IRIW chain.
+std::vector<Program> porFamilyPrograms() {
+  auto WideSb = [](unsigned Fillers, const char *Name) {
+    UniProgram P(2 + 3 * Fillers);
+    P.Name = Name;
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::Unordered);
+    P.load(T0, 1, Mode::Unordered);
+    unsigned T1 = P.thread();
+    P.store(T1, 1, 1, Mode::Unordered);
+    P.load(T1, 0, Mode::Unordered);
+    for (unsigned F = 0; F < Fillers; ++F) {
+      unsigned T = P.thread();
+      for (unsigned L = 0; L < 3; ++L)
+        P.store(T, 2 + 3 * F + L, 1 + L, Mode::Unordered);
+    }
+    return mixedFromUni(P);
+  };
+  auto IriwChain = [] {
+    Program P(64);
+    P.Name = "iriw-chain-9t";
+    unsigned NextOff = 2;
+    auto Filler = [&](ThreadBuilder &T, unsigned Count) {
+      for (unsigned I = 0; I < Count; ++I)
+        T.store(Acc::u8(NextOff++), 1);
+    };
+    ThreadBuilder W0 = P.thread();
+    W0.store(Acc::u8(0), 1);
+    Filler(W0, 9);
+    ThreadBuilder W1 = P.thread();
+    W1.store(Acc::u8(1), 1);
+    Filler(W1, 9);
+    ThreadBuilder R0 = P.thread();
+    R0.load(Acc::u8(0));
+    R0.load(Acc::u8(1));
+    ThreadBuilder R1 = P.thread();
+    R1.load(Acc::u8(1));
+    R1.load(Acc::u8(0));
+    for (unsigned T = 0; T < 5; ++T) {
+      ThreadBuilder F = P.thread();
+      Filler(F, 8);
+    }
+    return P;
+  };
+  std::vector<Program> Family;
+  Family.push_back(WideSb(10, "sb-wide-66"));
+  Family.push_back(WideSb(20, "sb-wide-126"));
+  Family.push_back(IriwChain());
+  return Family;
+}
+
+/// Runs the POR family under \p Cfg; accumulates explored candidates into
+/// \p Candidates and the outcome tables into \p Tables.
+double porFamilyMs(EngineConfig Cfg, uint64_t &Candidates,
+                   std::vector<std::vector<std::string>> &Tables) {
+  ExecutionEngine Engine(Cfg);
+  JsModel M(ModelSpec::revised());
+  Candidates = 0;
+  Tables.clear();
+  auto Start = std::chrono::steady_clock::now();
+  for (const Program &P : porFamilyPrograms()) {
+    OutcomeSummary S = Engine.enumerateOutcomes(P, M);
+    Candidates += S.CandidatesConsidered;
+    Tables.push_back(S.outcomeStrings());
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+/// POR headline: the equivalence-aware enumeration against the exhaustive
+/// walk on the wide-SB/IRIW-chain family, single-threaded so the drop is
+/// the reduction's alone. Gated floors in bench/perf_baseline.json:
+/// `speedup_por_x` (wall clock) and `candidate_drop_por_x` (explored
+/// candidates — the reduction-effectiveness gate perf_trend.py also
+/// prints as a ratio).
+void porHeadline(jsmm::bench::Table &T) {
+  EngineConfig Off{1, true};
+  EngineConfig On{1, true, /*ForceDynRelation=*/false, /*Reduction=*/true};
+  uint64_t FullCandidates = 0, ReducedCandidates = 0;
+  std::vector<std::vector<std::string>> FullTables, ReducedTables;
+  porFamilyMs(Off, FullCandidates, FullTables); // warm-up
+  double FullMs = porFamilyMs(Off, FullCandidates, FullTables);
+  double ReducedMs = porFamilyMs(On, ReducedCandidates, ReducedTables);
+  T.check("reduced and unreduced verdict tables are identical on the "
+          "wide-SB/IRIW-chain family",
+          true, FullTables == ReducedTables);
+  T.metric("por_unreduced_ms", FullMs, "ms");
+  T.metric("por_reduced_ms", ReducedMs, "ms");
+  T.metric("speedup_por_x", ReducedMs > 0 ? FullMs / ReducedMs : 0);
+  T.metric("candidates_explored_unreduced",
+           static_cast<double>(FullCandidates));
+  T.metric("candidates_explored_reduced",
+           static_cast<double>(ReducedCandidates));
+  T.metric("candidate_drop_por_x",
+           ReducedCandidates
+               ? static_cast<double>(FullCandidates) / ReducedCandidates
+               : 0);
+}
+
 /// Batch-service headline: jobs/sec over the differential corpus (each job
 /// the full 9-backend verdict table), at one worker and at the requested
 /// worker count. The better figure is the `service_jobs_per_sec` metric
@@ -231,6 +339,7 @@ int headlineComparison() {
               " threads) beats seed",
           true, std::min(PrunedMs, ShardedMs) < SeedMs);
   smallPathHeadline(T);
+  porHeadline(T);
   solverHeadline(T);
   serviceHeadline(T);
   return T.finish();

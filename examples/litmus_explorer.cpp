@@ -16,13 +16,15 @@
 /// allowed sets of the results — the same path `jsmm-batch` serves.
 ///
 /// Run:  build/example_litmus_explorer [--solver=brute|propagate]
-///                                     [--workers=N]
+///                                     [--workers=N] [--reduce=on|off]
 ///
 /// The solver flag selects the tot-order decider behind every JavaScript
 /// verdict (default: the constraint-propagation solver); the brute
 /// linear-extension oracle is kept for differential runs. --workers sizes
 /// the service pool (0 = one per hardware thread); the table is identical
-/// for every worker count.
+/// for every worker count. --reduce toggles the equivalence-aware
+/// enumeration (default on; the table is identical either way — it only
+/// changes how much of the candidate space is walked).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -133,9 +135,18 @@ std::string mark(const LitmusJobResult &R, const std::string &Backend,
 
 int main(int Argc, char **Argv) {
   unsigned Workers = 1;
+  bool Reduce = true;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--solver=", 0) == 0) {
+    if (Arg.rfind("--reduce=", 0) == 0) {
+      std::string Val = Arg.substr(9);
+      if (Val != "on" && Val != "off") {
+        std::cerr << "litmus_explorer: --reduce takes 'on' or 'off', not '"
+                  << Val << "'\n";
+        return 2;
+      }
+      Reduce = Val == "on";
+    } else if (Arg.rfind("--solver=", 0) == 0) {
       std::optional<SolverKind> Kind = solverKindByName(Arg.substr(9));
       if (!Kind) {
         std::cerr << "litmus_explorer: unknown solver '" << Arg.substr(9)
@@ -151,7 +162,7 @@ int main(int Argc, char **Argv) {
       Workers = *N;
     } else {
       std::cerr << "usage: litmus_explorer [--solver=brute|propagate] "
-                   "[--workers=N]\n";
+                   "[--workers=N] [--reduce=on|off]\n";
       return 2;
     }
   }
@@ -166,6 +177,7 @@ int main(int Argc, char **Argv) {
     F.P = C.P;
     J.Litmus = emitLitmus(F);
     J.Model = "differential";
+    J.Reduce = Reduce;
     Jobs.push_back(std::move(J));
   }
   ServiceConfig Cfg;
@@ -176,7 +188,8 @@ int main(int Argc, char **Argv) {
   std::cout << "Verdicts computed with the '"
             << solverKindName(defaultSolverKind())
             << "' tot-order solver, through the batch service ("
-            << Service.effectiveWorkers() << " workers).\n";
+            << Service.effectiveWorkers() << " workers, reduce "
+            << (Reduce ? "on" : "off") << ").\n";
   std::cout << "Verdict of each test's weak outcome per backend:\n"
             << "  A = allowed, - = forbidden, . = not expressible uni-size\n"
             << "  (target backends compile the uni-size fragment: "

@@ -4,6 +4,7 @@
 
 #include "core/DataRace.h"
 #include "core/SeqConsistency.h"
+#include "engine/Symmetry.h"
 #include "litmus/PathEnum.h"
 #include "support/CapacityError.h"
 #include "support/Str.h"
@@ -159,7 +160,47 @@ struct JsSpace {
     }
     return C;
   }
+
+  /// Decomposes \p Idx into per-thread path indices (same mixed radix as
+  /// chosen()).
+  std::vector<size_t> indices(size_t Idx) const {
+    std::vector<size_t> C(PerThread.size());
+    for (size_t T = PerThread.size(); T-- > 0;) {
+      C[T] = Idx % PerThread[T].size();
+      Idx /= PerThread[T].size();
+    }
+    return C;
+  }
 };
+
+//===----------------------------------------------------------------------===//
+// Equivalence-aware enumeration (EngineConfig::Reduction)
+//===----------------------------------------------------------------------===//
+
+/// Program-level reduction context for one JS enumeration: the symmetry
+/// classes plus the model spec (the rf sleep-set keys must mirror the
+/// spec's sw definition and tear rule exactly).
+struct JsReductionCtx {
+  ThreadSymmetry Sym;
+  ModelSpec Spec;
+};
+
+/// \returns true if \p C is the canonical representative of its orbit
+/// under the symmetry classes: within each class, path indices must be
+/// non-decreasing by thread index. Skipped combinations are thread
+/// permutations of a canonical one; the orbit closure of the outcome set
+/// restores their outcomes.
+bool canonicalCombo(const JsSpace &Space, const ThreadSymmetry &Sym,
+                    size_t C) {
+  if (Sym.empty())
+    return true;
+  std::vector<size_t> Idx = Space.indices(C);
+  for (const std::vector<unsigned> &Cls : Sym.Classes)
+    for (size_t K = 1; K < Cls.size(); ++K)
+      if (Idx[Cls[K - 1]] > Idx[Cls[K]])
+        return false;
+  return true;
+}
 
 /// The materialised skeleton of one path combination: events, sb, and the
 /// bookkeeping the justifier needs. Generic over the relation tier.
@@ -168,6 +209,10 @@ template <typename RelT> struct JsBase {
   std::vector<EventId> Reads;
   std::map<EventId, unsigned> RegOfEvent;
   std::vector<const ThreadPath *> Paths;
+  /// Per-thread path indices of this combination (filled by the walkers
+  /// when reduction is active; twin sleeps need to know that two threads
+  /// of an exact class chose the same path).
+  std::vector<size_t> PathIdx;
 };
 
 template <typename RelT>
@@ -235,8 +280,9 @@ unsigned countJsWriters(const BasicCandidateExecution<RelT> &CE, EventId R,
 }
 
 /// Recursive reads-byte-from justification of a JS base, byte by byte,
-/// with register-constraint pruning (always) and model-admission pruning
-/// (when a model is supplied).
+/// with register-constraint pruning (always), model-admission pruning
+/// (when a model is supplied), and equivalence sleep sets (when a
+/// reduction context is supplied).
 template <typename RelT> class JsJustifier {
   using ExecT = BasicCandidateExecution<RelT>;
 
@@ -244,9 +290,18 @@ public:
   JsJustifier(JsBase<RelT> &B, const JsModel *Prune, uint64_t *PrunedSubtrees,
               int FirstWriterOnly,
               const std::function<bool(const ExecT &, const Outcome &)>
-                  &Visit)
+                  &Visit,
+              const JsReductionCtx *Red = nullptr,
+              uint64_t *SleptBranches = nullptr)
       : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
-        FirstWriterOnly(FirstWriterOnly), Visit(Visit) {}
+        FirstWriterOnly(FirstWriterOnly), Visit(Visit), Red(Red),
+        SleptBranches(SleptBranches) {
+    if (Red) {
+      B.CE.Rbf.clear();
+      setupTwins();
+      setupRfKeys();
+    }
+  }
 
   /// \returns false if the visitor stopped the enumeration.
   bool run() {
@@ -255,10 +310,159 @@ public:
   }
 
 private:
+  //===--------------------------------------------------------------------===//
+  // Sleep-set precomputation (per base)
+  //===--------------------------------------------------------------------===//
+
+  /// Twin links for the exact symmetry classes: TwinPrev[Id] is the event
+  /// at the same body position in the previous class member that chose the
+  /// same control-flow path, or -1. Exact twins have byte-identical
+  /// attributes, so swapping their two threads wholesale is an
+  /// automorphism of the base.
+  void setupTwins() {
+    const ThreadSymmetry &Sym = Red->Sym;
+    TwinPrev.assign(B.CE.numEvents(), -1);
+    TwinThreadOf.assign(B.CE.numEvents(), -1);
+    ThreadRefs.assign(B.Paths.size(), 0);
+    if (Sym.empty() || B.PathIdx.empty())
+      return;
+    std::vector<std::vector<EventId>> ThreadEvents(B.Paths.size());
+    for (const Event &E : B.CE.Events)
+      if (E.Ord != Mode::Init)
+        ThreadEvents[E.Thread].push_back(E.Id);
+    for (size_t Ci = 0; Ci < Sym.Classes.size(); ++Ci) {
+      if (!Sym.Exact[Ci])
+        continue;
+      const std::vector<unsigned> &Cls = Sym.Classes[Ci];
+      for (size_t K = 1; K < Cls.size(); ++K) {
+        unsigned T1 = Cls[K - 1], T2 = Cls[K];
+        if (B.PathIdx[T1] != B.PathIdx[T2])
+          continue; // different paths: no positional twin pairing
+        assert(ThreadEvents[T1].size() == ThreadEvents[T2].size());
+        for (size_t I = 0; I < ThreadEvents[T2].size(); ++I) {
+          TwinPrev[ThreadEvents[T2][I]] =
+              static_cast<int>(ThreadEvents[T1][I]);
+          TwinThreadOf[ThreadEvents[T2][I]] = static_cast<int>(T1);
+        }
+      }
+    }
+  }
+
+  /// rf sleep-set keys: two writer choices for the same read byte are
+  /// interchangeable when every input the model's verdict can depend on is
+  /// equal. The derived hb is static — equal for every rbf choice — iff sw
+  /// is forced empty, i.e. there is no SeqCst event at all (sw requires a
+  /// SeqCst reader; RMWs are SeqCst by construction) and asw is empty.
+  /// Under that precondition every SC rule is vacuous (each needs an sw
+  /// pair or a SeqCst intervening event) and the solver's tot problem
+  /// carries no constraints, so a candidate's verdict is a function of,
+  /// per rbf edge: the byte value read, the static hb(R,W) bit (HBC2), the
+  /// static "newer write hb-between" bit (HBC3), and the writer's
+  /// contribution to the tear-free count. Writers agreeing on all four are
+  /// keyed together and only the first is explored — the skipped subtrees
+  /// produce byte-identical candidates, verdicts, and outcomes.
+  void setupRfKeys() {
+    KeysActive = B.CE.Asw.empty();
+    for (const Event &E : B.CE.Events)
+      if (E.Ord == Mode::SeqCst)
+        KeysActive = false;
+    if (!KeysActive)
+      return;
+    RelT Hb = B.CE.happensBefore(Red->Spec.Sw); // rbf is empty: static hb
+
+    Explore.resize(B.Reads.size());
+    for (size_t RI = 0; RI < B.Reads.size(); ++RI) {
+      const Event &R = B.CE.Events[B.Reads[RI]];
+
+      // The writers the tear-free rule would count for R, over all byte
+      // choices: tear-free writers of the exact range (plus Init under the
+      // Strong rule). With at most one such writer the rule cannot fail,
+      // so tearing does not discriminate writers for this read.
+      auto TearCounts = [&](const Event &W) {
+        if (!R.TearFree || !W.TearFree)
+          return false;
+        return sameWriteReadRange(W, R) ||
+               (Red->Spec.Tear == TearRuleKind::Strong &&
+                W.Ord == Mode::Init);
+      };
+      unsigned CountingWriters = 0;
+      for (const Event &W : B.CE.Events)
+        if (W.Id != R.Id && W.Block == R.Block && TearCounts(W) &&
+            W.writeBegin() < R.readEnd() && R.readBegin() < W.writeEnd())
+          ++CountingWriters;
+      bool TearDiscriminates = CountingWriters > 1;
+
+      Explore[RI].resize(R.readEnd() - R.readBegin());
+      for (unsigned Loc = R.readBegin(); Loc < R.readEnd(); ++Loc) {
+        struct Key {
+          uint8_t Val;
+          bool Hbc2, Hbc3;
+          unsigned TearK;
+          bool operator==(const Key &O) const {
+            return Val == O.Val && Hbc2 == O.Hbc2 && Hbc3 == O.Hbc3 &&
+                   TearK == O.TearK;
+          }
+        };
+        std::vector<Key> Keys;
+        std::vector<uint8_t> &Mask = Explore[RI][Loc - R.readBegin()];
+        for (const Event &W : B.CE.Events) {
+          if (W.Id == R.Id || W.Block != R.Block || !W.writesByte(Loc))
+            continue;
+          Key K;
+          K.Val = W.writtenByteAt(Loc);
+          K.Hbc2 = Hb.get(R.Id, W.Id);
+          // HBC3 mirrors checkHbConsistency3 exactly, including its
+          // block-agnostic writesByte scan.
+          K.Hbc3 = false;
+          for (const Event &C : B.CE.Events)
+            if (Hb.get(W.Id, C.Id) && Hb.get(C.Id, R.Id) &&
+                C.writesByte(Loc)) {
+              K.Hbc3 = true;
+              break;
+            }
+          K.TearK =
+              (TearDiscriminates && TearCounts(W)) ? W.Id + 1 : 0;
+          bool Fresh =
+              std::find(Keys.begin(), Keys.end(), K) == Keys.end();
+          Keys.push_back(K);
+          Mask.push_back(Fresh ? 1 : 0);
+        }
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Enumeration
+  //===--------------------------------------------------------------------===//
+
   bool justifyRead(size_t ReadIdx) {
     if (ReadIdx == B.Reads.size())
       return emit();
     return justifyByte(ReadIdx, B.CE.Events[B.Reads[ReadIdx]].readBegin());
+  }
+
+  /// \returns true if the subtree choosing \p W for the current byte is
+  /// asleep: W is the positional twin of an as-yet unreferenced exact
+  /// class member's writer (same attributes, swappable threads), and the
+  /// reading thread is outside the pair, so the explored sibling's
+  /// subtree is isomorphic and the orbit closure recovers its outcomes.
+  bool twinAsleep(const Event &W, const Event &R) const {
+    int Prev = TwinPrev[W.Id];
+    if (Prev < 0)
+      return false;
+    int T1 = TwinThreadOf[W.Id], T2 = W.Thread;
+    if (R.Thread == T1 || R.Thread == T2)
+      return false;
+    return ThreadRefs[T1] == 0 && ThreadRefs[T2] == 0;
+  }
+
+  void retain(const Event &E) {
+    if (E.Thread >= 0)
+      ++ThreadRefs[E.Thread];
+  }
+  void release(const Event &E) {
+    if (E.Thread >= 0)
+      --ThreadRefs[E.Thread];
   }
 
   bool justifyByte(size_t ReadIdx, unsigned Loc) {
@@ -288,9 +492,28 @@ private:
       if (FirstWriterOnly >= 0 && ReadIdx == 0 && Loc == R.readBegin() &&
           ThisPos != static_cast<unsigned>(FirstWriterOnly))
         continue;
+      if (Red) {
+        bool Asleep =
+            (KeysActive &&
+             !Explore[ReadIdx][Loc - R.readBegin()][ThisPos]) ||
+            twinAsleep(W, R);
+        if (Asleep) {
+          if (SleptBranches)
+            ++*SleptBranches;
+          continue;
+        }
+      }
       B.CE.Rbf.push_back({Loc, W.Id, R.Id});
       R.ReadBytes[Loc - R.Index] = W.writtenByteAt(Loc);
+      if (Red) {
+        retain(W);
+        retain(R);
+      }
       bool Continue = justifyByte(ReadIdx, Loc + 1);
+      if (Red) {
+        release(W);
+        release(R);
+      }
       B.CE.Rbf.pop_back();
       if (!Continue)
         return false;
@@ -311,18 +534,35 @@ private:
   uint64_t *PrunedSubtrees;
   int FirstWriterOnly;
   const std::function<bool(const ExecT &, const Outcome &)> &Visit;
+  const JsReductionCtx *Red;
+  uint64_t *SleptBranches;
+
+  // Reduction state (set up iff Red).
+  bool KeysActive = false;
+  /// [read idx][byte offset][eligible-writer position] -> explore flag.
+  std::vector<std::vector<std::vector<uint8_t>>> Explore;
+  std::vector<int> TwinPrev;     ///< per event: earlier twin event or -1
+  std::vector<int> TwinThreadOf; ///< per event: thread of that twin or -1
+  std::vector<unsigned> ThreadRefs; ///< rbf references per thread
 };
 
-/// Sequential walk of the whole JS candidate space.
+/// Sequential walk of the whole JS candidate space (canonical
+/// representatives only when a reduction context is supplied).
 template <typename RelT>
 bool walkJs(const Program &P, const JsModel *Prune, uint64_t *PrunedSubtrees,
             const std::function<bool(const BasicCandidateExecution<RelT> &,
-                                     const Outcome &)> &Visit) {
+                                     const Outcome &)> &Visit,
+            const JsReductionCtx *Red = nullptr,
+            uint64_t *SleptBranches = nullptr) {
   JsSpace Space(P);
   for (size_t C = 0; C < Space.Combos; ++C) {
+    if (Red && !canonicalCombo(Space, Red->Sym, C))
+      continue;
     JsBase<RelT> B = buildJsBase<RelT>(P, Space.chosen(C));
+    if (Red)
+      B.PathIdx = Space.indices(C);
     JsJustifier<RelT> J(B, Prune, PrunedSubtrees, /*FirstWriterOnly=*/-1,
-                        Visit);
+                        Visit, Red, SleptBranches);
     if (!J.run())
       return false;
   }
@@ -334,7 +574,8 @@ bool walkJs(const Program &P, const JsModel *Prune, uint64_t *PrunedSubtrees,
 template <typename RelT>
 BasicEnumerationResult<RelT>
 enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
-                unsigned Threads, EngineStats &Stats) {
+                unsigned Threads, EngineStats &Stats,
+                const JsReductionCtx *Red = nullptr) {
   using ExecT = BasicCandidateExecution<RelT>;
   using ResultT = BasicEnumerationResult<RelT>;
   const JsModel *Prune = Cfg.Prune ? &M : nullptr;
@@ -356,24 +597,34 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
 
   if (Threads <= 1) {
     // Sequential: one shared result, with global outcome deduplication —
-    // exactly the seed's behaviour (modulo pruning).
+    // exactly the seed's behaviour (modulo pruning and reduction).
     ResultT Result;
     Stats.WorkItems = Space.Combos;
     walkJs<RelT>(P, Prune, &Stats.PrunedSubtrees,
                  [&](const ExecT &CE, const Outcome &O) {
                    return Accumulate(Result, CE, O);
-                 });
+                 },
+                 Red, &Stats.SleptBranches);
     return Result;
   }
 
   // Sharded: split combinations — and, within each, the first read's
   // writer choices — into work items with item-local results, merged in
-  // item order for determinism.
+  // item order for determinism. Under reduction, non-canonical
+  // combinations are dropped up front and slept first-writer items simply
+  // produce nothing: the sleep rules are a function of the justification
+  // stack alone, so sharding cannot change what is explored.
   std::vector<WorkItem> Items;
   std::vector<JsBase<RelT>> Bases;
+  std::vector<size_t> ComboOfBase(Space.Combos, 0);
   for (size_t C = 0; C < Space.Combos; ++C) {
+    if (Red && !canonicalCombo(Space, Red->Sym, C))
+      continue;
+    ComboOfBase[C] = Bases.size();
     Bases.push_back(buildJsBase<RelT>(P, Space.chosen(C)));
-    const JsBase<RelT> &B = Bases.back();
+    JsBase<RelT> &B = Bases.back();
+    if (Red)
+      B.PathIdx = Space.indices(C);
     if (B.Reads.empty()) {
       Items.push_back({C, -1});
       continue;
@@ -387,13 +638,16 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
 
   std::vector<ResultT> PerItem(Items.size());
   std::vector<uint64_t> PerItemPruned(Items.size(), 0);
+  std::vector<uint64_t> PerItemSlept(Items.size(), 0);
   runSharded(Items.size(), Threads, [&](size_t I) {
-    JsBase<RelT> B = Bases[Items[I].Combo]; // worker-private copy (the justifier mutates it)
+    // worker-private copy (the justifier mutates it)
+    JsBase<RelT> B = Bases[ComboOfBase[Items[I].Combo]];
     std::function<bool(const ExecT &, const Outcome &)> Into =
         [&](const ExecT &CE, const Outcome &O) {
           return Accumulate(PerItem[I], CE, O);
         };
-    JsJustifier<RelT> J(B, Prune, &PerItemPruned[I], Items[I].Writer, Into);
+    JsJustifier<RelT> J(B, Prune, &PerItemPruned[I], Items[I].Writer, Into,
+                        Red, &PerItemSlept[I]);
     J.run();
   });
 
@@ -402,6 +656,7 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
     Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
     Result.ValidCandidates += PerItem[I].ValidCandidates;
     Stats.PrunedSubtrees += PerItemPruned[I];
+    Stats.SleptBranches += PerItemSlept[I];
     for (auto &[O, Witness] : PerItem[I].Allowed)
       Result.Allowed.emplace(O, std::move(Witness));
   }
@@ -705,7 +960,11 @@ unsigned countTargetWriters(const BasicTargetExecution<RelT> &X, EventId R) {
 }
 
 /// Enumerates rf justifications and coherence orders of a target base,
-/// pruning rf subtrees via the backend's monotone admission check.
+/// pruning rf subtrees via the backend's monotone admission check and
+/// sleeping exact-twin rf choices when a symmetry is supplied. Only the
+/// twin rule applies at this tier: value-keyed rf merging is unsound here
+/// because fr and co verdicts depend on the rf writer's identity, not
+/// just the value read.
 template <typename RelT> class TargetJustifier {
   using ExecT = BasicTargetExecution<RelT>;
 
@@ -713,13 +972,56 @@ public:
   TargetJustifier(TargetBase<RelT> &B, const TargetModel *Prune,
                   uint64_t *PrunedSubtrees, int FirstWriterOnly,
                   const std::function<bool(const ExecT &, const Outcome &)>
-                      &Visit)
+                      &Visit,
+                  const ThreadSymmetry *Sym = nullptr,
+                  uint64_t *SleptBranches = nullptr)
       : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
-        FirstWriterOnly(FirstWriterOnly), Visit(Visit) {}
+        FirstWriterOnly(FirstWriterOnly), Visit(Visit),
+        SleptBranches(SleptBranches) {
+    if (Sym && !Sym->empty())
+      setupTwins(*Sym);
+  }
 
   bool run() { return justify(0); }
 
 private:
+  void setupTwins(const ThreadSymmetry &Sym) {
+    unsigned NumThreads = 0;
+    for (const TargetEvent &E : B.X.Events)
+      if (E.Thread >= 0)
+        NumThreads = std::max(NumThreads, static_cast<unsigned>(E.Thread) + 1);
+    TwinPrev.assign(B.X.Events.size(), -1);
+    TwinThreadOf.assign(B.X.Events.size(), -1);
+    ThreadRefs.assign(NumThreads, 0);
+    Sleeping = true;
+    std::vector<std::vector<EventId>> ThreadEvents(NumThreads);
+    for (const TargetEvent &E : B.X.Events)
+      if (E.Thread >= 0)
+        ThreadEvents[E.Thread].push_back(E.Id);
+    for (size_t Ci = 0; Ci < Sym.Classes.size(); ++Ci) {
+      if (!Sym.Exact[Ci])
+        continue;
+      const std::vector<unsigned> &Cls = Sym.Classes[Ci];
+      for (size_t K = 1; K < Cls.size(); ++K) {
+        unsigned T1 = Cls[K - 1], T2 = Cls[K];
+        for (size_t I = 0; I < ThreadEvents[T2].size(); ++I) {
+          TwinPrev[ThreadEvents[T2][I]] =
+              static_cast<int>(ThreadEvents[T1][I]);
+          TwinThreadOf[ThreadEvents[T2][I]] = static_cast<int>(T1);
+        }
+      }
+    }
+  }
+
+  bool twinAsleep(const TargetEvent &W, const TargetEvent &R) const {
+    if (!Sleeping || TwinPrev[W.Id] < 0)
+      return false;
+    int T1 = TwinThreadOf[W.Id], T2 = W.Thread;
+    if (R.Thread == T1 || R.Thread == T2)
+      return false;
+    return ThreadRefs[T1] == 0 && ThreadRefs[T2] == 0;
+  }
+
   bool justify(size_t ReadIdx) {
     if (ReadIdx == B.Reads.size())
       return chooseCo(0);
@@ -732,14 +1034,31 @@ private:
       if (FirstWriterOnly >= 0 && ReadIdx == 0 &&
           ThisPos != static_cast<unsigned>(FirstWriterOnly))
         continue;
+      if (twinAsleep(W, B.X.Events[R])) {
+        if (SleptBranches)
+          ++*SleptBranches;
+        continue;
+      }
       B.X.Rf.set(W.Id, R);
       B.X.Events[R].ReadVal = W.WriteVal;
+      if (Sleeping) {
+        if (W.Thread >= 0)
+          ++ThreadRefs[W.Thread];
+        if (B.X.Events[R].Thread >= 0)
+          ++ThreadRefs[B.X.Events[R].Thread];
+      }
       bool Continue = true;
       if (Prune && !Prune->admitsPartial(B.X)) {
         if (PrunedSubtrees)
           ++*PrunedSubtrees;
       } else {
         Continue = justify(ReadIdx + 1);
+      }
+      if (Sleeping) {
+        if (W.Thread >= 0)
+          --ThreadRefs[W.Thread];
+        if (B.X.Events[R].Thread >= 0)
+          --ThreadRefs[B.X.Events[R].Thread];
       }
       B.X.Rf.clear(W.Id, R);
       if (!Continue)
@@ -787,6 +1106,13 @@ private:
   uint64_t *PrunedSubtrees;
   int FirstWriterOnly;
   const std::function<bool(const ExecT &, const Outcome &)> &Visit;
+  uint64_t *SleptBranches;
+
+  // Twin sleep-set state (set up iff a non-empty symmetry was supplied).
+  bool Sleeping = false;
+  std::vector<int> TwinPrev;     ///< per event: earlier twin event or -1
+  std::vector<int> TwinThreadOf; ///< per event: thread of that twin or -1
+  std::vector<unsigned> ThreadRefs; ///< rf references per thread
 };
 
 /// The shared target enumeration core for both relation tiers.
@@ -794,7 +1120,8 @@ template <typename RelT>
 BasicTargetEnumerationResult<RelT>
 enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
                     const EngineConfig &Cfg, unsigned Threads,
-                    EngineStats &Stats) {
+                    EngineStats &Stats,
+                    const ThreadSymmetry *Sym = nullptr) {
   using ExecT = BasicTargetExecution<RelT>;
   using ResultT = BasicTargetEnumerationResult<RelT>;
   const TargetModel *Prune = Cfg.Prune ? &M : nullptr;
@@ -821,16 +1148,20 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
           return Accumulate(Result, X, O);
         };
     TargetJustifier<RelT> J(Base, Prune, &Stats.PrunedSubtrees,
-                            /*FirstWriterOnly=*/-1, Into);
+                            /*FirstWriterOnly=*/-1, Into, Sym,
+                            &Stats.SleptBranches);
     J.run();
     return Result;
   }
 
   // Sharded: the single straight-line combination splits across the first
-  // read's writer choices; item-local results merge in item order.
+  // read's writer choices; item-local results merge in item order. Slept
+  // first-writer items produce nothing — the sleep rule is a function of
+  // the justification stack alone, so sharding cannot change coverage.
   Stats.WorkItems = FirstWriters;
   std::vector<ResultT> PerItem(FirstWriters);
   std::vector<uint64_t> PerItemPruned(FirstWriters, 0);
+  std::vector<uint64_t> PerItemSlept(FirstWriters, 0);
   runSharded(FirstWriters, Threads, [&](size_t I) {
     TargetBase<RelT> B = Base; // worker-private copy (the justifier mutates it)
     std::function<bool(const ExecT &, const Outcome &)> Into =
@@ -838,7 +1169,8 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
           return Accumulate(PerItem[I], X, O);
         };
     TargetJustifier<RelT> J(B, Prune, &PerItemPruned[I],
-                            static_cast<int>(I), Into);
+                            static_cast<int>(I), Into, Sym,
+                            &PerItemSlept[I]);
     J.run();
   });
 
@@ -847,6 +1179,7 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
     Result.CandidatesConsidered += PerItem[I].CandidatesConsidered;
     Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
     Stats.PrunedSubtrees += PerItemPruned[I];
+    Stats.SleptBranches += PerItemSlept[I];
     for (auto &[O, Witness] : PerItem[I].Allowed)
       Result.Allowed.emplace(O, std::move(Witness));
   }
@@ -902,11 +1235,27 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
                                                   const JsModel &M) const {
   checkCapacity(P);
   Stats = EngineStats();
-  if (programEventUpperBound(P) <= Relation::MaxSize && !Cfg.ForceDynRelation)
+  bool SmallTier =
+      programEventUpperBound(P) <= Relation::MaxSize && !Cfg.ForceDynRelation;
+  if (!Cfg.Reduction) {
+    if (SmallTier)
+      return summarize(
+          enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Stats));
     return summarize(
-        enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Stats));
-  return summarize(
-      enumerateJsCore<DynRelation>(P, M, Cfg, effectiveThreads(), Stats));
+        enumerateJsCore<DynRelation>(P, M, Cfg, effectiveThreads(), Stats));
+  }
+  // Equivalence-aware enumeration: canonical path combinations, rf sleep
+  // sets inside the justifier, and the outcome orbit closure to restore
+  // the outcomes of the slept (isomorphic) subtrees.
+  JsReductionCtx Red{threadSymmetry(P), M.spec()};
+  OutcomeSummary S =
+      SmallTier ? summarize(enumerateJsCore<Relation>(
+                      P, M, Cfg, effectiveThreads(), Stats, &Red))
+                : summarize(enumerateJsCore<DynRelation>(
+                      P, M, Cfg, effectiveThreads(), Stats, &Red));
+  if (!Red.Sym.empty())
+    S.Allowed = closeOutcomes(std::move(S.Allowed), Red.Sym);
+  return S;
 }
 
 ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
@@ -1069,11 +1418,24 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
                                                   const TargetModel &M) const {
   checkCapacity(CT);
   Stats = EngineStats();
-  if (targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation)
-    return summarizeTarget(
-        enumerateTargetCore<Relation>(CT, M, Cfg, effectiveThreads(), Stats));
-  return summarizeTarget(enumerateTargetCore<DynRelation>(
-      CT, M, Cfg, effectiveThreads(), Stats));
+  bool SmallTier =
+      targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation;
+  if (!Cfg.Reduction) {
+    if (SmallTier)
+      return summarizeTarget(enumerateTargetCore<Relation>(
+          CT, M, Cfg, effectiveThreads(), Stats));
+    return summarizeTarget(enumerateTargetCore<DynRelation>(
+        CT, M, Cfg, effectiveThreads(), Stats));
+  }
+  ThreadSymmetry Sym = threadSymmetry(CT);
+  OutcomeSummary S =
+      SmallTier ? summarizeTarget(enumerateTargetCore<Relation>(
+                      CT, M, Cfg, effectiveThreads(), Stats, &Sym))
+                : summarizeTarget(enumerateTargetCore<DynRelation>(
+                      CT, M, Cfg, effectiveThreads(), Stats, &Sym));
+  if (!Sym.empty())
+    S.Allowed = closeOutcomes(std::move(S.Allowed), Sym);
+  return S;
 }
 
 //===----------------------------------------------------------------------===//

@@ -60,6 +60,16 @@ struct EngineConfig {
   /// it exists to prove the two tiers agree and to measure what the
   /// inline fast path buys; never enable it in production configurations.
   bool ForceDynRelation = false;
+  /// Equivalence-aware enumeration in the outcome-level entry points
+  /// (enumerateOutcomes for programs and compiled targets): thread/location
+  /// symmetry reduction plus sleep sets over rf choices, with outcomes
+  /// relabelled back to the full verdict table. The allowed-outcome set is
+  /// identical to the unreduced run; CandidatesConsidered/ValidCandidates
+  /// drop by design (that is the point). Off by default; the
+  /// witness-carrying entry points (enumerate / scDrf / forEach*) always
+  /// enumerate the full space because their per-candidate visitation order
+  /// and witnesses are part of the API.
+  bool Reduction = false;
 
   static EngineConfig sequential() { return {1, true}; }
   static EngineConfig seedCompatible() { return {1, false}; }
@@ -70,6 +80,9 @@ struct EngineConfig {
 struct EngineStats {
   uint64_t WorkItems = 0;       ///< shards the space was split into
   uint64_t PrunedSubtrees = 0;  ///< justification subtrees cut by pruning
+  /// Justification subtrees skipped by the equivalence-aware reduction
+  /// (sleep sets over rf choices); 0 unless EngineConfig::Reduction.
+  uint64_t SleptBranches = 0;
 };
 
 /// Capacity-agnostic enumeration result: the allowed outcome set plus the

@@ -1,0 +1,75 @@
+//===- engine/Symmetry.h - Thread/location symmetry detection -------------===//
+///
+/// \file
+/// Canonical-form pass behind EngineConfig::Reduction: detects groups of
+/// threads whose bodies are interchangeable, so the engine can enumerate
+/// one representative of each symmetric family of candidate executions and
+/// relabel the outcomes back to the full verdict table.
+///
+/// Two flavours of equivalence are recognised:
+///
+///   - **exact**: the thread bodies are structurally identical statement by
+///     statement (same kinds, accesses, widths, modes, tear-freedom, stored
+///     values, registers, and nested branch bodies). Swapping two such
+///     threads is a program automorphism outright, which additionally
+///     licenses the justifier's twin sleep sets (Symmetry only reports the
+///     classes; the engine applies the sleeps).
+///   - **renamed**: the bodies are identical up to a byte-offset renaming
+///     within the same buffer, where every renamed byte is private to the
+///     one thread touching it (a "location symmetry": N filler threads
+///     writing disjoint scratch cells). Swapping the threads *and*
+///     transposing their private bytes is a program automorphism — buffers
+///     are zero-initialised, so the Init event is fixed by any within-block
+///     byte permutation.
+///
+/// Programs whose threads share a skeleton but differ in stored values or
+/// access widths are deliberately NOT merged: every field that reaches the
+/// event structure participates in the comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_ENGINE_SYMMETRY_H
+#define JSMM_ENGINE_SYMMETRY_H
+
+#include "exec/Outcome.h"
+#include "litmus/Program.h"
+#include "targets/TargetCompile.h"
+
+#include <vector>
+
+namespace jsmm {
+
+/// The thread-symmetry classes of a program. Threads not in any class are
+/// singletons (ClassOf == -1); every reported class has at least two
+/// members and is sorted by thread index.
+struct ThreadSymmetry {
+  std::vector<std::vector<unsigned>> Classes;
+  std::vector<int> ClassOf; ///< per thread: class index or -1
+  /// Per class: every member is byte-identical to the representative (no
+  /// renaming involved). Only exact classes admit twin sleep sets; renamed
+  /// classes still canonicalise path combinations and orbit outcomes.
+  std::vector<char> Exact;
+
+  bool empty() const { return Classes.empty(); }
+};
+
+/// Detects the thread-symmetry classes of \p P (exact and renamed).
+ThreadSymmetry threadSymmetry(const Program &P);
+
+/// Detects the thread-symmetry classes of the compiled program \p CT.
+/// Target instruction streams carry no offsets to rename (locations are
+/// whole cells and renamed cells buy the straight-line rf×co space
+/// nothing), so only exact classes are reported; SourceIdx is provenance
+/// metadata and is ignored by the comparison.
+ThreadSymmetry threadSymmetry(const CompiledTarget &CT);
+
+/// Closes \p Allowed under the outcome relabelings induced by \p S:
+/// swapping two class members swaps their whole per-thread register
+/// valuations (registers are numbered positionally, so lockstep bodies
+/// agree on indices). \returns the closure, sorted and deduplicated.
+std::vector<Outcome> closeOutcomes(std::vector<Outcome> Allowed,
+                                   const ThreadSymmetry &S);
+
+} // namespace jsmm
+
+#endif // JSMM_ENGINE_SYMMETRY_H

@@ -168,9 +168,11 @@ namespace {
 /// is process-global state the verdict was computed under (identical
 /// verdicts are pinned by solver_test, but the cache must not assume
 /// that).
-std::string keyOf(const LitmusFile &File, const std::string &Model) {
+std::string keyOf(const LitmusFile &File, const std::string &Model,
+                  bool Reduce) {
   return emitLitmus(File) + "\x1f" + "model=" + Model + "\x1f" +
-         "solver=" + solverKindName(defaultSolverKind());
+         "solver=" + solverKindName(defaultSolverKind()) + "\x1f" +
+         "reduce=" + (Reduce ? "on" : "off");
 }
 
 } // namespace
@@ -179,7 +181,7 @@ std::optional<std::string> LitmusService::cacheKey(const LitmusJob &Job) {
   std::optional<LitmusFile> File = parseLitmus(Job.Litmus);
   if (!File)
     return std::nullopt;
-  return keyOf(*File, Job.Model);
+  return keyOf(*File, Job.Model, Job.Reduce);
 }
 
 LitmusJobResult
@@ -213,7 +215,9 @@ LitmusService::computeResult(const LitmusJob &Job,
     return R;
   }
 
-  ExecutionEngine Engine(EngineConfig{Job.Threads, true});
+  ExecutionEngine Engine(EngineConfig{Job.Threads, true,
+                                      /*ForceDynRelation=*/false,
+                                      /*Reduction=*/Job.Reduce});
   try {
     // The parser already rejects source programs beyond the dynamic cap
     // (DynRelation::MaxSize); compiled forms can still exceed it (schemes
@@ -310,7 +314,7 @@ LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
 
   std::optional<std::string> Key;
   if (Cfg.CacheVerdicts && File)
-    Key = keyOf(*File, Job.Model);
+    Key = keyOf(*File, Job.Model, Job.Reduce);
   if (Key) {
     std::lock_guard<std::mutex> Lock(CacheMu);
     auto It = Cache.find(*Key);

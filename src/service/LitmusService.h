@@ -78,6 +78,11 @@ struct LitmusJob {
   /// the pool's workers parallelise across jobs). 0 means one per
   /// hardware thread.
   unsigned Threads = 1;
+  /// Equivalence-aware enumeration (EngineConfig::Reduction) for this
+  /// job's engine-backed verdicts. Defaults on: the verdict tables are
+  /// identical either way (reduction_test pins this); off restores the
+  /// exhaustive walk. Part of the cache key.
+  bool Reduce = true;
 };
 
 /// One checked `allow`/`forbid` line of a job's litmus file.

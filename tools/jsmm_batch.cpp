@@ -14,8 +14,9 @@
 ///
 /// JSONL job lines are objects with "litmus" (inline source) or "file"
 /// (path, relative to the job file), plus optional "name", "model"
-/// (default: the --model flag) and "threads". A malformed line or an
-/// unreadable file fails that job — never the batch.
+/// (default: the --model flag), "threads" and "reduce" (boolean; default:
+/// the --reduce flag). A malformed line or an unreadable file fails that
+/// job — never the batch.
 ///
 /// Output lines carry: job index, name, model, status
 /// (ok / too-large / parse-error / unsupported), the allowed-outcome sets
@@ -61,6 +62,8 @@ int usage() {
          "hardware)\n"
          "  --solver=brute|propagate   tot-order solver (default: "
          "propagate)\n"
+         "  --reduce=on|off   equivalence-aware enumeration (default: on; "
+         "identical verdicts either way)\n"
          "  --no-cache     disable the verdict cache\n"
          "  --output=PATH  write the JSONL stream to PATH instead of "
          "stdout\n";
@@ -88,7 +91,7 @@ LitmusJobResult inputFailure(const std::string &Name, const std::string &Model,
 /// a malformed line.
 bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
                      const std::string &DefaultModel, unsigned DefaultThreads,
-                     LitmusJob &Out, std::string &Error) {
+                     bool DefaultReduce, LitmusJob &Out, std::string &Error) {
   std::string JsonError;
   std::optional<JsonValue> V = parseJson(Line, &JsonError);
   if (!V) {
@@ -101,6 +104,7 @@ bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
   }
   Out.Model = DefaultModel;
   Out.Threads = DefaultThreads;
+  Out.Reduce = DefaultReduce;
   const JsonValue *Name = V->find("name");
   if (Name) {
     if (!Name->isString()) {
@@ -127,6 +131,14 @@ bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
       return false;
     }
     Out.Threads = static_cast<unsigned>(N);
+  }
+  const JsonValue *Reduce = V->find("reduce");
+  if (Reduce) {
+    if (!Reduce->isBool()) {
+      Error = "\"reduce\" must be a boolean";
+      return false;
+    }
+    Out.Reduce = Reduce->asBool();
   }
   const JsonValue *Litmus = V->find("litmus");
   const JsonValue *File = V->find("file");
@@ -215,6 +227,7 @@ int main(int Argc, char **Argv) {
   bool UseCorpus = false;
   bool UseLargeCorpus = false;
   bool NoCache = false;
+  bool Reduce = true;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -238,6 +251,14 @@ int main(int Argc, char **Argv) {
       if (!N)
         return 2;
       JobThreads = *N;
+    } else if (Arg.rfind("--reduce=", 0) == 0) {
+      std::string Val = Arg.substr(9);
+      if (Val != "on" && Val != "off") {
+        std::cerr << "jsmm-batch: --reduce takes 'on' or 'off', not '" << Val
+                  << "'\n";
+        return 2;
+      }
+      Reduce = Val == "on";
     } else if (Arg.rfind("--solver=", 0) == 0) {
       std::optional<SolverKind> Kind = solverKindByName(Arg.substr(9));
       if (!Kind) {
@@ -259,11 +280,15 @@ int main(int Argc, char **Argv) {
   // files, malformed JSONL lines) keep their slot as pre-failed results.
   std::vector<PendingJob> Pending;
   if (UseCorpus)
-    for (LitmusJob &J : differentialCorpusJobs(Model, JobThreads))
+    for (LitmusJob &J : differentialCorpusJobs(Model, JobThreads)) {
+      J.Reduce = Reduce;
       Pending.push_back({std::move(J), std::nullopt});
+    }
   if (UseLargeCorpus)
-    for (LitmusJob &J : largeCorpusJobs(Model, JobThreads))
+    for (LitmusJob &J : largeCorpusJobs(Model, JobThreads)) {
+      J.Reduce = Reduce;
       Pending.push_back({std::move(J), std::nullopt});
+    }
   for (const std::string &Input : Inputs) {
     std::error_code Ec;
     if (std::filesystem::is_directory(Input, Ec)) {
@@ -294,6 +319,7 @@ int main(int Argc, char **Argv) {
         P.Job.Name = std::filesystem::path(Path).stem().string();
         P.Job.Model = Model;
         P.Job.Threads = JobThreads;
+        P.Job.Reduce = Reduce;
         if (std::optional<std::string> Text = readFileText(Path))
           P.Job.Litmus = *Text;
         else
@@ -322,7 +348,8 @@ int main(int Argc, char **Argv) {
           continue;
         PendingJob P;
         std::string Error;
-        if (!jobFromJsonLine(Line, BaseDir, Model, JobThreads, P.Job, Error))
+        if (!jobFromJsonLine(Line, BaseDir, Model, JobThreads, Reduce, P.Job,
+                             Error))
           P.PreFailed = inputFailure(
               "line-" + std::to_string(LineNo), Model, JobStatus::ParseError,
               Input + ":" + std::to_string(LineNo) + ": " + Error);
@@ -333,6 +360,7 @@ int main(int Argc, char **Argv) {
       P.Job.Name = std::filesystem::path(Input).stem().string();
       P.Job.Model = Model;
       P.Job.Threads = JobThreads;
+      P.Job.Reduce = Reduce;
       if (std::optional<std::string> Text = readFileText(Input))
         P.Job.Litmus = *Text;
       else

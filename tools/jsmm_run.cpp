@@ -9,6 +9,8 @@
 ///   jsmm-run test.litmus --threads=4     # sharded engine enumeration
 ///   jsmm-run test.litmus --solver=brute  # linear-extension tot oracle
 ///                                        # (default: propagate)
+///   jsmm-run test.litmus --reduce=off    # disable the equivalence-aware
+///                                        # enumeration (default: on)
 ///   jsmm-run test.litmus --arm           # also the compiled ARMv8 verdict
 ///   jsmm-run test.litmus --scdrf         # also the SC-DRF report
 ///   jsmm-run --list-models               # every backend, one per line
@@ -75,7 +77,8 @@ void listModels(std::ostream &Out) {
 
 int usage() {
   std::cerr << "usage: jsmm-run <file.litmus> [--model=NAME] [--threads=N] "
-               "[--solver=brute|propagate] [--arm] [--scdrf]\n"
+               "[--solver=brute|propagate] [--reduce=on|off] [--arm] "
+               "[--scdrf]\n"
                "       jsmm-run --list-models\n";
   return 2;
 }
@@ -113,6 +116,11 @@ int main(int Argc, char **Argv) {
   std::string Path;
   std::string ModelName = "revised";
   EngineConfig Cfg;
+  // The CLI defaults to the equivalence-aware enumeration: the allowed
+  // outcomes are identical to the unreduced run (reduction_test pins
+  // this), only the work to get there shrinks. --reduce=off restores the
+  // exhaustive walk for debugging and A/B timing.
+  Cfg.Reduction = true;
   bool WithArm = false, WithScDrf = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -132,6 +140,16 @@ int main(int Argc, char **Argv) {
     }
     if (Arg.rfind("--model=", 0) == 0) {
       ModelName = Arg.substr(8);
+      continue;
+    }
+    if (Arg.rfind("--reduce=", 0) == 0) {
+      std::string Val = Arg.substr(9);
+      if (Val != "on" && Val != "off") {
+        std::cerr << "jsmm-run: --reduce takes 'on' or 'off', not '" << Val
+                  << "'\n";
+        return 2;
+      }
+      Cfg.Reduction = Val == "on";
       continue;
     }
     if (Arg.rfind("--solver=", 0) == 0) {
@@ -193,7 +211,8 @@ int main(int Argc, char **Argv) {
   ExecutionEngine Engine(Cfg);
   std::cout << "test " << File->P.Name << " (model: " << ModelName
             << ", threads: " << Engine.effectiveThreads()
-            << ", solver: " << solverKindName(defaultSolverKind()) << ")\n";
+            << ", solver: " << solverKindName(defaultSolverKind())
+            << ", reduce: " << (Cfg.Reduction ? "on" : "off") << ")\n";
 
   int Failures = 0;
   try {

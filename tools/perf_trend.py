@@ -6,10 +6,17 @@ Compares the gated metrics in a freshly produced BENCH_perf-engine.json
 baseline in bench/perf_baseline.json and exits non-zero when any gated
 metric regressed by more than the tolerance (default 25%).
 
-Gated metrics are the ``speedup_*`` ratios plus the batch service's
+Gated metrics are the ``speedup_*`` ratios, the ``*_drop_*``
+reduction-effectiveness ratios (``candidate_drop_por_x``: explored
+candidates without the equivalence-aware enumeration over explored
+candidates with it, a deterministic counter that catches reduction
+regressions wall clock can hide), plus the batch service's
 ``*_jobs_per_sec`` floors (``service_jobs_per_sec`` for the ≤64-event
 differential corpus, ``large_program_jobs_per_sec`` for the 65+-event
-corpus served by the dynamic relation tier). Speedups — engine time
+corpus served by the dynamic relation tier). The raw
+``candidates_explored_*`` counters behind the drop ratio are printed
+alongside the verdicts so CI logs show the actual candidate counts, not
+just the ratio. Speedups — engine time
 relative to a reference algorithm on the same machine and run, e.g. the
 seed generate-then-filter loop, or for ``speedup_smallpath_x`` the
 heap-backed DynRelation tier replaying the ≤64-event workload — are
@@ -59,11 +66,18 @@ def main(argv):
 
     baseline = metrics_of(baseline_path)
     gated = sorted(n for n in baseline
-                   if n.startswith("speedup_") or n.endswith("_jobs_per_sec"))
+                   if n.startswith("speedup_") or "_drop_" in n
+                   or n.endswith("_jobs_per_sec"))
     if not gated:
         print(f"perf-trend: baseline '{baseline_path}' has no gated "
-              "(speedup_* / *_jobs_per_sec) metrics")
+              "(speedup_* / *_drop_* / *_jobs_per_sec) metrics")
         return 2
+
+    # Explored-candidate counts, printed next to the gated ratios so a
+    # reduction-effectiveness regression is visible as raw numbers too.
+    explored = sorted(n for n in current if n.startswith("candidates_explored"))
+    for name in explored:
+        print(f"[info] {name}: {current[name]:.0f}")
 
     failures = 0
     for name in gated:
