@@ -21,6 +21,7 @@
 #include "BenchUtil.h"
 #include "engine/ExecutionEngine.h"
 #include "flatsim/FlatSim.h"
+#include "litmus/PathEnum.h"
 #include "compile/Compile.h"
 #include "compile/TotConstruction.h"
 #include "paper/Figures.h"
@@ -163,28 +164,33 @@ void solverHeadline(jsmm::bench::Table &T);
 // Equivalence-aware enumeration (POR) headline
 //===----------------------------------------------------------------------===//
 
+/// An SB core padded with \p Fillers symmetric three-store writer threads
+/// on private cells: the scalable workload of the POR and SAT headlines
+/// (event bound 5 + 3*Fillers).
+Program wideSbProgram(unsigned Fillers, const char *Name) {
+  UniProgram P(2 + 3 * Fillers);
+  P.Name = Name;
+  unsigned T0 = P.thread();
+  P.store(T0, 0, 1, Mode::Unordered);
+  P.load(T0, 1, Mode::Unordered);
+  unsigned T1 = P.thread();
+  P.store(T1, 1, 1, Mode::Unordered);
+  P.load(T1, 0, Mode::Unordered);
+  for (unsigned F = 0; F < Fillers; ++F) {
+    unsigned T = P.thread();
+    for (unsigned L = 0; L < 3; ++L)
+      P.store(T, 2 + 3 * F + L, 1 + L, Mode::Unordered);
+  }
+  return mixedFromUni(P);
+}
+
 /// The wide-SB/IRIW-chain family the reduction targets (the
 /// largeDifferentialCorpus shapes as mixed-size programs): an SB core
 /// padded with symmetric filler writer threads, where the rf sleep sets
 /// collapse the byte-level justification blowup of the u32 reads, plus the
 /// 9-thread IRIW chain.
 std::vector<Program> porFamilyPrograms() {
-  auto WideSb = [](unsigned Fillers, const char *Name) {
-    UniProgram P(2 + 3 * Fillers);
-    P.Name = Name;
-    unsigned T0 = P.thread();
-    P.store(T0, 0, 1, Mode::Unordered);
-    P.load(T0, 1, Mode::Unordered);
-    unsigned T1 = P.thread();
-    P.store(T1, 1, 1, Mode::Unordered);
-    P.load(T1, 0, Mode::Unordered);
-    for (unsigned F = 0; F < Fillers; ++F) {
-      unsigned T = P.thread();
-      for (unsigned L = 0; L < 3; ++L)
-        P.store(T, 2 + 3 * F + L, 1 + L, Mode::Unordered);
-    }
-    return mixedFromUni(P);
-  };
+  auto WideSb = wideSbProgram;
   auto IriwChain = [] {
     Program P(64);
     P.Name = "iriw-chain-9t";
@@ -266,6 +272,36 @@ void porHeadline(jsmm::bench::Table &T) {
                : 0);
 }
 
+/// SAT-tier headline: the 503-event wide-SB program (the regime the
+/// engine used to reject outright at the 256-event cap) enumerated with
+/// the CDCL tot solver against the propagation order-search on the same
+/// workload. Gated floors in bench/perf_baseline.json: `speedup_sat_x`
+/// (SAT wall clock relative to the order-search) and `sat_events_max`
+/// (the program size served — a capacity floor that trips if the SAT
+/// threshold or the dynamic relation cap ever shrinks back).
+void satHeadline(jsmm::bench::Table &T) {
+  Program Big = wideSbProgram(166, "sb-wide-503");
+  unsigned Events = programEventUpperBound(Big);
+  EngineConfig Cfg;
+  // Measure each tot solver explicitly rather than through the automatic
+  // >SatThreshold routing.
+  Cfg.SatThreshold = 100000;
+  ExecutionEngine Engine(Cfg);
+  JsModel Sat(ModelSpec::revised(), SolverConfig::sat());
+  JsModel Prop(ModelSpec::revised(), SolverConfig::propagate());
+  OutcomeSummary SatR, PropR;
+  Engine.enumerateOutcomes(Big, Sat); // warm-up
+  double SatMs = timedMs([&] { SatR = Engine.enumerateOutcomes(Big, Sat); });
+  double PropMs =
+      timedMs([&] { PropR = Engine.enumerateOutcomes(Big, Prop); });
+  T.check("SAT and propagation tiers agree on the 503-event program", true,
+          SatR.outcomeStrings() == PropR.outcomeStrings());
+  T.metric("sat_ms", SatMs, "ms");
+  T.metric("sat_propagate_ms", PropMs, "ms");
+  T.metric("speedup_sat_x", SatMs > 0 ? PropMs / SatMs : 0);
+  T.metric("sat_events_max", Events, "events");
+}
+
 /// Batch-service headline: jobs/sec over the differential corpus (each job
 /// the full 9-backend verdict table), at one worker and at the requested
 /// worker count. The better figure is the `service_jobs_per_sec` metric
@@ -341,6 +377,7 @@ int headlineComparison() {
   smallPathHeadline(T);
   porHeadline(T);
   solverHeadline(T);
+  satHeadline(T);
   serviceHeadline(T);
   return T.finish();
 }

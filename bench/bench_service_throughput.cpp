@@ -152,10 +152,11 @@ int main(int Argc, char **Argv) {
   // good one; the batch completes with per-job statuses. "Too large" now
   // means beyond the *dynamic* cap (DynRelation::MaxSize events) — the
   // former 71-event flavour of this job is served with real verdicts
-  // since the dynamic relation tier landed.
+  // since the dynamic relation tier landed, and the 301-event flavour
+  // since the SAT consistency tier raised the cap to 1024.
   {
     std::string TooLarge = "name big\nbuffer 64\nthread\n";
-    for (unsigned I = 0; I < 300; ++I)
+    for (unsigned I = 0; I < 1100; ++I)
       TooLarge += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
     std::vector<LitmusJob> Mixed;
     Mixed.push_back({"big", TooLarge, "revised", 1});

@@ -15,7 +15,7 @@
 /// the worker pool, and the verdict cells are read off the per-backend
 /// allowed sets of the results — the same path `jsmm-batch` serves.
 ///
-/// Run:  build/example_litmus_explorer [--solver=brute|propagate]
+/// Run:  build/example_litmus_explorer [--solver=brute|propagate|sat]
 ///                                     [--workers=N] [--reduce=on|off]
 ///
 /// The solver flag selects the tot-order decider behind every JavaScript
@@ -150,7 +150,7 @@ int main(int Argc, char **Argv) {
       std::optional<SolverKind> Kind = solverKindByName(Arg.substr(9));
       if (!Kind) {
         std::cerr << "litmus_explorer: unknown solver '" << Arg.substr(9)
-                  << "'; pick 'brute' or 'propagate'\n";
+                  << "'; pick 'brute', 'propagate' or 'sat'\n";
         return 2;
       }
       setDefaultSolverKind(*Kind);
@@ -161,7 +161,7 @@ int main(int Argc, char **Argv) {
         return 2;
       Workers = *N;
     } else {
-      std::cerr << "usage: litmus_explorer [--solver=brute|propagate] "
+      std::cerr << "usage: litmus_explorer [--solver=brute|propagate|sat] "
                    "[--workers=N] [--reduce=on|off]\n";
       return 2;
     }

@@ -116,3 +116,9 @@ Event jsmm::makeInit(EventId Id, unsigned Size, unsigned Block) {
   E.TearFree = true;
   return E;
 }
+
+Event jsmm::makeInit(EventId Id, std::vector<uint8_t> Bytes, unsigned Block) {
+  Event E = makeInit(Id, static_cast<unsigned>(Bytes.size()), Block);
+  E.WriteBytes = std::move(Bytes);
+  return E;
+}

@@ -113,6 +113,8 @@ Event makeRMW(EventId Id, int Thread, unsigned Index, unsigned Width,
               unsigned Block = 0);
 /// The distinguished Init event: writes \p Size zero bytes at offset 0.
 Event makeInit(EventId Id, unsigned Size, unsigned Block = 0);
+/// Init event with explicit initial bytes (the litmus `init` directive).
+Event makeInit(EventId Id, std::vector<uint8_t> Bytes, unsigned Block = 0);
 
 } // namespace jsmm
 

@@ -222,10 +222,14 @@ JsBase<RelT> buildJsBase(const Program &P,
   B.Paths = std::move(Chosen);
 
   std::vector<Event> Events;
-  // One Init event per buffer.
-  for (unsigned Buf = 0; Buf < P.bufferSizes().size(); ++Buf)
-    Events.push_back(makeInit(static_cast<EventId>(Events.size()),
-                              P.bufferSizes()[Buf], Buf));
+  // One Init event per buffer, carrying any declared initial bytes.
+  for (unsigned Buf = 0; Buf < P.bufferSizes().size(); ++Buf) {
+    EventId Id = static_cast<EventId>(Events.size());
+    if (P.initBytes(Buf).empty())
+      Events.push_back(makeInit(Id, P.bufferSizes()[Buf], Buf));
+    else
+      Events.push_back(makeInit(Id, P.initBytes(Buf), Buf));
+  }
   // Thread events, in path order.
   std::vector<std::vector<EventId>> ThreadEvents(P.numThreads());
   for (unsigned T = 0; T < B.Paths.size(); ++T) {
@@ -1219,30 +1223,45 @@ bool ExecutionEngine::forEachAdmittedCandidate(
     const std::function<bool(const CandidateExecution &, const Outcome &)>
         &Visit) const {
   checkFixedCapacity(P);
-  Stats = EngineStats();
-  return walkJs<Relation>(P, Cfg.Prune ? &M : nullptr,
-                          &Stats.PrunedSubtrees, Visit);
+  EngineStats Local;
+  bool Completed = walkJs<Relation>(P, Cfg.Prune ? &M : nullptr,
+                                    &Local.PrunedSubtrees, Visit);
+  Stats = Local;
+  return Completed;
 }
 
 EnumerationResult ExecutionEngine::enumerate(const Program &P,
                                              const JsModel &M) const {
   checkFixedCapacity(P);
-  Stats = EngineStats();
-  return enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Stats);
+  EngineStats Local;
+  EnumerationResult R =
+      enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Local);
+  Stats = Local;
+  return R;
 }
 
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
                                                   const JsModel &M) const {
   checkCapacity(P);
-  Stats = EngineStats();
+  // Tier selection for the tot decider: past Cfg.SatThreshold events the
+  // order-search solvers give way to the SAT/CDCL tier. Only the solver
+  // changes — the spec, and therefore the verdict table, is the model's.
+  if (programEventUpperBound(P) > Cfg.SatThreshold &&
+      M.solver().Kind.value_or(defaultSolverKind()) != SolverKind::Sat) {
+    JsModel SatModel(M.spec(), SolverConfig::sat());
+    return enumerateOutcomes(P, SatModel);
+  }
   bool SmallTier =
       programEventUpperBound(P) <= Relation::MaxSize && !Cfg.ForceDynRelation;
+  EngineStats Local;
   if (!Cfg.Reduction) {
-    if (SmallTier)
-      return summarize(
-          enumerateJsCore<Relation>(P, M, Cfg, effectiveThreads(), Stats));
-    return summarize(
-        enumerateJsCore<DynRelation>(P, M, Cfg, effectiveThreads(), Stats));
+    OutcomeSummary S =
+        SmallTier ? summarize(enumerateJsCore<Relation>(
+                        P, M, Cfg, effectiveThreads(), Local))
+                  : summarize(enumerateJsCore<DynRelation>(
+                        P, M, Cfg, effectiveThreads(), Local));
+    Stats = Local;
+    return S;
   }
   // Equivalence-aware enumeration: canonical path combinations, rf sleep
   // sets inside the justifier, and the outcome orbit closure to restore
@@ -1250,20 +1269,21 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
   JsReductionCtx Red{threadSymmetry(P), M.spec()};
   OutcomeSummary S =
       SmallTier ? summarize(enumerateJsCore<Relation>(
-                      P, M, Cfg, effectiveThreads(), Stats, &Red))
+                      P, M, Cfg, effectiveThreads(), Local, &Red))
                 : summarize(enumerateJsCore<DynRelation>(
-                      P, M, Cfg, effectiveThreads(), Stats, &Red));
+                      P, M, Cfg, effectiveThreads(), Local, &Red));
   if (!Red.Sym.empty())
     S.Allowed = closeOutcomes(std::move(S.Allowed), Red.Sym);
+  Stats = Local;
   return S;
 }
 
 ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
   checkFixedCapacity(P);
-  Stats = EngineStats();
+  EngineStats Local;
   ScDrfReport Report;
   walkJs<Relation>(
-      P, Cfg.Prune ? &M : nullptr, &Stats.PrunedSubtrees,
+      P, Cfg.Prune ? &M : nullptr, &Local.PrunedSubtrees,
       [&](const CandidateExecution &CE, const Outcome &O) {
         (void)O;
         if (!M.allows(CE))
@@ -1279,6 +1299,7 @@ ScDrfReport ExecutionEngine::scDrf(const Program &P, const JsModel &M) const {
         // Keep scanning until both facets are resolved.
         return Report.DataRaceFree || Report.AllValidExecutionsSC;
       });
+  Stats = Local;
   return Report;
 }
 
@@ -1310,7 +1331,7 @@ bool ExecutionEngine::forEachArmCandidate(
 ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
                                                 const Armv8Model &M) const {
   checkCapacity(P);
-  Stats = EngineStats();
+  EngineStats Local;
   unsigned Threads = effectiveThreads();
   ArmSpace Space(P);
 
@@ -1328,10 +1349,11 @@ ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
 
   if (Threads <= 1) {
     ArmEnumerationResult Result;
-    Stats.WorkItems = Space.Combos;
+    Local.WorkItems = Space.Combos;
     forEachArmCandidate(P, [&](const ArmExecution &X, const Outcome &O) {
       return Accumulate(Result, X, O);
     });
+    Stats = Local;
     return Result;
   }
 
@@ -1355,7 +1377,7 @@ ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
     for (unsigned K = 0; K < NW; ++K)
       Items.push_back({C, static_cast<int>(K)});
   }
-  Stats.WorkItems = Items.size();
+  Local.WorkItems = Items.size();
 
   std::vector<ArmEnumerationResult> PerItem(Items.size());
   runSharded(Items.size(), Threads, [&](size_t I) {
@@ -1374,6 +1396,7 @@ ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
     for (auto &[O, Witness] : PerItem[I].Allowed)
       Result.Allowed.emplace(O, std::move(Witness));
   }
+  Stats = Local;
   return Result;
 }
 
@@ -1398,43 +1421,51 @@ bool ExecutionEngine::forEachAdmittedTargetCandidate(
     const std::function<bool(const TargetExecution &, const Outcome &)>
         &Visit) const {
   checkFixedCapacity(CT);
-  Stats = EngineStats();
+  EngineStats Local;
   TargetBase<Relation> B = buildTargetBase<Relation>(CT);
   TargetJustifier<Relation> J(B, Cfg.Prune ? &M : nullptr,
-                              &Stats.PrunedSubtrees,
+                              &Local.PrunedSubtrees,
                               /*FirstWriterOnly=*/-1, Visit);
-  return J.run();
+  bool Completed = J.run();
+  Stats = Local;
+  return Completed;
 }
 
 TargetEnumerationResult
 ExecutionEngine::enumerate(const CompiledTarget &CT,
                            const TargetModel &M) const {
   checkFixedCapacity(CT);
-  Stats = EngineStats();
-  return enumerateTargetCore<Relation>(CT, M, Cfg, effectiveThreads(), Stats);
+  EngineStats Local;
+  TargetEnumerationResult R =
+      enumerateTargetCore<Relation>(CT, M, Cfg, effectiveThreads(), Local);
+  Stats = Local;
+  return R;
 }
 
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
                                                   const TargetModel &M) const {
   checkCapacity(CT);
-  Stats = EngineStats();
   bool SmallTier =
       targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation;
+  EngineStats Local;
   if (!Cfg.Reduction) {
-    if (SmallTier)
-      return summarizeTarget(enumerateTargetCore<Relation>(
-          CT, M, Cfg, effectiveThreads(), Stats));
-    return summarizeTarget(enumerateTargetCore<DynRelation>(
-        CT, M, Cfg, effectiveThreads(), Stats));
+    OutcomeSummary S =
+        SmallTier ? summarizeTarget(enumerateTargetCore<Relation>(
+                        CT, M, Cfg, effectiveThreads(), Local))
+                  : summarizeTarget(enumerateTargetCore<DynRelation>(
+                        CT, M, Cfg, effectiveThreads(), Local));
+    Stats = Local;
+    return S;
   }
   ThreadSymmetry Sym = threadSymmetry(CT);
   OutcomeSummary S =
       SmallTier ? summarizeTarget(enumerateTargetCore<Relation>(
-                      CT, M, Cfg, effectiveThreads(), Stats, &Sym))
+                      CT, M, Cfg, effectiveThreads(), Local, &Sym))
                 : summarizeTarget(enumerateTargetCore<DynRelation>(
-                      CT, M, Cfg, effectiveThreads(), Stats, &Sym));
+                      CT, M, Cfg, effectiveThreads(), Local, &Sym));
   if (!Sym.empty())
     S.Allowed = closeOutcomes(std::move(S.Allowed), Sym);
+  Stats = Local;
   return S;
 }
 

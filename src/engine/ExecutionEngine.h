@@ -70,6 +70,17 @@ struct EngineConfig {
   /// enumerate the full space because their per-candidate visitation order
   /// and witnesses are part of the API.
   bool Reduction = false;
+  /// Event bound above which the outcome-level entry points answer tot
+  /// questions through the SAT/CDCL tier (SolverKind::Sat) instead of the
+  /// model's configured order-search solver. The default matches the old
+  /// dynamic-tier serving cap, so every program the enumeration tiers used
+  /// to serve keeps its solver and the 257..DynRelation::MaxSize range the
+  /// cap raise opened is SAT-only. Lower it to force small programs
+  /// through the SAT tier (differential tests); raise it past
+  /// DynRelation::MaxSize to disable the forcing entirely. An explicit
+  /// --solver=sat choice routes through the SAT tier at every size
+  /// regardless.
+  unsigned SatThreshold = 256;
 
   static EngineConfig sequential() { return {1, true}; }
   static EngineConfig seedCompatible() { return {1, false}; }
@@ -117,7 +128,10 @@ public:
   // (≤ DynRelation::MaxSize events), which the outcome-level entry points
   // select automatically per program. capacityError() reports against the
   // dynamic cap — the largest program the engine can serve at all — with a
-  // "program too large (N events > 256)" diagnostic. The witness-carrying
+  // "program too large (N events > 1024)" diagnostic naming
+  // DynRelation::MaxSize. Within that cap, programs past
+  // EngineConfig::SatThreshold events are answered by the SAT consistency
+  // tier (the CDCL tot solver) rather than the order search. The witness-carrying
   // entry points (enumerate / scDrf / forEach*Candidate) return
   // Relation-typed executions and therefore stay on the fixed tier; they
   // throw a CapacityError naming the 64-event bound for larger programs,
@@ -250,6 +264,13 @@ public:
                                const ArmExecution &)> &Visit);
 
   /// Effort counters of the most recent enumerate() call on this engine.
+  /// Publication discipline: worker threads only ever write per-item
+  /// shards (merged on the calling thread after the join); every entry
+  /// point accumulates into a function-local EngineStats and assigns it
+  /// here exactly once, after all workers have finished. So for a fixed
+  /// workload the counters are byte-identical across Threads settings
+  /// (pinned by engine_test) and the member is never touched while
+  /// workers run (pinned by the ThreadSanitizer CI job).
   mutable EngineStats Stats;
 
 private:

@@ -173,6 +173,10 @@ ThreadSymmetry assembleClasses(unsigned NumThreads, MatchFn Matches) {
 
 ThreadSymmetry jsmm::threadSymmetry(const Program &P) {
   TouchMap Touch(P);
+  // Byte renaming is only an automorphism when the renamed bytes carry
+  // equal initial values; all-zero buffers (the common case) license any
+  // private renaming, so nonzero init simply limits classes to exact ones.
+  bool ZeroInit = !P.hasNonZeroInit();
   return assembleClasses(
       P.numThreads(), [&](unsigned T, unsigned Rep, bool &ExactMatch) {
         const std::vector<Instr> &A = P.threadBody(Rep);
@@ -182,6 +186,8 @@ ThreadSymmetry jsmm::threadSymmetry(const Program &P) {
           return true;
         }
         ExactMatch = false;
+        if (!ZeroInit)
+          return false;
         std::map<ByteKey, unsigned> Fwd, Bwd;
         return renamedBodiesEqual(A, B, Fwd, Bwd) &&
                renamingIsPrivate(Fwd, Touch, static_cast<int>(Rep),

@@ -94,17 +94,47 @@ struct Instr {
 
 class ThreadBuilder;
 
-/// A multi-threaded litmus program over zero-initialised shared buffers.
+/// A multi-threaded litmus program over shared buffers (zero-initialised
+/// unless setInitByte says otherwise).
 class Program {
 public:
   /// \param BufferSize byte size of block 0 (additional blocks via
   /// addBuffer).
-  explicit Program(unsigned BufferSize) { BufferSizes.push_back(BufferSize); }
+  explicit Program(unsigned BufferSize) {
+    BufferSizes.push_back(BufferSize);
+    InitBytes.emplace_back();
+  }
 
   /// Declares another SharedArrayBuffer; \returns its block id.
   unsigned addBuffer(unsigned Size) {
     BufferSizes.push_back(Size);
+    InitBytes.emplace_back();
     return static_cast<unsigned>(BufferSizes.size() - 1);
+  }
+
+  /// Sets the initial value of one byte of \p Block (default is zero).
+  /// \p Offset must be within the buffer.
+  void setInitByte(unsigned Block, unsigned Offset, uint8_t Value) {
+    std::vector<uint8_t> &Bytes = InitBytes[Block];
+    if (Bytes.empty())
+      Bytes.assign(BufferSizes[Block], 0);
+    Bytes[Offset] = Value;
+  }
+
+  /// The initial bytes of \p Block: empty means all-zero (the common
+  /// case keeps no per-byte storage), otherwise exactly bufferSizes()[B]
+  /// entries.
+  const std::vector<uint8_t> &initBytes(unsigned Block) const {
+    return InitBytes[Block];
+  }
+
+  /// \returns true if any buffer has a nonzero initial byte.
+  bool hasNonZeroInit() const {
+    for (const std::vector<uint8_t> &Bytes : InitBytes)
+      for (uint8_t B : Bytes)
+        if (B)
+          return true;
+    return false;
   }
 
   /// Adds a thread and \returns a builder for its body.
@@ -124,6 +154,7 @@ private:
   friend class ThreadBuilder;
   std::vector<std::vector<Instr>> Threads;
   std::vector<unsigned> BufferSizes;
+  std::vector<std::vector<uint8_t>> InitBytes;
   std::vector<unsigned> NextReg;
 };
 

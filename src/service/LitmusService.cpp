@@ -119,10 +119,14 @@ void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
   R.AllowedByBackend["js-revised"] =
       E.enumerateOutcomes(File.P, JsModel(ModelSpec::revised()))
           .outcomeStrings();
-  CompiledProgram CP = compileToArm(File.P);
-  if (!ExecutionEngine::capacityError(CP.Arm))
-    R.AllowedByBackend["armv8"] =
-        allowedStrings(E.enumerate(CP.Arm, Armv8Model()));
+  // The ARM lowering assumes zero-initialised buffers: programs with a
+  // litmus `init` directive omit the armv8 column (like too-large ones).
+  if (!File.P.hasNonZeroInit()) {
+    CompiledProgram CP = compileToArm(File.P);
+    if (!ExecutionEngine::capacityError(CP.Arm))
+      R.AllowedByBackend["armv8"] =
+          allowedStrings(E.enumerate(CP.Arm, Armv8Model()));
+  }
 
   std::string Why;
   std::optional<UniProgram> Uni = uniFromProgram(File.P, &Why);
@@ -259,6 +263,12 @@ LitmusService::computeResult(const LitmusJob &Job,
     }
 
     if (MixedArm) {
+      if (File->P.hasNonZeroInit()) {
+        R.Status = JobStatus::Unsupported;
+        R.Error = "the armv8 backend assumes zero-initialised buffers; "
+                  "litmus 'init' directives are not supported there";
+        return R;
+      }
       CompiledProgram CP = compileToArm(File->P);
       if (std::optional<std::string> Cap =
               ExecutionEngine::capacityError(CP.Arm)) {

@@ -1,0 +1,454 @@
+//===- solver/SatSolver.cpp - CDCL tot-order decider ----------------------===//
+///
+/// \file
+/// Implementation of the SAT tier declared in solver/SatSolver.h: a small
+/// iterative CDCL core (trail + decision levels, occurrence-list unit
+/// propagation, first-UIP learning with backjumping) over one boolean
+/// orientation variable per constrained event pair, with acyclicity
+/// against the closed must-order checked lazily — every cycle the search
+/// trips on comes back as a learned clause over the variable edges of
+/// that cycle, so transitivity is only ever materialized on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/SatSolver.h"
+
+#include "solver/ClosedOrder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+using namespace jsmm;
+
+namespace {
+
+/// Literal encoding: 2*Var for "Var is true" (pair in index order),
+/// 2*Var + 1 for "Var is false" (pair reversed).
+inline int posLit(int Var) { return Var << 1; }
+inline int negLit(int Var) { return (Var << 1) | 1; }
+inline int litVar(int Lit) { return Lit >> 1; }
+inline bool litSign(int Lit) { return Lit & 1; }
+
+template <typename RelT> class SatCore {
+  using SetT = typename RelT::SetT;
+
+public:
+  SatCore(const BasicTotProblem<RelT> &P, SatStats *StatsOut)
+      : P(P), StatsOut(StatsOut) {}
+
+  bool solve(RelT *TotOut) {
+    bool Result = run(TotOut);
+    if (StatsOut)
+      *StatsOut = St;
+    return Result;
+  }
+
+private:
+  //===--- encoding -------------------------------------------------------===//
+
+  /// \returns the literal meaning "A before B" under the pair-orientation
+  /// encoding. The pair must have been interned.
+  int orderLit(unsigned A, unsigned B) const {
+    auto It = VarOf.find(A < B ? std::make_pair(A, B) : std::make_pair(B, A));
+    assert(It != VarOf.end() && "literal for un-interned pair");
+    return A < B ? posLit(It->second) : negLit(It->second);
+  }
+
+  int internPair(unsigned A, unsigned B) {
+    auto Key = A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+    auto It = VarOf.find(Key);
+    if (It != VarOf.end())
+      return It->second;
+    int Var = static_cast<int>(Pairs.size());
+    VarOf.emplace(Key, Var);
+    Pairs.push_back(Key);
+    return Var;
+  }
+
+  /// \returns true if the constraint can never be realized by a strict
+  /// total order over P.Universe — degenerate endpoints or an endpoint
+  /// outside the universe — and so contributes nothing to the CNF.
+  bool vacuous(const TotConstraint &C) const {
+    if (C.Lo == C.Mid || C.Mid == C.Hi || C.Lo == C.Hi)
+      return true;
+    return !bits::test(P.Universe, C.Lo) || !bits::test(P.Universe, C.Mid) ||
+           !bits::test(P.Universe, C.Hi);
+  }
+
+  int addClause(std::vector<int> Lits) {
+    int Idx = static_cast<int>(Clauses.size());
+    for (int L : Lits)
+      Occ[L].push_back(Idx);
+    Clauses.push_back(std::move(Lits));
+    return Idx;
+  }
+
+  //===--- trail ----------------------------------------------------------===//
+
+  int currentLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  /// Makes \p Lit true with \p ReasonIdx (-1 for decisions).
+  /// \returns false if Lit is already false.
+  bool enqueue(int Lit, int ReasonIdx) {
+    int V = litVar(Lit);
+    int8_t Want = litSign(Lit) ? 0 : 1;
+    if (Value[V] != -1)
+      return Value[V] == Want;
+    Value[V] = Want;
+    VarLevel[V] = currentLevel();
+    Reason[V] = ReasonIdx;
+    Trail.push_back(V);
+    return true;
+  }
+
+  void backtrack(int TargetLevel) {
+    while (currentLevel() > TargetLevel) {
+      size_t Lim = TrailLim.back();
+      TrailLim.pop_back();
+      while (Trail.size() > Lim) {
+        int V = Trail.back();
+        Trail.pop_back();
+        Value[V] = -1;
+        Reason[V] = -1;
+      }
+    }
+    QHead = Trail.size();
+  }
+
+  /// Unit propagation to fixpoint. \returns a conflicting clause index, or
+  /// -1 when the queue drains without conflict.
+  int propagate() {
+    while (QHead < Trail.size()) {
+      int V = Trail[QHead++];
+      int FalseLit = Value[V] == 1 ? negLit(V) : posLit(V);
+      for (int CI : Occ[FalseLit]) {
+        const std::vector<int> &C = Clauses[CI];
+        int Unassigned = -1;
+        unsigned Free = 0;
+        bool Satisfied = false;
+        for (int Q : C) {
+          int QV = litVar(Q);
+          int8_t Want = litSign(Q) ? 0 : 1;
+          if (Value[QV] == -1) {
+            Unassigned = Q;
+            ++Free;
+          } else if (Value[QV] == Want) {
+            Satisfied = true;
+            break;
+          }
+        }
+        if (Satisfied)
+          continue;
+        if (Free == 0)
+          return CI;
+        if (Free == 1) {
+          enqueue(Unassigned, CI);
+          ++St.Propagations;
+        }
+      }
+    }
+    return -1;
+  }
+
+  //===--- conflict analysis ---------------------------------------------===//
+
+  /// First-UIP analysis of \p Conflict (all of whose literals are false).
+  /// Fills \p Learnt with the asserting clause (asserting literal first)
+  /// and \returns the backjump level.
+  int analyze(const std::vector<int> &Conflict, std::vector<int> &Learnt) {
+    Learnt.assign(1, 0); // slot 0: the asserting literal
+    std::vector<char> Seen(Pairs.size(), 0);
+    int Counter = 0;
+    int PVar = -1;
+    const std::vector<int> *Clause = &Conflict;
+    int Idx = static_cast<int>(Trail.size()) - 1;
+    for (;;) {
+      for (int Q : *Clause) {
+        int V = litVar(Q);
+        if (V == PVar || Seen[V] || VarLevel[V] == 0)
+          continue;
+        Seen[V] = 1;
+        if (VarLevel[V] >= currentLevel())
+          ++Counter;
+        else
+          Learnt.push_back(Q);
+      }
+      while (!Seen[Trail[Idx]])
+        --Idx;
+      PVar = Trail[Idx--];
+      Seen[PVar] = 0;
+      if (--Counter == 0)
+        break;
+      assert(Reason[PVar] >= 0 && "resolving past the decision literal");
+      Clause = &Clauses[Reason[PVar]];
+    }
+    Learnt[0] = Value[PVar] == 1 ? negLit(PVar) : posLit(PVar);
+    int Jump = 0;
+    for (size_t I = 1; I < Learnt.size(); ++I)
+      Jump = std::max(Jump, VarLevel[litVar(Learnt[I])]);
+    return Jump;
+  }
+
+  /// Resolves a conflict clause: analyze, backjump, learn, assert.
+  /// \returns false when the conflict is at decision level 0 (UNSAT).
+  bool resolveConflict(const std::vector<int> &Conflict) {
+    ++St.Conflicts;
+    if (currentLevel() == 0)
+      return false;
+    std::vector<int> Learnt;
+    int Jump = analyze(Conflict, Learnt);
+    St.MaxBackjump = std::max(
+        St.MaxBackjump, static_cast<uint64_t>(currentLevel() - Jump));
+    backtrack(Jump);
+    int CI = addClause(Learnt);
+    ++St.Learned;
+    bool Ok = enqueue(Clauses[CI].front(), CI);
+    assert(Ok && "asserting literal must be enqueable after backjump");
+    (void)Ok;
+    return true;
+  }
+
+  //===--- theory: acyclicity on demand ----------------------------------===//
+
+  /// Checks the full assignment's edges against the closed must-order.
+  /// On success fills \p FinalOut with the combined closed order; on a
+  /// cycle fills \p CycleClause with the blocking clause over the variable
+  /// edges of one cycle.
+  bool theoryCheck(ClosedOrder<RelT> &FinalOut,
+                   std::vector<int> &CycleClause) {
+    ClosedOrder<RelT> Ord = Base;
+    for (size_t V = 0; V < Pairs.size(); ++V) {
+      auto [A, B] = Pairs[V];
+      unsigned From = Value[V] == 1 ? A : B;
+      unsigned To = Value[V] == 1 ? B : A;
+      if (!Ord.addEdge(From, To)) {
+        buildCycleClause(static_cast<int>(V), From, To, CycleClause);
+        return false;
+      }
+    }
+    FinalOut = std::move(Ord);
+    return true;
+  }
+
+  /// A cycle exists through variable edge \p FailVar (From -> To): some
+  /// path To ->* From over must-order edges and the variable edges already
+  /// placed (variables with index < FailVar). BFS recovers one such path;
+  /// the clause negates exactly the variable edges on it — must edges are
+  /// unconditional and contribute no literal.
+  void buildCycleClause(int FailVar, unsigned From, unsigned To,
+                        std::vector<int> &CycleClause) {
+    unsigned N = P.N;
+    // Parent[X] = predecessor on the BFS tree; ParentVar[X] = the variable
+    // whose edge was taken into X, or -1 for a must edge.
+    std::vector<int> Parent(N, -1), ParentVar(N, -2);
+    std::vector<unsigned> Queue{To};
+    Parent[To] = static_cast<int>(To);
+    // Variable-edge adjacency for the already-placed variables.
+    std::vector<std::vector<std::pair<unsigned, int>>> VarAdj(N);
+    for (int V = 0; V < FailVar; ++V) {
+      auto [A, B] = Pairs[V];
+      if (Value[V] == 1)
+        VarAdj[A].push_back({B, V});
+      else
+        VarAdj[B].push_back({A, V});
+    }
+    for (size_t Head = 0; Head < Queue.size() && Parent[From] < 0; ++Head) {
+      unsigned X = Queue[Head];
+      bits::forEach(Base.Succ[X], [&](unsigned Y) {
+        if (Parent[Y] < 0) {
+          Parent[Y] = static_cast<int>(X);
+          ParentVar[Y] = -1;
+          Queue.push_back(Y);
+        }
+      });
+      for (auto [Y, V] : VarAdj[X])
+        if (Parent[Y] < 0) {
+          Parent[Y] = static_cast<int>(X);
+          ParentVar[Y] = V;
+          Queue.push_back(Y);
+        }
+    }
+    assert(Parent[From] >= 0 && "closure entailed a path the graph lacks");
+    CycleClause.clear();
+    // Negate the failing edge's literal plus every variable edge on the
+    // recovered path.
+    auto NegationOf = [&](int V) {
+      return Value[V] == 1 ? negLit(V) : posLit(V);
+    };
+    CycleClause.push_back(NegationOf(FailVar));
+    for (unsigned X = From; X != To; X = static_cast<unsigned>(Parent[X]))
+      if (ParentVar[X] >= 0) {
+        int L = NegationOf(ParentVar[X]);
+        if (std::find(CycleClause.begin(), CycleClause.end(), L) ==
+            CycleClause.end())
+          CycleClause.push_back(L);
+      }
+  }
+
+  /// Theory conflicts can live entirely below the current decision level;
+  /// CDCL analysis needs at least one literal at the current level, so
+  /// drop to the deepest level the clause mentions first.
+  void backtrackToClauseLevel(const std::vector<int> &Clause) {
+    int Deepest = 0;
+    for (int Q : Clause)
+      Deepest = std::max(Deepest, VarLevel[litVar(Q)]);
+    if (Deepest < currentLevel())
+      backtrack(Deepest);
+  }
+
+  //===--- top level ------------------------------------------------------===//
+
+  bool run(RelT *TotOut) {
+    if (!Base.init(P.Must, P.Universe))
+      return false; // the must-order itself is cyclic: no tot at all
+
+    // Intern the constrained pairs and emit one blocking clause per
+    // betweenness constraint: ¬ord(Lo, Mid) ∨ ¬ord(Mid, Hi).
+    std::vector<std::pair<int, int>> Blocking;
+    for (const TotConstraint &C : P.Forbidden) {
+      if (vacuous(C))
+        continue;
+      internPair(C.Lo, C.Mid);
+      internPair(C.Mid, C.Hi);
+      Blocking.push_back({-1, -1}); // orientation resolved after interning
+    }
+    Value.assign(Pairs.size(), -1);
+    VarLevel.assign(Pairs.size(), 0);
+    Reason.assign(Pairs.size(), -1);
+    Occ.assign(2 * Pairs.size(), {});
+    St.Variables = Pairs.size();
+
+    size_t BI = 0;
+    for (const TotConstraint &C : P.Forbidden) {
+      if (vacuous(C))
+        continue;
+      addClause({orderLit(C.Lo, C.Mid) ^ 1, orderLit(C.Mid, C.Hi) ^ 1});
+      ++BI;
+    }
+    (void)BI;
+    // Must-order units: any constrained pair the closure already orders.
+    for (size_t V = 0; V < Pairs.size(); ++V) {
+      auto [A, B] = Pairs[V];
+      if (Base.entails(A, B))
+        addClause({posLit(static_cast<int>(V))});
+      else if (Base.entails(B, A))
+        addClause({negLit(static_cast<int>(V))});
+    }
+    St.Clauses = Clauses.size();
+    // Assert the units at level 0.
+    for (size_t CI = 0; CI < Clauses.size(); ++CI)
+      if (Clauses[CI].size() == 1 &&
+          !enqueue(Clauses[CI].front(), static_cast<int>(CI)))
+        return false;
+
+    ClosedOrder<RelT> Final;
+    for (;;) {
+      int Confl = propagate();
+      if (Confl >= 0) {
+        if (!resolveConflict(Clauses[Confl]))
+          return false;
+        continue;
+      }
+      if (Trail.size() == Pairs.size()) {
+        std::vector<int> CycleClause;
+        if (theoryCheck(Final, CycleClause))
+          break; // satisfying, acyclic assignment
+        ++St.CycleClauses;
+        backtrackToClauseLevel(CycleClause);
+        if (!resolveConflict(CycleClause))
+          return false;
+        continue;
+      }
+      // Decide: lowest unassigned variable, index-order polarity — a fixed
+      // rule, so the witness below is deterministic for a given problem.
+      ++St.Decisions;
+      TrailLim.push_back(Trail.size());
+      for (size_t V = 0; V < Pairs.size(); ++V)
+        if (Value[V] == -1) {
+          enqueue(posLit(static_cast<int>(V)), -1);
+          break;
+        }
+    }
+    if (TotOut)
+      *TotOut = totalOrderOver<RelT>(
+          lexSmallestExtension<RelT>(Final.toRelation(), P.Universe), P.N);
+    return true;
+  }
+
+  const BasicTotProblem<RelT> &P;
+  SatStats *StatsOut;
+  SatStats St;
+
+  ClosedOrder<RelT> Base;
+  std::vector<std::pair<unsigned, unsigned>> Pairs; ///< var -> (a, b), a < b
+  std::map<std::pair<unsigned, unsigned>, int> VarOf;
+  std::vector<std::vector<int>> Clauses;
+  std::vector<std::vector<int>> Occ; ///< literal -> clause indices
+  std::vector<int8_t> Value;         ///< -1 unassigned / 0 false / 1 true
+  std::vector<int> VarLevel;
+  std::vector<int> Reason; ///< implying clause index, -1 for decisions
+  std::vector<int> Trail;
+  std::vector<size_t> TrailLim;
+  size_t QHead = 0;
+};
+
+/// The refutation dual needs no search: realizing one constraint is two
+/// edge insertions into the closed must-order, exactly the propagation
+/// tier's procedure — shared so the solvers' verdicts cannot diverge.
+template <typename RelT>
+bool satExistsViolatingExtension(const BasicTotProblem<RelT> &P,
+                                 RelT *TotOut) {
+  ClosedOrder<RelT> Base;
+  if (!Base.init(P.Must, P.Universe))
+    return false;
+  for (const TotConstraint &C : P.Forbidden) {
+    ClosedOrder<RelT> Try = Base;
+    if (!Try.addEdge(C.Lo, C.Mid) || !Try.addEdge(C.Mid, C.Hi))
+      continue;
+    if (TotOut)
+      *TotOut = totalOrderOver<RelT>(
+          lexSmallestExtension<RelT>(Try.toRelation(), P.Universe), P.N);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+namespace jsmm {
+
+template <typename RelT>
+bool satExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut,
+                        SatStats *Stats) {
+  SatCore<RelT> Core(P, Stats);
+  return Core.solve(TotOut);
+}
+
+template bool satExistsExtension<Relation>(const BasicTotProblem<Relation> &,
+                                           Relation *, SatStats *);
+template bool
+satExistsExtension<DynRelation>(const BasicTotProblem<DynRelation> &,
+                                DynRelation *, SatStats *);
+
+} // namespace jsmm
+
+bool SatSolver::existsExtension(const TotProblem &P, Relation *TotOut) const {
+  return satExistsExtension(P, TotOut, nullptr);
+}
+
+bool SatSolver::existsExtension(const DynTotProblem &P,
+                                DynRelation *TotOut) const {
+  return satExistsExtension(P, TotOut, nullptr);
+}
+
+bool SatSolver::existsViolatingExtension(const TotProblem &P,
+                                         Relation *TotOut) const {
+  return satExistsViolatingExtension(P, TotOut);
+}
+
+bool SatSolver::existsViolatingExtension(const DynTotProblem &P,
+                                         DynRelation *TotOut) const {
+  return satExistsViolatingExtension(P, TotOut);
+}

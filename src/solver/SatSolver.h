@@ -1,0 +1,87 @@
+//===- solver/SatSolver.h - CDCL tot-order decider ------------------------===//
+///
+/// \file
+/// The SAT-backed tot-order tier: decides the betweenness-constraint
+/// problem of solver/TotSolver.h by conflict-driven clause learning over
+/// boolean order variables instead of explicit order search — the
+/// PrideMM/EMME route of compiling relaxed-model consistency to a solving
+/// problem, which is what lets the engine serve programs past the
+/// enumeration tiers' comfort zone.
+///
+/// Encoding. One boolean variable per *constrained* unordered pair {a, b}
+/// (a pair mentioned by some betweenness constraint): v{a,b} true means
+/// "a before b" (a < b by index), false means "b before a". Because a
+/// variable *is* an orientation of its pair, totality and antisymmetry are
+/// free — no clauses needed. The CNF then consists of
+///
+///   - must-order units: for every constrained pair ordered by the
+///     transitive closure of Must, a unit clause fixing the variable;
+///   - one binary blocking clause per betweenness constraint
+///     "not (Lo < Mid < Hi)": ¬ord(Lo,Mid) ∨ ¬ord(Mid,Hi);
+///   - transitivity on demand: a full assignment is checked against the
+///     closed must-order for acyclicity; each cycle found is returned to
+///     the CDCL core as a conflict clause negating the variable edges on
+///     the cycle (must-edges contribute no literals), so only the
+///     transitivity instances the search actually trips on are ever
+///     materialized.
+///
+/// The core is a standard iterative CDCL loop: trail with decision levels
+/// and reasons, unit propagation over occurrence lists, first-UIP conflict
+/// analysis with backjumping, deterministic decision order (lowest
+/// variable index first, "index order" polarity) so witnesses are stable.
+/// A satisfying assignment yields the witness as the lexicographically
+/// smallest linear extension of closure(Must + chosen edges) — the same
+/// stable-witness contract the other solvers honour.
+///
+/// The refutation dual (existsViolatingExtension) needs no search at all
+/// and reuses the per-constraint realization of the propagation tier, so
+/// the three solvers' verdicts are interchangeable bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_SOLVER_SATSOLVER_H
+#define JSMM_SOLVER_SATSOLVER_H
+
+#include "solver/TotSolver.h"
+
+#include <cstdint>
+
+namespace jsmm {
+
+/// Search counters exposed for the CDCL unit tests and the bench headline.
+struct SatStats {
+  uint64_t Variables = 0;    ///< boolean order variables created
+  uint64_t Clauses = 0;      ///< problem clauses (units + blocking)
+  uint64_t Decisions = 0;    ///< decision-level openings
+  uint64_t Propagations = 0; ///< literals implied by unit propagation
+  uint64_t Conflicts = 0;    ///< conflicts analyzed (CNF + theory)
+  uint64_t Learned = 0;      ///< learned clauses added to the database
+  uint64_t CycleClauses = 0; ///< conflicts contributed by acyclicity checks
+  uint64_t MaxBackjump = 0;  ///< largest decision-level drop on backjump
+};
+
+/// CDCL decider; see the file comment for the encoding.
+class SatSolver : public TotSolver {
+public:
+  const char *name() const override { return "sat"; }
+  bool existsExtension(const TotProblem &P,
+                       Relation *TotOut = nullptr) const override;
+  bool existsExtension(const DynTotProblem &P,
+                       DynRelation *TotOut = nullptr) const override;
+  bool existsViolatingExtension(const TotProblem &P,
+                                Relation *TotOut = nullptr) const override;
+  bool
+  existsViolatingExtension(const DynTotProblem &P,
+                           DynRelation *TotOut = nullptr) const override;
+};
+
+/// Direct entry to the CDCL core with its counters, for the unit tests
+/// that pin conflict/learn/backjump behaviour on hand-built problems.
+/// Instantiated for Relation and DynRelation.
+template <typename RelT>
+bool satExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut,
+                        SatStats *Stats = nullptr);
+
+} // namespace jsmm
+
+#endif // JSMM_SOLVER_SATSOLVER_H

@@ -2,6 +2,7 @@
 
 #include "solver/TotSolver.h"
 
+#include "solver/SatSolver.h"
 #include "support/LinearExtensions.h"
 
 #include <atomic>
@@ -146,8 +147,16 @@ bool BruteForceSolver::existsViolatingExtension(const DynTotProblem &P,
 const TotSolver &jsmm::totSolver(SolverKind Kind) {
   static const BruteForceSolver Brute;
   static const PropagationSolver Propagate;
-  return Kind == SolverKind::Brute ? static_cast<const TotSolver &>(Brute)
-                                   : Propagate;
+  static const SatSolver Sat;
+  switch (Kind) {
+  case SolverKind::Brute:
+    return Brute;
+  case SolverKind::Sat:
+    return Sat;
+  case SolverKind::Propagate:
+    break;
+  }
+  return Propagate;
 }
 
 const TotSolver &jsmm::totSolver(const SolverConfig &Config) {
@@ -173,7 +182,15 @@ const TotSolver &jsmm::defaultTotSolver() {
 }
 
 const char *jsmm::solverKindName(SolverKind Kind) {
-  return Kind == SolverKind::Brute ? "brute" : "propagate";
+  switch (Kind) {
+  case SolverKind::Brute:
+    return "brute";
+  case SolverKind::Sat:
+    return "sat";
+  case SolverKind::Propagate:
+    break;
+  }
+  return "propagate";
 }
 
 std::optional<SolverKind> jsmm::solverKindByName(const std::string &Name) {
@@ -184,5 +201,5 @@ std::optional<SolverKind> jsmm::solverKindByName(const std::string &Name) {
 }
 
 std::vector<SolverKind> jsmm::allSolverKinds() {
-  return {SolverKind::Brute, SolverKind::Propagate};
+  return {SolverKind::Brute, SolverKind::Propagate, SolverKind::Sat};
 }

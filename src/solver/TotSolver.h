@@ -25,7 +25,7 @@
 /// programs. Both solvers decide both tiers through the same templated
 /// cores.
 ///
-/// Two interchangeable deciders implement the interface:
+/// Three interchangeable deciders implement the interface:
 ///
 ///   - BruteForceSolver: the seed's linear-extension enumeration (now with
 ///     a mid-prefix early exit), kept as the differential oracle;
@@ -33,6 +33,10 @@
 ///     transitively closed must-order, unit propagation of forced edges,
 ///     early cycle detection, and backtracking only on genuinely
 ///     unconstrained choices. See solver/PropagationSolver.cpp.
+///   - SatSolver: a CDCL core over boolean order variables with lazy
+///     transitivity (acyclicity learned on demand), the tier the engine
+///     selects past EngineConfig::SatThreshold events. See
+///     solver/SatSolver.h / solver/SatSolver.cpp.
 ///
 /// Callers pick a solver through SolverConfig; an unset config resolves to
 /// the process-wide default (settable from the CLI via --solver=...).
@@ -81,7 +85,7 @@ using TotProblem = BasicTotProblem<Relation>;
 using DynTotProblem = BasicTotProblem<DynRelation>;
 
 /// The available solver implementations.
-enum class SolverKind : uint8_t { Brute, Propagate };
+enum class SolverKind : uint8_t { Brute, Propagate, Sat };
 
 /// Pluggable solver selection carried by models and search/enumeration
 /// configurations. An empty Kind resolves to the process-wide default.
@@ -90,6 +94,7 @@ struct SolverConfig {
 
   static SolverConfig brute() { return {SolverKind::Brute}; }
   static SolverConfig propagate() { return {SolverKind::Propagate}; }
+  static SolverConfig sat() { return {SolverKind::Sat}; }
 };
 
 /// Interface of a tot-order decider. Each question has a fast-path
@@ -167,7 +172,7 @@ SolverKind defaultSolverKind();
 void setDefaultSolverKind(SolverKind Kind);
 const TotSolver &defaultTotSolver();
 
-/// Name <-> kind mapping for CLI flags ("brute", "propagate").
+/// Name <-> kind mapping for CLI flags ("brute", "propagate", "sat").
 const char *solverKindName(SolverKind Kind);
 std::optional<SolverKind> solverKindByName(const std::string &Name);
 

@@ -96,6 +96,12 @@ std::optional<UniProgram> jsmm::uniFromProgram(const Program &P,
     return std::nullopt;
   };
 
+  // The uni-size fragment (and the Thm 6.3 target pipeline behind it)
+  // assumes zero-initialised cells; a litmus `init` directive takes the
+  // program out of the fragment rather than silently dropping its bytes.
+  if (P.hasNonZeroInit())
+    return Fail("nonzero initial values are not expressible uni-size");
+
   // First pass: collect the cells and check the program stays inside the
   // uni-size fragment.
   std::map<std::pair<unsigned, unsigned>, unsigned> WidthOfCell;

@@ -232,3 +232,61 @@ TEST(Engine, ShardedLargeProgramEnumerationIsDeterministic) {
   }
   FAIL() << "iriw-chain-9t missing from the large corpus";
 }
+
+TEST(Engine, StatsAreIdenticalAcrossThreadCounts) {
+  // The mutable Stats member is assigned exactly once per entry point,
+  // after the worker join, from per-shard counters merged on the calling
+  // thread — so for a fixed workload every counter except WorkItems (the
+  // shard count itself) is byte-identical across thread counts. This used
+  // to race: workers incremented the shared member in place, so a 4-thread
+  // run could publish torn or lost counts. Pinned here at exact equality
+  // and by the ThreadSanitizer CI job.
+  auto WideSb = [] {
+    UniProgram U(8);
+    unsigned T0 = U.thread();
+    U.store(T0, 0, 1, Mode::Unordered);
+    U.load(T0, 1, Mode::Unordered);
+    unsigned T1 = U.thread();
+    U.store(T1, 1, 1, Mode::Unordered);
+    U.load(T1, 0, Mode::Unordered);
+    for (unsigned F = 0; F < 2; ++F) {
+      unsigned T = U.thread();
+      for (unsigned L = 0; L < 3; ++L)
+        U.store(T, 2 + 3 * F + L, 1 + L, Mode::Unordered);
+    }
+    return mixedFromUni(U);
+  };
+  for (const Program &P : {fig6Program(), WideSb()}) {
+    EngineConfig Base;
+    Base.Threads = 1;
+    Base.Reduction = true;
+    ExecutionEngine Ref(Base);
+    OutcomeSummary RefSummary =
+        Ref.enumerateOutcomes(P, JsModel(ModelSpec::revised()));
+    EngineStats RefStats = Ref.Stats;
+    for (unsigned Threads : {2u, 4u}) {
+      EngineConfig Cfg = Base;
+      Cfg.Threads = Threads;
+      ExecutionEngine Engine(Cfg);
+      OutcomeSummary S =
+          Engine.enumerateOutcomes(P, JsModel(ModelSpec::revised()));
+      EXPECT_EQ(S.Allowed, RefSummary.Allowed)
+          << P.Name << " threads=" << Threads;
+      EXPECT_EQ(S.CandidatesConsidered, RefSummary.CandidatesConsidered)
+          << P.Name << " threads=" << Threads;
+      EXPECT_EQ(Engine.Stats.PrunedSubtrees, RefStats.PrunedSubtrees)
+          << P.Name << " threads=" << Threads;
+      EXPECT_EQ(Engine.Stats.SleptBranches, RefStats.SleptBranches)
+          << P.Name << " threads=" << Threads;
+    }
+  }
+  // The workloads must exercise both counters for the equality to bite.
+  EngineConfig Cfg;
+  Cfg.Threads = 4;
+  Cfg.Reduction = true;
+  ExecutionEngine Pruner(Cfg), Sleeper(Cfg);
+  Pruner.enumerateOutcomes(fig6Program(), JsModel(ModelSpec::revised()));
+  Sleeper.enumerateOutcomes(WideSb(), JsModel(ModelSpec::revised()));
+  EXPECT_GT(Pruner.Stats.PrunedSubtrees, 0u);
+  EXPECT_GT(Sleeper.Stats.SleptBranches, 0u);
+}

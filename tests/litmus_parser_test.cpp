@@ -2,6 +2,7 @@
 
 #include "tools/LitmusParser.h"
 
+#include "engine/ExecutionEngine.h"
 #include "exec/Enumerator.h"
 #include "litmus/PathEnum.h"
 #include "targets/Differential.h"
@@ -375,16 +376,16 @@ allow 0:r0=010
 }
 
 TEST(LitmusParser, RejectsProgramsBeyondTheDynamicEventCap) {
-  // The dynamic relation tier lifted the parser's cap from the fixed
-  // 64-event relations to DynRelation::MaxSize. A program beyond the
-  // *dynamic* cap is rejected with the typed TooLarge diagnostic...
+  // The SAT tier raised the parser's cap to the new DynRelation::MaxSize
+  // (1024). A program beyond the *raised* cap is still rejected with the
+  // typed TooLarge diagnostic...
   std::string Src = "name big\nbuffer 64\nthread\n";
-  for (unsigned I = 0; I < 300; ++I)
+  for (unsigned I = 0; I < 1200; ++I)
     Src += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
   LitmusParseDiag Diag;
   EXPECT_FALSE(parseLitmus(Src, Diag).has_value());
   EXPECT_TRUE(Diag.TooLarge);
-  EXPECT_NE(Diag.Message.find("program too large (301 events > 256)"),
+  EXPECT_NE(Diag.Message.find("program too large (1201 events > 1024)"),
             std::string::npos)
       << Diag.Message;
   EXPECT_EQ(Diag.Message.rfind("line ", 0), 0u) << Diag.Message;
@@ -404,9 +405,143 @@ TEST(LitmusParser, RejectsProgramsBeyondTheDynamicEventCap) {
   ASSERT_TRUE(File.has_value()) << Error;
   EXPECT_EQ(programEventUpperBound(File->P), 71u);
 
-  // Exactly at the dynamic cap still parses: 1 init + 255 stores.
+  // The former dynamic-tier rejection (257..1024 events) now parses too:
+  // these programs are served by the SAT consistency tier.
+  std::string SatSized = "name sat-sized\nbuffer 64\nthread\n";
+  for (unsigned I = 0; I < 300; ++I)
+    SatSized += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
+  File = parseLitmus(SatSized, &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  EXPECT_EQ(programEventUpperBound(File->P), 301u);
+
+  // Exactly at the raised cap still parses: 1 init + 1023 stores.
   std::string AtCap = "name cap\nbuffer 64\nthread\n";
-  for (unsigned I = 0; I < 255; ++I)
+  for (unsigned I = 0; I < 1023; ++I)
     AtCap += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
   EXPECT_TRUE(parseLitmus(AtCap, &Error).has_value()) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Thread ids and initial values (the PR 7 rejection-gap fixes)
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusParser, DuplicateAndOutOfOrderThreadIdsAreRejected) {
+  // Explicit thread ids used to be silently ignored, so `thread 0` twice
+  // parsed into a two-thread program whose outcomes named the wrong
+  // threads. Now: an id must name the next thread in declaration order,
+  // duplicates and gaps are line-numbered rejects, and the bare `thread`
+  // form still works (all existing corpora use it).
+  std::string Error;
+  auto Ok = parseLitmus(
+      "thread 0\n  store u8 0 = 1\nthread 1\n  r0 = load u8 0\n", &Error);
+  ASSERT_TRUE(Ok.has_value()) << Error;
+  EXPECT_EQ(Ok->P.numThreads(), 2u);
+
+  const std::vector<std::pair<const char *, const char *>> Cases = {
+      {"thread 0\n  store u8 0 = 1\nthread 0\n  r0 = load u8 0\n",
+       "duplicate thread id '0'"},
+      {"thread 0\n  store u8 0 = 1\nthread 2\n  r0 = load u8 0\n",
+       "thread id 2 out of order (expected 1)"},
+      {"thread one\n  store u8 0 = 1\n", "bad thread id 'one'"},
+      {"thread 0 0\n  store u8 0 = 1\n", "expected 'thread [id]'"},
+  };
+  for (const auto &[Source, Expected] : Cases) {
+    auto File = parseLitmus(Source, &Error);
+    EXPECT_FALSE(File.has_value()) << Source;
+    EXPECT_NE(Error.find(Expected), std::string::npos)
+        << "source <<" << Source << ">> produced: " << Error;
+    EXPECT_EQ(Error.rfind("line ", 0), 0u) << Error;
+  }
+}
+
+TEST(LitmusParser, InitDirectiveSetsInitialBytes) {
+  std::string Error;
+  auto File = parseLitmus("buffer 8\ninit u32 0 = 258\ninit u8 7 = 9\n"
+                          "thread\n  r0 = load u32 0\n",
+                          &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  const std::vector<uint8_t> &Init = File->P.initBytes(0);
+  ASSERT_EQ(Init.size(), 8u);
+  EXPECT_EQ(Init[0], 2u); // 258 little-endian
+  EXPECT_EQ(Init[1], 1u);
+  EXPECT_EQ(Init[2], 0u);
+  EXPECT_EQ(Init[7], 9u);
+  EXPECT_TRUE(File->P.hasNonZeroInit());
+}
+
+TEST(LitmusParser, InitDirectiveScopesToTheLatestBuffer) {
+  std::string Error;
+  auto File = parseLitmus("buffer 4\ninit u8 0 = 1\nbuffer 4\ninit u8 0 = 2\n"
+                          "thread\n  r0 = load u8 0\n",
+                          &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  ASSERT_EQ(File->P.bufferSizes().size(), 2u);
+  EXPECT_EQ(File->P.initBytes(0)[0], 1u);
+  EXPECT_EQ(File->P.initBytes(1)[0], 2u);
+}
+
+TEST(LitmusParser, MalformedInitDirectivesAreRejectedWithLines) {
+  // Overlapping byte ranges used to parse into an ill-formed program
+  // (silent last-writer-wins); they and the other malformed shapes are
+  // now line-numbered rejects.
+  const std::vector<std::pair<const char *, const char *>> Cases = {
+      {"buffer 8\ninit u32 0 = 1\ninit u16 2 = 1\nthread\n  r0 = load u8 0\n",
+       "overlaps an earlier init at byte 2"},
+      {"buffer 8\ninit u8 3 = 1\ninit u8 3 = 1\nthread\n  r0 = load u8 0\n",
+       "overlaps an earlier init at byte 3"},
+      {"buffer 4\ninit u32 2 = 1\nthread\n  r0 = load u8 0\n",
+       "init range [2..5] is outside the 4-byte buffer"},
+      {"buffer 4\ninit u8 4 = 1\nthread\n  r0 = load u8 0\n",
+       "outside the 4-byte buffer"},
+      {"init u8 0 = 1\nbuffer 4\nthread\n  r0 = load u8 0\n",
+       "'init' before any 'buffer' directive"},
+      {"buffer 4\ninit u8 0 = 256\nthread\n  r0 = load u8 0\n",
+       "value 256 does not fit u8"},
+      {"buffer 4\ninit u16 0 = 65536\nthread\n  r0 = load u8 0\n",
+       "value 65536 does not fit u16"},
+      {"buffer 4\ninit u8 0\nthread\n  r0 = load u8 0\n",
+       "expected 'init <width> <offset> = <value>'"},
+      {"buffer 4\ninit u99 0 = 1\nthread\n  r0 = load u8 0\n", "bad width"},
+  };
+  for (const auto &[Source, Expected] : Cases) {
+    std::string Error;
+    auto File = parseLitmus(Source, &Error);
+    EXPECT_FALSE(File.has_value()) << Source;
+    EXPECT_NE(Error.find(Expected), std::string::npos)
+        << "source <<" << Source << ">> produced: " << Error;
+    EXPECT_EQ(Error.rfind("line ", 0), 0u) << Error;
+  }
+}
+
+TEST(LitmusParser, InitRoundTripsThroughEmit) {
+  // emitLitmus is the service cache key: whatever width mix the source
+  // used, the canonical per-byte emission must reparse to the same
+  // initial bytes and be a fixed point.
+  std::string Error;
+  auto First = parseLitmus("name init-rt\nbuffer 8\ninit u16 2 = 513\n"
+                           "init u8 6 = 255\nthread\n  r0 = load u8 2\n",
+                           &Error);
+  ASSERT_TRUE(First.has_value()) << Error;
+  std::string Emitted = emitLitmus(*First);
+  EXPECT_NE(Emitted.find("init u8 2 = 1"), std::string::npos) << Emitted;
+  EXPECT_NE(Emitted.find("init u8 3 = 2"), std::string::npos) << Emitted;
+  EXPECT_NE(Emitted.find("init u8 6 = 255"), std::string::npos) << Emitted;
+  auto Second = parseLitmus(Emitted, &Error);
+  ASSERT_TRUE(Second.has_value()) << Error << "\n" << Emitted;
+  EXPECT_EQ(First->P.initBytes(0), Second->P.initBytes(0));
+  EXPECT_EQ(Emitted, emitLitmus(*Second)) << "re-emitting must be stable";
+}
+
+TEST(LitmusParser, InitValuesAreObservable) {
+  // End-to-end: a load with no racing write must read the init value, and
+  // the zero it could read before this PR must be forbidden.
+  std::string Error;
+  auto File = parseLitmus("buffer 8\ninit u32 0 = 7\nthread\n"
+                          "  r0 = load u32 0\nthread\n  store u32 4 = 1\n",
+                          &Error);
+  ASSERT_TRUE(File.has_value()) << Error;
+  ExecutionEngine Engine;
+  OutcomeSummary R = Engine.enumerateOutcomes(File->P, JsModel());
+  ASSERT_EQ(R.Allowed.size(), 1u);
+  EXPECT_EQ(R.Allowed[0].toString(), "0:r0=7");
 }

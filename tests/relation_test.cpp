@@ -411,7 +411,7 @@ TEST(DynRelation, CapacityIsCheckedWithATypedError) {
   EXPECT_THROW(DynRelation R(DynRelation::MaxSize + 1), CapacityError);
   EXPECT_THROW(Relation R(Relation::MaxSize + 1), CapacityError);
   // CapacityError remains a std::length_error for legacy catch sites.
-  EXPECT_THROW(DynRelation R(1000), std::length_error);
+  EXPECT_THROW(DynRelation R(DynRelation::MaxSize + 1), std::length_error);
   DynRelation AtCap(DynRelation::MaxSize);
   EXPECT_EQ(AtCap.size(), DynRelation::MaxSize);
 }

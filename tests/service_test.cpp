@@ -37,11 +37,11 @@ forbid 1:r0=1 1:r1=0
 )";
 
 /// A straight-line program whose event universe exceeds the *dynamic*
-/// relation cap (DynRelation::MaxSize) — the only tier that still reports
-/// too-large since PR 5 lifted the fixed 64-event ceiling.
+/// relation cap (DynRelation::MaxSize, 1024 since the SAT tier raised
+/// it) — the only size that still reports too-large.
 std::string tooLargeLitmus() {
   std::string Out = "name too-big\nbuffer 64\nthread\n";
-  for (unsigned I = 0; I < 300; ++I)
+  for (unsigned I = 0; I < 1200; ++I)
     Out += "  store u32 " + std::to_string(4 * (I % 8)) + " = 1\n";
   return Out;
 }
@@ -159,7 +159,7 @@ thread
   ASSERT_EQ(Results.size(), 5u);
 
   EXPECT_EQ(Results[0].Status, JobStatus::TooLarge);
-  EXPECT_NE(Results[0].Error.find("program too large (301 events > 256)"),
+  EXPECT_NE(Results[0].Error.find("program too large (1201 events > 1024)"),
             std::string::npos)
       << Results[0].Error;
 
@@ -189,7 +189,7 @@ TEST(LitmusService, TooLargeIsAStructuredStatusNotACrash) {
   LitmusJobResult R = Service.runOne({"", tooLargeLitmus(), "revised", 1});
   EXPECT_EQ(R.Status, JobStatus::TooLarge);
   EXPECT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("events > 256"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("events > 1024"), std::string::npos) << R.Error;
 }
 
 TEST(LitmusService, FormerlyTooLargeProgramsNowServeRealVerdicts) {
@@ -460,14 +460,14 @@ TEST(ServiceHardening, EngineCapacityErrorsNameTheBound) {
       ExecutionEngine().enumerateOutcomes(P, JsModel(ModelSpec::revised()));
   EXPECT_EQ(S.Allowed.size(), 1u) << "writes only: exactly one outcome";
 
-  // Beyond the dynamic cap, every door reports the 256-event bound.
+  // Beyond the dynamic cap, every door reports the 1024-event bound.
   Program Big(4);
   ThreadBuilder B0 = Big.thread();
-  for (unsigned I = 0; I < 300; ++I)
+  for (unsigned I = 0; I < 1200; ++I)
     B0.store(Acc::u8(0), 1);
   std::optional<std::string> Error = ExecutionEngine::capacityError(Big);
   ASSERT_TRUE(Error.has_value());
-  EXPECT_NE(Error->find("program too large (301 events > 256)"),
+  EXPECT_NE(Error->find("program too large (1201 events > 1024)"),
             std::string::npos)
       << *Error;
   EXPECT_THROW(
@@ -482,16 +482,88 @@ TEST(ServiceHardening, EngineCapacityErrorsNameTheBound) {
 }
 
 TEST(ServiceHardening, ConditionalBodiesCountTowardTheBound) {
-  // 1 init + 1 load + 260 nested stores = 262 events on the taken path:
+  // 1 init + 1 load + 1030 nested stores = 1032 events on the taken path:
   // conditional bodies count toward the (dynamic) bound.
   Program P(4);
   ThreadBuilder T0 = P.thread();
   Reg R0 = T0.load(Acc::u8(0));
   T0.ifEq(R0, 1, [&](ThreadBuilder &B) {
-    for (unsigned I = 0; I < 260; ++I)
+    for (unsigned I = 0; I < 1030; ++I)
       B.store(Acc::u8(0), 1);
   });
   std::optional<std::string> Error = ExecutionEngine::capacityError(P);
   ASSERT_TRUE(Error.has_value());
-  EXPECT_NE(Error->find("262 events > 256"), std::string::npos) << *Error;
+  EXPECT_NE(Error->find("1032 events > 1024"), std::string::npos) << *Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Initial-value programs through the service (the PR 7 rejection fixes)
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusService, ParserRejectionGapsSurfaceAsParseErrors) {
+  // Duplicate thread ids and overlapping init ranges used to parse into
+  // ill-formed programs and blow up (or silently mislabel outcomes) deep
+  // inside the engine; the service must now report them as structured
+  // parse errors with the offending line.
+  LitmusService Service;
+
+  LitmusJobResult Dup = Service.runOne(
+      {"dup-thread",
+       "buffer 8\nthread 0\n  store u8 0 = 1\nthread 0\n  r0 = load u8 0\n",
+       "revised", 1});
+  EXPECT_EQ(Dup.Status, JobStatus::ParseError);
+  EXPECT_NE(Dup.Error.find("line 4"), std::string::npos) << Dup.Error;
+  EXPECT_NE(Dup.Error.find("duplicate thread id '0'"), std::string::npos)
+      << Dup.Error;
+
+  LitmusJobResult Overlap = Service.runOne(
+      {"init-overlap",
+       "buffer 8\ninit u32 0 = 1\ninit u16 2 = 1\nthread\n  r0 = load u8 0\n",
+       "revised", 1});
+  EXPECT_EQ(Overlap.Status, JobStatus::ParseError);
+  EXPECT_NE(Overlap.Error.find("line 3"), std::string::npos) << Overlap.Error;
+  EXPECT_NE(Overlap.Error.find("overlaps an earlier init at byte 2"),
+            std::string::npos)
+      << Overlap.Error;
+}
+
+static const char *InitMp = R"(name init-mp
+buffer 16
+init u32 0 = 5
+thread
+  r0 = load u32 0
+thread
+  store u32 8 = 1
+)";
+
+TEST(LitmusService, InitValuesFlowThroughToVerdicts) {
+  LitmusService Service;
+  LitmusJobResult R = Service.runOne({"init-mp", InitMp, "revised", 1});
+  ASSERT_EQ(R.Status, JobStatus::Ok) << R.Error;
+  EXPECT_TRUE(R.allows("revised", "0:r0=5"));
+  EXPECT_FALSE(R.allows("revised", "0:r0=0"));
+}
+
+TEST(LitmusService, ArmBackendRefusesNonZeroInitPrograms) {
+  // compileToArm assumes zero-initialised buffers, so an armv8 job on an
+  // init program must be a structured Unsupported, not a wrong verdict.
+  LitmusService Service;
+  LitmusJobResult R = Service.runOne({"init-arm", InitMp, "armv8", 1});
+  EXPECT_EQ(R.Status, JobStatus::Unsupported);
+  EXPECT_NE(R.Error.find("zero-initialised buffers"), std::string::npos)
+      << R.Error;
+}
+
+TEST(LitmusService, DifferentialTableOmitsArmColumnForInitPrograms) {
+  LitmusService Service;
+  LitmusJobResult R = Service.runOne({"init-diff", InitMp, "differential", 1});
+  ASSERT_EQ(R.Status, JobStatus::Ok) << R.Error;
+  // The mixed-size JavaScript columns always serve; the armv8 column is
+  // omitted (its lowering assumes zero init), and the uni-size target
+  // columns are inexpressible for init programs (uniFromProgram rejects).
+  EXPECT_TRUE(R.AllowedByBackend.count("js-original"));
+  EXPECT_TRUE(R.AllowedByBackend.count("js-revised"));
+  EXPECT_FALSE(R.AllowedByBackend.count("armv8"))
+      << "armv8 column must be omitted when the program has init bytes";
+  EXPECT_TRUE(R.allows("js-revised", "0:r0=5"));
 }

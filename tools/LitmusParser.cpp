@@ -8,6 +8,8 @@
 
 #include <cctype>
 #include <climits>
+#include <map>
+#include <set>
 #include <sstream>
 
 using namespace jsmm;
@@ -34,6 +36,9 @@ struct ParsedInstr {
 struct ParserState {
   std::vector<std::vector<ParsedInstr>> Threads;
   std::vector<unsigned> BufferSizes;
+  /// Per-buffer initial byte values from `init` directives (offset ->
+  /// byte); absent entries are zero. Parallel to BufferSizes.
+  std::vector<std::map<unsigned, uint8_t>> InitBytes;
   std::string Name = "anonymous";
   std::vector<LitmusExpectation> Expectations;
 };
@@ -201,8 +206,17 @@ void emitBodyText(const std::vector<Instr> &Body, unsigned Depth,
 
 std::string jsmm::emitLitmus(const LitmusFile &File) {
   std::string Out = "name " + File.P.Name + "\n";
-  for (unsigned Size : File.P.bufferSizes())
-    Out += "buffer " + std::to_string(Size) + "\n";
+  for (unsigned B = 0; B < File.P.bufferSizes().size(); ++B) {
+    Out += "buffer " + std::to_string(File.P.bufferSizes()[B]) + "\n";
+    // Canonical per-byte emission: every nonzero initial byte as one
+    // `init u8` directive, so any well-formed mix of widths in the source
+    // round-trips to the same Program (and the same service cache key).
+    const std::vector<uint8_t> &Init = File.P.initBytes(B);
+    for (unsigned Off = 0; Off < Init.size(); ++Off)
+      if (Init[Off])
+        Out += "init u8 " + std::to_string(Off) + " = " +
+               std::to_string(Init[Off]) + "\n";
+  }
   for (unsigned T = 0; T < File.P.numThreads(); ++T) {
     Out += "thread\n";
     emitBodyText(File.P.threadBody(T), 1, Out);
@@ -262,9 +276,65 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
         return Fail(LineNo, "buffer too large (" + T[1] + " bytes > " +
                                 std::to_string(MaxBufferBytes) + ")");
       S.BufferSizes.push_back(*Bytes);
+      S.InitBytes.emplace_back();
+      continue;
+    }
+    if (T[0] == "init") {
+      // init <width> <offset> = <value> — initial bytes of the most
+      // recently declared buffer. The directive is additive and each byte
+      // may be set once: overlapping ranges used to parse into an
+      // ill-formed program (last-writer-wins, silently), now they are a
+      // line-numbered reject.
+      if (T.size() != 5 || T[3] != "=")
+        return Fail(LineNo, "expected 'init <width> <offset> = <value>'");
+      if (S.BufferSizes.empty())
+        return Fail(LineNo, "'init' before any 'buffer' directive");
+      Acc A;
+      if (!parseWidth(T[1], A))
+        return Fail(LineNo, "bad width '" + T[1] + "'");
+      std::optional<unsigned> Offset = parseUnsigned(T[2]);
+      if (!Offset)
+        return Fail(LineNo, "bad offset '" + T[2] + "'");
+      std::optional<uint64_t> Value = parseUnsigned64(T[4]);
+      if (!Value)
+        return Fail(LineNo, "bad value '" + T[4] + "'");
+      unsigned Buf = static_cast<unsigned>(S.BufferSizes.size() - 1);
+      unsigned Size = S.BufferSizes[Buf];
+      if (*Offset >= Size || A.Width > Size - *Offset)
+        return Fail(LineNo, "init range [" + std::to_string(*Offset) + ".." +
+                                std::to_string(*Offset + A.Width - 1) +
+                                "] is outside the " + std::to_string(Size) +
+                                "-byte buffer");
+      if (A.Width < 8 && *Value >> (8 * A.Width))
+        return Fail(LineNo, "value " + T[4] + " does not fit " + T[1]);
+      std::vector<uint8_t> Bytes = bytesOfValue(*Value, A.Width);
+      std::map<unsigned, uint8_t> &Into = S.InitBytes[Buf];
+      for (unsigned K = 0; K < A.Width; ++K)
+        if (Into.count(*Offset + K))
+          return Fail(LineNo, "init range overlaps an earlier init at byte " +
+                                  std::to_string(*Offset + K));
+      for (unsigned K = 0; K < A.Width; ++K)
+        Into.emplace(*Offset + K, Bytes[K]);
       continue;
     }
     if (T[0] == "thread") {
+      // Optional explicit id: must name the next thread in declaration
+      // order. Duplicate ids used to be silently accepted (the token was
+      // ignored), building a program whose outcomes named the wrong
+      // threads.
+      if (T.size() > 2)
+        return Fail(LineNo, "expected 'thread [id]'");
+      if (T.size() == 2) {
+        std::optional<unsigned> Id = parseUnsigned(T[1]);
+        if (!Id)
+          return Fail(LineNo, "bad thread id '" + T[1] + "'");
+        if (*Id < S.Threads.size())
+          return Fail(LineNo, "duplicate thread id '" + T[1] + "'");
+        if (*Id != S.Threads.size())
+          return Fail(LineNo, "thread id " + T[1] +
+                                  " out of order (expected " +
+                                  std::to_string(S.Threads.size()) + ")");
+      }
       S.Threads.emplace_back();
       Open.clear();
       Open.push_back(&S.Threads.back());
@@ -381,14 +451,19 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
 
   if (S.Threads.empty())
     return Fail(LineNo, "no threads declared");
-  if (S.BufferSizes.empty())
+  if (S.BufferSizes.empty()) {
     S.BufferSizes.push_back(16);
+    S.InitBytes.emplace_back();
+  }
 
   LitmusFile Out;
   Out.P = Program(S.BufferSizes[0]);
   for (size_t B = 1; B < S.BufferSizes.size(); ++B)
     Out.P.addBuffer(S.BufferSizes[B]);
   Out.P.Name = S.Name;
+  for (size_t B = 0; B < S.InitBytes.size(); ++B)
+    for (const auto &[Offset, Byte] : S.InitBytes[B])
+      Out.P.setInitByte(static_cast<unsigned>(B), Offset, Byte);
   for (const std::vector<ParsedInstr> &Body : S.Threads) {
     ThreadBuilder TB = Out.P.thread();
     if (!emitBody(TB, Body, Error))

@@ -60,7 +60,7 @@ int usage() {
          "hardware thread)\n"
          "  --threads=N    engine threads per job (default 1; 0 = "
          "hardware)\n"
-         "  --solver=brute|propagate   tot-order solver (default: "
+         "  --solver=brute|propagate|sat   tot-order solver (default: "
          "propagate)\n"
          "  --reduce=on|off   equivalence-aware enumeration (default: on; "
          "identical verdicts either way)\n"
@@ -263,7 +263,7 @@ int main(int Argc, char **Argv) {
       std::optional<SolverKind> Kind = solverKindByName(Arg.substr(9));
       if (!Kind) {
         std::cerr << "jsmm-batch: unknown solver '" << Arg.substr(9)
-                  << "'; pick 'brute' or 'propagate'\n";
+                  << "'; pick 'brute', 'propagate' or 'sat'\n";
         return 2;
       }
       setDefaultSolverKind(*Kind);

@@ -77,7 +77,7 @@ void listModels(std::ostream &Out) {
 
 int usage() {
   std::cerr << "usage: jsmm-run <file.litmus> [--model=NAME] [--threads=N] "
-               "[--solver=brute|propagate] [--reduce=on|off] [--arm] "
+               "[--solver=brute|propagate|sat] [--reduce=on|off] [--arm] "
                "[--scdrf]\n"
                "       jsmm-run --list-models\n";
   return 2;
@@ -157,7 +157,7 @@ int main(int Argc, char **Argv) {
       std::optional<SolverKind> Kind = solverKindByName(Name);
       if (!Kind) {
         std::cerr << "jsmm-run: unknown solver '" << Name
-                  << "'; pick 'brute' or 'propagate'\n";
+                  << "'; pick 'brute', 'propagate' or 'sat'\n";
         return 2;
       }
       // The process default: every layer (validity, deadness, searches,
@@ -227,6 +227,12 @@ int main(int Argc, char **Argv) {
     Failures = reportOutcomes(Engine.enumerateOutcomes(CT, *Target),
                               File->Expectations);
   } else if (MixedArm) {
+    if (File->P.hasNonZeroInit()) {
+      std::cerr << "jsmm-run: " << Path << ": the armv8 backend assumes "
+                << "zero-initialised buffers; litmus 'init' directives are "
+                << "not supported there\n";
+      return 2;
+    }
     CompiledProgram CP = compileToArm(File->P);
     Failures = reportOutcomes(Engine.enumerate(CP.Arm, Armv8Model()),
                               File->Expectations);
@@ -236,6 +242,11 @@ int main(int Argc, char **Argv) {
     OutcomeSummary R = Engine.enumerateOutcomes(File->P, JsModel(*JsSpec));
     Failures = reportOutcomes(R, File->Expectations);
 
+    if (WithArm && File->P.hasNonZeroInit()) {
+      std::cerr << "jsmm-run: " << Path << ": skipping --arm: the armv8 "
+                << "backend assumes zero-initialised buffers\n";
+      WithArm = false;
+    }
     if (WithArm) {
       CompiledProgram CP = compileToArm(File->P);
       ArmEnumerationResult Arm = Engine.enumerate(CP.Arm, Armv8Model());

@@ -13,7 +13,14 @@ candidates with it, a deterministic counter that catches reduction
 regressions wall clock can hide), plus the batch service's
 ``*_jobs_per_sec`` floors (``service_jobs_per_sec`` for the ≤64-event
 differential corpus, ``large_program_jobs_per_sec`` for the 65+-event
-corpus served by the dynamic relation tier). The raw
+corpus served by the dynamic relation tier), plus the ``*_events_max``
+capacity floors (``sat_events_max``: the largest program size the SAT
+consistency tier served in the headline run — a capacity regression,
+e.g. an accidental threshold or relation-cap change, shows up as this
+number dropping). Every gated-class metric the benchmark emits must
+have a committed floor: a ``speedup_*``/``*_events_max`` present in the
+current results but missing from the baseline fails the gate rather
+than silently riding along un-gated. The raw
 ``candidates_explored_*`` counters behind the drop ratio are printed
 alongside the verdicts so CI logs show the actual candidate counts, not
 just the ratio. Speedups — engine time
@@ -65,13 +72,30 @@ def main(argv):
         return 0
 
     baseline = metrics_of(baseline_path)
-    gated = sorted(n for n in baseline
-                   if n.startswith("speedup_") or "_drop_" in n
-                   or n.endswith("_jobs_per_sec"))
+
+    def is_gated(name):
+        return (name.startswith("speedup_") or "_drop_" in name
+                or name.endswith("_jobs_per_sec")
+                or name.endswith("_events_max"))
+
+    gated = sorted(n for n in baseline if is_gated(n))
     if not gated:
         print(f"perf-trend: baseline '{baseline_path}' has no gated "
-              "(speedup_* / *_drop_* / *_jobs_per_sec) metrics")
+              "(speedup_* / *_drop_* / *_jobs_per_sec / *_events_max) "
+              "metrics")
         return 2
+
+    # A gated-class metric the benchmark emits but the baseline has no
+    # floor for is an un-gated regression channel: the gate used to
+    # iterate over the baseline only, so adding a new speedup_* to the
+    # benchmark without a committed floor silently exempted it. Fail
+    # loudly instead so every new headline metric lands with its floor.
+    unfloored = sorted(n for n in current if is_gated(n) and n not in baseline)
+    failures = 0
+    for name in unfloored:
+        print(f"[FAIL] {name}: emitted by the benchmark but has no floor "
+              f"in {baseline_path}")
+        failures += 1
 
     # Explored-candidate counts, printed next to the gated ratios so a
     # reduction-effectiveness regression is visible as raw numbers too.
@@ -79,7 +103,6 @@ def main(argv):
     for name in explored:
         print(f"[info] {name}: {current[name]:.0f}")
 
-    failures = 0
     for name in gated:
         base = baseline[name]
         cur = current.get(name)
