@@ -29,12 +29,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/TargetModel.h"
+#include "obs/Obs.h"
 #include "paper/Figures.h"
 #include "service/LitmusService.h"
 #include "solver/TotSolver.h"
 #include "support/Str.h"
 
 #include <iostream>
+#include <memory>
 
 using namespace jsmm;
 
@@ -136,9 +138,19 @@ std::string mark(const LitmusJobResult &R, const std::string &Backend,
 int main(int Argc, char **Argv) {
   unsigned Workers = 1;
   bool Reduce = true;
+  bool Stats = false;
+  std::string TracePath;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--reduce=", 0) == 0) {
+    if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty()) {
+        std::cerr << "litmus_explorer: --trace needs a file path\n";
+        return 2;
+      }
+    } else if (Arg.rfind("--reduce=", 0) == 0) {
       std::string Val = Arg.substr(9);
       if (Val != "on" && Val != "off") {
         std::cerr << "litmus_explorer: --reduce takes 'on' or 'off', not '"
@@ -162,7 +174,11 @@ int main(int Argc, char **Argv) {
       Workers = *N;
     } else {
       std::cerr << "usage: litmus_explorer [--solver=brute|propagate|sat] "
-                   "[--workers=N] [--reduce=on|off]\n";
+                   "[--workers=N] [--reduce=on|off] [--stats] "
+                   "[--trace=FILE]\n"
+                   "  --stats       service/solver telemetry summary after "
+                   "the table\n"
+                   "  --trace=FILE  append JSONL trace events to FILE\n";
       return 2;
     }
   }
@@ -183,7 +199,22 @@ int main(int Argc, char **Argv) {
   ServiceConfig Cfg;
   Cfg.Workers = Workers;
   LitmusService Service(Cfg);
+
+  if (Stats)
+    obs::setMetricsEnabled(true);
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (!TracePath.empty()) {
+    std::string TraceError;
+    Trace = obs::TraceSink::open(TracePath, &TraceError);
+    if (!Trace) {
+      std::cerr << "litmus_explorer: " << TraceError << "\n";
+      return 2;
+    }
+    obs::setTrace(Trace.get());
+  }
+
   std::vector<LitmusJobResult> Results = Service.run(Jobs);
+  obs::setTrace(nullptr);
 
   std::cout << "Verdicts computed with the '"
             << solverKindName(defaultSolverKind())
@@ -225,5 +256,23 @@ int main(int Argc, char **Argv) {
                "\xC2\xA7" "3.1 discovery (repaired by the revised column). "
                "The differential suite\n(tests/differential_test.cpp) pins "
                "this table across the full corpus.\n";
+  if (Stats) {
+    LitmusService::CacheStats CS = Service.cacheStats();
+    obs::MetricsRegistry &Reg = obs::registry();
+    obs::LatencyHistogram &H = Reg.histogram("service.job_wall_us");
+    uint64_t Lookups = CS.Hits + CS.Misses;
+    std::cout << "\nstats: cache " << CS.Hits << " hits / " << CS.Misses
+              << " misses";
+    if (Lookups)
+      std::cout << " (" << (100 * CS.Hits / Lookups) << "% hit rate)";
+    std::cout << "\nstats: job wall p50 " << H.percentileMicros(50)
+              << " us, p90 " << H.percentileMicros(90) << " us, p99 "
+              << H.percentileMicros(99) << " us, max " << H.maxMicros()
+              << " us\n"
+              << "stats: solver queries "
+              << Reg.counter("solver.queries").value()
+              << ", candidates considered "
+              << Reg.counter("engine.candidates_considered").value() << "\n";
+  }
   return AllOk ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include "core/SeqConsistency.h"
 #include "engine/Symmetry.h"
 #include "litmus/PathEnum.h"
+#include "obs/Obs.h"
+#include "solver/TotSolver.h"
 #include "support/CapacityError.h"
 #include "support/Str.h"
 
@@ -60,8 +62,16 @@ unsigned targetEventBound(const CompiledTarget &CT) {
 /// program fails with the program-level message rather than the
 /// relation-level one.
 template <typename ProgramT> void checkCapacity(const ProgramT &P) {
-  if (std::optional<std::string> Error = ExecutionEngine::capacityError(P))
+  if (std::optional<std::string> Error = ExecutionEngine::capacityError(P)) {
+    if (obs::TraceSink *T = obs::trace()) {
+      JsonValue F = JsonValue::object();
+      F.set("error", JsonValue(*Error));
+      T->event("capacity-reject", std::move(F));
+    }
+    if (obs::metricsEnabled())
+      obs::registry().counter("engine.capacity_rejects").add(1);
     throw CapacityError(*Error);
+  }
 }
 
 /// The witness-carrying entry points return Relation-typed executions, so
@@ -120,7 +130,12 @@ void runSharded(size_t NumItems, unsigned Threads,
     return;
   }
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
+  // Worker threads inherit the spawning thread's solver-activity sink so
+  // per-job attribution (the service installs one sink per job) survives
+  // the engine's own sharding; the sink's fields are atomic.
+  SolverActivitySink *ParentSink = currentSolverActivitySink();
+  auto Worker = [&, ParentSink] {
+    setCurrentSolverActivitySink(ParentSink);
     for (size_t I = Next.fetch_add(1); I < NumItems; I = Next.fetch_add(1))
       Body(I);
   };
@@ -1240,19 +1255,70 @@ EnumerationResult ExecutionEngine::enumerate(const Program &P,
   return R;
 }
 
+namespace {
+
+/// Emits the tier-select trace event for an enumerateOutcomes door.
+void traceTierSelect(const char *Entry, unsigned Events, const char *Tier,
+                     SolverKind Solver) {
+  obs::TraceSink *T = obs::trace();
+  if (!T)
+    return;
+  JsonValue F = JsonValue::object();
+  F.set("entry", JsonValue(Entry));
+  F.set("events", JsonValue(static_cast<double>(Events)));
+  F.set("tier", JsonValue(Tier));
+  F.set("solver", JsonValue(solverKindName(Solver)));
+  T->event("tier-select", std::move(F));
+}
+
+/// Re-exports an enumeration's effort counters into the obs registry.
+/// Every value is a deterministic function of the enumerated space, so
+/// all of these land in the golden-comparable Deterministic class.
+void recordEngineObs(const EngineStats &St, uint64_t CandidatesConsidered,
+                     uint64_t ValidCandidates, const std::string &Tier) {
+  if (!obs::metricsEnabled())
+    return;
+  obs::MetricsRegistry &R = obs::registry();
+  R.counter("engine.enumerations").add(1);
+  R.counter("engine.work_items").add(St.WorkItems);
+  R.counter("engine.pruned_subtrees").add(St.PrunedSubtrees);
+  R.counter("engine.slept_branches").add(St.SleptBranches);
+  R.counter("engine.candidates_considered").add(CandidatesConsidered);
+  R.counter("engine.valid_candidates").add(ValidCandidates);
+  if (!Tier.empty())
+    R.counter("engine.tier." + Tier).add(1);
+}
+
+} // namespace
+
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
                                                   const JsModel &M) const {
   checkCapacity(P);
   // Tier selection for the tot decider: past Cfg.SatThreshold events the
   // order-search solvers give way to the SAT/CDCL tier. Only the solver
   // changes — the spec, and therefore the verdict table, is the model's.
+  SolverKind Kind = M.solver().Kind.value_or(defaultSolverKind());
   if (programEventUpperBound(P) > Cfg.SatThreshold &&
-      M.solver().Kind.value_or(defaultSolverKind()) != SolverKind::Sat) {
+      Kind != SolverKind::Sat) {
+    if (obs::TraceSink *T = obs::trace()) {
+      JsonValue F = JsonValue::object();
+      F.set("entry", JsonValue("js"));
+      F.set("events",
+            JsonValue(static_cast<double>(programEventUpperBound(P))));
+      F.set("from", JsonValue(solverKindName(Kind)));
+      F.set("to", JsonValue(solverKindName(SolverKind::Sat)));
+      T->event("solver-dispatch", std::move(F));
+    }
+    if (obs::metricsEnabled())
+      obs::registry().counter("engine.sat_reroutes").add(1);
     JsModel SatModel(M.spec(), SolverConfig::sat());
     return enumerateOutcomes(P, SatModel);
   }
   bool SmallTier =
       programEventUpperBound(P) <= Relation::MaxSize && !Cfg.ForceDynRelation;
+  const char *Tier = SmallTier ? "inline" : "dyn";
+  traceTierSelect("js", programEventUpperBound(P), Tier, Kind);
+  obs::PhaseTimer Phase("engine.phase.enumerate_us");
   EngineStats Local;
   if (!Cfg.Reduction) {
     OutcomeSummary S =
@@ -1261,6 +1327,9 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
                   : summarize(enumerateJsCore<DynRelation>(
                         P, M, Cfg, effectiveThreads(), Local));
     Stats = Local;
+    S.Tier = Tier;
+    S.SolverUsed = Kind;
+    recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
     return S;
   }
   // Equivalence-aware enumeration: canonical path combinations, rf sleep
@@ -1275,6 +1344,9 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
   if (!Red.Sym.empty())
     S.Allowed = closeOutcomes(std::move(S.Allowed), Red.Sym);
   Stats = Local;
+  S.Tier = Tier;
+  S.SolverUsed = Kind;
+  recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
   return S;
 }
 
@@ -1354,6 +1426,8 @@ ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
       return Accumulate(Result, X, O);
     });
     Stats = Local;
+    recordEngineObs(Local, Result.CandidatesConsidered,
+                    Result.ConsistentCandidates, "inline");
     return Result;
   }
 
@@ -1397,6 +1471,8 @@ ArmEnumerationResult ExecutionEngine::enumerate(const ArmProgram &P,
       Result.Allowed.emplace(O, std::move(Witness));
   }
   Stats = Local;
+  recordEngineObs(Local, Result.CandidatesConsidered,
+                  Result.ConsistentCandidates, "inline");
   return Result;
 }
 
@@ -1447,6 +1523,10 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
   checkCapacity(CT);
   bool SmallTier =
       targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation;
+  const char *Tier = SmallTier ? "inline" : "dyn";
+  SolverKind Kind = defaultSolverKind();
+  traceTierSelect("target", targetEventBound(CT), Tier, Kind);
+  obs::PhaseTimer Phase("engine.phase.enumerate_us");
   EngineStats Local;
   if (!Cfg.Reduction) {
     OutcomeSummary S =
@@ -1455,6 +1535,9 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
                   : summarizeTarget(enumerateTargetCore<DynRelation>(
                         CT, M, Cfg, effectiveThreads(), Local));
     Stats = Local;
+    S.Tier = Tier;
+    S.SolverUsed = Kind;
+    recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
     return S;
   }
   ThreadSymmetry Sym = threadSymmetry(CT);
@@ -1466,6 +1549,9 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
   if (!Sym.empty())
     S.Allowed = closeOutcomes(std::move(S.Allowed), Sym);
   Stats = Local;
+  S.Tier = Tier;
+  S.SolverUsed = Kind;
+  recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
   return S;
 }
 

@@ -106,6 +106,12 @@ struct OutcomeSummary {
   uint64_t CandidatesConsidered = 0;
   /// Valid (JS) / consistent (target) candidates counted by the tier.
   uint64_t ValidCandidates = 0;
+  /// The relation tier that served the program: "inline" (≤64 events) or
+  /// "dyn" (heap DynRelation). Filled by the enumerateOutcomes() doors.
+  std::string Tier;
+  /// The tot solver the run dispatched to (after any SAT rerouting past
+  /// EngineConfig::SatThreshold).
+  SolverKind SolverUsed = SolverKind::Propagate;
 
   bool allows(const Outcome &O) const;
   std::vector<std::string> outcomeStrings() const;

@@ -1,0 +1,44 @@
+//===- obs/Trace.cpp - Structured JSONL trace sink ------------------------===//
+
+#include "obs/Trace.h"
+
+using namespace jsmm;
+using namespace jsmm::obs;
+
+TraceSink::TraceSink() : Start(std::chrono::steady_clock::now()) {}
+
+TraceSink::TraceSink(std::ostream &OutStream) : TraceSink() {
+  Out = &OutStream;
+}
+
+std::unique_ptr<TraceSink> TraceSink::open(const std::string &Path,
+                                           std::string *Error) {
+  std::unique_ptr<TraceSink> S(new TraceSink());
+  S->Owned.open(Path);
+  if (!S->Owned) {
+    if (Error)
+      *Error = "cannot write trace file '" + Path + "'";
+    return nullptr;
+  }
+  S->Out = &S->Owned;
+  return S;
+}
+
+void TraceSink::event(const char *Ev, JsonValue Fields) {
+  uint64_t Tus = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  JsonValue Line = JsonValue::object();
+  Line.set("ev", JsonValue(Ev));
+  for (const auto &[Key, Val] : Fields.members())
+    Line.set(Key, Val);
+  Line.set("t_us", JsonValue(Tus));
+  std::string Text = Line.toString();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    *Out << Text << "\n";
+    Out->flush();
+  }
+  Count.fetch_add(1, std::memory_order_relaxed);
+}

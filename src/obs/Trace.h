@@ -1,0 +1,79 @@
+//===- obs/Trace.h - Structured JSONL trace sink --------------------------===//
+//
+// Part of the jsmm project: a reproduction of "Repairing and Mechanising the
+// JavaScript Relaxed Memory Model" (Watt et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer: a TraceSink serialises
+/// structured events — one JSON object per line, written through the
+/// deterministic support/Json writer — as the engine, solvers and service
+/// pass their interesting control points. The schema (pinned by
+/// tests/obs_test.cpp and documented in ARCHITECTURE.md) is:
+///
+///   job-start       {"ev", "job", "name", "model", "t_us"}
+///   job-end         {"ev", "job", "name", "status", "cached", "wall_us",
+///                    "t_us"}
+///   tier-select     {"ev", "entry", "events", "tier", "solver", "t_us"}
+///   solver-dispatch {"ev", "entry", "events", "from", "to", "t_us"}
+///   cache-hit       {"ev", "name", "t_us"}
+///   cache-miss      {"ev", "name", "t_us"}
+///   capacity-reject {"ev", "error", "t_us"}
+///
+/// "t_us" (microseconds since the sink was opened) and "wall_us" are
+/// wall-clock fields: non-deterministic by nature and excluded from golden
+/// comparisons, which pin key sets and value types only. Event *order* is
+/// deterministic only under a single worker; concurrent workers interleave
+/// their events (each line is still written atomically under the sink
+/// mutex, so lines never shear).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSMM_OBS_TRACE_H
+#define JSMM_OBS_TRACE_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace jsmm::obs {
+
+/// A thread-safe JSONL event writer; see the file comment for the schema.
+class TraceSink {
+public:
+  /// Borrows \p Out (tests trace into a stringstream).
+  explicit TraceSink(std::ostream &Out);
+
+  /// Opens \p Path for writing. \returns nullptr with \p Error set when
+  /// the file cannot be created.
+  static std::unique_ptr<TraceSink> open(const std::string &Path,
+                                         std::string *Error = nullptr);
+
+  /// Emits one event line: {"ev": \p Ev, ...members of \p Fields...,
+  /// "t_us": <µs since open>}. \p Fields must be an object value.
+  void event(const char *Ev, JsonValue Fields);
+
+  uint64_t eventsEmitted() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+
+private:
+  TraceSink();
+
+  std::mutex Mu;
+  std::ofstream Owned;
+  std::ostream *Out = nullptr;
+  std::atomic<uint64_t> Count{0};
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace jsmm::obs
+
+#endif // JSMM_OBS_TRACE_H

@@ -4,6 +4,7 @@
 
 #include "compile/Compile.h"
 #include "engine/ExecutionEngine.h"
+#include "obs/Obs.h"
 #include "solver/TotSolver.h"
 #include "support/CapacityError.h"
 #include "support/Str.h"
@@ -11,6 +12,7 @@
 #include "targets/TargetCompile.h"
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -308,7 +310,8 @@ LitmusService::computeResult(const LitmusJob &Job,
   }
 }
 
-LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
+LitmusJobResult LitmusService::lookupOrCompute(const LitmusJob &Job,
+                                               bool &CacheHit) {
   // Parse once: the canonical cache key, the name fallback and the
   // verdict computation all share this parse.
   LitmusParseDiag ParseDiag;
@@ -333,14 +336,58 @@ LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
       LitmusJobResult R = It->second;
       R.Name = Name;
       R.FromCache = true;
+      CacheHit = true;
       return R;
     }
   }
-  LitmusJobResult R = computeResult(Job, File, ParseDiag);
+  LitmusJobResult R;
+  if (obs::metricsEnabled()) {
+    // Attribute the solver work of this computation to this job. The
+    // snapshot is stored before the result is cached, so a cache hit
+    // replays the original computation's counters — keeping the per-job
+    // JSONL record deterministic across worker counts and schedules.
+    SolverActivitySink JobSink;
+    SolverActivitySink *Prev = setCurrentSolverActivitySink(&JobSink);
+    R = computeResult(Job, File, ParseDiag);
+    setCurrentSolverActivitySink(Prev);
+    R.Solver = JobSink.snapshot();
+    R.HasSolverStats = true;
+  } else {
+    R = computeResult(Job, File, ParseDiag);
+  }
   if (Key) {
     std::lock_guard<std::mutex> Lock(CacheMu);
     ++Stats.Misses;
     Cache.emplace(*Key, R);
+  }
+  return R;
+}
+
+LitmusJobResult LitmusService::runOne(const LitmusJob &Job) {
+  bool Metrics = obs::metricsEnabled();
+  obs::TraceSink *T = obs::trace();
+  std::chrono::steady_clock::time_point Start;
+  if (Metrics)
+    Start = std::chrono::steady_clock::now();
+  bool Hit = false;
+  LitmusJobResult R = lookupOrCompute(Job, Hit);
+  if (T) {
+    JsonValue F = JsonValue::object();
+    F.set("name", JsonValue(R.Name));
+    T->event(Hit ? "cache-hit" : "cache-miss", std::move(F));
+  }
+  if (Metrics) {
+    obs::MetricsRegistry &Reg = obs::registry();
+    // Hit/miss counts depend on scheduling under concurrent workers
+    // (duplicate jobs race to populate), so they are Runtime class.
+    Reg.counter(Hit ? "service.cache.hits" : "service.cache.misses",
+                obs::MetricClass::Runtime)
+        .add(1);
+    Reg.histogram("service.job_wall_us")
+        .recordMicros(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count()));
   }
   return R;
 }
@@ -350,26 +397,85 @@ LitmusService::run(const std::vector<LitmusJob> &Jobs) {
   std::vector<LitmusJobResult> Results(Jobs.size());
   unsigned Workers = static_cast<unsigned>(
       std::min<size_t>(effectiveWorkers(), Jobs.size()));
+  bool Metrics = obs::metricsEnabled();
+  obs::TraceSink *Trace = obs::trace();
+  std::chrono::steady_clock::time_point RunStart;
+  if (Metrics || Trace)
+    RunStart = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> BusyUs{0};
+  auto MicrosSince = [](std::chrono::steady_clock::time_point Since) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Since)
+            .count());
+  };
+  // One job through runOne, bracketed by the telemetry: queue wait (claim
+  // time minus run start), job-start/job-end trace events, and per-job
+  // wall time accumulated into the busy total for the utilization gauge.
+  auto RunJob = [&](size_t I) {
+    if (!Metrics && !Trace) {
+      Results[I] = runOne(Jobs[I]);
+      return;
+    }
+    std::chrono::steady_clock::time_point JobStart =
+        std::chrono::steady_clock::now();
+    if (Metrics)
+      obs::registry()
+          .histogram("service.queue_wait_us")
+          .recordMicros(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  JobStart - RunStart)
+                  .count()));
+    if (Trace) {
+      JsonValue F = JsonValue::object();
+      F.set("job", JsonValue(static_cast<double>(I)));
+      F.set("name", JsonValue(Jobs[I].Name));
+      F.set("model", JsonValue(Jobs[I].Model));
+      Trace->event("job-start", std::move(F));
+    }
+    Results[I] = runOne(Jobs[I]);
+    uint64_t WallUs = MicrosSince(JobStart);
+    BusyUs.fetch_add(WallUs, std::memory_order_relaxed);
+    if (Trace) {
+      JsonValue F = JsonValue::object();
+      F.set("job", JsonValue(static_cast<double>(I)));
+      F.set("name", JsonValue(Results[I].Name));
+      F.set("status", JsonValue(jobStatusName(Results[I].Status)));
+      F.set("cached", JsonValue(Results[I].FromCache));
+      F.set("wall_us", JsonValue(static_cast<double>(WallUs)));
+      Trace->event("job-end", std::move(F));
+    }
+  };
   if (Workers <= 1) {
     for (size_t I = 0; I < Jobs.size(); ++I)
-      Results[I] = runOne(Jobs[I]);
-    return Results;
+      RunJob(I);
+  } else {
+    // Bounded pool: jobs are claimed from an atomic counter and each
+    // worker writes only its claimed submission slots, so the result
+    // vector is deterministic in submission order for every worker count.
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (size_t I = Next.fetch_add(1); I < Jobs.size();
+           I = Next.fetch_add(1))
+        RunJob(I);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
   }
-  // Bounded pool: jobs are claimed from an atomic counter and each worker
-  // writes only its claimed submission slots, so the result vector is
-  // deterministic in submission order for every worker count.
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (size_t I = Next.fetch_add(1); I < Jobs.size();
-         I = Next.fetch_add(1))
-      Results[I] = runOne(Jobs[I]);
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Workers);
-  for (unsigned W = 0; W < Workers; ++W)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
+  if (Metrics) {
+    obs::MetricsRegistry &Reg = obs::registry();
+    Reg.counter("service.jobs").add(Jobs.size());
+    uint64_t ElapsedUs = MicrosSince(RunStart);
+    if (ElapsedUs && Workers)
+      Reg.gauge("service.worker_utilization")
+          .set(static_cast<double>(
+                   BusyUs.load(std::memory_order_relaxed)) /
+               (static_cast<double>(ElapsedUs) * std::max(1u, Workers)));
+  }
   return Results;
 }
 

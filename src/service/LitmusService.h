@@ -46,6 +46,7 @@
 #ifndef JSMM_SERVICE_LITMUSSERVICE_H
 #define JSMM_SERVICE_LITMUSSERVICE_H
 
+#include "solver/TotSolver.h"
 #include "tools/LitmusParser.h"
 
 #include <cstdint>
@@ -120,6 +121,14 @@ struct LitmusJobResult {
   /// deterministic JSONL rendering; tests use it through the C++ API.
   bool FromCache = false;
 
+  /// Solver-layer activity attributed to this job's computation (filled
+  /// when observability metrics are enabled; see HasSolverStats). A
+  /// deterministic function of the job — cached results replay the
+  /// counters of the computation that populated the cache, so per-job
+  /// JSONL records stay byte-identical across worker counts.
+  SolverActivity Solver;
+  bool HasSolverStats = false;
+
   bool ok() const { return Status == JobStatus::Ok; }
   /// \returns true if \p Backend allows the outcome string \p O.
   bool allows(const std::string &Backend, const std::string &O) const;
@@ -176,6 +185,10 @@ private:
   LitmusJobResult computeResult(const LitmusJob &Job,
                                 const std::optional<LitmusFile> &File,
                                 const LitmusParseDiag &ParseDiag) const;
+  /// runOne minus the per-job telemetry: cache lookup, else compute (with
+  /// a per-job solver-activity sink when metrics are on) and populate.
+  /// \p CacheHit reports whether the cache served the result.
+  LitmusJobResult lookupOrCompute(const LitmusJob &Job, bool &CacheHit);
 
   ServiceConfig Cfg;
   mutable std::mutex CacheMu;

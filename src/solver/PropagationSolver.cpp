@@ -44,10 +44,13 @@ using namespace jsmm;
 
 namespace {
 
-/// The backtracking search over constraint branches.
+/// The backtracking search over constraint branches. \p Act, when
+/// non-null, counts branch openings and unit-propagated edges for the
+/// observability layer (solver/TotSolver.h SolverQueryScope).
 template <typename RelT> class Search {
 public:
-  Search(const BasicTotProblem<RelT> &P) : P(P) {}
+  Search(const BasicTotProblem<RelT> &P, SolverActivity *Act = nullptr)
+      : P(P), Act(Act) {}
 
   bool run(RelT *TotOut) {
     ClosedOrder<RelT> Order;
@@ -83,12 +86,16 @@ private:
         if (LoMidDead && HiMidDead)
           return false; // conflict: the constraint is unsatisfiable
         if (LoMidDead) {
+          if (Act)
+            ++Act->PropagateForcedEdges;
           if (!Order.addEdge(C.Hi, C.Mid))
             return false;
           Changed = true;
           continue; // now discharged
         }
         if (HiMidDead) {
+          if (Act)
+            ++Act->PropagateForcedEdges;
           if (!Order.addEdge(C.Mid, C.Lo))
             return false;
           Changed = true;
@@ -106,6 +113,8 @@ private:
     // Mid < Lo, then (on conflict) tots with Hi < Mid. Together the two
     // branches cover every satisfying total order.
     const TotConstraint &C = P.Forbidden[Active.front()];
+    if (Act)
+      ++Act->PropagateBranches;
     {
       ClosedOrder<RelT> Try = Order;
       if (Try.addEdge(C.Mid, C.Lo) && solve(Try, Active))
@@ -117,18 +126,21 @@ private:
   }
 
   const BasicTotProblem<RelT> &P;
+  SolverActivity *Act;
   ClosedOrder<RelT> Witness;
 };
 
 template <typename RelT>
 bool propagateExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut) {
-  Search<RelT> S(P);
+  SolverQueryScope Scope(SolverKind::Propagate);
+  Search<RelT> S(P, Scope.activity());
   return S.run(TotOut);
 }
 
 template <typename RelT>
 bool propagateExistsViolatingExtension(const BasicTotProblem<RelT> &P,
                                        RelT *TotOut) {
+  SolverQueryScope Scope(SolverKind::Propagate);
   ClosedOrder<RelT> Base;
   if (!Base.init(P.Must, P.Universe))
     return false; // no well-formed tot at all

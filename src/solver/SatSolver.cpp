@@ -434,21 +434,51 @@ satExistsExtension<DynRelation>(const BasicTotProblem<DynRelation> &,
 
 } // namespace jsmm
 
+namespace {
+
+/// Folds one query's CDCL statistics into the scope's activity counters.
+void recordSatActivity(SolverActivity *A, const SatStats &St) {
+  if (!A)
+    return;
+  A->SatDecisions += St.Decisions;
+  A->SatPropagations += St.Propagations;
+  A->SatConflicts += St.Conflicts;
+  A->SatLearned += St.Learned;
+  A->SatCycleClauses += St.CycleClauses;
+}
+
+template <typename RelT>
+bool instrumentedSatExistsExtension(const BasicTotProblem<RelT> &P,
+                                    RelT *TotOut) {
+  SolverQueryScope Scope(SolverKind::Sat);
+  SolverActivity *A = Scope.activity();
+  if (!A)
+    return satExistsExtension(P, TotOut, nullptr);
+  SatStats St;
+  bool Found = satExistsExtension(P, TotOut, &St);
+  recordSatActivity(A, St);
+  return Found;
+}
+
+} // namespace
+
 bool SatSolver::existsExtension(const TotProblem &P, Relation *TotOut) const {
-  return satExistsExtension(P, TotOut, nullptr);
+  return instrumentedSatExistsExtension(P, TotOut);
 }
 
 bool SatSolver::existsExtension(const DynTotProblem &P,
                                 DynRelation *TotOut) const {
-  return satExistsExtension(P, TotOut, nullptr);
+  return instrumentedSatExistsExtension(P, TotOut);
 }
 
 bool SatSolver::existsViolatingExtension(const TotProblem &P,
                                          Relation *TotOut) const {
+  SolverQueryScope Scope(SolverKind::Sat);
   return satExistsViolatingExtension(P, TotOut);
 }
 
 bool SatSolver::existsViolatingExtension(const DynTotProblem &P,
                                          DynRelation *TotOut) const {
+  SolverQueryScope Scope(SolverKind::Sat);
   return satExistsViolatingExtension(P, TotOut);
 }

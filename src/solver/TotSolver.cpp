@@ -2,12 +2,118 @@
 
 #include "solver/TotSolver.h"
 
+#include "obs/Obs.h"
 #include "solver/SatSolver.h"
 #include "support/LinearExtensions.h"
 
 #include <atomic>
 
 using namespace jsmm;
+
+//===----------------------------------------------------------------------===//
+// Solver activity accounting
+//===----------------------------------------------------------------------===//
+
+void SolverActivity::add(const SolverActivity &O) {
+  Queries += O.Queries;
+  PropagateBranches += O.PropagateBranches;
+  PropagateForcedEdges += O.PropagateForcedEdges;
+  BruteExtensions += O.BruteExtensions;
+  SatDecisions += O.SatDecisions;
+  SatPropagations += O.SatPropagations;
+  SatConflicts += O.SatConflicts;
+  SatLearned += O.SatLearned;
+  SatCycleClauses += O.SatCycleClauses;
+}
+
+bool SolverActivity::any() const {
+  return Queries || PropagateBranches || PropagateForcedEdges ||
+         BruteExtensions || SatDecisions || SatPropagations || SatConflicts ||
+         SatLearned || SatCycleClauses;
+}
+
+void SolverActivitySink::add(const SolverActivity &A) {
+  Queries.fetch_add(A.Queries, std::memory_order_relaxed);
+  PropagateBranches.fetch_add(A.PropagateBranches, std::memory_order_relaxed);
+  PropagateForcedEdges.fetch_add(A.PropagateForcedEdges,
+                                 std::memory_order_relaxed);
+  BruteExtensions.fetch_add(A.BruteExtensions, std::memory_order_relaxed);
+  SatDecisions.fetch_add(A.SatDecisions, std::memory_order_relaxed);
+  SatPropagations.fetch_add(A.SatPropagations, std::memory_order_relaxed);
+  SatConflicts.fetch_add(A.SatConflicts, std::memory_order_relaxed);
+  SatLearned.fetch_add(A.SatLearned, std::memory_order_relaxed);
+  SatCycleClauses.fetch_add(A.SatCycleClauses, std::memory_order_relaxed);
+}
+
+SolverActivity SolverActivitySink::snapshot() const {
+  SolverActivity A;
+  A.Queries = Queries.load(std::memory_order_relaxed);
+  A.PropagateBranches = PropagateBranches.load(std::memory_order_relaxed);
+  A.PropagateForcedEdges =
+      PropagateForcedEdges.load(std::memory_order_relaxed);
+  A.BruteExtensions = BruteExtensions.load(std::memory_order_relaxed);
+  A.SatDecisions = SatDecisions.load(std::memory_order_relaxed);
+  A.SatPropagations = SatPropagations.load(std::memory_order_relaxed);
+  A.SatConflicts = SatConflicts.load(std::memory_order_relaxed);
+  A.SatLearned = SatLearned.load(std::memory_order_relaxed);
+  A.SatCycleClauses = SatCycleClauses.load(std::memory_order_relaxed);
+  return A;
+}
+
+namespace {
+
+thread_local SolverActivitySink *CurrentSink = nullptr;
+
+} // namespace
+
+SolverActivitySink *jsmm::currentSolverActivitySink() { return CurrentSink; }
+
+SolverActivitySink *jsmm::setCurrentSolverActivitySink(SolverActivitySink *S) {
+  SolverActivitySink *Prev = CurrentSink;
+  CurrentSink = S;
+  return Prev;
+}
+
+SolverQueryScope::SolverQueryScope(SolverKind Kind)
+    : Kind(Kind), Active(obs::metricsEnabled() || CurrentSink != nullptr) {
+  if (Active && obs::metricsEnabled())
+    Start = std::chrono::steady_clock::now();
+}
+
+SolverQueryScope::~SolverQueryScope() {
+  if (!Active)
+    return;
+  Act.Queries = 1;
+  if (SolverActivitySink *S = CurrentSink)
+    S->add(Act);
+  if (!obs::metricsEnabled())
+    return;
+  obs::MetricsRegistry &R = obs::registry();
+  R.counter("solver.queries").add(1);
+  R.counter(std::string("solver.") + solverKindName(Kind) + ".queries")
+      .add(1);
+  if (Act.PropagateBranches)
+    R.counter("solver.propagate.branches").add(Act.PropagateBranches);
+  if (Act.PropagateForcedEdges)
+    R.counter("solver.propagate.forced_edges").add(Act.PropagateForcedEdges);
+  if (Act.BruteExtensions)
+    R.counter("solver.brute.extensions").add(Act.BruteExtensions);
+  if (Act.SatDecisions)
+    R.counter("solver.sat.decisions").add(Act.SatDecisions);
+  if (Act.SatPropagations)
+    R.counter("solver.sat.propagations").add(Act.SatPropagations);
+  if (Act.SatConflicts)
+    R.counter("solver.sat.conflicts").add(Act.SatConflicts);
+  if (Act.SatLearned)
+    R.counter("solver.sat.learned").add(Act.SatLearned);
+  if (Act.SatCycleClauses)
+    R.counter("solver.sat.cycle_clauses").add(Act.SatCycleClauses);
+  R.histogram("solver.query_us")
+      .recordMicros(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+}
 
 template <typename RelT>
 std::vector<unsigned>
@@ -81,10 +187,14 @@ bool prefixRealizesConstraint(const BasicTotProblem<RelT> &P,
 
 template <typename RelT>
 bool bruteExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut) {
+  SolverQueryScope Scope(SolverKind::Brute);
+  SolverActivity *A = Scope.activity();
   bool Found = false;
   forEachLinearExtension<RelT>(
       P.Must, P.Universe,
       [&](const std::vector<unsigned> &Seq) {
+        if (A)
+          ++A->BruteExtensions;
         RelT Tot = totalOrderOver<RelT>(Seq, P.N);
         if (!P.violates(Tot)) {
           Found = true;
@@ -103,9 +213,13 @@ bool bruteExistsExtension(const BasicTotProblem<RelT> &P, RelT *TotOut) {
 template <typename RelT>
 bool bruteExistsViolatingExtension(const BasicTotProblem<RelT> &P,
                                    RelT *TotOut) {
+  SolverQueryScope Scope(SolverKind::Brute);
+  SolverActivity *A = Scope.activity();
   bool Found = false;
   forEachLinearExtension<RelT>(
       P.Must, P.Universe, [&](const std::vector<unsigned> &Seq) {
+        if (A)
+          ++A->BruteExtensions;
         RelT Tot = totalOrderOver<RelT>(Seq, P.N);
         if (P.violates(Tot)) {
           Found = true;

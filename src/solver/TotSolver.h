@@ -49,6 +49,8 @@
 #include "support/DynRelation.h"
 #include "support/Relation.h"
 
+#include <atomic>
+#include <chrono>
 #include <optional>
 
 namespace jsmm {
@@ -178,6 +180,77 @@ std::optional<SolverKind> solverKindByName(const std::string &Name);
 
 /// \returns every solver kind, for differential sweeps.
 std::vector<SolverKind> allSolverKinds();
+
+/// Activity counters of the solver layer for one or more tot-order
+/// queries. Every field is a deterministic function of the queries
+/// answered (no clocks, no scheduling), so totals are byte-identical
+/// across worker/thread counts for a fixed workload — the property the
+/// per-job JSONL records and the obs counter-determinism tests pin.
+struct SolverActivity {
+  uint64_t Queries = 0;         ///< tot-order questions answered (all kinds)
+  uint64_t PropagateBranches = 0;    ///< two-way branch openings (backtracks)
+  uint64_t PropagateForcedEdges = 0; ///< unit-propagated forced must-edges
+  uint64_t BruteExtensions = 0;      ///< linear extensions enumerated
+  uint64_t SatDecisions = 0;         ///< CDCL decision-level openings
+  uint64_t SatPropagations = 0;      ///< CDCL implied literals
+  uint64_t SatConflicts = 0;         ///< CDCL conflicts analyzed
+  uint64_t SatLearned = 0;           ///< CDCL learned clauses
+  uint64_t SatCycleClauses = 0;      ///< acyclicity (theory) conflict clauses
+
+  void add(const SolverActivity &O);
+  bool any() const;
+};
+
+/// A thread-safe accumulation target for SolverActivity — the service
+/// installs one per job (see setCurrentSolverActivitySink) to attribute
+/// solver work to the job that caused it; atomic fields because the
+/// engine's sharded enumeration propagates the installing thread's sink
+/// to its worker threads.
+class SolverActivitySink {
+public:
+  void add(const SolverActivity &A);
+  SolverActivity snapshot() const;
+
+private:
+  std::atomic<uint64_t> Queries{0};
+  std::atomic<uint64_t> PropagateBranches{0};
+  std::atomic<uint64_t> PropagateForcedEdges{0};
+  std::atomic<uint64_t> BruteExtensions{0};
+  std::atomic<uint64_t> SatDecisions{0};
+  std::atomic<uint64_t> SatPropagations{0};
+  std::atomic<uint64_t> SatConflicts{0};
+  std::atomic<uint64_t> SatLearned{0};
+  std::atomic<uint64_t> SatCycleClauses{0};
+};
+
+/// This thread's activity sink (nullptr when none is installed).
+SolverActivitySink *currentSolverActivitySink();
+/// Installs \p S as this thread's sink. \returns the previous sink, for
+/// scoped restore.
+SolverActivitySink *setCurrentSolverActivitySink(SolverActivitySink *S);
+
+/// RAII wrapper around one solver query: the implementations fill
+/// activity() (nullptr when neither metrics nor a sink is active — hot
+/// loops gate their counting on that), and the destructor flushes the
+/// counts to the thread sink and, when obs metrics are enabled, to the
+/// process registry along with the query's wall time
+/// (`solver.query_us`).
+class SolverQueryScope {
+public:
+  explicit SolverQueryScope(SolverKind Kind);
+  SolverQueryScope(const SolverQueryScope &) = delete;
+  SolverQueryScope &operator=(const SolverQueryScope &) = delete;
+  ~SolverQueryScope();
+
+  /// \returns the counters to fill, or nullptr when observability is off.
+  SolverActivity *activity() { return Active ? &Act : nullptr; }
+
+private:
+  SolverActivity Act;
+  SolverKind Kind;
+  bool Active;
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// \returns the lexicographically smallest linear extension of \p Must
 /// restricted to \p Universe (smallest-index-first tie-break) — the stable

@@ -29,6 +29,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Obs.h"
 #include "service/LitmusService.h"
 #include "solver/TotSolver.h"
 #include "support/Json.h"
@@ -66,7 +67,17 @@ int usage() {
          "identical verdicts either way)\n"
          "  --no-cache     disable the verdict cache\n"
          "  --output=PATH  write the JSONL stream to PATH instead of "
-         "stdout\n";
+         "stdout\n"
+         "  --stats        per-job solver counters in the JSONL stream, "
+         "plus a human\n"
+         "                 summary (latency percentiles, cache hit rate) on "
+         "stderr\n"
+         "  --stats=json   same, ending the stream with one machine-"
+         "readable\n"
+         "                 'run-summary' JSON record\n"
+         "  --trace=PATH   append JSONL trace events (job-start/job-end, "
+         "tier-select,\n"
+         "                 solver-dispatch, cache-hit/miss) to PATH\n";
   return 2;
 }
 
@@ -172,8 +183,31 @@ bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
   return false;
 }
 
-/// Renders one result as its deterministic JSONL object.
-std::string renderResult(size_t Index, const LitmusJobResult &R) {
+/// The per-job solver-activity object of the --stats JSONL rendering.
+/// Every field is deterministic (see LitmusJobResult::Solver).
+JsonValue solverJson(const SolverActivity &A) {
+  JsonValue O = JsonValue::object();
+  O.set("queries", JsonValue(static_cast<uint64_t>(A.Queries)));
+  O.set("propagate_branches",
+        JsonValue(static_cast<uint64_t>(A.PropagateBranches)));
+  O.set("propagate_forced_edges",
+        JsonValue(static_cast<uint64_t>(A.PropagateForcedEdges)));
+  O.set("brute_extensions",
+        JsonValue(static_cast<uint64_t>(A.BruteExtensions)));
+  O.set("sat_decisions", JsonValue(static_cast<uint64_t>(A.SatDecisions)));
+  O.set("sat_propagations",
+        JsonValue(static_cast<uint64_t>(A.SatPropagations)));
+  O.set("sat_conflicts", JsonValue(static_cast<uint64_t>(A.SatConflicts)));
+  O.set("sat_learned", JsonValue(static_cast<uint64_t>(A.SatLearned)));
+  O.set("sat_cycle_clauses",
+        JsonValue(static_cast<uint64_t>(A.SatCycleClauses)));
+  return O;
+}
+
+/// Renders one result as its deterministic JSONL object. \p WithSolver
+/// (--stats) appends the job's solver-activity counters.
+std::string renderResult(size_t Index, const LitmusJobResult &R,
+                         bool WithSolver) {
   JsonValue Obj = JsonValue::object();
   Obj.set("job", JsonValue(static_cast<uint64_t>(Index)));
   Obj.set("name", JsonValue(R.Name));
@@ -213,6 +247,8 @@ std::string renderResult(size_t Index, const LitmusJobResult &R) {
     }
     Obj.set("expectations", std::move(Exp));
   }
+  if (WithSolver && R.HasSolverStats)
+    Obj.set("solver", solverJson(R.Solver));
   return Obj.toString();
 }
 
@@ -222,12 +258,15 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> Inputs;
   std::string Model = "differential";
   std::string OutputPath;
+  std::string TracePath;
   unsigned Workers = 1;
   unsigned JobThreads = 1;
   bool UseCorpus = false;
   bool UseLargeCorpus = false;
   bool NoCache = false;
   bool Reduce = true;
+  bool Stats = false;
+  bool StatsJson = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -237,6 +276,16 @@ int main(int Argc, char **Argv) {
       UseLargeCorpus = true;
     } else if (Arg == "--no-cache") {
       NoCache = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--stats=json") {
+      Stats = StatsJson = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty()) {
+        std::cerr << "jsmm-batch: --trace needs a file path\n";
+        return 2;
+      }
     } else if (Arg.rfind("--model=", 0) == 0) {
       Model = Arg.substr(8);
     } else if (Arg.rfind("--output=", 0) == 0) {
@@ -390,11 +439,25 @@ int main(int Argc, char **Argv) {
   Cfg.CacheVerdicts = !NoCache;
   LitmusService Service(Cfg);
 
+  if (Stats)
+    obs::setMetricsEnabled(true);
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (!TracePath.empty()) {
+    std::string TraceError;
+    Trace = obs::TraceSink::open(TracePath, &TraceError);
+    if (!Trace) {
+      std::cerr << "jsmm-batch: " << TraceError << "\n";
+      return 2;
+    }
+    obs::setTrace(Trace.get());
+  }
+
   auto Start = std::chrono::steady_clock::now();
   std::vector<LitmusJobResult> RunResults = Service.run(Jobs);
   double Seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Start)
                        .count();
+  obs::setTrace(nullptr);
 
   std::vector<LitmusJobResult> Results(Pending.size());
   for (size_t I = 0; I < Pending.size(); ++I)
@@ -415,7 +478,7 @@ int main(int Argc, char **Argv) {
 
   size_t OkJobs = 0, FailedExpectations = 0;
   for (size_t I = 0; I < Results.size(); ++I) {
-    Out << renderResult(I, Results[I]) << "\n";
+    Out << renderResult(I, Results[I], Stats) << "\n";
     if (Results[I].ok()) {
       ++OkJobs;
       if (!Results[I].expectationsOk())
@@ -424,6 +487,37 @@ int main(int Argc, char **Argv) {
   }
 
   LitmusService::CacheStats CS = Service.cacheStats();
+  if (StatsJson) {
+    // One machine-readable run-summary record closes the stream: the
+    // registry's deterministic "counters" section plus the run's job,
+    // cache and throughput numbers. tools/perf_trend.py ingests this.
+    JsonValue Summary = obs::runSummary("jsmm-batch");
+    JsonValue JobsObj = JsonValue::object();
+    JobsObj.set("total", JsonValue(static_cast<uint64_t>(Results.size())));
+    JobsObj.set("ok", JsonValue(static_cast<uint64_t>(OkJobs)));
+    JobsObj.set("failed",
+                JsonValue(static_cast<uint64_t>(Results.size() - OkJobs)));
+    JobsObj.set("failed_expectations",
+                JsonValue(static_cast<uint64_t>(FailedExpectations)));
+    Summary.set("jobs", std::move(JobsObj));
+    JsonValue CacheObj = JsonValue::object();
+    CacheObj.set("hits", JsonValue(static_cast<uint64_t>(CS.Hits)));
+    CacheObj.set("misses", JsonValue(static_cast<uint64_t>(CS.Misses)));
+    CacheObj.set("hit_rate",
+                 JsonValue(CS.Hits + CS.Misses
+                               ? static_cast<double>(CS.Hits) /
+                                     static_cast<double>(CS.Hits + CS.Misses)
+                               : 0.0));
+    Summary.set("cache", std::move(CacheObj));
+    Summary.set("workers",
+                JsonValue(static_cast<uint64_t>(Service.effectiveWorkers())));
+    Summary.set("wall_s", JsonValue(Seconds));
+    Summary.set("jobs_per_sec",
+                JsonValue(Seconds > 0
+                              ? static_cast<double>(Jobs.size()) / Seconds
+                              : 0.0));
+    Out << Summary.toString() << "\n";
+  }
   std::cerr << "jsmm-batch: " << Results.size() << " jobs, " << OkJobs
             << " ok, " << (Results.size() - OkJobs) << " failed, "
             << FailedExpectations << " with failed expectations; cache "
@@ -434,6 +528,15 @@ int main(int Argc, char **Argv) {
     std::cerr << " (" << (static_cast<double>(Jobs.size()) / Seconds)
               << " jobs/s)";
   std::cerr << "\n";
+  if (Stats && !StatsJson) {
+    obs::LatencyHistogram &H =
+        obs::registry().histogram("service.job_wall_us");
+    std::cerr << "jsmm-batch: job wall p50 " << H.percentileMicros(50)
+              << " us, p90 " << H.percentileMicros(90) << " us, p99 "
+              << H.percentileMicros(99) << " us, max " << H.maxMicros()
+              << " us; solver queries "
+              << obs::registry().counter("solver.queries").value() << "\n";
+  }
 
   bool AllOk = OkJobs == Results.size() && FailedExpectations == 0;
   return AllOk ? 0 : 1;

@@ -29,12 +29,14 @@
 
 #include "compile/Compile.h"
 #include "engine/ExecutionEngine.h"
+#include "obs/Obs.h"
 #include "support/Str.h"
 #include "tools/LitmusParser.h"
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -73,13 +75,27 @@ void listModels(std::ostream &Out) {
   for (const TargetModel &M : TargetModel::all())
     Out << "    " << padRight(M.name(), 11) << targetArchName(M.arch())
         << " axiomatic model\n";
+  Out << "capacity tiers (selected per program by event count):\n"
+      << "  <= " << Relation::MaxSize
+      << " events    inline relations, order-search solver\n"
+      << "  <= " << EngineConfig().SatThreshold
+      << " events   heap-backed relations, order-search solver\n"
+      << "  <= " << DynRelation::MaxSize
+      << " events  heap-backed relations, SAT/CDCL consistency tier\n";
 }
 
 int usage() {
   std::cerr << "usage: jsmm-run <file.litmus> [--model=NAME] [--threads=N] "
                "[--solver=brute|propagate|sat] [--reduce=on|off] [--arm] "
-               "[--scdrf]\n"
-               "       jsmm-run --list-models\n";
+               "[--scdrf] [--stats[=json]] [--trace=FILE]\n"
+               "       jsmm-run --list-models\n"
+               "  --stats        enumeration-effort footer (candidates, "
+               "pruned/slept\n"
+               "                 subtrees, tier and solver, solver "
+               "counters)\n"
+               "  --stats=json   the footer as one 'run-summary' JSON "
+               "line\n"
+               "  --trace=FILE   append JSONL trace events to FILE\n";
   return 2;
 }
 
@@ -115,6 +131,8 @@ int reportOutcomes(const ResultT &R,
 int main(int Argc, char **Argv) {
   std::string Path;
   std::string ModelName = "revised";
+  std::string TracePath;
+  bool Stats = false, StatsJson = false;
   EngineConfig Cfg;
   // The CLI defaults to the equivalence-aware enumeration: the allowed
   // outcomes are identical to the unreduced run (reduction_test pins
@@ -165,6 +183,22 @@ int main(int Argc, char **Argv) {
       setDefaultSolverKind(*Kind);
       continue;
     }
+    if (Arg == "--stats") {
+      Stats = true;
+      continue;
+    }
+    if (Arg == "--stats=json") {
+      Stats = StatsJson = true;
+      continue;
+    }
+    if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty()) {
+        std::cerr << "jsmm-run: --trace needs a file path\n";
+        return 2;
+      }
+      continue;
+    }
     if (Arg == "--arm")
       WithArm = true;
     else if (Arg == "--scdrf")
@@ -208,11 +242,29 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (Stats)
+    obs::setMetricsEnabled(true);
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (!TracePath.empty()) {
+    std::string TraceError;
+    Trace = obs::TraceSink::open(TracePath, &TraceError);
+    if (!Trace) {
+      std::cerr << "jsmm-run: " << TraceError << "\n";
+      return 2;
+    }
+    obs::setTrace(Trace.get());
+  }
+
   ExecutionEngine Engine(Cfg);
   std::cout << "test " << File->P.Name << " (model: " << ModelName
             << ", threads: " << Engine.effectiveThreads()
             << ", solver: " << solverKindName(defaultSolverKind())
             << ", reduce: " << (Cfg.Reduction ? "on" : "off") << ")\n";
+
+  // The footer's enumeration facts, filled by whichever backend ran.
+  std::string Tier;
+  std::string SolverName;
+  uint64_t Considered = 0, Valid = 0;
 
   int Failures = 0;
   try {
@@ -224,8 +276,12 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     CompiledTarget CT = compileUni(*Uni, Target->arch());
-    Failures = reportOutcomes(Engine.enumerateOutcomes(CT, *Target),
-                              File->Expectations);
+    OutcomeSummary TR = Engine.enumerateOutcomes(CT, *Target);
+    Tier = TR.Tier;
+    SolverName = solverKindName(TR.SolverUsed);
+    Considered = TR.CandidatesConsidered;
+    Valid = TR.ValidCandidates;
+    Failures = reportOutcomes(TR, File->Expectations);
   } else if (MixedArm) {
     if (File->P.hasNonZeroInit()) {
       std::cerr << "jsmm-run: " << Path << ": the armv8 backend assumes "
@@ -234,12 +290,21 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     CompiledProgram CP = compileToArm(File->P);
-    Failures = reportOutcomes(Engine.enumerate(CP.Arm, Armv8Model()),
-                              File->Expectations);
+    ArmEnumerationResult AR = Engine.enumerate(CP.Arm, Armv8Model());
+    // The mixed-size ARMv8 backend serves the fixed tier only and its
+    // axiomatic check is solver-free.
+    Tier = "inline";
+    Considered = AR.CandidatesConsidered;
+    Valid = AR.ConsistentCandidates;
+    Failures = reportOutcomes(AR, File->Expectations);
   } else {
     // Outcome-level enumeration serves both capacity tiers: programs
     // beyond 64 events run on the heap-backed DynRelation automatically.
     OutcomeSummary R = Engine.enumerateOutcomes(File->P, JsModel(*JsSpec));
+    Tier = R.Tier;
+    SolverName = solverKindName(R.SolverUsed);
+    Considered = R.CandidatesConsidered;
+    Valid = R.ValidCandidates;
     Failures = reportOutcomes(R, File->Expectations);
 
     if (WithArm && File->P.hasNonZeroInit()) {
@@ -275,6 +340,40 @@ int main(int Argc, char **Argv) {
     // CapacityError.
     std::cerr << "jsmm-run: " << Path << ": " << E.what() << "\n";
     return 2;
+  }
+  obs::setTrace(nullptr);
+
+  if (Stats && !StatsJson) {
+    const EngineStats &ES = Engine.Stats;
+    obs::MetricsRegistry &Reg = obs::registry();
+    std::cout << "stats: tier " << (Tier.empty() ? "-" : Tier) << ", solver "
+              << (SolverName.empty() ? "-" : SolverName) << "\n"
+              << "stats: candidates considered " << Considered << ", valid "
+              << Valid << "\n"
+              << "stats: work items " << ES.WorkItems
+              << ", pruned subtrees " << ES.PrunedSubtrees
+              << ", slept branches " << ES.SleptBranches << "\n"
+              << "stats: solver queries "
+              << Reg.counter("solver.queries").value()
+              << ", propagate branches "
+              << Reg.counter("solver.propagate.branches").value()
+              << ", forced edges "
+              << Reg.counter("solver.propagate.forced_edges").value()
+              << ", sat decisions "
+              << Reg.counter("solver.sat.decisions").value()
+              << ", sat conflicts "
+              << Reg.counter("solver.sat.conflicts").value() << "\n";
+  } else if (StatsJson) {
+    JsonValue Summary = obs::runSummary("jsmm-run");
+    Summary.set("test", JsonValue(File->P.Name));
+    Summary.set("model", JsonValue(ModelName));
+    Summary.set("tier", JsonValue(Tier));
+    Summary.set("solver", JsonValue(SolverName));
+    JsonValue Cand = JsonValue::object();
+    Cand.set("considered", JsonValue(static_cast<uint64_t>(Considered)));
+    Cand.set("valid", JsonValue(static_cast<uint64_t>(Valid)));
+    Summary.set("candidates", std::move(Cand));
+    std::cout << Summary.toString() << "\n";
   }
 
   return Failures == 0 ? 0 : 1;

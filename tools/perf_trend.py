@@ -1,10 +1,21 @@
 #!/usr/bin/env python3
-"""Perf-trend gate for the engine headline benchmark.
+"""Perf-trend gate for the engine headline benchmark and run summaries.
 
-Compares the gated metrics in a freshly produced BENCH_perf-engine.json
-(written by bench_perf_engine's headline comparison) against the committed
-baseline in bench/perf_baseline.json and exits non-zero when any gated
-metric regressed by more than the tolerance (default 25%).
+Compares a freshly produced metrics file against a committed baseline and
+exits non-zero when any gated metric regressed by more than the tolerance
+(default 25%). Two input formats are accepted, detected per file:
+
+  * benchmark JSON (``BENCH_*.json``, written by bench_perf_engine's
+    headline comparison): a ``metrics`` array of ``{name, value}``;
+  * run summaries (``--stats=json`` output of jsmm-run/jsmm-batch): the
+    ``{"record":"run-summary", ...}`` object, either bare or as a line in
+    a JSONL stream. Its ``counters`` and ``stats`` sections flatten to
+    ``name: value``; ``latency`` histograms flatten to ``name.p50_us``,
+    ``name.p90_us``, ``name.p99_us``, ``name.mean_us``, ``name.max_us``
+    and ``name.count``.
+
+Every metric present in both files is printed with its delta (±%) so CI
+logs show the full per-metric trend, not just the gated verdicts.
 
 Gated metrics are the ``speedup_*`` ratios, the ``*_drop_*``
 reduction-effectiveness ratios (``candidate_drop_por_x``: explored
@@ -33,6 +44,11 @@ far below any plausible machine so they catch only order-of-magnitude
 service regressions. The committed baseline stores those floors, not
 timings.
 
+Latency metrics (names ending ``_us``) gate as *ceilings* instead of
+floors — lower is better — and only when the baseline commits a value
+for them; they are never required, since absolute microseconds are
+machine-relative.
+
 Usage:
   perf_trend.py <current.json> <baseline.json> [--tolerance=0.25]
 
@@ -45,10 +61,52 @@ import json
 import sys
 
 
+def flatten_summary(doc):
+    """Flatten a run-summary object into a flat name -> value map."""
+    out = {}
+    for section in ("counters", "stats"):
+        for name, value in doc.get(section, {}).items():
+            if isinstance(value, (int, float)):
+                out[name] = float(value)
+    for name, hist in doc.get("latency", {}).items():
+        if isinstance(hist, dict):
+            for field, value in hist.items():
+                if isinstance(value, (int, float)):
+                    out[f"{name}.{field}"] = float(value)
+    for name, value in doc.get("jobs", {}).items():
+        if isinstance(value, (int, float)):
+            out[f"jobs.{name}"] = float(value)
+    if isinstance(doc.get("cache"), dict):
+        for name, value in doc["cache"].items():
+            if isinstance(value, (int, float)):
+                out[f"cache.{name}"] = float(value)
+    for name in ("jobs_per_sec", "wall_s", "workers"):
+        if isinstance(doc.get(name), (int, float)):
+            out[name] = float(doc[name])
+    return out
+
+
 def metrics_of(path):
     with open(path) as fh:
-        doc = json.load(fh)
-    return {m["name"]: float(m["value"]) for m in doc.get("metrics", [])}
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        # JSONL stream: find the run-summary record among the lines.
+        doc = None
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or '"record":"run-summary"' not in line:
+                continue
+            doc = json.loads(line)
+        if doc is None:
+            raise ValueError(f"{path}: no run-summary record in JSONL stream")
+    if isinstance(doc, dict) and doc.get("record") == "run-summary":
+        return flatten_summary(doc)
+    if isinstance(doc, dict) and "metrics" in doc:
+        return {m["name"]: float(m["value"]) for m in doc["metrics"]}
+    raise ValueError(f"{path}: neither a benchmark metrics file nor a "
+                     "run-summary")
 
 
 def main(argv):
@@ -73,16 +131,22 @@ def main(argv):
 
     baseline = metrics_of(baseline_path)
 
-    def is_gated(name):
+    def is_floor_gated(name):
         return (name.startswith("speedup_") or "_drop_" in name
                 or name.endswith("_jobs_per_sec")
                 or name.endswith("_events_max"))
 
-    gated = sorted(n for n in baseline if is_gated(n))
+    def is_ceiling_gated(name):
+        # Latency: lower is better, gated only when the baseline commits
+        # a ceiling for it.
+        return name.endswith("_us")
+
+    gated = sorted(n for n in baseline
+                   if is_floor_gated(n) or is_ceiling_gated(n))
     if not gated:
         print(f"perf-trend: baseline '{baseline_path}' has no gated "
-              "(speedup_* / *_drop_* / *_jobs_per_sec / *_events_max) "
-              "metrics")
+              "(speedup_* / *_drop_* / *_jobs_per_sec / *_events_max / "
+              "*_us) metrics")
         return 2
 
     # A gated-class metric the benchmark emits but the baseline has no
@@ -90,7 +154,9 @@ def main(argv):
     # iterate over the baseline only, so adding a new speedup_* to the
     # benchmark without a committed floor silently exempted it. Fail
     # loudly instead so every new headline metric lands with its floor.
-    unfloored = sorted(n for n in current if is_gated(n) and n not in baseline)
+    # (Latency ceilings are opt-in and exempt from this rule.)
+    unfloored = sorted(n for n in current
+                       if is_floor_gated(n) and n not in baseline)
     failures = 0
     for name in unfloored:
         print(f"[FAIL] {name}: emitted by the benchmark but has no floor "
@@ -103,6 +169,18 @@ def main(argv):
     for name in explored:
         print(f"[info] {name}: {current[name]:.0f}")
 
+    # Per-metric deltas for every shared non-gated metric, so the trend
+    # of counters and latencies is visible in the log even when un-gated.
+    shared = sorted(n for n in current if n in baseline and n not in gated)
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        if base != 0:
+            delta = (cur - base) / base
+            print(f"[info] {name}: {cur:g} vs baseline {base:g} "
+                  f"({delta:+.1%})")
+        else:
+            print(f"[info] {name}: {cur:g} vs baseline 0")
+
     for name in gated:
         base = baseline[name]
         cur = current.get(name)
@@ -110,12 +188,19 @@ def main(argv):
             print(f"[FAIL] {name}: missing from {current_path}")
             failures += 1
             continue
-        floor = base * (1.0 - tolerance)
-        ok = cur >= floor
+        delta = (cur - base) / base if base else 0.0
+        if is_floor_gated(name):
+            bound = base * (1.0 - tolerance)
+            ok = cur >= bound
+            kind = "floor"
+        else:
+            bound = base * (1.0 + tolerance)
+            ok = cur <= bound
+            kind = "ceiling"
         verdict = "[ok]  " if ok else "[FAIL]"
-        print(f"{verdict} {name}: current {cur:.2f}x vs baseline "
-              f"{base:.2f}x (floor {floor:.2f}x at {tolerance:.0%} "
-              "tolerance)")
+        print(f"{verdict} {name}: current {cur:.2f} vs baseline "
+              f"{base:.2f} ({delta:+.1%}; {kind} {bound:.2f} at "
+              f"{tolerance:.0%} tolerance)")
         failures += 0 if ok else 1
 
     if failures:
