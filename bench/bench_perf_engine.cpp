@@ -350,6 +350,71 @@ void serviceHeadline(jsmm::bench::Table &T) {
            LargeMs > 0 ? 1000.0 * LargeJobs.size() / LargeMs : 0, "jobs/s");
 }
 
+/// DRF-SC fast-path headline: statically-DRF programs — an all-SeqCst SB
+/// core padded with private-byte filler threads, so analysis::classify
+/// certifies them while the full 9-backend differential walk stays
+/// expensive — run through the service with the static tier off (the full
+/// enumeration) and on (one SC interleaving walk replicated across the
+/// backends). Gated floors in bench/perf_baseline.json: `speedup_drf_x`
+/// (the static-analysis ISSUE's >= 2x target) and `drf_fastpath_hits`
+/// (every job of the family must actually be served by the fast path, not
+/// silently fall through to the full walk).
+void drfHeadline(jsmm::bench::Table &T) {
+  auto DrfSb = [](unsigned Fillers, const char *Name) {
+    UniProgram P(2 + 3 * Fillers);
+    P.Name = Name;
+    unsigned T0 = P.thread();
+    P.store(T0, 0, 1, Mode::SeqCst);
+    P.load(T0, 1, Mode::SeqCst);
+    unsigned T1 = P.thread();
+    P.store(T1, 1, 1, Mode::SeqCst);
+    P.load(T1, 0, Mode::SeqCst);
+    for (unsigned F = 0; F < Fillers; ++F) {
+      unsigned Th = P.thread();
+      for (unsigned L = 0; L < 3; ++L)
+        P.store(Th, 2 + 3 * F + L, 1 + L, Mode::Unordered);
+    }
+    return mixedFromUni(P);
+  };
+  std::vector<LitmusJob> FastJobs;
+  for (const auto &[Fillers, Name] :
+       {std::pair<unsigned, const char *>{4, "drf-sb-17"},
+        {10, "drf-sb-66"},
+        {20, "drf-sb-126"}}) {
+    LitmusFile F;
+    F.P = DrfSb(Fillers, Name);
+    LitmusJob J;
+    J.Name = Name;
+    J.Model = "differential";
+    J.Litmus = emitLitmus(F);
+    FastJobs.push_back(std::move(J));
+  }
+  std::vector<LitmusJob> FullJobs = FastJobs;
+  for (LitmusJob &J : FullJobs)
+    J.Static = false;
+
+  ServiceConfig Cfg;
+  Cfg.CacheVerdicts = false;
+  LitmusService Service(Cfg);
+  Service.run(FastJobs); // warm-up
+  std::vector<LitmusJobResult> FastResults, FullResults;
+  double FastMs = timedMs([&] { FastResults = Service.run(FastJobs); });
+  double FullMs = timedMs([&] { FullResults = Service.run(FullJobs); });
+  unsigned Hits = 0;
+  bool Agree = FastResults.size() == FullResults.size();
+  for (size_t I = 0; I < FastResults.size() && Agree; ++I) {
+    Hits += FastResults[I].DrfFastPath;
+    Agree = FastResults[I].ok() && FullResults[I].ok() &&
+            FastResults[I].AllowedByBackend == FullResults[I].AllowedByBackend;
+  }
+  T.check("DRF fast-path verdict tables match the full enumeration", true,
+          Agree);
+  T.metric("drf_full_ms", FullMs, "ms");
+  T.metric("drf_fast_ms", FastMs, "ms");
+  T.metric("speedup_drf_x", FastMs > 0 ? FullMs / FastMs : 0);
+  T.metric("drf_fastpath_hits", Hits, "jobs");
+}
+
 /// \returns the failed-claim count (0 on success), for main's exit code.
 int headlineComparison() {
   // Warm-up pass so first-touch allocation noise doesn't skew the seed run.
@@ -379,6 +444,7 @@ int headlineComparison() {
   solverHeadline(T);
   satHeadline(T);
   serviceHeadline(T);
+  drfHeadline(T);
   return T.finish();
 }
 

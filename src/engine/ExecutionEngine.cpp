@@ -2,6 +2,8 @@
 
 #include "engine/ExecutionEngine.h"
 
+#include "analysis/ScEnumeration.h"
+#include "analysis/StaticAnalysis.h"
 #include "core/DataRace.h"
 #include "core/SeqConsistency.h"
 #include "engine/Symmetry.h"
@@ -1271,6 +1273,49 @@ void traceTierSelect(const char *Entry, unsigned Events, const char *Tier,
   T->event("tier-select", std::move(F));
 }
 
+/// Emits the drf-fastpath trace event: the static certificate served this
+/// enumeration with the SC interleaving table.
+void traceDrfFastPath(const char *Entry, unsigned Events, uint64_t States,
+                      size_t Outcomes) {
+  obs::TraceSink *T = obs::trace();
+  if (!T)
+    return;
+  JsonValue F = JsonValue::object();
+  F.set("entry", JsonValue(Entry));
+  F.set("events", JsonValue(static_cast<double>(Events)));
+  F.set("states", JsonValue(static_cast<double>(States)));
+  F.set("outcomes", JsonValue(static_cast<double>(Outcomes)));
+  T->event("drf-fastpath", std::move(F));
+}
+
+/// The static DRF-SC fast path shared by both enumerateOutcomes doors:
+/// classify, and when the certificate holds, answer with the SC
+/// interleaving table under Tier "static". \returns std::nullopt for
+/// programs the certificate does not cover (the caller runs the full
+/// enumeration).
+template <typename ProgT>
+std::optional<OutcomeSummary>
+tryStaticFastPath(const ProgT &P, const char *Entry, unsigned Events,
+                  SolverKind Kind) {
+  analysis::StaticClassification C = analysis::classify(P);
+  if (!C.StaticallyDrf)
+    return std::nullopt;
+  OutcomeSummary S;
+  uint64_t States = 0;
+  S.Allowed = analysis::enumerateScOutcomes(P, &States);
+  // The SC walk's scheduler states stand in for candidates: both count
+  // deterministic exploration effort, and the drf-fastpath win shows up
+  // as the drop against the full walk's candidate count.
+  S.CandidatesConsidered = States;
+  S.ValidCandidates = S.Allowed.size();
+  S.Tier = "static";
+  S.SolverUsed = Kind;
+  traceDrfFastPath(Entry, Events, States, S.Allowed.size());
+  if (obs::metricsEnabled())
+    obs::registry().counter("engine.drf_fastpath").add(1);
+  return S;
+}
+
 /// Re-exports an enumeration's effort counters into the obs registry.
 /// Every value is a deterministic function of the enumerated space, so
 /// all of these land in the golden-comparable Deterministic class.
@@ -1294,6 +1339,19 @@ void recordEngineObs(const EngineStats &St, uint64_t CandidatesConsidered,
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
                                                   const JsModel &M) const {
   checkCapacity(P);
+  if (Cfg.StaticFastPath) {
+    // The fast path sits after the capacity gate (too-large programs keep
+    // their typed rejection) and before solver/tier selection (no solver
+    // runs on a statically-DRF program).
+    SolverKind Kind = M.solver().Kind.value_or(defaultSolverKind());
+    if (std::optional<OutcomeSummary> S = tryStaticFastPath(
+            P, "js", programEventUpperBound(P), Kind)) {
+      Stats = EngineStats();
+      recordEngineObs(Stats, S->CandidatesConsidered, S->ValidCandidates,
+                      S->Tier);
+      return *S;
+    }
+  }
   // Tier selection for the tot decider: past Cfg.SatThreshold events the
   // order-search solvers give way to the SAT/CDCL tier. Only the solver
   // changes — the spec, and therefore the verdict table, is the model's.
@@ -1521,6 +1579,14 @@ ExecutionEngine::enumerate(const CompiledTarget &CT,
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
                                                   const TargetModel &M) const {
   checkCapacity(CT);
+  if (Cfg.StaticFastPath)
+    if (std::optional<OutcomeSummary> S = tryStaticFastPath(
+            CT, "target", targetEventBound(CT), defaultSolverKind())) {
+      Stats = EngineStats();
+      recordEngineObs(Stats, S->CandidatesConsidered, S->ValidCandidates,
+                      S->Tier);
+      return *S;
+    }
   bool SmallTier =
       targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation;
   const char *Tier = SmallTier ? "inline" : "dyn";

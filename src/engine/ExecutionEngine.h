@@ -70,6 +70,18 @@ struct EngineConfig {
   /// enumerate the full space because their per-candidate visitation order
   /// and witnesses are part of the API.
   bool Reduction = false;
+  /// Static DRF-SC fast path in the outcome-level entry points: when
+  /// analysis::classify() certifies the program statically data-race-free
+  /// (every cross-thread conflicting access pair is SeqCst on the
+  /// identical range), the verdict is served by a single SC interleaving
+  /// enumeration under Tier "static" — the SC-DRF theorem (§3.2/Thm 6.1)
+  /// plus the Thm 6.3 compilation results pin the SC table as the answer
+  /// on every backend, and the equality is asserted against full
+  /// enumeration by the static-vs-dynamic differential tests. Off by
+  /// default like Reduction; on at the CLI/service front doors, where
+  /// --no-static restores the full walk. The witness-carrying entry
+  /// points (enumerate / scDrf / forEach*) never take the fast path.
+  bool StaticFastPath = false;
   /// Event bound above which the outcome-level entry points answer tot
   /// questions through the SAT/CDCL tier (SolverKind::Sat) instead of the
   /// model's configured order-search solver. The default matches the old

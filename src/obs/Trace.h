@@ -17,6 +17,8 @@
 ///                    "t_us"}
 ///   tier-select     {"ev", "entry", "events", "tier", "solver", "t_us"}
 ///   solver-dispatch {"ev", "entry", "events", "from", "to", "t_us"}
+///   drf-fastpath    {"ev", "entry", "events", "states", "outcomes",
+///                    "t_us"}
 ///   cache-hit       {"ev", "name", "t_us"}
 ///   cache-miss      {"ev", "name", "t_us"}
 ///   capacity-reject {"ev", "error", "t_us"}

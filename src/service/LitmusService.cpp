@@ -2,8 +2,11 @@
 
 #include "service/LitmusService.h"
 
+#include "analysis/ScEnumeration.h"
+#include "analysis/StaticAnalysis.h"
 #include "compile/Compile.h"
 #include "engine/ExecutionEngine.h"
+#include "litmus/PathEnum.h"
 #include "obs/Obs.h"
 #include "solver/TotSolver.h"
 #include "support/CapacityError.h"
@@ -113,8 +116,52 @@ checkExpectations(const ResultT &R,
 /// observable-weakening diffs of targets/Differential.h. The JavaScript
 /// and target columns go through the size-agnostic enumerateOutcomes entry
 /// points, so programs beyond 64 events get real verdicts.
+///
+/// When the statically-DRF certificate holds (\p StaticallyDrf — the
+/// caller's analysis::classify verdict, false whenever the job's Static
+/// flag is off), the whole table collapses to one SC interleaving
+/// enumeration: by the SC-DRF theorem every JavaScript variant admits
+/// exactly the SC outcomes on a race-free program, and the Thm 6.3
+/// compilation schemes preserve them, so the single table is replicated
+/// across exactly the columns the full path would emit. The soundness /
+/// weakening diffs are empty by construction. The static-vs-dynamic
+/// differential tests pin byte-identical tables for both paths.
 void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
-                          LitmusJobResult &R) {
+                          bool StaticallyDrf, LitmusJobResult &R) {
+  if (StaticallyDrf) {
+    uint64_t States = 0;
+    std::vector<std::string> Allowed;
+    for (const Outcome &O : analysis::enumerateScOutcomes(File.P, &States))
+      Allowed.push_back(O.toString());
+    R.AllowedByBackend["js-original"] = Allowed;
+    R.AllowedByBackend["js-revised"] = Allowed;
+    // Same column conditions as the full path below: the armv8 column
+    // needs a zero-initialised buffer and a compiled form inside the
+    // fixed tier; the uni-js and target columns need the uni-size
+    // fragment.
+    if (!File.P.hasNonZeroInit() &&
+        !ExecutionEngine::capacityError(compileToArm(File.P).Arm))
+      R.AllowedByBackend["armv8"] = Allowed;
+    if (uniFromProgram(File.P)) {
+      R.AllowedByBackend["uni-js"] = Allowed;
+      for (const TargetModel &M : TargetModel::all())
+        R.AllowedByBackend[M.name()] = Allowed;
+    }
+    R.DrfFastPath = true;
+    if (obs::TraceSink *T = obs::trace()) {
+      JsonValue F = JsonValue::object();
+      F.set("entry", JsonValue("differential"));
+      F.set("events",
+            JsonValue(static_cast<double>(programEventUpperBound(File.P))));
+      F.set("states", JsonValue(static_cast<double>(States)));
+      F.set("outcomes", JsonValue(static_cast<double>(Allowed.size())));
+      T->event("drf-fastpath", std::move(F));
+    }
+    if (obs::metricsEnabled())
+      obs::registry().counter("engine.drf_fastpath").add(1);
+    return;
+  }
+
   R.AllowedByBackend["js-original"] =
       E.enumerateOutcomes(File.P, JsModel(ModelSpec::original()))
           .outcomeStrings();
@@ -175,10 +222,11 @@ namespace {
 /// verdicts are pinned by solver_test, but the cache must not assume
 /// that).
 std::string keyOf(const LitmusFile &File, const std::string &Model,
-                  bool Reduce) {
+                  bool Reduce, bool Static) {
   return emitLitmus(File) + "\x1f" + "model=" + Model + "\x1f" +
          "solver=" + solverKindName(defaultSolverKind()) + "\x1f" +
-         "reduce=" + (Reduce ? "on" : "off");
+         "reduce=" + (Reduce ? "on" : "off") + "\x1f" +
+         "static=" + (Static ? "on" : "off");
 }
 
 } // namespace
@@ -187,7 +235,7 @@ std::optional<std::string> LitmusService::cacheKey(const LitmusJob &Job) {
   std::optional<LitmusFile> File = parseLitmus(Job.Litmus);
   if (!File)
     return std::nullopt;
-  return keyOf(*File, Job.Model, Job.Reduce);
+  return keyOf(*File, Job.Model, Job.Reduce, Job.Static);
 }
 
 LitmusJobResult
@@ -210,6 +258,18 @@ LitmusService::computeResult(const LitmusJob &Job,
   if (R.Name.empty())
     R.Name = File->P.Name;
 
+  // Static pre-analysis: the Static* summary the JSONL "static" object
+  // renders, and the statically-DRF certificate the fast paths below
+  // consult. A pure function of the parsed program, so it stays
+  // deterministic across worker counts.
+  if (Job.Static) {
+    analysis::StaticClassification C = analysis::classify(File->P);
+    R.HasStatic = true;
+    R.StaticallyDrf = C.StaticallyDrf;
+    R.StaticMayRaces = static_cast<unsigned>(C.MayRaces.size());
+    R.StaticLints = static_cast<unsigned>(C.Lints.size());
+  }
+
   const ModelSpec *JsSpec = jsSpecByName(Job.Model);
   const TargetModel *Target = TargetModel::byName(Job.Model);
   bool MixedArm = Job.Model == "armv8";
@@ -223,7 +283,8 @@ LitmusService::computeResult(const LitmusJob &Job,
 
   ExecutionEngine Engine(EngineConfig{Job.Threads, true,
                                       /*ForceDynRelation=*/false,
-                                      /*Reduction=*/Job.Reduce});
+                                      /*Reduction=*/Job.Reduce,
+                                      /*StaticFastPath=*/Job.Static});
   try {
     // The parser already rejects source programs beyond the dynamic cap
     // (DynRelation::MaxSize); compiled forms can still exceed it (schemes
@@ -237,7 +298,7 @@ LitmusService::computeResult(const LitmusJob &Job,
     }
 
     if (Differential) {
-      runDifferentialTable(*File, Engine, R);
+      runDifferentialTable(*File, Engine, R.StaticallyDrf, R);
       return R;
     }
 
@@ -261,6 +322,7 @@ LitmusService::computeResult(const LitmusJob &Job,
       OutcomeSummary TR = Engine.enumerateOutcomes(CT, *Target);
       R.AllowedByBackend[Job.Model] = TR.outcomeStrings();
       R.Expectations = checkExpectations(TR, File->Expectations);
+      R.DrfFastPath = TR.Tier == "static";
       return R;
     }
 
@@ -287,6 +349,7 @@ LitmusService::computeResult(const LitmusJob &Job,
     OutcomeSummary ER = Engine.enumerateOutcomes(File->P, JsModel(*JsSpec));
     R.AllowedByBackend[Job.Model] = ER.outcomeStrings();
     R.Expectations = checkExpectations(ER, File->Expectations);
+    R.DrfFastPath = ER.Tier == "static";
     return R;
   } catch (const CapacityError &E) {
     // Backstop for any capacity path the up-front checks missed (e.g. a
@@ -327,7 +390,7 @@ LitmusJobResult LitmusService::lookupOrCompute(const LitmusJob &Job,
 
   std::optional<std::string> Key;
   if (Cfg.CacheVerdicts && File)
-    Key = keyOf(*File, Job.Model, Job.Reduce);
+    Key = keyOf(*File, Job.Model, Job.Reduce, Job.Static);
   if (Key) {
     std::lock_guard<std::mutex> Lock(CacheMu);
     auto It = Cache.find(*Key);

@@ -84,6 +84,15 @@ struct LitmusJob {
   /// identical either way (reduction_test pins this); off restores the
   /// exhaustive walk. Part of the cache key.
   bool Reduce = true;
+  /// Static pre-analysis (analysis::classify) for this job: fills the
+  /// result's Static* summary and serves statically-DRF programs through
+  /// the DRF-SC fast path — differential tables by one SC enumeration
+  /// replicated across the backends, single-model verdicts through
+  /// EngineConfig::StaticFastPath (Tier "static"). Verdicts are identical
+  /// either way (the static-vs-dynamic differential tests pin this); off
+  /// restores the full walk (the --no-static escape hatch). Part of the
+  /// cache key.
+  bool Static = true;
 };
 
 /// One checked `allow`/`forbid` line of a job's litmus file.
@@ -128,6 +137,16 @@ struct LitmusJobResult {
   /// JSONL records stay byte-identical across worker counts.
   SolverActivity Solver;
   bool HasSolverStats = false;
+
+  /// Static pre-analysis summary (filled for parsed jobs when the job's
+  /// Static flag is on). A deterministic function of the job, so the
+  /// "static" object it renders into the per-job JSONL stays
+  /// byte-identical across worker counts.
+  bool HasStatic = false;
+  bool StaticallyDrf = false;     ///< the statically-DRF certificate held
+  unsigned StaticMayRaces = 0;    ///< may-race pairs in the program
+  unsigned StaticLints = 0;       ///< lint diagnostics (jsmm-lint's vocabulary)
+  bool DrfFastPath = false;       ///< verdicts served by the SC fast path
 
   bool ok() const { return Status == JobStatus::Ok; }
   /// \returns true if \p Backend allows the outcome string \p O.

@@ -1,12 +1,20 @@
 //===- tests/datarace_test.cpp - Fig. 7 data races and SC checking --------===//
 
+#include "analysis/StaticAnalysis.h"
 #include "core/DataRace.h"
 #include "core/SeqConsistency.h"
+#include "engine/ExecutionEngine.h"
+#include "litmus/PathEnum.h"
+#include "service/LitmusService.h"
+#include "solver/TotSolver.h"
 #include "support/Str.h"
+#include "tools/LitmusParser.h"
 
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 using namespace jsmm;
 using namespace jsmm::testutil;
@@ -171,4 +179,179 @@ TEST(SeqConsistency, RmwChainIsSC) {
   for (unsigned K = 0; K < 4; ++K)
     CE.Rbf.push_back({K, 1, 2});
   EXPECT_TRUE(isSequentiallyConsistent(CE));
+}
+
+//===----------------------------------------------------------------------===//
+// Static vs. dynamic differential: the flow-insensitive certificate
+// (analysis::classify) against the execution-level Fig. 7 judgment above.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The corpora the service benches and determinism tests run on, as
+/// parsed programs.
+std::vector<LitmusJob> allCorpusJobs() {
+  std::vector<LitmusJob> Jobs = differentialCorpusJobs();
+  for (const LitmusJob &J : largeCorpusJobs())
+    Jobs.push_back(J);
+  return Jobs;
+}
+
+} // namespace
+
+TEST(StaticDynamic, CorpusCertificateImpliesDynamicRaceFreedom) {
+  // Soundness over the real corpora: whenever the static tier certifies a
+  // program, the witness-carrying dynamic door must find no Fig. 7 race
+  // and every valid execution must be SC — under both JS variants (the
+  // certificate is what lets the fast path skip the original model's
+  // non-SC behaviours too).
+  ExecutionEngine E;
+  unsigned Certified = 0;
+  for (const LitmusJob &Job : allCorpusJobs()) {
+    std::optional<LitmusFile> File = parseLitmus(Job.Litmus);
+    ASSERT_TRUE(File) << Job.Name;
+    analysis::StaticClassification C = analysis::classify(File->P);
+    if (!C.StaticallyDrf) {
+      EXPECT_FALSE(C.MayRaces.empty()) << Job.Name;
+      continue;
+    }
+    ++Certified;
+    EXPECT_TRUE(C.MayRaces.empty()) << Job.Name;
+    // The witness door enumerates every candidate execution; keep it to
+    // programs where that is tractable (the certified large-corpus
+    // entries are pinned by the service table matrix below instead).
+    if (programEventUpperBound(File->P) > 20)
+      continue;
+    for (const ModelSpec &Spec :
+         {ModelSpec::original(), ModelSpec::revised()}) {
+      ScDrfReport Rep = E.scDrf(File->P, JsModel(Spec));
+      EXPECT_TRUE(Rep.DataRaceFree) << Job.Name << " under " << Spec.Name;
+      EXPECT_TRUE(Rep.AllValidExecutionsSC)
+          << Job.Name << " under " << Spec.Name;
+    }
+  }
+  EXPECT_GE(Certified, 3u) << "corpus lost its statically-DRF entries";
+}
+
+TEST(StaticDynamic, RandomizedSweepCertificateIsSound) {
+  // 200 seeded random small programs: statically-DRF implies no dynamic
+  // race witness, and the engine's fast path agrees with the full walk on
+  // every program (certified or not) under both JS variants.
+  std::mt19937 Rng(0x57A71C);
+  EngineConfig FastCfg;
+  FastCfg.StaticFastPath = true;
+  ExecutionEngine Fast(FastCfg);
+  ExecutionEngine Full;
+  unsigned Certified = 0;
+  for (int I = 0; I < 200; ++I) {
+    Program P = randomSmallProgram(Rng);
+    analysis::StaticClassification C = analysis::classify(P);
+    Certified += C.StaticallyDrf;
+    for (const ModelSpec &Spec :
+         {ModelSpec::original(), ModelSpec::revised()}) {
+      JsModel M(Spec);
+      if (C.StaticallyDrf) {
+        ScDrfReport Rep = Full.scDrf(P, M);
+        EXPECT_TRUE(Rep.DataRaceFree)
+            << "program #" << I << " under " << Spec.Name;
+        EXPECT_TRUE(Rep.AllValidExecutionsSC)
+            << "program #" << I << " under " << Spec.Name;
+      }
+      EXPECT_EQ(Fast.enumerateOutcomes(P, M).outcomeStrings(),
+                Full.enumerateOutcomes(P, M).outcomeStrings())
+          << "program #" << I << " under " << Spec.Name;
+    }
+  }
+  // The generator must keep exercising both sides of the certificate.
+  EXPECT_GE(Certified, 5u);
+  EXPECT_LE(Certified, 195u);
+}
+
+TEST(StaticDynamic, ServiceFastPathTablesByteIdenticalToFull) {
+  // The acceptance matrix: statically-DRF verdict tables must be
+  // byte-identical to the full enumeration across the small and large
+  // corpora, both tot-order solvers, workers 1/2/4, and reduce on|off.
+  std::vector<LitmusJob> Base = allCorpusJobs();
+  SolverKind Saved = defaultSolverKind();
+  unsigned FastPathHits = 0;
+  for (SolverKind Kind : {SolverKind::Propagate, SolverKind::Sat}) {
+    setDefaultSolverKind(Kind);
+    for (bool Reduce : {true, false}) {
+      std::vector<LitmusJob> FullJobs = Base;
+      std::vector<LitmusJob> FastJobs = Base;
+      for (LitmusJob &J : FullJobs) {
+        J.Static = false;
+        J.Reduce = Reduce;
+      }
+      for (LitmusJob &J : FastJobs)
+        J.Reduce = Reduce;
+      LitmusService Reference(ServiceConfig::sequential());
+      std::vector<LitmusJobResult> Ref = Reference.run(FullJobs);
+      for (unsigned Workers : {1u, 2u, 4u}) {
+        ServiceConfig Cfg;
+        Cfg.Workers = Workers;
+        LitmusService Service(Cfg);
+        std::vector<LitmusJobResult> Got = Service.run(FastJobs);
+        ASSERT_EQ(Got.size(), Ref.size());
+        for (size_t I = 0; I < Got.size(); ++I) {
+          const std::string Where = Got[I].Name + " solver=" +
+                                    (Kind == SolverKind::Sat ? "sat"
+                                                             : "propagate") +
+                                    " reduce=" + (Reduce ? "on" : "off") +
+                                    " workers=" + std::to_string(Workers);
+          EXPECT_EQ(Got[I].Status, Ref[I].Status) << Where;
+          EXPECT_EQ(Got[I].AllowedByBackend, Ref[I].AllowedByBackend)
+              << Where;
+          EXPECT_EQ(Got[I].SoundnessViolations, Ref[I].SoundnessViolations)
+              << Where;
+          EXPECT_EQ(Got[I].ObservableWeakenings,
+                    Ref[I].ObservableWeakenings)
+              << Where;
+          EXPECT_FALSE(Ref[I].DrfFastPath) << Where;
+          if (Workers == 1)
+            FastPathHits += Got[I].DrfFastPath;
+        }
+      }
+    }
+  }
+  setDefaultSolverKind(Saved);
+  // The matrix must actually exercise the fast path, not just agree
+  // trivially: each (solver, reduce) pass serves the statically-DRF
+  // corpus entries through it.
+  EXPECT_GE(FastPathHits, 12u);
+}
+
+TEST(StaticDynamic, LintDiagnosticsCarryFixtureSourceLines) {
+  // Byte-for-byte the tests/fixtures/lint_findings.litmus fixture (the
+  // jsmm_lint_findings ctests run the CLI over the file itself); the
+  // classification's diagnostics must map to the known source lines
+  // through the parser's InstrLines table.
+  const char *Src = R"(# jsmm-lint regression fixture: one program that trips three lint kinds
+# with known source lines (tests/datarace_test.cpp and the
+# jsmm_lint_findings ctest pin the diagnostics and their lines).
+name lint-findings
+buffer 64
+thread
+  store u32 0 = 1
+  store u32 32 = 7
+thread
+  r0 = load u32 0
+  r1 = load u32 16
+  if r0 == 9
+    store u32 0 = 2
+  end
+)";
+  std::optional<LitmusFile> File = parseLitmus(Src);
+  ASSERT_TRUE(File);
+  analysis::StaticClassification C = analysis::classify(File->P);
+  std::map<analysis::LintKind, unsigned> LineOf;
+  for (const analysis::LintDiag &D : C.Lints) {
+    ASSERT_GE(D.PreIdx, 0) << D.Message;
+    LineOf[D.Kind] =
+        File->InstrLines[D.Thread][static_cast<unsigned>(D.PreIdx)];
+  }
+  ASSERT_EQ(LineOf.size(), 3u);
+  EXPECT_EQ(LineOf.at(analysis::LintKind::DeadStore), 8u);
+  EXPECT_EQ(LineOf.at(analysis::LintKind::UncoveredRead), 11u);
+  EXPECT_EQ(LineOf.at(analysis::LintKind::DeadBranch), 12u);
 }

@@ -151,6 +151,18 @@ thread
   r1 = load u32 0
 )";
 
+/// All-SeqCst store buffering: statically DRF, so it covers the
+/// drf-fastpath trace event.
+const char *TraceSbSc = R"(name trace-sb-sc
+buffer 8
+thread
+  store.sc u32 0 = 1
+  r0 = load.sc u32 4
+thread
+  store.sc u32 4 = 1
+  r0 = load.sc u32 0
+)";
+
 /// Ordered member names of one parsed trace line.
 std::vector<std::string> keysOf(const JsonValue &V) {
   std::vector<std::string> Keys;
@@ -171,8 +183,12 @@ TEST(Trace, JsonlSchemaGolden) {
   Job.Litmus = TraceMp;
   Job.Model = "revised";
   // Two identical jobs: the second is served by the cache, covering the
-  // cache-hit event.
-  Service.run({Job, Job});
+  // cache-hit event. The statically-DRF third job covers drf-fastpath.
+  LitmusJob DrfJob;
+  DrfJob.Name = "trace-sb-sc";
+  DrfJob.Litmus = TraceSbSc;
+  DrfJob.Model = "revised";
+  Service.run({Job, Job, DrfJob});
   setTrace(nullptr);
 
   std::map<std::string, std::vector<std::string>> SchemaOf;
@@ -209,6 +225,8 @@ TEST(Trace, JsonlSchemaGolden) {
                      "t_us"}));
   EXPECT_EQ(SchemaOf.at("tier-select"),
             (KeyList{"ev", "entry", "events", "tier", "solver", "t_us"}));
+  EXPECT_EQ(SchemaOf.at("drf-fastpath"),
+            (KeyList{"ev", "entry", "events", "states", "outcomes", "t_us"}));
   EXPECT_EQ(SchemaOf.at("cache-miss"), (KeyList{"ev", "name", "t_us"}));
   EXPECT_EQ(SchemaOf.at("cache-hit"), (KeyList{"ev", "name", "t_us"}));
 }

@@ -35,6 +35,7 @@ struct ParsedInstr {
 
 struct ParserState {
   std::vector<std::vector<ParsedInstr>> Threads;
+  std::vector<unsigned> ThreadLines; ///< line of each `thread` directive
   std::vector<unsigned> BufferSizes;
   /// Per-buffer initial byte values from `init` directives (offset ->
   /// byte); absent entries are zero. Parallel to BufferSizes.
@@ -156,6 +157,18 @@ bool emitBody(ThreadBuilder &B, const std::vector<ParsedInstr> &Body,
     }
   }
   return true;
+}
+
+/// Collects statement source lines in pre-order (an If's line, then its
+/// body's) — the same flattening order analysis::classify() reports
+/// PreIdx in, so LitmusFile::InstrLines aligns index-for-index.
+void collectLines(const std::vector<ParsedInstr> &Body,
+                  std::vector<unsigned> &Lines) {
+  for (const ParsedInstr &I : Body) {
+    Lines.push_back(I.Line);
+    if (I.K == ParsedInstr::Kind::If)
+      collectLines(I.Body, Lines);
+  }
 }
 
 /// The width token that reparses to this access: "uN" for tear-free
@@ -336,6 +349,7 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
                                   std::to_string(S.Threads.size()) + ")");
       }
       S.Threads.emplace_back();
+      S.ThreadLines.push_back(LineNo);
       Open.clear();
       Open.push_back(&S.Threads.back());
       continue;
@@ -468,7 +482,10 @@ std::optional<LitmusFile> jsmm::parseLitmus(const std::string &Source,
     ThreadBuilder TB = Out.P.thread();
     if (!emitBody(TB, Body, Error))
       return std::nullopt;
+    Out.InstrLines.emplace_back();
+    collectLines(Body, Out.InstrLines.back());
   }
+  Out.ThreadLines = S.ThreadLines;
   // The parser is the user-input boundary of the event-universe cap: a
   // program that cannot fit any candidate execution into the dynamic
   // relation tier (DynRelation::MaxSize elements) is rejected here with a

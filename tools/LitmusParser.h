@@ -48,6 +48,14 @@ struct LitmusExpectation {
 struct LitmusFile {
   Program P{4};
   std::vector<LitmusExpectation> Expectations;
+  /// Per thread, the 1-based source line of every statement in pre-order
+  /// (If* statements count, their bodies follow) — the index space of
+  /// analysis::AccessRecord::PreIdx / LintDiag::PreIdx, so diagnostics
+  /// map back to source lines. Empty for files built programmatically.
+  std::vector<std::vector<unsigned>> InstrLines;
+  /// 1-based source line of each `thread` directive (parallel to the
+  /// program's threads; empty for programmatic files).
+  std::vector<unsigned> ThreadLines;
 };
 
 /// Structured parse failure: the "line N: reason" message plus a typed

@@ -14,15 +14,17 @@
 ///
 /// JSONL job lines are objects with "litmus" (inline source) or "file"
 /// (path, relative to the job file), plus optional "name", "model"
-/// (default: the --model flag), "threads" and "reduce" (boolean; default:
-/// the --reduce flag). A malformed line or an unreadable file fails that
-/// job — never the batch.
+/// (default: the --model flag), "threads", "reduce" and "static"
+/// (booleans; defaults: the --reduce flag / --no-static absent). A
+/// malformed line or an unreadable file fails that job — never the batch.
 ///
 /// Output lines carry: job index, name, model, status
 /// (ok / too-large / parse-error / unsupported), the allowed-outcome sets
-/// per backend, differential soundness/weakening diffs, and the checked
-/// allow/forbid expectations. A summary with cache and throughput numbers
-/// goes to stderr, keeping stdout deterministic.
+/// per backend, differential soundness/weakening diffs, the checked
+/// allow/forbid expectations, and a "static" object (the pre-analysis
+/// summary: drf certificate, may-race and lint counts, whether the DRF-SC
+/// fast path served the verdicts). A summary with cache and throughput
+/// numbers goes to stderr, keeping stdout deterministic.
 ///
 /// Exit status: 0 all jobs ok and expectations hold; 1 some job failed;
 /// 2 usage or input-level errors.
@@ -65,6 +67,9 @@ int usage() {
          "propagate)\n"
          "  --reduce=on|off   equivalence-aware enumeration (default: on; "
          "identical verdicts either way)\n"
+         "  --no-static    disable the static pre-analysis and DRF-SC fast "
+         "path\n"
+         "                 (default: on; identical verdicts either way)\n"
          "  --no-cache     disable the verdict cache\n"
          "  --output=PATH  write the JSONL stream to PATH instead of "
          "stdout\n"
@@ -102,7 +107,8 @@ LitmusJobResult inputFailure(const std::string &Name, const std::string &Model,
 /// a malformed line.
 bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
                      const std::string &DefaultModel, unsigned DefaultThreads,
-                     bool DefaultReduce, LitmusJob &Out, std::string &Error) {
+                     bool DefaultReduce, bool DefaultStatic, LitmusJob &Out,
+                     std::string &Error) {
   std::string JsonError;
   std::optional<JsonValue> V = parseJson(Line, &JsonError);
   if (!V) {
@@ -116,6 +122,7 @@ bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
   Out.Model = DefaultModel;
   Out.Threads = DefaultThreads;
   Out.Reduce = DefaultReduce;
+  Out.Static = DefaultStatic;
   const JsonValue *Name = V->find("name");
   if (Name) {
     if (!Name->isString()) {
@@ -150,6 +157,14 @@ bool jobFromJsonLine(const std::string &Line, const std::string &BaseDir,
       return false;
     }
     Out.Reduce = Reduce->asBool();
+  }
+  const JsonValue *Static = V->find("static");
+  if (Static) {
+    if (!Static->isBool()) {
+      Error = "\"static\" must be a boolean";
+      return false;
+    }
+    Out.Static = Static->asBool();
   }
   const JsonValue *Litmus = V->find("litmus");
   const JsonValue *File = V->find("file");
@@ -247,6 +262,16 @@ std::string renderResult(size_t Index, const LitmusJobResult &R,
     }
     Obj.set("expectations", std::move(Exp));
   }
+  if (R.HasStatic) {
+    // The pre-analysis summary: a deterministic function of the job, so
+    // the stream stays byte-identical for every --workers value.
+    JsonValue St = JsonValue::object();
+    St.set("drf", JsonValue(R.StaticallyDrf));
+    St.set("may_races", JsonValue(static_cast<uint64_t>(R.StaticMayRaces)));
+    St.set("lints", JsonValue(static_cast<uint64_t>(R.StaticLints)));
+    St.set("fastpath", JsonValue(R.DrfFastPath));
+    Obj.set("static", std::move(St));
+  }
   if (WithSolver && R.HasSolverStats)
     Obj.set("solver", solverJson(R.Solver));
   return Obj.toString();
@@ -265,6 +290,7 @@ int main(int Argc, char **Argv) {
   bool UseLargeCorpus = false;
   bool NoCache = false;
   bool Reduce = true;
+  bool Static = true;
   bool Stats = false;
   bool StatsJson = false;
 
@@ -276,6 +302,8 @@ int main(int Argc, char **Argv) {
       UseLargeCorpus = true;
     } else if (Arg == "--no-cache") {
       NoCache = true;
+    } else if (Arg == "--no-static") {
+      Static = false;
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--stats=json") {
@@ -331,11 +359,13 @@ int main(int Argc, char **Argv) {
   if (UseCorpus)
     for (LitmusJob &J : differentialCorpusJobs(Model, JobThreads)) {
       J.Reduce = Reduce;
+      J.Static = Static;
       Pending.push_back({std::move(J), std::nullopt});
     }
   if (UseLargeCorpus)
     for (LitmusJob &J : largeCorpusJobs(Model, JobThreads)) {
       J.Reduce = Reduce;
+      J.Static = Static;
       Pending.push_back({std::move(J), std::nullopt});
     }
   for (const std::string &Input : Inputs) {
@@ -369,6 +399,7 @@ int main(int Argc, char **Argv) {
         P.Job.Model = Model;
         P.Job.Threads = JobThreads;
         P.Job.Reduce = Reduce;
+        P.Job.Static = Static;
         if (std::optional<std::string> Text = readFileText(Path))
           P.Job.Litmus = *Text;
         else
@@ -397,8 +428,8 @@ int main(int Argc, char **Argv) {
           continue;
         PendingJob P;
         std::string Error;
-        if (!jobFromJsonLine(Line, BaseDir, Model, JobThreads, Reduce, P.Job,
-                             Error))
+        if (!jobFromJsonLine(Line, BaseDir, Model, JobThreads, Reduce, Static,
+                             P.Job, Error))
           P.PreFailed = inputFailure(
               "line-" + std::to_string(LineNo), Model, JobStatus::ParseError,
               Input + ":" + std::to_string(LineNo) + ": " + Error);
@@ -410,6 +441,7 @@ int main(int Argc, char **Argv) {
       P.Job.Model = Model;
       P.Job.Threads = JobThreads;
       P.Job.Reduce = Reduce;
+      P.Job.Static = Static;
       if (std::optional<std::string> Text = readFileText(Input))
         P.Job.Litmus = *Text;
       else

@@ -11,6 +11,8 @@
 ///                                        # (default: propagate)
 ///   jsmm-run test.litmus --reduce=off    # disable the equivalence-aware
 ///                                        # enumeration (default: on)
+///   jsmm-run test.litmus --no-static     # disable the static DRF-SC
+///                                        # fast path (default: on)
 ///   jsmm-run test.litmus --arm           # also the compiled ARMv8 verdict
 ///   jsmm-run test.litmus --scdrf         # also the SC-DRF report
 ///   jsmm-run --list-models               # every backend, one per line
@@ -86,8 +88,13 @@ void listModels(std::ostream &Out) {
 
 int usage() {
   std::cerr << "usage: jsmm-run <file.litmus> [--model=NAME] [--threads=N] "
-               "[--solver=brute|propagate|sat] [--reduce=on|off] [--arm] "
+               "[--solver=brute|propagate|sat] [--reduce=on|off] "
+               "[--no-static] [--arm] "
                "[--scdrf] [--stats[=json]] [--trace=FILE]\n"
+               "  --no-static    disable the static DRF-SC fast path "
+               "(statically\n"
+               "                 race-free programs answered by one SC "
+               "enumeration)\n"
                "       jsmm-run --list-models\n"
                "  --stats        enumeration-effort footer (candidates, "
                "pruned/slept\n"
@@ -139,6 +146,11 @@ int main(int Argc, char **Argv) {
   // this), only the work to get there shrinks. --reduce=off restores the
   // exhaustive walk for debugging and A/B timing.
   Cfg.Reduction = true;
+  // Likewise the static DRF-SC fast path: statically race-free programs
+  // get the identical verdict table from one SC enumeration (the
+  // static-vs-dynamic tests pin this); --no-static restores the full
+  // model enumeration.
+  Cfg.StaticFastPath = true;
   bool WithArm = false, WithScDrf = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -197,6 +209,10 @@ int main(int Argc, char **Argv) {
         std::cerr << "jsmm-run: --trace needs a file path\n";
         return 2;
       }
+      continue;
+    }
+    if (Arg == "--no-static") {
+      Cfg.StaticFastPath = false;
       continue;
     }
     if (Arg == "--arm")

@@ -29,6 +29,7 @@ KNOWN_EVENTS = {
     "job-end",
     "tier-select",
     "solver-dispatch",
+    "drf-fastpath",
     "cache-hit",
     "cache-miss",
     "capacity-reject",

@@ -28,7 +28,11 @@ corpus served by the dynamic relation tier), plus the ``*_events_max``
 capacity floors (``sat_events_max``: the largest program size the SAT
 consistency tier served in the headline run — a capacity regression,
 e.g. an accidental threshold or relation-cap change, shows up as this
-number dropping). Every gated-class metric the benchmark emits must
+number dropping), plus the ``*_hits`` coverage floors
+(``drf_fastpath_hits``: how many jobs of the statically-DRF headline
+family the DRF-SC fast path actually served — a deterministic counter
+that trips if the static certificate stops covering the family and jobs
+silently fall back to the full walk). Every gated-class metric the benchmark emits must
 have a committed floor: a ``speedup_*``/``*_events_max`` present in the
 current results but missing from the baseline fails the gate rather
 than silently riding along un-gated. The raw
@@ -134,7 +138,8 @@ def main(argv):
     def is_floor_gated(name):
         return (name.startswith("speedup_") or "_drop_" in name
                 or name.endswith("_jobs_per_sec")
-                or name.endswith("_events_max"))
+                or name.endswith("_events_max")
+                or name.endswith("_hits"))
 
     def is_ceiling_gated(name):
         # Latency: lower is better, gated only when the baseline commits
@@ -145,7 +150,7 @@ def main(argv):
                    if is_floor_gated(n) or is_ceiling_gated(n))
     if not gated:
         print(f"perf-trend: baseline '{baseline_path}' has no gated "
-              "(speedup_* / *_drop_* / *_jobs_per_sec / *_events_max / "
+              "(speedup_* / *_drop_* / *_jobs_per_sec / *_events_max / *_hits / "
               "*_us) metrics")
         return 2
 
