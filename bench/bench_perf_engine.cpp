@@ -415,6 +415,98 @@ void drfHeadline(jsmm::bench::Table &T) {
   T.metric("drf_fastpath_hits", Hits, "jobs");
 }
 
+/// Value-aware static pruning headline: a racy unordered SB core (the
+/// DRF certificate fails, so the full walk runs) padded with private
+/// constant-read fillers — an unconditional store before each private
+/// load makes the load statically constant (the init write is shadowed
+/// and the later same-thread store is excluded by the post-read rule),
+/// and a branch on the constant register is statically dead, so the
+/// value tier drops whole path combinations (2^(2*fillers) combos
+/// collapse to one). The program's final read keeps three covering
+/// writers statically narrowed to one; with no further read to trigger
+/// the partial-admission check, the unpruned walk completes (and then
+/// rejects) the extra leaves, so the completed-candidate counts diverge
+/// deterministically. Gated floors in bench/perf_baseline.json:
+/// `speedup_staticprune_x` (wall clock) and `rf_candidates_dropped_x`
+/// (completed rf candidates without the value tier over those with it —
+/// the pruning-effectiveness gate, >= 2x on this family).
+void staticPruneHeadline(jsmm::bench::Table &T) {
+  auto Prunable = [](unsigned Fillers, const char *Name) {
+    Program P(32);
+    P.Name = Name;
+    for (unsigned Side = 0; Side < 2; ++Side) {
+      ThreadBuilder B = P.thread();
+      B.store(Acc::u8(Side), 1); // racy SB core on bytes 0/1
+      for (unsigned F = 0; F < Fillers; ++F) {
+        unsigned Byte = 2 + Fillers * Side + F;
+        B.store(Acc::u8(Byte), 7);
+        Reg R = B.load(Acc::u8(Byte)); // constant 7: init shadowed
+        B.store(Acc::u8(Byte), 3);     // post-read: excluded for R
+        B.ifEq(R, 0, [&](ThreadBuilder &C) { C.load(Acc::u8(1 - Side)); });
+      }
+      B.load(Acc::u8(1 - Side));
+      if (Side == 1) {
+        // The program's last read: three covering writers (init plus
+        // both stores), statically narrowed to the second store.
+        unsigned Byte = 2 + 2 * Fillers;
+        B.store(Acc::u8(Byte), 7);
+        B.store(Acc::u8(Byte), 3);
+        B.load(Acc::u8(Byte));
+      }
+    }
+    return P;
+  };
+  std::vector<Program> Family;
+  for (const auto &[Fillers, Name] :
+       {std::pair<unsigned, const char *>{2, "staticprune-sb-23"},
+        {4, "staticprune-sb-39"},
+        {6, "staticprune-sb-55"}})
+    Family.push_back(Prunable(Fillers, Name));
+
+  uint64_t RfPruned = 0, PathsPruned = 0;
+  auto FamilyMs = [&](bool Static, uint64_t &Candidates,
+                      std::vector<std::vector<std::string>> &Tables) {
+    EngineConfig Cfg;
+    Cfg.StaticFastPath = Static;
+    ExecutionEngine Engine(Cfg);
+    Candidates = 0;
+    Tables.clear();
+    return timedMs([&] {
+      for (const Program &P : Family)
+        for (const ModelSpec &Spec :
+             {ModelSpec::original(), ModelSpec::revised()}) {
+          OutcomeSummary S = Engine.enumerateOutcomes(P, JsModel(Spec));
+          Candidates += S.CandidatesConsidered;
+          Tables.push_back(S.outcomeStrings());
+          RfPruned += Engine.Stats.StaticRfPruned;
+          PathsPruned += Engine.Stats.StaticPathsPruned;
+        }
+    });
+  };
+  uint64_t WarmCandidates, FullCandidates, PrunedCandidates;
+  std::vector<std::vector<std::string>> WarmTables, FullTables, PrunedTables;
+  FamilyMs(true, WarmCandidates, WarmTables); // warm-up
+  RfPruned = PathsPruned = 0;
+  double FullMs = FamilyMs(false, FullCandidates, FullTables);
+  double PrunedMs = FamilyMs(true, PrunedCandidates, PrunedTables);
+  T.check("value-pruned and full verdict tables are identical on the "
+          "racy-but-prunable family",
+          true, FullTables == PrunedTables);
+  T.check("static rf and path pruning both fire on the family", true,
+          RfPruned > 0 && PathsPruned > 0);
+  T.metric("staticprune_full_ms", FullMs, "ms");
+  T.metric("staticprune_pruned_ms", PrunedMs, "ms");
+  T.metric("speedup_staticprune_x", PrunedMs > 0 ? FullMs / PrunedMs : 0);
+  T.metric("candidates_explored_static_full",
+           static_cast<double>(FullCandidates));
+  T.metric("candidates_explored_static_pruned",
+           static_cast<double>(PrunedCandidates));
+  T.metric("rf_candidates_dropped_x",
+           PrunedCandidates
+               ? static_cast<double>(FullCandidates) / PrunedCandidates
+               : 0);
+}
+
 /// \returns the failed-claim count (0 on success), for main's exit code.
 int headlineComparison() {
   // Warm-up pass so first-touch allocation noise doesn't skew the seed run.
@@ -445,6 +537,7 @@ int headlineComparison() {
   satHeadline(T);
   serviceHeadline(T);
   drfHeadline(T);
+  staticPruneHeadline(T);
   return T.finish();
 }
 

@@ -1,13 +1,15 @@
 //===- analysis/StaticAnalysis.cpp ----------------------------------------===//
+//
+// The shared static-analysis internals (AnalysisDetail.h): flattening,
+// footprint classification, and the footprint-level lints. The classify()
+// entry points live in StaticValues.cpp — the classification is the
+// footprint slice of the full value analysis, computed once.
+//
+//===----------------------------------------------------------------------===//
 
-#include "analysis/StaticAnalysis.h"
-
-#include "engine/Symmetry.h"
+#include "analysis/AnalysisDetail.h"
 
 #include <algorithm>
-#include <functional>
-#include <map>
-#include <set>
 
 using namespace jsmm;
 using namespace jsmm::analysis;
@@ -24,6 +26,8 @@ const char *jsmm::analysis::lintKindName(LintKind K) {
     return "duplicate-thread";
   case LintKind::RedundantFence:
     return "redundant-fence";
+  case LintKind::ConstantRead:
+    return "constant-read";
   }
   return "unknown";
 }
@@ -39,8 +43,32 @@ std::string widthToken(const Acc &A) {
   return "dv" + std::to_string(A.Width);
 }
 
-/// "store.sc u32 4" — the access as litmus-like text for messages.
-std::string accessText(const AccessRecord &R) {
+const char *targetFenceName(TFence F) {
+  switch (F) {
+  case TFence::None:
+    return "none";
+  case TFence::MFence:
+    return "mfence";
+  case TFence::Sync:
+    return "sync";
+  case TFence::LwSync:
+    return "lwsync";
+  case TFence::CtrlIsync:
+    return "ctrlisync";
+  case TFence::DmbV7:
+    return "dmb";
+  default:
+    return "fence";
+  }
+}
+
+} // namespace
+
+uint8_t jsmm::analysis::detail::byteOf(uint64_t Value, unsigned K) {
+  return static_cast<uint8_t>(Value >> (8 * K));
+}
+
+std::string jsmm::analysis::detail::accessText(const AccessRecord &R) {
   std::string Verb = R.K == Instr::Kind::Store
                          ? "store"
                          : (R.K == Instr::Kind::Rmw ? "exchange" : "load");
@@ -53,29 +81,70 @@ std::string accessText(const AccessRecord &R) {
   return Out;
 }
 
-/// Per absolute byte, the facts the footprint lints and the dead-branch
-/// value over-approximation need.
-struct ByteInfo {
-  unsigned Writers = 0; ///< writing accesses covering this byte
-  bool Read = false;    ///< some load/RMW reads this byte
-  /// Over-approximate value set: the initial byte plus every byte any
-  /// write may leave here. Sound because a byte's dynamic value is always
-  /// the initial one or one written by some covering write.
-  std::set<uint8_t> Possible;
-};
-
-using ByteKey = std::pair<unsigned, unsigned>; ///< (block, absolute byte)
-
-/// Byte \p K of the little-endian encoding of \p Value.
-uint8_t byteOf(uint64_t Value, unsigned K) {
-  return static_cast<uint8_t>(Value >> (8 * K));
+void jsmm::analysis::detail::flattenBody(
+    const std::vector<Instr> &Body, unsigned Thread, unsigned Depth,
+    unsigned &PreIdx, std::vector<AccessRecord> &Accesses,
+    std::vector<BranchRecord> &Branches,
+    std::vector<const Instr *> &InstrOf) {
+  for (const Instr &I : Body) {
+    unsigned Idx = PreIdx++;
+    switch (I.K) {
+    case Instr::Kind::Load:
+    case Instr::Kind::Store:
+    case Instr::Kind::Rmw:
+      Accesses.push_back(
+          {Thread, Idx, I.K, I.Access, I.Value, I.Dst, Depth});
+      InstrOf.push_back(&I);
+      break;
+    case Instr::Kind::IfEq:
+    case Instr::Kind::IfNe:
+      Branches.push_back(
+          {Thread, Idx, I.K == Instr::Kind::IfEq, I.CondReg, I.Value});
+      flattenBody(I.Body, Thread, Depth + 1, PreIdx, Accesses, Branches,
+                  InstrOf);
+      break;
+    }
+  }
 }
 
-/// The shared part of both classify() overloads: the may-race relation,
-/// the statically-DRF certificate, and the footprint lints (dead-store /
-/// uncovered-read) over an already-flattened access table. \p InitByte
-/// maps an absolute byte to its initial value.
-void classifyAccesses(
+void jsmm::analysis::detail::flattenTarget(
+    const CompiledTarget &CT, std::vector<AccessRecord> &Accesses,
+    std::vector<std::vector<int>> *AccessAt) {
+  if (AccessAt)
+    AccessAt->assign(CT.Threads.size(), {});
+  for (unsigned T = 0; T < CT.Threads.size(); ++T) {
+    const std::vector<TargetInstr> &Body = CT.Threads[T];
+    if (AccessAt)
+      (*AccessAt)[T].assign(Body.size(), -1);
+    for (unsigned I = 0; I < Body.size(); ++I) {
+      const TargetInstr &TI = Body[I];
+      if (TI.Kind == TKind::Fence)
+        continue;
+      AccessRecord R;
+      R.Thread = T;
+      R.PreIdx = I;
+      R.K = TI.Kind == TKind::Read
+                ? Instr::Kind::Load
+                : (TI.Kind == TKind::Write ? Instr::Kind::Store
+                                           : Instr::Kind::Rmw);
+      // A cell as a width-1 byte range; the race judgment wants the
+      // *source* ordering mode, which SourceIdx recovers (the compiled
+      // Acq/Rel/Sc flags are scheme spelling, not the paper's modes).
+      Mode Ord = TI.Sc ? Mode::SeqCst : Mode::Unordered;
+      if (TI.SourceIdx >= 0 &&
+          static_cast<size_t>(TI.SourceIdx) < CT.Sources.size())
+        Ord = CT.Sources[TI.SourceIdx].Ord;
+      R.Access = Acc{0, TI.Loc, 1, Ord, true};
+      R.Value = TI.Value;
+      R.Dst = TI.DstReg;
+      if (AccessAt)
+        (*AccessAt)[T][I] = static_cast<int>(Accesses.size());
+      Accesses.push_back(R);
+    }
+  }
+}
+
+void jsmm::analysis::detail::classifyAccesses(
     const std::vector<AccessRecord> &Accesses,
     const std::function<uint8_t(unsigned, unsigned)> &InitByte,
     StaticClassification &Out, std::map<ByteKey, ByteInfo> &Bytes) {
@@ -157,10 +226,8 @@ void classifyAccesses(
   }
 }
 
-/// Appends one DuplicateThread diagnostic per symmetry class, anchored at
-/// the first duplicate (the class's second member).
-void lintDuplicateThreads(const ThreadSymmetry &Sym,
-                          StaticClassification &Out) {
+void jsmm::analysis::detail::lintDuplicateThreads(
+    const ThreadSymmetry &Sym, StaticClassification &Out) {
   for (size_t C = 0; C < Sym.Classes.size(); ++C) {
     const std::vector<unsigned> &Members = Sym.Classes[C];
     std::string List;
@@ -175,163 +242,8 @@ void lintDuplicateThreads(const ThreadSymmetry &Sym,
   }
 }
 
-//===----------------------------------------------------------------------===//
-// Program classification
-//===----------------------------------------------------------------------===//
-
-/// A branch statement collected during flattening.
-struct BranchRecord {
-  unsigned Thread = 0;
-  unsigned PreIdx = 0;
-  bool Equal = true; ///< IfEq vs IfNe
-  unsigned CondReg = 0;
-  uint64_t Value = 0;
-};
-
-void flattenBody(const std::vector<Instr> &Body, unsigned Thread,
-                 unsigned Depth, unsigned &PreIdx,
-                 std::vector<AccessRecord> &Accesses,
-                 std::vector<BranchRecord> &Branches) {
-  for (const Instr &I : Body) {
-    unsigned Idx = PreIdx++;
-    switch (I.K) {
-    case Instr::Kind::Load:
-    case Instr::Kind::Store:
-    case Instr::Kind::Rmw:
-      Accesses.push_back(
-          {Thread, Idx, I.K, I.Access, I.Value, I.Dst, Depth});
-      break;
-    case Instr::Kind::IfEq:
-    case Instr::Kind::IfNe:
-      Branches.push_back(
-          {Thread, Idx, I.K == Instr::Kind::IfEq, I.CondReg, I.Value});
-      flattenBody(I.Body, Thread, Depth + 1, PreIdx, Accesses, Branches);
-      break;
-    }
-  }
-}
-
-} // namespace
-
-StaticClassification jsmm::analysis::classify(const Program &P) {
-  StaticClassification Out;
-  std::vector<BranchRecord> Branches;
-  for (unsigned T = 0; T < P.numThreads(); ++T) {
-    unsigned PreIdx = 0;
-    flattenBody(P.threadBody(T), T, 0, PreIdx, Out.Accesses, Branches);
-  }
-
-  auto InitByte = [&P](unsigned Block, unsigned Byte) -> uint8_t {
-    const std::vector<uint8_t> &Init = P.initBytes(Block);
-    return Byte < Init.size() ? Init[Byte] : 0;
-  };
-  std::map<ByteKey, ByteInfo> Bytes;
-  classifyAccesses(Out.Accesses, InitByte, Out, Bytes);
-
-  // Dead branches, over the byte-precise value over-approximation: a
-  // register's possible values are the cartesian product of its loads'
-  // per-byte possible sets — a superset of the dynamically reachable
-  // values, so "no over-approximated value satisfies the condition" is a
-  // sound deadness proof. Registers may be assigned by several loads
-  // (flow-insensitively): the branch is judged against all of them.
-  std::map<std::pair<unsigned, unsigned>, std::vector<const AccessRecord *>>
-      AssignedBy;
-  for (const AccessRecord &R : Out.Accesses)
-    if (R.isRead())
-      AssignedBy[{R.Thread, R.Dst}].push_back(&R);
-  for (const BranchRecord &Br : Branches) {
-    auto It = AssignedBy.find({Br.Thread, Br.CondReg});
-    if (It == AssignedBy.end())
-      continue; // never-assigned register: not this lint's business
-    bool CanEqual = false, MustEqual = true;
-    for (const AccessRecord *R : It->second) {
-      const Acc &A = R->Access;
-      bool Fits = A.Width >= 8 || (Br.Value >> (8 * A.Width)) == 0;
-      bool Can = Fits, Must = Fits;
-      for (unsigned K = 0; K < A.Width && (Can || Must); ++K) {
-        const std::set<uint8_t> &Possible =
-            Bytes.at({A.Block, A.Offset + K}).Possible;
-        bool HasByte = Fits && Possible.count(byteOf(Br.Value, K)) != 0;
-        Can = Can && HasByte;
-        Must = Must && HasByte && Possible.size() == 1;
-      }
-      CanEqual = CanEqual || Can;
-      MustEqual = MustEqual && Must;
-    }
-    bool Dead = Br.Equal ? !CanEqual : MustEqual;
-    if (Dead)
-      Out.Lints.push_back(
-          {LintKind::DeadBranch, static_cast<int>(Br.Thread),
-           static_cast<int>(Br.PreIdx),
-           "condition r" + std::to_string(Br.CondReg) +
-               (Br.Equal ? " == " : " != ") + std::to_string(Br.Value) +
-               " can never hold; the branch body is dead"});
-  }
-
-  lintDuplicateThreads(threadSymmetry(P), Out);
-  return Out;
-}
-
-//===----------------------------------------------------------------------===//
-// CompiledTarget classification
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-const char *targetFenceName(TFence F) {
-  switch (F) {
-  case TFence::None:
-    return "none";
-  case TFence::MFence:
-    return "mfence";
-  case TFence::Sync:
-    return "sync";
-  case TFence::LwSync:
-    return "lwsync";
-  case TFence::CtrlIsync:
-    return "ctrlisync";
-  case TFence::DmbV7:
-    return "dmb";
-  default:
-    return "fence";
-  }
-}
-
-} // namespace
-
-StaticClassification jsmm::analysis::classify(const CompiledTarget &CT) {
-  StaticClassification Out;
-  for (unsigned T = 0; T < CT.Threads.size(); ++T) {
-    const std::vector<TargetInstr> &Body = CT.Threads[T];
-    for (unsigned I = 0; I < Body.size(); ++I) {
-      const TargetInstr &TI = Body[I];
-      if (TI.Kind == TKind::Fence)
-        continue;
-      AccessRecord R;
-      R.Thread = T;
-      R.PreIdx = I;
-      R.K = TI.Kind == TKind::Read
-                ? Instr::Kind::Load
-                : (TI.Kind == TKind::Write ? Instr::Kind::Store
-                                           : Instr::Kind::Rmw);
-      // A cell as a width-1 byte range; the race judgment wants the
-      // *source* ordering mode, which SourceIdx recovers (the compiled
-      // Acq/Rel/Sc flags are scheme spelling, not the paper's modes).
-      Mode Ord = TI.Sc ? Mode::SeqCst : Mode::Unordered;
-      if (TI.SourceIdx >= 0 &&
-          static_cast<size_t>(TI.SourceIdx) < CT.Sources.size())
-        Ord = CT.Sources[TI.SourceIdx].Ord;
-      R.Access = Acc{0, TI.Loc, 1, Ord, true};
-      R.Value = TI.Value;
-      R.Dst = TI.DstReg;
-      Out.Accesses.push_back(R);
-    }
-  }
-
-  auto InitByte = [](unsigned, unsigned) -> uint8_t { return 0; };
-  std::map<ByteKey, ByteInfo> Bytes;
-  classifyAccesses(Out.Accesses, InitByte, Out, Bytes);
-
+void jsmm::analysis::detail::appendFenceLints(const CompiledTarget &CT,
+                                              StaticClassification &Out) {
   // Fences that order nothing: no same-thread memory access on one side.
   for (unsigned T = 0; T < CT.Threads.size(); ++T) {
     const std::vector<TargetInstr> &Body = CT.Threads[T];
@@ -354,7 +266,4 @@ StaticClassification jsmm::analysis::classify(const CompiledTarget &CT) {
                " this fence on its thread; it orders nothing"});
     }
   }
-
-  lintDuplicateThreads(threadSymmetry(CT), Out);
-  return Out;
 }

@@ -93,6 +93,11 @@ enum class LintKind : uint8_t {
   /// by construction, so the default jsmm-lint path does not lint
   /// compiled forms.
   RedundantFence,
+  /// A read whose static may-rf candidate set (StaticValues.h) yields one
+  /// value on every justification: the read cannot discriminate
+  /// executions, which usually means a misplaced flag or offset. Reads
+  /// that are already UncoveredRead are not double-reported.
+  ConstantRead,
 };
 
 /// \returns the stable kebab-case name ("dead-store", ...). The names are
@@ -121,7 +126,9 @@ struct StaticClassification {
   std::vector<LintDiag> Lints;
 };
 
-/// Classifies the litmus program \p P.
+/// Classifies the litmus program \p P. Equivalent to
+/// `analyzeValues(P).C` (StaticValues.h) — the classification is the
+/// footprint-and-lints slice of the full value analysis.
 StaticClassification classify(const Program &P);
 
 /// Classifies the compiled form \p CT (cells as width-1 ranges; the race

@@ -4,6 +4,7 @@
 
 #include "analysis/ScEnumeration.h"
 #include "analysis/StaticAnalysis.h"
+#include "analysis/StaticValues.h"
 #include "core/DataRace.h"
 #include "core/SeqConsistency.h"
 #include "engine/Symmetry.h"
@@ -219,6 +220,43 @@ bool canonicalCombo(const JsSpace &Space, const ThreadSymmetry &Sym,
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Value-aware static pruning (EngineConfig::StaticFastPath)
+//===----------------------------------------------------------------------===//
+
+/// [read idx][byte offset][eligible-writer position] -> allowed flag. The
+/// writer positions index the same eligible-writer order the justifier
+/// walks (and the sleep-set Explore masks use).
+using StaticAllowMask = std::vector<std::vector<std::vector<uint8_t>>>;
+
+/// Per thread, per path index: 1 iff StaticValues::pathFeasible. Dropping
+/// an infeasible combination is sound: every candidate on it dies at the
+/// contradicted read's constraintsAllow check before being emitted, so
+/// its valid-outcome contribution is empty — and under reduction, orbit
+/// siblings of an infeasible canonical combination choose the same path
+/// multiset, so they are infeasible too and the orbit closure of the
+/// empty set stays empty.
+std::vector<std::vector<uint8_t>>
+feasiblePaths(const JsSpace &Space, const analysis::StaticValues &SV) {
+  std::vector<std::vector<uint8_t>> F(Space.PerThread.size());
+  for (size_t T = 0; T < Space.PerThread.size(); ++T) {
+    F[T].reserve(Space.PerThread[T].size());
+    for (const ThreadPath &Path : Space.PerThread[T])
+      F[T].push_back(SV.pathFeasible(Path) ? 1 : 0);
+  }
+  return F;
+}
+
+bool comboFeasible(const JsSpace &Space,
+                   const std::vector<std::vector<uint8_t>> &Feasible,
+                   size_t C) {
+  std::vector<size_t> Idx = Space.indices(C);
+  for (size_t T = 0; T < Idx.size(); ++T)
+    if (!Feasible[T][Idx[T]])
+      return false;
+  return true;
+}
+
 /// The materialised skeleton of one path combination: events, sb, and the
 /// bookkeeping the justifier needs. Generic over the relation tier.
 template <typename RelT> struct JsBase {
@@ -300,6 +338,84 @@ unsigned countJsWriters(const BasicCandidateExecution<RelT> &CE, EventId R,
   return Count;
 }
 
+/// Builds the static writer-allow mask of one JS base from the value
+/// analysis: a writer is masked off when it falls outside the read's
+/// may-rf candidate set, or when its written byte contradicts one of the
+/// path's MustEqual constraints on the read's register (any such
+/// justification is cut by constraintsAllow the moment the read
+/// completes, so skipping it up front loses nothing — not even a counted
+/// candidate). Event-to-access mapping replays buildJsBase's event order:
+/// one Init per buffer, then each thread's path accesses in sequence.
+template <typename RelT>
+StaticAllowMask buildJsStaticAllow(const analysis::StaticValues &SV,
+                                   const JsBase<RelT> &B) {
+  std::vector<int> AccOf(B.CE.Events.size(), -1);
+  size_t Pos = 0;
+  while (Pos < B.CE.Events.size() && B.CE.Events[Pos].Ord == Mode::Init)
+    ++Pos;
+  for (unsigned T = 0; T < B.Paths.size(); ++T)
+    for (const Instr *I : B.Paths[T]->Accesses)
+      AccOf[Pos++] = static_cast<int>(SV.AccessOfInstr.at(I));
+  assert(Pos == B.CE.Events.size() && "event/access replay out of sync");
+
+  StaticAllowMask Allow(B.Reads.size());
+  for (size_t RI = 0; RI < B.Reads.size(); ++RI) {
+    const Event &R = B.CE.Events[B.Reads[RI]];
+    const analysis::ReadMayRf *MR =
+        SV.readMayRf(static_cast<unsigned>(AccOf[R.Id]));
+    assert(MR && "read event mapped to a non-read access");
+
+    // Per-byte required values from the path's MustEqual constraints on
+    // the read's register; Impossible when the constraints conflict or a
+    // required value does not fit the read's width.
+    unsigned Width = R.readEnd() - R.readBegin();
+    unsigned Reg = B.RegOfEvent.at(R.Id);
+    std::vector<int> Req(Width, -1);
+    bool Impossible = false;
+    for (const RegConstraint &Ct : B.Paths[R.Thread]->Constraints) {
+      if (!Ct.MustEqual || Ct.Reg != Reg)
+        continue;
+      if (Width < 8 && (Ct.Value >> (8 * Width)) != 0) {
+        Impossible = true;
+        break;
+      }
+      for (unsigned K = 0; K < Width; ++K) {
+        int Byte = static_cast<uint8_t>(Ct.Value >> (8 * K));
+        if (Req[K] >= 0 && Req[K] != Byte) {
+          Impossible = true;
+          break;
+        }
+        Req[K] = Byte;
+      }
+      if (Impossible)
+        break;
+    }
+
+    Allow[RI].resize(Width);
+    for (unsigned Loc = R.readBegin(); Loc < R.readEnd(); ++Loc) {
+      unsigned K = Loc - R.readBegin();
+      const analysis::MayRfByte &MB = MR->Bytes[K];
+      std::vector<uint8_t> &Mask = Allow[RI][K];
+      for (const Event &W : B.CE.Events) {
+        if (W.Id == R.Id || W.Block != R.Block || !W.writesByte(Loc))
+          continue;
+        bool Ok = !Impossible;
+        if (Ok) {
+          if (W.Ord == Mode::Init)
+            Ok = MB.Init;
+          else
+            Ok = std::binary_search(MB.Writers.begin(), MB.Writers.end(),
+                                    static_cast<unsigned>(AccOf[W.Id]));
+        }
+        if (Ok && Req[K] >= 0 && W.writtenByteAt(Loc) != Req[K])
+          Ok = false;
+        Mask.push_back(Ok ? 1 : 0);
+      }
+    }
+  }
+  return Allow;
+}
+
 /// Recursive reads-byte-from justification of a JS base, byte by byte,
 /// with register-constraint pruning (always), model-admission pruning
 /// (when a model is supplied), and equivalence sleep sets (when a
@@ -313,10 +429,13 @@ public:
               const std::function<bool(const ExecT &, const Outcome &)>
                   &Visit,
               const JsReductionCtx *Red = nullptr,
-              uint64_t *SleptBranches = nullptr)
+              uint64_t *SleptBranches = nullptr,
+              const StaticAllowMask *StaticAllow = nullptr,
+              uint64_t *StaticRfPruned = nullptr)
       : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
         FirstWriterOnly(FirstWriterOnly), Visit(Visit), Red(Red),
-        SleptBranches(SleptBranches) {
+        SleptBranches(SleptBranches), StaticAllow(StaticAllow),
+        StaticRfPruned(StaticRfPruned) {
     if (Red) {
       B.CE.Rbf.clear();
       setupTwins();
@@ -513,6 +632,19 @@ private:
       if (FirstWriterOnly >= 0 && ReadIdx == 0 && Loc == R.readBegin() &&
           ThisPos != static_cast<unsigned>(FirstWriterOnly))
         continue;
+      // Static may-rf pruning: writers outside the read's candidate set
+      // only produce model-invalid or constraint-refuted candidates
+      // (StaticValues' exclusion rules are implied by every backend's
+      // validity axioms), so the subtree cannot contribute an outcome.
+      // Checked before the sleep sets: an excluded writer's whole rf-key
+      // class is excluded with it (the keys subsume the exclusion bits),
+      // so sleeping siblings never rely on a skipped representative.
+      if (StaticAllow &&
+          !(*StaticAllow)[ReadIdx][Loc - R.readBegin()][ThisPos]) {
+        if (StaticRfPruned)
+          ++*StaticRfPruned;
+        continue;
+      }
       if (Red) {
         bool Asleep =
             (KeysActive &&
@@ -557,6 +689,8 @@ private:
   const std::function<bool(const ExecT &, const Outcome &)> &Visit;
   const JsReductionCtx *Red;
   uint64_t *SleptBranches;
+  const StaticAllowMask *StaticAllow;
+  uint64_t *StaticRfPruned;
 
   // Reduction state (set up iff Red).
   bool KeysActive = false;
@@ -574,16 +708,31 @@ bool walkJs(const Program &P, const JsModel *Prune, uint64_t *PrunedSubtrees,
             const std::function<bool(const BasicCandidateExecution<RelT> &,
                                      const Outcome &)> &Visit,
             const JsReductionCtx *Red = nullptr,
-            uint64_t *SleptBranches = nullptr) {
+            uint64_t *SleptBranches = nullptr,
+            const analysis::StaticValues *SV = nullptr,
+            uint64_t *StaticRfPruned = nullptr,
+            uint64_t *StaticPathsPruned = nullptr) {
   JsSpace Space(P);
+  std::vector<std::vector<uint8_t>> Feasible;
+  if (SV)
+    Feasible = feasiblePaths(Space, *SV);
   for (size_t C = 0; C < Space.Combos; ++C) {
     if (Red && !canonicalCombo(Space, Red->Sym, C))
       continue;
+    if (SV && !comboFeasible(Space, Feasible, C)) {
+      if (StaticPathsPruned)
+        ++*StaticPathsPruned;
+      continue;
+    }
     JsBase<RelT> B = buildJsBase<RelT>(P, Space.chosen(C));
     if (Red)
       B.PathIdx = Space.indices(C);
+    StaticAllowMask Allow;
+    if (SV)
+      Allow = buildJsStaticAllow(*SV, B);
     JsJustifier<RelT> J(B, Prune, PrunedSubtrees, /*FirstWriterOnly=*/-1,
-                        Visit, Red, SleptBranches);
+                        Visit, Red, SleptBranches, SV ? &Allow : nullptr,
+                        StaticRfPruned);
     if (!J.run())
       return false;
   }
@@ -596,7 +745,8 @@ template <typename RelT>
 BasicEnumerationResult<RelT>
 enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
                 unsigned Threads, EngineStats &Stats,
-                const JsReductionCtx *Red = nullptr) {
+                const JsReductionCtx *Red = nullptr,
+                const analysis::StaticValues *SV = nullptr) {
   using ExecT = BasicCandidateExecution<RelT>;
   using ResultT = BasicEnumerationResult<RelT>;
   const JsModel *Prune = Cfg.Prune ? &M : nullptr;
@@ -625,7 +775,8 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
                  [&](const ExecT &CE, const Outcome &O) {
                    return Accumulate(Result, CE, O);
                  },
-                 Red, &Stats.SleptBranches);
+                 Red, &Stats.SleptBranches, SV, &Stats.StaticRfPruned,
+                 &Stats.StaticPathsPruned);
     return Result;
   }
 
@@ -637,15 +788,27 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
   // stack alone, so sharding cannot change what is explored.
   std::vector<WorkItem> Items;
   std::vector<JsBase<RelT>> Bases;
+  std::vector<StaticAllowMask> BaseAllow;
   std::vector<size_t> ComboOfBase(Space.Combos, 0);
+  std::vector<std::vector<uint8_t>> Feasible;
+  if (SV)
+    Feasible = feasiblePaths(Space, *SV);
   for (size_t C = 0; C < Space.Combos; ++C) {
     if (Red && !canonicalCombo(Space, Red->Sym, C))
       continue;
+    if (SV && !comboFeasible(Space, Feasible, C)) {
+      // Counted here on the building thread, mirroring the sequential
+      // walk exactly, so the counter is deterministic across Threads.
+      ++Stats.StaticPathsPruned;
+      continue;
+    }
     ComboOfBase[C] = Bases.size();
     Bases.push_back(buildJsBase<RelT>(P, Space.chosen(C)));
     JsBase<RelT> &B = Bases.back();
     if (Red)
       B.PathIdx = Space.indices(C);
+    if (SV)
+      BaseAllow.push_back(buildJsStaticAllow(*SV, B));
     if (B.Reads.empty()) {
       Items.push_back({C, -1});
       continue;
@@ -660,6 +823,7 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
   std::vector<ResultT> PerItem(Items.size());
   std::vector<uint64_t> PerItemPruned(Items.size(), 0);
   std::vector<uint64_t> PerItemSlept(Items.size(), 0);
+  std::vector<uint64_t> PerItemStatic(Items.size(), 0);
   runSharded(Items.size(), Threads, [&](size_t I) {
     // worker-private copy (the justifier mutates it)
     JsBase<RelT> B = Bases[ComboOfBase[Items[I].Combo]];
@@ -668,7 +832,10 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
           return Accumulate(PerItem[I], CE, O);
         };
     JsJustifier<RelT> J(B, Prune, &PerItemPruned[I], Items[I].Writer, Into,
-                        Red, &PerItemSlept[I]);
+                        Red, &PerItemSlept[I],
+                        SV ? &BaseAllow[ComboOfBase[Items[I].Combo]]
+                           : nullptr,
+                        &PerItemStatic[I]);
     J.run();
   });
 
@@ -678,6 +845,7 @@ enumerateJsCore(const Program &P, const JsModel &M, const EngineConfig &Cfg,
     Result.ValidCandidates += PerItem[I].ValidCandidates;
     Stats.PrunedSubtrees += PerItemPruned[I];
     Stats.SleptBranches += PerItemSlept[I];
+    Stats.StaticRfPruned += PerItemStatic[I];
     for (auto &[O, Witness] : PerItem[I].Allowed)
       Result.Allowed.emplace(O, std::move(Witness));
   }
@@ -980,6 +1148,46 @@ unsigned countTargetWriters(const BasicTargetExecution<RelT> &X, EventId R) {
   return Count;
 }
 
+/// The target flavour of the static writer-allow mask: [read idx]
+/// [eligible-writer position] (cells are width-1, so no byte axis). The
+/// event-to-access mapping replays buildTargetBase's order: one init
+/// event per location, then every thread's instructions in sequence
+/// (fences included in the numbering, mapped to -1 by the analysis).
+/// The exclusion rules are refuted by per-location coherence on every
+/// backend — targetScPerLocation on five of them, and ImmLite's
+/// COHERENCE axiom (Hb;Eco irreflexive, init first in co) independently.
+template <typename RelT>
+std::vector<std::vector<uint8_t>>
+buildTargetStaticAllow(const analysis::StaticValues &SV,
+                       const TargetBase<RelT> &B, const CompiledTarget &CT) {
+  std::vector<int> AccOf(B.X.Events.size(), -1);
+  size_t Pos = CT.NumLocs; // init events map to no access
+  for (unsigned T = 0; T < CT.Threads.size(); ++T)
+    for (unsigned I = 0; I < CT.Threads[T].size(); ++I)
+      AccOf[Pos++] = SV.AccessOfTargetInstr[T][I];
+  assert(Pos == B.X.Events.size() && "event/access replay out of sync");
+
+  std::vector<std::vector<uint8_t>> Allow(B.Reads.size());
+  for (size_t RI = 0; RI < B.Reads.size(); ++RI) {
+    EventId R = B.Reads[RI];
+    const analysis::ReadMayRf *MR =
+        SV.readMayRf(static_cast<unsigned>(AccOf[R]));
+    assert(MR && "read event mapped to a non-read access");
+    const analysis::MayRfByte &MB = MR->Bytes[0];
+    for (const TargetEvent &W : B.X.Events) {
+      if (!W.isWrite() || W.Id == R || W.Loc != B.X.Events[R].Loc)
+        continue;
+      bool Ok = W.IsInit
+                    ? MB.Init
+                    : std::binary_search(MB.Writers.begin(),
+                                         MB.Writers.end(),
+                                         static_cast<unsigned>(AccOf[W.Id]));
+      Allow[RI].push_back(Ok ? 1 : 0);
+    }
+  }
+  return Allow;
+}
+
 /// Enumerates rf justifications and coherence orders of a target base,
 /// pruning rf subtrees via the backend's monotone admission check and
 /// sleeping exact-twin rf choices when a symmetry is supplied. Only the
@@ -995,10 +1203,14 @@ public:
                   const std::function<bool(const ExecT &, const Outcome &)>
                       &Visit,
                   const ThreadSymmetry *Sym = nullptr,
-                  uint64_t *SleptBranches = nullptr)
+                  uint64_t *SleptBranches = nullptr,
+                  const std::vector<std::vector<uint8_t>> *StaticAllow =
+                      nullptr,
+                  uint64_t *StaticRfPruned = nullptr)
       : B(B), Prune(Prune), PrunedSubtrees(PrunedSubtrees),
         FirstWriterOnly(FirstWriterOnly), Visit(Visit),
-        SleptBranches(SleptBranches) {
+        SleptBranches(SleptBranches), StaticAllow(StaticAllow),
+        StaticRfPruned(StaticRfPruned) {
     if (Sym && !Sym->empty())
       setupTwins(*Sym);
   }
@@ -1055,6 +1267,14 @@ private:
       if (FirstWriterOnly >= 0 && ReadIdx == 0 &&
           ThisPos != static_cast<unsigned>(FirstWriterOnly))
         continue;
+      // Static may-rf pruning; see JsJustifier — the excluded writers are
+      // same-thread-as-reader or shadowed-init choices, which the twin
+      // sleep rule never sleeps, so the two filters cannot interact.
+      if (StaticAllow && !(*StaticAllow)[ReadIdx][ThisPos]) {
+        if (StaticRfPruned)
+          ++*StaticRfPruned;
+        continue;
+      }
       if (twinAsleep(W, B.X.Events[R])) {
         if (SleptBranches)
           ++*SleptBranches;
@@ -1128,6 +1348,8 @@ private:
   int FirstWriterOnly;
   const std::function<bool(const ExecT &, const Outcome &)> &Visit;
   uint64_t *SleptBranches;
+  const std::vector<std::vector<uint8_t>> *StaticAllow;
+  uint64_t *StaticRfPruned;
 
   // Twin sleep-set state (set up iff a non-empty symmetry was supplied).
   bool Sleeping = false;
@@ -1142,7 +1364,8 @@ BasicTargetEnumerationResult<RelT>
 enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
                     const EngineConfig &Cfg, unsigned Threads,
                     EngineStats &Stats,
-                    const ThreadSymmetry *Sym = nullptr) {
+                    const ThreadSymmetry *Sym = nullptr,
+                    const analysis::StaticValues *SV = nullptr) {
   using ExecT = BasicTargetExecution<RelT>;
   using ResultT = BasicTargetEnumerationResult<RelT>;
   const TargetModel *Prune = Cfg.Prune ? &M : nullptr;
@@ -1159,6 +1382,9 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
   };
 
   TargetBase<RelT> Base = buildTargetBase<RelT>(CT);
+  std::vector<std::vector<uint8_t>> Allow;
+  if (SV)
+    Allow = buildTargetStaticAllow(*SV, Base, CT);
   unsigned FirstWriters =
       Base.Reads.empty() ? 0 : countTargetWriters(Base.X, Base.Reads[0]);
   if (Threads <= 1 || FirstWriters <= 1) {
@@ -1170,7 +1396,8 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
         };
     TargetJustifier<RelT> J(Base, Prune, &Stats.PrunedSubtrees,
                             /*FirstWriterOnly=*/-1, Into, Sym,
-                            &Stats.SleptBranches);
+                            &Stats.SleptBranches, SV ? &Allow : nullptr,
+                            &Stats.StaticRfPruned);
     J.run();
     return Result;
   }
@@ -1183,6 +1410,7 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
   std::vector<ResultT> PerItem(FirstWriters);
   std::vector<uint64_t> PerItemPruned(FirstWriters, 0);
   std::vector<uint64_t> PerItemSlept(FirstWriters, 0);
+  std::vector<uint64_t> PerItemStatic(FirstWriters, 0);
   runSharded(FirstWriters, Threads, [&](size_t I) {
     TargetBase<RelT> B = Base; // worker-private copy (the justifier mutates it)
     std::function<bool(const ExecT &, const Outcome &)> Into =
@@ -1191,7 +1419,8 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
         };
     TargetJustifier<RelT> J(B, Prune, &PerItemPruned[I],
                             static_cast<int>(I), Into, Sym,
-                            &PerItemSlept[I]);
+                            &PerItemSlept[I], SV ? &Allow : nullptr,
+                            &PerItemStatic[I]);
     J.run();
   });
 
@@ -1201,6 +1430,7 @@ enumerateTargetCore(const CompiledTarget &CT, const TargetModel &M,
     Result.ConsistentCandidates += PerItem[I].ConsistentCandidates;
     Stats.PrunedSubtrees += PerItemPruned[I];
     Stats.SleptBranches += PerItemSlept[I];
+    Stats.StaticRfPruned += PerItemStatic[I];
     for (auto &[O, Witness] : PerItem[I].Allowed)
       Result.Allowed.emplace(O, std::move(Witness));
   }
@@ -1288,16 +1518,31 @@ void traceDrfFastPath(const char *Entry, unsigned Events, uint64_t States,
   T->event("drf-fastpath", std::move(F));
 }
 
+/// Emits the static-prune trace event: how much the value-aware static
+/// tier cut from this full enumeration (rf writer choices skipped and
+/// path combinations dropped).
+void traceStaticPrune(const char *Entry, uint64_t RfPruned,
+                      uint64_t PathsPruned, uint64_t MayRfExcluded) {
+  obs::TraceSink *T = obs::trace();
+  if (!T)
+    return;
+  JsonValue F = JsonValue::object();
+  F.set("entry", JsonValue(Entry));
+  F.set("rf_pruned", JsonValue(static_cast<double>(RfPruned)));
+  F.set("paths_pruned", JsonValue(static_cast<double>(PathsPruned)));
+  F.set("may_rf_excluded", JsonValue(static_cast<double>(MayRfExcluded)));
+  T->event("static-prune", std::move(F));
+}
+
 /// The static DRF-SC fast path shared by both enumerateOutcomes doors:
-/// classify, and when the certificate holds, answer with the SC
+/// when the precomputed classification certifies DRF, answer with the SC
 /// interleaving table under Tier "static". \returns std::nullopt for
 /// programs the certificate does not cover (the caller runs the full
-/// enumeration).
+/// enumeration, with the same analysis pruning it).
 template <typename ProgT>
 std::optional<OutcomeSummary>
-tryStaticFastPath(const ProgT &P, const char *Entry, unsigned Events,
-                  SolverKind Kind) {
-  analysis::StaticClassification C = analysis::classify(P);
+tryStaticFastPath(const ProgT &P, const analysis::StaticClassification &C,
+                  const char *Entry, unsigned Events, SolverKind Kind) {
   if (!C.StaticallyDrf)
     return std::nullopt;
   OutcomeSummary S;
@@ -1330,6 +1575,8 @@ void recordEngineObs(const EngineStats &St, uint64_t CandidatesConsidered,
   R.counter("engine.slept_branches").add(St.SleptBranches);
   R.counter("engine.candidates_considered").add(CandidatesConsidered);
   R.counter("engine.valid_candidates").add(ValidCandidates);
+  R.counter("engine.static_rf_pruned").add(St.StaticRfPruned);
+  R.counter("engine.static_paths_pruned").add(St.StaticPathsPruned);
   if (!Tier.empty())
     R.counter("engine.tier." + Tier).add(1);
 }
@@ -1339,13 +1586,16 @@ void recordEngineObs(const EngineStats &St, uint64_t CandidatesConsidered,
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
                                                   const JsModel &M) const {
   checkCapacity(P);
+  std::optional<analysis::StaticValues> SV;
   if (Cfg.StaticFastPath) {
     // The fast path sits after the capacity gate (too-large programs keep
     // their typed rejection) and before solver/tier selection (no solver
-    // runs on a statically-DRF program).
+    // runs on a statically-DRF program). When the DRF certificate does
+    // not hold, the same analysis prunes the full walk below.
+    SV.emplace(analysis::analyzeValues(P));
     SolverKind Kind = M.solver().Kind.value_or(defaultSolverKind());
     if (std::optional<OutcomeSummary> S = tryStaticFastPath(
-            P, "js", programEventUpperBound(P), Kind)) {
+            P, SV->C, "js", programEventUpperBound(P), Kind)) {
       Stats = EngineStats();
       recordEngineObs(Stats, S->CandidatesConsidered, S->ValidCandidates,
                       S->Tier);
@@ -1378,15 +1628,19 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
   traceTierSelect("js", programEventUpperBound(P), Tier, Kind);
   obs::PhaseTimer Phase("engine.phase.enumerate_us");
   EngineStats Local;
+  const analysis::StaticValues *SVP = SV ? &*SV : nullptr;
   if (!Cfg.Reduction) {
     OutcomeSummary S =
         SmallTier ? summarize(enumerateJsCore<Relation>(
-                        P, M, Cfg, effectiveThreads(), Local))
+                        P, M, Cfg, effectiveThreads(), Local, nullptr, SVP))
                   : summarize(enumerateJsCore<DynRelation>(
-                        P, M, Cfg, effectiveThreads(), Local));
+                        P, M, Cfg, effectiveThreads(), Local, nullptr, SVP));
     Stats = Local;
     S.Tier = Tier;
     S.SolverUsed = Kind;
+    if (SVP)
+      traceStaticPrune("js", Local.StaticRfPruned, Local.StaticPathsPruned,
+                       SV->MayRfExcluded);
     recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
     return S;
   }
@@ -1396,14 +1650,17 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const Program &P,
   JsReductionCtx Red{threadSymmetry(P), M.spec()};
   OutcomeSummary S =
       SmallTier ? summarize(enumerateJsCore<Relation>(
-                      P, M, Cfg, effectiveThreads(), Local, &Red))
+                      P, M, Cfg, effectiveThreads(), Local, &Red, SVP))
                 : summarize(enumerateJsCore<DynRelation>(
-                      P, M, Cfg, effectiveThreads(), Local, &Red));
+                      P, M, Cfg, effectiveThreads(), Local, &Red, SVP));
   if (!Red.Sym.empty())
     S.Allowed = closeOutcomes(std::move(S.Allowed), Red.Sym);
   Stats = Local;
   S.Tier = Tier;
   S.SolverUsed = Kind;
+  if (SVP)
+    traceStaticPrune("js", Local.StaticRfPruned, Local.StaticPathsPruned,
+                     SV->MayRfExcluded);
   recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
   return S;
 }
@@ -1579,14 +1836,18 @@ ExecutionEngine::enumerate(const CompiledTarget &CT,
 OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
                                                   const TargetModel &M) const {
   checkCapacity(CT);
-  if (Cfg.StaticFastPath)
+  std::optional<analysis::StaticValues> SV;
+  if (Cfg.StaticFastPath) {
+    SV.emplace(analysis::analyzeValues(CT));
     if (std::optional<OutcomeSummary> S = tryStaticFastPath(
-            CT, "target", targetEventBound(CT), defaultSolverKind())) {
+            CT, SV->C, "target", targetEventBound(CT), defaultSolverKind())) {
       Stats = EngineStats();
       recordEngineObs(Stats, S->CandidatesConsidered, S->ValidCandidates,
                       S->Tier);
       return *S;
     }
+  }
+  const analysis::StaticValues *SVP = SV ? &*SV : nullptr;
   bool SmallTier =
       targetEventBound(CT) <= Relation::MaxSize && !Cfg.ForceDynRelation;
   const char *Tier = SmallTier ? "inline" : "dyn";
@@ -1596,27 +1857,34 @@ OutcomeSummary ExecutionEngine::enumerateOutcomes(const CompiledTarget &CT,
   EngineStats Local;
   if (!Cfg.Reduction) {
     OutcomeSummary S =
-        SmallTier ? summarizeTarget(enumerateTargetCore<Relation>(
-                        CT, M, Cfg, effectiveThreads(), Local))
-                  : summarizeTarget(enumerateTargetCore<DynRelation>(
-                        CT, M, Cfg, effectiveThreads(), Local));
+        SmallTier
+            ? summarizeTarget(enumerateTargetCore<Relation>(
+                  CT, M, Cfg, effectiveThreads(), Local, nullptr, SVP))
+            : summarizeTarget(enumerateTargetCore<DynRelation>(
+                  CT, M, Cfg, effectiveThreads(), Local, nullptr, SVP));
     Stats = Local;
     S.Tier = Tier;
     S.SolverUsed = Kind;
+    if (SVP)
+      traceStaticPrune("target", Local.StaticRfPruned,
+                       Local.StaticPathsPruned, SV->MayRfExcluded);
     recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
     return S;
   }
   ThreadSymmetry Sym = threadSymmetry(CT);
   OutcomeSummary S =
       SmallTier ? summarizeTarget(enumerateTargetCore<Relation>(
-                      CT, M, Cfg, effectiveThreads(), Local, &Sym))
+                      CT, M, Cfg, effectiveThreads(), Local, &Sym, SVP))
                 : summarizeTarget(enumerateTargetCore<DynRelation>(
-                      CT, M, Cfg, effectiveThreads(), Local, &Sym));
+                      CT, M, Cfg, effectiveThreads(), Local, &Sym, SVP));
   if (!Sym.empty())
     S.Allowed = closeOutcomes(std::move(S.Allowed), Sym);
   Stats = Local;
   S.Tier = Tier;
   S.SolverUsed = Kind;
+  if (SVP)
+    traceStaticPrune("target", Local.StaticRfPruned, Local.StaticPathsPruned,
+                     SV->MayRfExcluded);
   recordEngineObs(Local, S.CandidatesConsidered, S.ValidCandidates, S.Tier);
   return S;
 }

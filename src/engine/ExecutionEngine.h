@@ -77,10 +77,17 @@ struct EngineConfig {
   /// enumeration under Tier "static" — the SC-DRF theorem (§3.2/Thm 6.1)
   /// plus the Thm 6.3 compilation results pin the SC table as the answer
   /// on every backend, and the equality is asserted against full
-  /// enumeration by the static-vs-dynamic differential tests. Off by
-  /// default like Reduction; on at the CLI/service front doors, where
+  /// enumeration by the static-vs-dynamic differential tests. When the
+  /// certificate does not hold, the same value analysis
+  /// (analysis::analyzeValues) prunes the full walk instead: writer
+  /// choices outside a read's static may-rf candidate set (or
+  /// contradicting the path's register constraints) are skipped, and path
+  /// combinations with statically-contradicted branch constraints are
+  /// dropped — counted by EngineStats::StaticRfPruned / StaticPathsPruned
+  /// with verdict tables unchanged (static_values_test pins equality). Off
+  /// by default like Reduction; on at the CLI/service front doors, where
   /// --no-static restores the full walk. The witness-carrying entry
-  /// points (enumerate / scDrf / forEach*) never take the fast path.
+  /// points (enumerate / scDrf / forEach*) never use the analysis.
   bool StaticFastPath = false;
   /// Event bound above which the outcome-level entry points answer tot
   /// questions through the SAT/CDCL tier (SolverKind::Sat) instead of the
@@ -106,6 +113,15 @@ struct EngineStats {
   /// Justification subtrees skipped by the equivalence-aware reduction
   /// (sleep sets over rf choices); 0 unless EngineConfig::Reduction.
   uint64_t SleptBranches = 0;
+  /// Writer choices skipped because they fall outside a read's static
+  /// may-rf candidate set (analysis::StaticValues) or contradict the
+  /// path's register constraints; 0 unless EngineConfig::StaticFastPath.
+  /// Deterministic across thread counts, like the other counters.
+  uint64_t StaticRfPruned = 0;
+  /// Control-flow path combinations dropped because a branch constraint
+  /// contradicts a constant read on the path (StaticValues::pathFeasible);
+  /// 0 unless EngineConfig::StaticFastPath.
+  uint64_t StaticPathsPruned = 0;
 };
 
 /// Capacity-agnostic enumeration result: the allowed outcome set plus the

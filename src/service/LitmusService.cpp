@@ -162,12 +162,20 @@ void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
     return;
   }
 
+  // Per-column pruning effort folds into the job's Static* counters
+  // (each enumerateOutcomes call resets the engine's Stats).
+  auto FoldStats = [&R, &E]() {
+    R.StaticRfPruned += E.Stats.StaticRfPruned;
+    R.StaticPathsPruned += E.Stats.StaticPathsPruned;
+  };
   R.AllowedByBackend["js-original"] =
       E.enumerateOutcomes(File.P, JsModel(ModelSpec::original()))
           .outcomeStrings();
+  FoldStats();
   R.AllowedByBackend["js-revised"] =
       E.enumerateOutcomes(File.P, JsModel(ModelSpec::revised()))
           .outcomeStrings();
+  FoldStats();
   // The ARM lowering assumes zero-initialised buffers: programs with a
   // litmus `init` directive omit the armv8 column (like too-large ones).
   if (!File.P.hasNonZeroInit()) {
@@ -194,6 +202,7 @@ void runDifferentialTable(const LitmusFile &File, const ExecutionEngine &E,
     CompiledTarget CT = compileUni(*Uni, M.arch());
     std::vector<std::string> Allowed =
         E.enumerateOutcomes(CT, M).outcomeStrings();
+    FoldStats();
     for (const std::string &O : Allowed) {
       if (!UniSet.count(O))
         R.SoundnessViolations.push_back(std::string(M.name()) + ": " + O);

@@ -147,6 +147,13 @@ struct LitmusJobResult {
   unsigned StaticMayRaces = 0;    ///< may-race pairs in the program
   unsigned StaticLints = 0;       ///< lint diagnostics (jsmm-lint's vocabulary)
   bool DrfFastPath = false;       ///< verdicts served by the SC fast path
+  /// Value-aware pruning effort summed over the job's enumerations
+  /// (EngineStats::StaticRfPruned / StaticPathsPruned): writer choices
+  /// outside a read's static may-rf set and path combinations with
+  /// contradicted branch constraints. 0 when the fast path served the
+  /// job, or when Static is off. Deterministic across worker counts.
+  uint64_t StaticRfPruned = 0;
+  uint64_t StaticPathsPruned = 0;
 
   bool ok() const { return Status == JobStatus::Ok; }
   /// \returns true if \p Backend allows the outcome string \p O.

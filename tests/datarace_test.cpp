@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
 
 using namespace jsmm;
 using namespace jsmm::testutil;
@@ -326,9 +327,9 @@ TEST(StaticDynamic, LintDiagnosticsCarryFixtureSourceLines) {
   // jsmm_lint_findings ctests run the CLI over the file itself); the
   // classification's diagnostics must map to the known source lines
   // through the parser's InstrLines table.
-  const char *Src = R"(# jsmm-lint regression fixture: one program that trips three lint kinds
-# with known source lines (tests/datarace_test.cpp and the
-# jsmm_lint_findings ctest pin the diagnostics and their lines).
+  const char *Src = R"(# jsmm-lint regression fixture: one program that trips five findings
+# across four lint kinds with known source lines (tests/datarace_test.cpp
+# and the jsmm_lint_findings ctests pin the diagnostics and their lines).
 name lint-findings
 buffer 64
 thread
@@ -340,18 +341,30 @@ thread
   if r0 == 9
     store u32 0 = 2
   end
+thread
+  store u8 48 = 5
+  r0 = load u8 48
+  if r0 == 0
+    store u8 0 = 3
+  end
 )";
   std::optional<LitmusFile> File = parseLitmus(Src);
   ASSERT_TRUE(File);
   analysis::StaticClassification C = analysis::classify(File->P);
-  std::map<analysis::LintKind, unsigned> LineOf;
+  std::multiset<std::pair<analysis::LintKind, unsigned>> Found;
   for (const analysis::LintDiag &D : C.Lints) {
     ASSERT_GE(D.PreIdx, 0) << D.Message;
-    LineOf[D.Kind] =
-        File->InstrLines[D.Thread][static_cast<unsigned>(D.PreIdx)];
+    Found.emplace(D.Kind,
+                  File->InstrLines[D.Thread][static_cast<unsigned>(D.PreIdx)]);
   }
-  ASSERT_EQ(LineOf.size(), 3u);
-  EXPECT_EQ(LineOf.at(analysis::LintKind::DeadStore), 8u);
-  EXPECT_EQ(LineOf.at(analysis::LintKind::UncoveredRead), 11u);
-  EXPECT_EQ(LineOf.at(analysis::LintKind::DeadBranch), 12u);
+  std::multiset<std::pair<analysis::LintKind, unsigned>> Want = {
+      {analysis::LintKind::DeadStore, 8u},
+      {analysis::LintKind::UncoveredRead, 11u},
+      {analysis::LintKind::DeadBranch, 12u},
+      // The third thread needs the value tier: the store shadows init, so
+      // the load is the constant 5 and its `== 0` branch is dead.
+      {analysis::LintKind::ConstantRead, 17u},
+      {analysis::LintKind::DeadBranch, 18u},
+  };
+  EXPECT_EQ(Found, Want);
 }

@@ -23,7 +23,9 @@
 /// per backend, differential soundness/weakening diffs, the checked
 /// allow/forbid expectations, and a "static" object (the pre-analysis
 /// summary: drf certificate, may-race and lint counts, whether the DRF-SC
-/// fast path served the verdicts). A summary with cache and throughput
+/// fast path served the verdicts, and the value-aware pruning effort —
+/// "rf_pruned" writer choices and "paths_pruned" path combinations cut
+/// during full enumerations). A summary with cache and throughput
 /// numbers goes to stderr, keeping stdout deterministic.
 ///
 /// Exit status: 0 all jobs ok and expectations hold; 1 some job failed;
@@ -270,6 +272,9 @@ std::string renderResult(size_t Index, const LitmusJobResult &R,
     St.set("may_races", JsonValue(static_cast<uint64_t>(R.StaticMayRaces)));
     St.set("lints", JsonValue(static_cast<uint64_t>(R.StaticLints)));
     St.set("fastpath", JsonValue(R.DrfFastPath));
+    St.set("rf_pruned", JsonValue(static_cast<uint64_t>(R.StaticRfPruned)));
+    St.set("paths_pruned",
+           JsonValue(static_cast<uint64_t>(R.StaticPathsPruned)));
     Obj.set("static", std::move(St));
   }
   if (WithSolver && R.HasSolverStats)

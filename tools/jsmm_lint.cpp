@@ -66,7 +66,7 @@ const std::vector<analysis::LintKind> &allLintKinds() {
   static const std::vector<analysis::LintKind> Kinds = {
       analysis::LintKind::DeadStore,     analysis::LintKind::UncoveredRead,
       analysis::LintKind::DeadBranch,    analysis::LintKind::DuplicateThread,
-      analysis::LintKind::RedundantFence};
+      analysis::LintKind::RedundantFence, analysis::LintKind::ConstantRead};
   return Kinds;
 }
 

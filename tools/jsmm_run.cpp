@@ -29,6 +29,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticValues.h"
 #include "compile/Compile.h"
 #include "engine/ExecutionEngine.h"
 #include "obs/Obs.h"
@@ -98,8 +99,11 @@ int usage() {
                "       jsmm-run --list-models\n"
                "  --stats        enumeration-effort footer (candidates, "
                "pruned/slept\n"
-               "                 subtrees, tier and solver, solver "
-               "counters)\n"
+               "                 subtrees, static classification and "
+               "pruning, tier\n"
+               "                 and solver, solver counters; the static "
+               "block prints\n"
+               "                 even under --no-static)\n"
                "  --stats=json   the footer as one 'run-summary' JSON "
                "line\n"
                "  --trace=FILE   append JSONL trace events to FILE\n";
@@ -362,10 +366,27 @@ int main(int Argc, char **Argv) {
   if (Stats && !StatsJson) {
     const EngineStats &ES = Engine.Stats;
     obs::MetricsRegistry &Reg = obs::registry();
+    // The static classification block prints whether or not the fast path
+    // is enabled (--no-static disables the *use* of the analysis, not the
+    // footer) — so a user can see why a program wasn't served statically.
+    analysis::StaticValues SV = analysis::analyzeValues(File->P);
+    unsigned Racy = 0;
+    for (const auto &[Key, F] : SV.Bytes) {
+      (void)Key;
+      if (F.Class == analysis::ByteClass::MultiWriter && F.Read)
+        ++Racy;
+    }
     std::cout << "stats: tier " << (Tier.empty() ? "-" : Tier) << ", solver "
               << (SolverName.empty() ? "-" : SolverName) << "\n"
               << "stats: candidates considered " << Considered << ", valid "
               << Valid << "\n"
+              << "stats: static bytes " << SV.Bytes.size() << ", racy bytes "
+              << Racy << ", may-races " << SV.C.MayRaces.size() << ", drf "
+              << (SV.C.StaticallyDrf ? "yes" : "no") << ", fast path "
+              << (Cfg.StaticFastPath ? "on" : "off") << "\n"
+              << "stats: static rf pruned " << ES.StaticRfPruned
+              << ", paths pruned " << ES.StaticPathsPruned
+              << ", may-rf excluded " << SV.MayRfExcluded << "\n"
               << "stats: work items " << ES.WorkItems
               << ", pruned subtrees " << ES.PrunedSubtrees
               << ", slept branches " << ES.SleptBranches << "\n"
@@ -389,6 +410,16 @@ int main(int Argc, char **Argv) {
     Cand.set("considered", JsonValue(static_cast<uint64_t>(Considered)));
     Cand.set("valid", JsonValue(static_cast<uint64_t>(Valid)));
     Summary.set("candidates", std::move(Cand));
+    analysis::StaticValues SV = analysis::analyzeValues(File->P);
+    JsonValue St = JsonValue::object();
+    St.set("drf", JsonValue(SV.C.StaticallyDrf));
+    St.set("may_races",
+           JsonValue(static_cast<uint64_t>(SV.C.MayRaces.size())));
+    St.set("may_rf_excluded", JsonValue(SV.MayRfExcluded));
+    St.set("rf_pruned", JsonValue(Engine.Stats.StaticRfPruned));
+    St.set("paths_pruned", JsonValue(Engine.Stats.StaticPathsPruned));
+    St.set("fastpath", JsonValue(Cfg.StaticFastPath));
+    Summary.set("static", std::move(St));
     std::cout << Summary.toString() << "\n";
   }
 

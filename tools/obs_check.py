@@ -30,6 +30,7 @@ KNOWN_EVENTS = {
     "tier-select",
     "solver-dispatch",
     "drf-fastpath",
+    "static-prune",
     "cache-hit",
     "cache-miss",
     "capacity-reject",

@@ -17,10 +17,12 @@ exits non-zero when any gated metric regressed by more than the tolerance
 Every metric present in both files is printed with its delta (±%) so CI
 logs show the full per-metric trend, not just the gated verdicts.
 
-Gated metrics are the ``speedup_*`` ratios, the ``*_drop_*``
-reduction-effectiveness ratios (``candidate_drop_por_x``: explored
+Gated metrics are the ``speedup_*`` ratios, the ``*_drop_*`` /
+``*_dropped_*`` effectiveness ratios (``candidate_drop_por_x``: explored
 candidates without the equivalence-aware enumeration over explored
-candidates with it, a deterministic counter that catches reduction
+candidates with it; ``rf_candidates_dropped_x``: completed rf
+candidates without the value-aware static pruning over those completed
+with it — deterministic counters that catch reduction/pruning
 regressions wall clock can hide), plus the batch service's
 ``*_jobs_per_sec`` floors (``service_jobs_per_sec`` for the ≤64-event
 differential corpus, ``large_program_jobs_per_sec`` for the 65+-event
@@ -137,6 +139,7 @@ def main(argv):
 
     def is_floor_gated(name):
         return (name.startswith("speedup_") or "_drop_" in name
+                or "_dropped_" in name
                 or name.endswith("_jobs_per_sec")
                 or name.endswith("_events_max")
                 or name.endswith("_hits"))
@@ -150,8 +153,8 @@ def main(argv):
                    if is_floor_gated(n) or is_ceiling_gated(n))
     if not gated:
         print(f"perf-trend: baseline '{baseline_path}' has no gated "
-              "(speedup_* / *_drop_* / *_jobs_per_sec / *_events_max / *_hits / "
-              "*_us) metrics")
+              "(speedup_* / *_drop_* / *_dropped_* / *_jobs_per_sec / "
+              "*_events_max / *_hits / *_us) metrics")
         return 2
 
     # A gated-class metric the benchmark emits but the baseline has no
